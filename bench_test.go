@@ -1,0 +1,111 @@
+package ovm_test
+
+// One testing.B benchmark per paper artifact (table/figure) plus the
+// ablation studies, all driving the experiment registry at smoke-test
+// scale so `go test -bench=.` terminates quickly on a laptop. For
+// paper-shape output at full scale use cmd/ovmbench (e.g.
+// `go run ./cmd/ovmbench -all`).
+
+import (
+	"io"
+	"testing"
+
+	"ovm/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := r(io.Discard, experiments.Params{Quick: true, Seed: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1RunningExample regenerates Table I (and asserts every cell
+// against the paper).
+func BenchmarkTable1RunningExample(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2SandwichRatio regenerates the sandwich-ratio study (Fig 2).
+func BenchmarkFig2SandwichRatio(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3ThetaCurve regenerates the Eq-44 admissibility curve (Fig 3).
+func BenchmarkFig3ThetaCurve(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable3Datasets regenerates the dataset characteristics table.
+func BenchmarkTable3Datasets(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4CaseStudy regenerates the ACM-election case study
+// (Table IV / Fig 4).
+func BenchmarkTable4CaseStudy(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFig6PluralityVsK regenerates the plurality-vs-k sweep (Fig 6).
+func BenchmarkFig6PluralityVsK(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7CopelandVsK regenerates the Copeland-vs-k sweep (Fig 7).
+func BenchmarkFig7CopelandVsK(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8CumulativeVsK regenerates the cumulative-vs-k sweep (Fig 8).
+func BenchmarkFig8CumulativeVsK(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9SeedOverlap regenerates the plurality-variant overlap study
+// (Fig 9).
+func BenchmarkFig9SeedOverlap(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10RankDistribution regenerates the rank-position histogram
+// (Fig 10).
+func BenchmarkFig10RankDistribution(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable6MinSeedsToWin regenerates the FJ-Vote-Win table (Table VI).
+func BenchmarkTable6MinSeedsToWin(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkFig11EIS regenerates the expected-influence-spread comparison
+// (Fig 11).
+func BenchmarkFig11EIS(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12HorizonSweep regenerates the horizon study (Fig 12).
+func BenchmarkFig12HorizonSweep(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13ThetaPlurality regenerates the plurality-vs-θ study (Fig 13).
+func BenchmarkFig13ThetaPlurality(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14ThetaCopeland regenerates the Copeland-vs-θ study (Fig 14).
+func BenchmarkFig14ThetaCopeland(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15EpsilonSweep regenerates the ε sensitivity study (Fig 15).
+func BenchmarkFig15EpsilonSweep(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16RhoSweep regenerates the ρ sensitivity study (Fig 16).
+func BenchmarkFig16RhoSweep(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17Scalability regenerates the scalability/memory study
+// (Fig 17).
+func BenchmarkFig17Scalability(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18OpinionChange regenerates the Appendix-B churn study
+// (Fig 18).
+func BenchmarkFig18OpinionChange(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkFig19MuSweep regenerates the Appendix-D µ study (Fig 19).
+func BenchmarkFig19MuSweep(b *testing.B) { benchExperiment(b, "fig19") }
+
+// BenchmarkAblationCELF measures plain greedy vs CELF.
+func BenchmarkAblationCELF(b *testing.B) { benchExperiment(b, "ablation-celf") }
+
+// BenchmarkAblationTruncation measures post-generation truncation vs
+// per-round walk regeneration.
+func BenchmarkAblationTruncation(b *testing.B) { benchExperiment(b, "ablation-truncation") }
+
+// BenchmarkAblationSketchShape measures walk sketches vs RR-set sketches.
+func BenchmarkAblationSketchShape(b *testing.B) { benchExperiment(b, "ablation-sketch-shape") }
+
+// BenchmarkExtRobustness re-evaluates FJ-optimized seeds under the HK and
+// voter dynamics (future-work extension).
+func BenchmarkExtRobustness(b *testing.B) { benchExperiment(b, "ext-robustness") }
+
+// BenchmarkExtBorda runs the Borda-count extension through all methods.
+func BenchmarkExtBorda(b *testing.B) { benchExperiment(b, "ext-borda") }

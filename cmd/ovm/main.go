@@ -1,0 +1,155 @@
+// Command ovm runs voting-based opinion maximization on a synthetic
+// dataset: select k seeds for the target candidate with the chosen method
+// and score, report the exact score, and optionally solve FJ-Vote-Win.
+//
+// Usage examples:
+//
+//	ovm -dataset yelp-like -n 5000 -method RS -score plurality -k 100 -t 20
+//	ovm -dataset twitter-mask-like -method RW -score copeland -k 50
+//	ovm -dataset twitter-mask-like -method DM -score plurality -win
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ovm"
+	"ovm/internal/serialize"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "yelp-like", "dataset: "+strings.Join(ovm.DatasetNames, ", "))
+		n       = flag.Int("n", 0, "node count override (0 = dataset default)")
+		mu      = flag.Float64("mu", 10, "edge-weight decay constant µ")
+		method  = flag.String("method", "RS", "method: DM, RW, RS, IC, LT, GED-T, PR, RWR, DC")
+		score   = flag.String("score", "plurality", "score: cumulative, plurality, p-approval, positional, copeland")
+		pVal    = flag.Int("p", 2, "p for p-approval / positional scores")
+		omegaP  = flag.Float64("omegap", 0.5, "ω[p] for the positional score (ω[1..p-1] = 1)")
+		k       = flag.Int("k", 50, "seed budget")
+		horizon = flag.Int("t", 20, "time horizon")
+		target  = flag.Int("target", -1, "target candidate index (-1 = dataset default)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		win     = flag.Bool("win", false, "solve FJ-Vote-Win (minimum seeds to win) instead of FJ-Vote")
+		load    = flag.String("load", "", "load a .system file (written by ovmgen -system) instead of synthesizing a dataset")
+		listAll = flag.Bool("list", false, "list datasets and exit")
+	)
+	flag.Parse()
+
+	if *listAll {
+		for _, name := range ovm.DatasetNames {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var sys *ovm.System
+	var names []string
+	var label string
+	tgt := 0
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = serialize.ReadSystem(f)
+		_ = f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		label = *load
+		for q := 0; q < sys.R(); q++ {
+			names = append(names, sys.Candidate(q).Name)
+		}
+	} else {
+		d, err := ovm.LoadDataset(*dataset, ovm.DatasetOptions{N: *n, Mu: *mu, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		sys, names, label, tgt = d.Sys, d.CandidateNames, d.Name, d.DefaultTarget
+	}
+	if *target >= 0 {
+		tgt = *target
+	}
+	if tgt < 0 || tgt >= sys.R() {
+		fatal(fmt.Errorf("target %d out of range [0,%d)", tgt, sys.R()))
+	}
+	sc, err := parseScore(*score, *pVal, *omegaP)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset=%s n=%d m=%d r=%d target=%q score=%s t=%d\n",
+		label, sys.N(), sys.Candidate(0).G.M(), sys.R(),
+		names[tgt], sc.Name(), *horizon)
+
+	opts := &ovm.SelectOptions{Seed: *seed}
+	if *win {
+		seeds, err := ovm.MinSeedsToWin(sys, tgt, *horizon, sc, ovm.Method(*method), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimum seeds to win (method %s): k* = %d\n", *method, len(seeds))
+		printSeeds(seeds)
+		return
+	}
+
+	prob := &ovm.Problem{Sys: sys, Target: tgt, Horizon: *horizon, K: *k, Score: sc}
+	sel, err := ovm.SelectSeeds(prob, ovm.Method(*method), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method=%s k=%d exact score=%.3f elapsed=%s\n",
+		sel.Method, *k, sel.ExactValue, sel.Elapsed.Round(1000000))
+	baseline, err := ovm.Evaluate(sys, tgt, *horizon, sc, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("score without seeds: %.3f (uplift %.3f)\n", baseline, sel.ExactValue-baseline)
+	printSeeds(sel.Seeds)
+	ok, err := ovm.Wins(sys, tgt, *horizon, sc, sel.Seeds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("target wins with these seeds: %v\n", ok)
+}
+
+func parseScore(name string, p int, omegaP float64) (ovm.Score, error) {
+	switch name {
+	case "cumulative":
+		return ovm.Cumulative(), nil
+	case "plurality":
+		return ovm.Plurality(), nil
+	case "p-approval":
+		return ovm.PApproval(p), nil
+	case "positional":
+		om := make([]float64, p)
+		for i := 0; i < p-1; i++ {
+			om[i] = 1
+		}
+		om[p-1] = omegaP
+		return ovm.Positional(p, om), nil
+	case "copeland":
+		return ovm.Copeland(), nil
+	default:
+		return nil, fmt.Errorf("unknown score %q", name)
+	}
+}
+
+func printSeeds(seeds []int32) {
+	limit := len(seeds)
+	if limit > 20 {
+		limit = 20
+	}
+	fmt.Printf("seeds (%d total): %v", len(seeds), seeds[:limit])
+	if len(seeds) > limit {
+		fmt.Printf(" …")
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command ovmbench regenerates the paper's tables and figures against the
+// synthetic dataset stand-ins. Every experiment of the evaluation section
+// (§VIII + appendices) is addressable by id.
+//
+// Usage examples:
+//
+//	ovmbench -list
+//	ovmbench -exp table1
+//	ovmbench -exp fig6 -scale 0.5
+//	ovmbench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ovm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment in paper order")
+		quick = flag.Bool("quick", false, "smoke-test sizes")
+		scale = flag.Float64("scale", 1, "node-count multiplier")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	params := experiments.Params{Quick: *quick, Scale: *scale, Seed: *seed}
+	run := func(id string) {
+		r, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ovmbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := r(os.Stdout, params); err != nil {
+			fmt.Fprintf(os.Stderr, "ovmbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	switch {
+	case *all:
+		for _, id := range experiments.Order {
+			run(id)
+		}
+	case *exp != "":
+		run(*exp)
+	default:
+		fmt.Fprintln(os.Stderr, "ovmbench: pass -exp <id>, -all, or -list")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command ovmgen synthesizes a dataset and exports its influence graph,
+// initial opinions, and stubbornness values to plain-text files, so the
+// worlds used in the experiments can be inspected or consumed by other
+// tools.
+//
+// Usage example:
+//
+//	ovmgen -dataset dblp-like -n 8000 -out /tmp/dblp
+//
+// writes /tmp/dblp.graph (edge list), /tmp/dblp.opinions (one row per
+// candidate: name then n initial opinions), and /tmp/dblp.stub (same shape
+// for stubbornness).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ovm"
+	"ovm/internal/graph"
+	"ovm/internal/serialize"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "yelp-like", "dataset: "+strings.Join(ovm.DatasetNames, ", "))
+		n       = flag.Int("n", 0, "node count override (0 = dataset default)")
+		mu      = flag.Float64("mu", 10, "edge-weight decay constant µ")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "dataset", "output path prefix")
+		system  = flag.Bool("system", false, "additionally write <out>.system (self-contained, reloadable by ovm -load)")
+	)
+	flag.Parse()
+
+	d, err := ovm.LoadDataset(*dataset, ovm.DatasetOptions{N: *n, Mu: *mu, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	if *system {
+		f, err := os.Create(*out + ".system")
+		if err != nil {
+			fatal(err)
+		}
+		if err := serialize.WriteSystem(f, d.Sys); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s.system\n", *out)
+	}
+	if err := writeGraph(*out+".graph", d.Sys.Candidate(0).G); err != nil {
+		fatal(err)
+	}
+	if err := writeVectors(*out+".opinions", d, func(c *ovm.Candidate) []float64 { return c.Init }); err != nil {
+		fatal(err)
+	}
+	if err := writeVectors(*out+".stub", d, func(c *ovm.Candidate) []float64 { return c.Stub }); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s.graph (%d nodes, %d edges), %s.opinions, %s.stub (%d candidates)\n",
+		*out, d.Sys.N(), d.Sys.Candidate(0).G.M(), *out, *out, d.Sys.R())
+}
+
+func writeGraph(path string, g *ovm.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteEdgeList(f, g)
+}
+
+func writeVectors(path string, d *ovm.Dataset, pick func(*ovm.Candidate) []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for q := 0; q < d.Sys.R(); q++ {
+		c := d.Sys.Candidate(q)
+		if _, err := fmt.Fprintf(w, "# %s\n", c.Name); err != nil {
+			return err
+		}
+		vals := pick(c)
+		for i, v := range vals {
+			if i > 0 {
+				if err := w.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(strconv.FormatFloat(v, 'g', 6, 64)); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"ovm/internal/graph"
+	"ovm/internal/voting"
+)
+
+// FavorableSet computes V_q^(t) (Definition 1): the users who rank the
+// target within the top p positions at the horizon without any target
+// seeds. B must be the seedless horizon opinion matrix.
+func FavorableSet(B [][]float64, q, p int) []bool {
+	n := len(B[q])
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if voting.Rank(B, q, v) <= p {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// WeaklyFavorableSet computes U_q^(t) (Definition 5): the users who prefer
+// the target to at least one other candidate at the horizon without seeds.
+func WeaklyFavorableSet(B [][]float64, q int) []bool {
+	n := len(B[q])
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		minOther := 2.0
+		for x := range B {
+			if x == q {
+				continue
+			}
+			if B[x][v] < minOther {
+				minOther = B[x][v]
+			}
+		}
+		if B[q][v] > minOther {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// CoverageValue returns scale·|N_S^(t) ∪ base|: the generic form of the
+// sandwich upper bounds (Definitions 4 and 6). base is a membership mask;
+// N_S^(t) is the t-hop out-reachability of the seed set (Definition 2).
+func CoverageValue(g *graph.Graph, horizon int, base []bool, scale float64, seeds []int32) float64 {
+	covered := make([]bool, len(base))
+	copy(covered, base)
+	cnt := 0
+	for _, in := range base {
+		if in {
+			cnt++
+		}
+	}
+	bfs := graph.NewBFS(g)
+	cnt += bfs.MarkReachable(seeds, horizon, covered)
+	return scale * float64(cnt)
+}
+
+// GreedyCoverage maximizes scale·|N_S^(t) ∪ base| over size-k seed sets with
+// the incremental lazy-greedy algorithm (the function is monotone
+// submodular, Theorems 6/7, so CELF-style laziness is exact). It returns
+// the usual GreedyResult; Evaluations counts BFS probes.
+func GreedyCoverage(g *graph.Graph, horizon int, base []bool, scale float64, k int) (*GreedyResult, error) {
+	n := g.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	if len(base) != n {
+		return nil, fmt.Errorf("core: base mask has %d entries, want %d", len(base), n)
+	}
+	res := &GreedyResult{}
+	covered := make([]bool, n)
+	baseCount := 0
+	for v, in := range base {
+		if in {
+			covered[v] = true
+			baseCount++
+		}
+	}
+	bfs := graph.NewBFS(g)
+	// Initial marginal gains.
+	type entry struct {
+		node  int32
+		gain  int
+		stamp int
+	}
+	entries := make([]entry, n)
+	for v := int32(0); v < int32(n); v++ {
+		entries[v] = entry{node: v, gain: bfs.CountNewlyReachable([]int32{v}, horizon, covered), stamp: 0}
+		res.Evaluations++
+	}
+	// Binary max-heap over entries.
+	h := make([]int, n) // heap of indices into entries
+	for i := range h {
+		h[i] = i
+	}
+	less := func(i, j int) bool { return entries[h[i]].gain > entries[h[j]].gain }
+	var down func(i, size int)
+	down = func(i, size int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < size && less(l, largest) {
+				largest = l
+			}
+			if r < size && less(r, largest) {
+				largest = r
+			}
+			if largest == i {
+				return
+			}
+			h[i], h[largest] = h[largest], h[i]
+			i = largest
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	size := n
+	seeds := make([]int32, 0, k)
+	total := baseCount
+	for len(seeds) < k && size > 0 {
+		top := &entries[h[0]]
+		if top.stamp == len(seeds) {
+			seeds = append(seeds, top.node)
+			gained := bfs.MarkReachable([]int32{top.node}, horizon, covered)
+			total += gained
+			res.Gains = append(res.Gains, scale*float64(gained))
+			h[0] = h[size-1]
+			size--
+			down(0, size)
+			continue
+		}
+		top.gain = bfs.CountNewlyReachable([]int32{top.node}, horizon, covered)
+		top.stamp = len(seeds)
+		res.Evaluations++
+		down(0, size)
+	}
+	res.Seeds = seeds
+	res.Value = scale * float64(total)
+	return res, nil
+}
+
+// PositionalBounds packages the LB/UB surrogate parameters for the
+// positional-p-approval family (§IV-B). For plurality use
+// voting.PluralityAsPositional(); for p-approval, voting.PApprovalAsPositional.
+type PositionalBounds struct {
+	Favorable []bool  // V_q^(t)
+	OmegaP    float64 // ω[p], scales LB
+	Omega1    float64 // ω[1], scales UB
+}
+
+// NewPositionalBounds computes the bound ingredients from the seedless
+// horizon matrix.
+func NewPositionalBounds(B [][]float64, q int, s voting.Positional) (*PositionalBounds, error) {
+	if err := s.Validate(len(B)); err != nil {
+		return nil, err
+	}
+	return &PositionalBounds{
+		Favorable: FavorableSet(B, q, s.P),
+		OmegaP:    s.Omega[s.P-1],
+		Omega1:    s.Omega[0],
+	}, nil
+}

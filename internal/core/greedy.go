@@ -1,0 +1,127 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// GreedyResult reports the outcome of a greedy run.
+type GreedyResult struct {
+	Seeds       []int32   // selected seeds in pick order
+	Gains       []float64 // marginal gain of each pick
+	Value       float64   // objective value of the full seed set
+	Evaluations int       // number of Objective.Value calls
+}
+
+// Greedy is Algorithm 1: k rounds, each picking the node with the maximum
+// marginal gain, re-evaluating every remaining candidate node per round.
+// Exact but O(k·n) objective evaluations; prefer GreedyCELF for
+// non-decreasing submodular objectives.
+func Greedy(obj Objective, k int) (*GreedyResult, error) {
+	n := obj.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	res := &GreedyResult{}
+	seeds := make([]int32, 0, k)
+	inSeed := make([]bool, n)
+	cur := obj.Value(nil)
+	res.Evaluations++
+	scratch := make([]int32, 0, k)
+	for round := 0; round < k; round++ {
+		best, bestGain := int32(-1), -1.0
+		for v := int32(0); v < int32(n); v++ {
+			if inSeed[v] {
+				continue
+			}
+			scratch = append(scratch[:0], seeds...)
+			scratch = append(scratch, v)
+			gain := obj.Value(scratch) - cur
+			res.Evaluations++
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		inSeed[best] = true
+		cur += bestGain
+		res.Gains = append(res.Gains, bestGain)
+	}
+	res.Seeds = seeds
+	res.Value = cur
+	return res, nil
+}
+
+// celfEntry is a lazy-greedy priority-queue entry.
+type celfEntry struct {
+	node  int32
+	gain  float64
+	stamp int // |seeds| at the time gain was computed
+}
+
+type celfHeap []celfEntry
+
+func (h celfHeap) Len() int            { return len(h) }
+func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// GreedyCELF is Algorithm 1 with the CELF lazy-evaluation optimization
+// (§III-C, [49]): stale marginal gains are re-evaluated only when they
+// surface at the top of a max-heap. Correct for non-decreasing submodular
+// objectives (cumulative score, the sandwich LB/UB surrogates); for
+// non-submodular objectives it degrades to a heuristic, matching how the
+// paper applies the greedy feasible solution SF.
+func GreedyCELF(obj Objective, k int) (*GreedyResult, error) {
+	n := obj.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	res := &GreedyResult{}
+	base := obj.Value(nil)
+	res.Evaluations++
+	seeds := make([]int32, 0, k)
+	scratch := make([]int32, 0, k)
+
+	h := make(celfHeap, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		gain := obj.Value([]int32{v}) - base
+		res.Evaluations++
+		h = append(h, celfEntry{node: v, gain: gain, stamp: 0})
+	}
+	heap.Init(&h)
+
+	cur := base
+	for len(seeds) < k && h.Len() > 0 {
+		top := h[0]
+		if top.stamp == len(seeds) {
+			// Gain is fresh w.r.t. the current seed set: accept.
+			heap.Pop(&h)
+			seeds = append(seeds, top.node)
+			cur += top.gain
+			res.Gains = append(res.Gains, top.gain)
+			continue
+		}
+		// Stale: recompute gain w.r.t. the current seed set.
+		scratch = append(scratch[:0], seeds...)
+		scratch = append(scratch, top.node)
+		gain := obj.Value(scratch) - cur
+		res.Evaluations++
+		h[0].gain = gain
+		h[0].stamp = len(seeds)
+		heap.Fix(&h, 0)
+	}
+	res.Seeds = seeds
+	res.Value = cur
+	return res, nil
+}

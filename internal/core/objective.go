@@ -1,0 +1,77 @@
+package core
+
+import (
+	"ovm/internal/opinion"
+	"ovm/internal/voting"
+)
+
+// Objective is a non-negative, non-decreasing set function over nodes that
+// the greedy framework maximizes under a cardinality constraint.
+type Objective interface {
+	// N returns the ground-set size.
+	N() int
+	// Value returns F(S) for the given seed set.
+	Value(seeds []int32) float64
+}
+
+// DMObjective evaluates a voting score exactly by direct matrix-vector
+// iteration (the DM method of §III-C): each Value call re-diffuses the
+// target candidate's opinions with the seed set applied, at O(Horizon·m)
+// cost, while competitor rows are shared and precomputed.
+type DMObjective struct {
+	prob  *Problem
+	diff  *opinion.Diffuser
+	b     [][]float64 // competitor rows precomputed; target row swapped per call
+	evals int
+}
+
+// NewDMObjective precomputes competitor opinions and prepares the diffuser.
+func NewDMObjective(p *Problem) (*DMObjective, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := &DMObjective{
+		prob: p,
+		diff: opinion.NewDiffuser(p.Sys.Candidate(p.Target)),
+		b:    CompetitorOpinions(p.Sys, p.Target, p.Horizon),
+	}
+	return o, nil
+}
+
+// N implements Objective.
+func (o *DMObjective) N() int { return o.prob.Sys.N() }
+
+// Value implements Objective.
+func (o *DMObjective) Value(seeds []int32) float64 {
+	o.evals++
+	o.b[o.prob.Target] = o.diff.Run(o.prob.Horizon, seeds)
+	return o.prob.Score.Eval(o.b, o.prob.Target)
+}
+
+// Evaluations returns how many exact evaluations were performed (used by
+// the efficiency experiments).
+func (o *DMObjective) Evaluations() int { return o.evals }
+
+// restrictedCumulative is the voting score behind the sandwich lower bound
+// LB(S) = ω[p] · Σ_{v ∈ V_q^(t)} b_qv^(t)[S] (Definition 3): a cumulative
+// score restricted to the favorable users set and scaled by ω[p].
+type restrictedCumulative struct {
+	mask  []bool
+	scale float64
+}
+
+// Name implements voting.Score.
+func (s restrictedCumulative) Name() string { return "restricted-cumulative" }
+
+// Eval implements voting.Score.
+func (s restrictedCumulative) Eval(B [][]float64, q int) float64 {
+	sum := 0.0
+	for v, in := range s.mask {
+		if in {
+			sum += B[q][v]
+		}
+	}
+	return s.scale * sum
+}
+
+var _ voting.Score = restrictedCumulative{}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"ovm/internal/opinion"
+	"ovm/internal/voting"
+)
+
+// Problem is one FJ-Vote instance (Problem 1, §II-C): find K seed nodes for
+// candidate Target maximizing Score at timestamp Horizon.
+type Problem struct {
+	Sys     *opinion.System
+	Target  int
+	Horizon int
+	K       int
+	Score   voting.Score
+}
+
+// Validate checks the instance is well-formed.
+func (p *Problem) Validate() error {
+	if p.Sys == nil {
+		return fmt.Errorf("core: nil system")
+	}
+	if p.Target < 0 || p.Target >= p.Sys.R() {
+		return fmt.Errorf("core: target %d out of range [0,%d)", p.Target, p.Sys.R())
+	}
+	if p.Horizon < 0 {
+		return fmt.Errorf("core: negative horizon %d", p.Horizon)
+	}
+	if p.K < 1 || p.K > p.Sys.N() {
+		return fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", p.K, p.Sys.N())
+	}
+	if p.Score == nil {
+		return fmt.Errorf("core: nil score")
+	}
+	if v, ok := p.Score.(interface{ Validate(r int) error }); ok {
+		if err := v.Validate(p.Sys.R()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvaluateExact computes F(B^(Horizon)[seeds], target) for any score via
+// direct diffusion — the ground-truth evaluation used to compare methods.
+func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32) (float64, error) {
+	B, err := opinion.Matrix(sys, horizon, target, seeds)
+	if err != nil {
+		return 0, err
+	}
+	return score.Eval(B, target), nil
+}
+
+// CompetitorOpinions computes the horizon-t opinion rows of every candidate
+// except the target (seedless), plus a scratch matrix whose target row can
+// be swapped in by evaluators. Competitor rows never change with the
+// target's seeds, so this is computed once per problem.
+func CompetitorOpinions(sys *opinion.System, target, horizon int) [][]float64 {
+	B := make([][]float64, sys.R())
+	for q := 0; q < sys.R(); q++ {
+		if q == target {
+			continue
+		}
+		B[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
+	}
+	return B
+}

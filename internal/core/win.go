@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ovm/internal/opinion"
+	"ovm/internal/voting"
+)
+
+// ErrCannotWin is returned by MinSeedsToWin when even seeding every node
+// does not make the target the strict winner.
+var ErrCannotWin = errors.New("core: target cannot win even with all nodes seeded")
+
+// SeedSelector produces a seed set of the given size for a fixed
+// (system, target, horizon, score) instance. Implementations include the
+// DM, RW, and RS selectors.
+type SeedSelector func(k int) ([]int32, error)
+
+// Wins reports whether the target's score with the given seeds strictly
+// exceeds every competitor's score on the same opinion matrix (Problem 2's
+// winning predicate, Equation 9).
+func Wins(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32) (bool, error) {
+	B, err := opinion.Matrix(sys, horizon, target, seeds)
+	if err != nil {
+		return false, err
+	}
+	fq := score.Eval(B, target)
+	for x := 0; x < sys.R(); x++ {
+		if x == target {
+			continue
+		}
+		if score.Eval(B, x) >= fq {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinSeedsToWin is Algorithm 2 (FJ-Vote-Win, Problem 2): search for the
+// minimum seed-set size k* such that the target wins under the given
+// score, re-running the selector at each probe. Returns the winning seed
+// set (empty if the target already wins with no seeds).
+//
+// Implementation note: Algorithm 2 binary-searches [0, n] directly; since
+// k* is usually tiny relative to n and each probe re-runs the greedy
+// selector at cost growing with k, we first establish a winning upper
+// bound by doubling (k = 1, 2, 4, …) and then binary-search the bracket —
+// the same predicate, the same k*, far cheaper probes.
+func MinSeedsToWin(sys *opinion.System, target, horizon int, score voting.Score, sel SeedSelector) ([]int32, error) {
+	if ok, err := Wins(sys, target, horizon, score, nil); err != nil {
+		return nil, err
+	} else if ok {
+		return []int32{}, nil
+	}
+	n := sys.N()
+	// Feasibility at k = n: every selector returns all nodes there, so the
+	// probe is selector-independent.
+	all := make([]int32, n)
+	for v := range all {
+		all[v] = int32(v)
+	}
+	if ok, err := Wins(sys, target, horizon, score, all); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, ErrCannotWin
+	}
+	probe := func(k int) ([]int32, bool, error) {
+		if k >= n {
+			return all, true, nil
+		}
+		s, err := sel(k)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: selector failed at k=%d: %w", k, err)
+		}
+		ok, err := Wins(sys, target, horizon, score, s)
+		if err != nil {
+			return nil, false, err
+		}
+		return s, ok, nil
+	}
+	// Doubling phase: find a winning hi.
+	lo, hi := 0, 1
+	var best []int32
+	for {
+		s, ok, err := probe(hi)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			best = s
+			break
+		}
+		lo = hi
+		if hi >= n {
+			return nil, ErrCannotWin
+		}
+		hi *= 2
+		if hi > n {
+			hi = n
+		}
+	}
+	// Binary search (lo loses, hi wins).
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		s, ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+			best = s
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// DMSelector returns a SeedSelector backed by SelectSeedsDM.
+func DMSelector(sys *opinion.System, target, horizon int, score voting.Score) SeedSelector {
+	return func(k int) ([]int32, error) {
+		p := &Problem{Sys: sys, Target: target, Horizon: horizon, K: k, Score: score}
+		seeds, _, err := SelectSeedsDM(p)
+		return seeds, err
+	}
+}

@@ -1,0 +1,178 @@
+package datasets_test
+
+import (
+	"math"
+	"testing"
+
+	"ovm/internal/datasets"
+	"ovm/internal/opinion"
+)
+
+func checkDataset(t *testing.T, d *datasets.Dataset, wantCands int) {
+	t.Helper()
+	if d.Sys.R() != wantCands {
+		t.Errorf("%s: %d candidates, want %d", d.Name, d.Sys.R(), wantCands)
+	}
+	if len(d.CandidateNames) != wantCands {
+		t.Errorf("%s: %d names, want %d", d.Name, len(d.CandidateNames), wantCands)
+	}
+	if d.DefaultTarget < 0 || d.DefaultTarget >= wantCands {
+		t.Errorf("%s: bad default target %d", d.Name, d.DefaultTarget)
+	}
+	for q := 0; q < d.Sys.R(); q++ {
+		if err := d.Sys.Candidate(q).Validate(); err != nil {
+			t.Errorf("%s candidate %d: %v", d.Name, q, err)
+		}
+	}
+}
+
+func TestAllDatasetsBuild(t *testing.T) {
+	wantCands := map[string]int{
+		"dblp-like":               2,
+		"yelp-like":               10,
+		"twitter-election-like":   4,
+		"twitter-distancing-like": 2,
+		"twitter-mask-like":       2,
+	}
+	for _, name := range datasets.Names {
+		d, err := datasets.ByName(name, datasets.Options{N: 500, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Sys.N() != 500 {
+			t.Errorf("%s: N = %d, want 500", name, d.Sys.N())
+		}
+		checkDataset(t, d, wantCands[name])
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := datasets.ByName("nope", datasets.Options{}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	a, err := datasets.YelpLike(datasets.Options{N: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datasets.YelpLike(datasets.Options{N: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sys.Candidate(0).G.M() != b.Sys.Candidate(0).G.M() {
+		t.Error("edge counts differ across identical seeds")
+	}
+	for v := 0; v < 300; v++ {
+		if a.Sys.Candidate(0).Init[v] != b.Sys.Candidate(0).Init[v] {
+			t.Fatal("initial opinions differ across identical seeds")
+		}
+	}
+	c, err := datasets.YelpLike(datasets.Options{N: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < 300; v++ {
+		if a.Sys.Candidate(0).Init[v] != c.Sys.Candidate(0).Init[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical opinions")
+	}
+}
+
+func TestDBLPLikeDomainStructure(t *testing.T) {
+	d, err := datasets.DBLPLike(datasets.Options{N: 700, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DomainNames) != 7 {
+		t.Fatalf("domains = %d, want 7", len(d.DomainNames))
+	}
+	if len(d.Community) != 700 || len(d.Affinity) != 700 {
+		t.Fatal("community/affinity metadata missing")
+	}
+	// Affinity vectors are unit-norm over 7 domains.
+	for v := 0; v < 700; v++ {
+		if d.Community[v] < 0 || d.Community[v] >= 7 {
+			t.Fatalf("bad community %d", d.Community[v])
+		}
+		norm := 0.0
+		for _, x := range d.Affinity[v] {
+			norm += x * x
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("affinity norm %v != 1", norm)
+		}
+	}
+	// The two candidates' opinions must be anti-correlated across the
+	// population (complementary domain profiles).
+	init0 := d.Sys.Candidate(0).Init
+	init1 := d.Sys.Candidate(1).Init
+	var cov, m0, m1 float64
+	for v := range init0 {
+		m0 += init0[v]
+		m1 += init1[v]
+	}
+	m0 /= float64(len(init0))
+	m1 /= float64(len(init1))
+	for v := range init0 {
+		cov += (init0[v] - m0) * (init1[v] - m1)
+	}
+	if cov >= 0 {
+		t.Errorf("candidate opinions should be anti-correlated, covariance %v", cov)
+	}
+}
+
+func TestMuChangesWeightsOnly(t *testing.T) {
+	a, err := datasets.TwitterMaskLike(datasets.Options{N: 400, Seed: 3, Mu: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datasets.TwitterMaskLike(datasets.Options{N: 400, Seed: 3, Mu: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sys.Candidate(0).G.M() != b.Sys.Candidate(0).G.M() {
+		t.Error("mu should not change topology")
+	}
+	// Same initial opinions (identical RNG stream order).
+	for v := 0; v < 400; v++ {
+		if a.Sys.Candidate(0).Init[v] != b.Sys.Candidate(0).Init[v] {
+			t.Fatal("mu changed initial opinions")
+		}
+	}
+}
+
+func TestOpinionDiffusionRunsOnDataset(t *testing.T) {
+	d, err := datasets.TwitterMaskLike(datasets.Options{N: 400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := opinion.OpinionsAt(d.Sys.Candidate(0), 10, []int32{0, 1, 2})
+	for v, b := range res {
+		if b < 0 || b > 1 {
+			t.Fatalf("opinion[%d] = %v outside [0,1]", v, b)
+		}
+	}
+}
+
+func TestStubbornnessRanges(t *testing.T) {
+	for _, name := range datasets.Names {
+		d, err := datasets.ByName(name, datasets.Options{N: 300, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < d.Sys.R(); q++ {
+			for v, s := range d.Sys.Candidate(q).Stub {
+				if s < 0 || s > 1 {
+					t.Fatalf("%s cand %d stub[%d] = %v", name, q, v, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ovm/internal/datasets"
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+	"ovm/internal/rwalk"
+	"ovm/internal/voting"
+)
+
+// Table4CaseStudy reproduces the ACM-general-election case study
+// (§VIII-B, Table IV, Fig 4) on the DBLP stand-in: select k seeds for the
+// target candidate, then report per research domain how many users vote
+// for the target before vs after seeding, the domains the top seeds
+// influence most, and the seed-proximity analysis of the users who change
+// their minds.
+func Table4CaseStudy(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Table IV / Fig 4: ACM election case study (DBLP stand-in)")
+	n := p.size(8000, 400)
+	k := p.size(100, 8)
+	horizon := horizonFor(p)
+	d, err := datasets.DBLPLike(datasets.Options{N: n, Seed: p.Seed})
+	if err != nil {
+		return err
+	}
+	target := d.DefaultTarget
+	fmt.Fprintf(w, "#users=%d  #seeds=%d  horizon t=%d  target=%q\n",
+		n, k, horizon, d.CandidateNames[target])
+
+	prob := defaultProblem(d, horizon, k, voting.Plurality{})
+	res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+	if err != nil {
+		return err
+	}
+	seeds := res.Seeds
+
+	before, err := opinion.Matrix(d.Sys, horizon, target, nil)
+	if err != nil {
+		return err
+	}
+	after, err := opinion.Matrix(d.Sys, horizon, target, seeds)
+	if err != nil {
+		return err
+	}
+	votesFor := func(B [][]float64, v int) bool { return voting.Rank(B, target, v) <= 1 }
+
+	totBefore, totAfter := 0, 0
+	domTotal := make([]int, len(d.DomainNames))
+	domBefore := make([]int, len(d.DomainNames))
+	domAfter := make([]int, len(d.DomainNames))
+	for v := 0; v < n; v++ {
+		c := d.Community[v]
+		domTotal[c]++
+		if votesFor(before, v) {
+			domBefore[c]++
+			totBefore++
+		}
+		if votesFor(after, v) {
+			domAfter[c]++
+			totAfter++
+		}
+	}
+	fmt.Fprintf(w, "users voting for target: without seeds %d (%.1f%%) -> with seeds %d (%.1f%%)\n",
+		totBefore, 100*float64(totBefore)/float64(n), totAfter, 100*float64(totAfter)/float64(n))
+
+	// Per-domain table (Table IV's last three columns).
+	fmt.Fprintf(w, "%-6s %10s %16s %16s\n", "Domain", "#users", "without seeds", "with seeds")
+	for c, name := range d.DomainNames {
+		fmt.Fprintf(w, "%-6s %10d %9d (%4.1f%%) %9d (%4.1f%%)\n",
+			name, domTotal[c],
+			domBefore[c], 100*float64(domBefore[c])/float64(domTotal[c]),
+			domAfter[c], 100*float64(domAfter[c])/float64(domTotal[c]))
+	}
+
+	// Top-10 seeds and the domains they influence most (via their t-hop
+	// out-reach per domain).
+	top := seeds
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	bfs := graph.NewBFS(d.Sys.Candidate(target).G)
+	fmt.Fprintf(w, "top-%d seeds and their most-influenced domains:\n", len(top))
+	seedDomains := make([]int, len(d.DomainNames))
+	for _, s := range top {
+		reach := make([]int, len(d.DomainNames))
+		bfs.THopOut([]int32{s}, horizon, func(v int32, _ int) { reach[d.Community[v]]++ })
+		bestDom, bestCnt := 0, -1
+		for c, cnt := range reach {
+			if cnt > bestCnt {
+				bestDom, bestCnt = c, cnt
+			}
+		}
+		seedDomains[bestDom]++
+		fmt.Fprintf(w, "  seed %6d: primary domain %-4s reaches %d nodes (top influence: %s)\n",
+			s, d.DomainNames[d.Community[s]], bestCnt, d.DomainNames[bestDom])
+	}
+
+	// Proximity analysis: among mind-changers, distance to the nearest seed
+	// (the paper reports that most changed users are neutral and several
+	// hops from both candidates).
+	var changers []int32
+	for v := 0; v < n; v++ {
+		if !votesFor(before, v) && votesFor(after, v) {
+			changers = append(changers, int32(v))
+		}
+	}
+	fmt.Fprintf(w, "users changing their vote to the target: %d\n", len(changers))
+	if len(changers) > 0 {
+		dist := make(map[int32]int, n)
+		bfs.THopOut(seeds, horizon+2, func(v int32, d int) { dist[v] = d })
+		buckets := map[string]int{"<=1 hop": 0, "2 hops": 0, ">=3 hops/unreached": 0}
+		for _, v := range changers {
+			dd, ok := dist[v]
+			switch {
+			case ok && dd <= 1:
+				buckets["<=1 hop"]++
+			case ok && dd == 2:
+				buckets["2 hops"]++
+			default:
+				buckets[">=3 hops/unreached"]++
+			}
+		}
+		keys := make([]string, 0, len(buckets))
+		for key := range buckets {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			fmt.Fprintf(w, "  distance to nearest seed %s: %d (%.1f%%)\n",
+				key, buckets[key], 100*float64(buckets[key])/float64(len(changers)))
+		}
+		// Neutrality: |initial gap| of the changers vs the population.
+		gap := func(v int32) float64 {
+			g := d.Sys.Candidate(target).Init[v] - d.Sys.Candidate(1 - target).Init[v]
+			if g < 0 {
+				return -g
+			}
+			return g
+		}
+		var chGap, popGap float64
+		for _, v := range changers {
+			chGap += gap(v)
+		}
+		chGap /= float64(len(changers))
+		for v := 0; v < n; v++ {
+			popGap += gap(int32(v))
+		}
+		popGap /= float64(n)
+		fmt.Fprintf(w, "mean initial |opinion gap|: changers %.3f vs population %.3f (smaller = more neutral)\n",
+			chGap, popGap)
+	}
+	return nil
+}

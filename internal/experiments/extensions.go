@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ovm/internal/datasets"
+	"ovm/internal/opinion"
+	"ovm/internal/sampling"
+	"ovm/internal/sketch"
+	"ovm/internal/voter"
+	"ovm/internal/voting"
+)
+
+func init() {
+	register("ext-robustness", ExtRobustness)
+	register("ext-borda", ExtBorda)
+}
+
+// ExtRobustness stress-tests the paper's future-work direction "more
+// opinion diffusion models": seeds optimized under the FJ dynamics are
+// re-evaluated under the Hegselmann–Krause bounded-confidence model and
+// the discrete voter model. The question mirrors the EIS study (Fig 11):
+// do FJ-optimal seeds remain useful when the electorate actually follows a
+// different dynamics?
+func ExtRobustness(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Extension: FJ-optimized seeds under HK and voter dynamics (twitter-mask-like)")
+	d, err := datasets.TwitterMaskLike(datasets.Options{N: p.size(3000, 250), Seed: p.Seed})
+	if err != nil {
+		return err
+	}
+	k := p.size(50, 5)
+	horizon := horizonFor(p)
+	target := d.DefaultTarget
+	prob := defaultProblem(d, horizon, k, voting.Plurality{})
+	res, err := sketch.SelectWithTheta(prob, p.size(1<<15, 2048), p.Seed)
+	if err != nil {
+		return err
+	}
+	seeds := res.Seeds
+	fmt.Fprintf(w, "n=%d k=%d t=%d; seeds optimized for FJ plurality via RS\n", d.Sys.N(), k, horizon)
+	fmt.Fprintf(w, "%-34s %14s %14s\n", "dynamics", "no seeds", "with seeds")
+
+	pluShare := func(B [][]float64) float64 {
+		return (voting.Plurality{}).Eval(B, target) / float64(d.Sys.N())
+	}
+	// FJ reference.
+	B0, err := opinion.Matrix(d.Sys, horizon, target, nil)
+	if err != nil {
+		return err
+	}
+	B1, err := opinion.Matrix(d.Sys, horizon, target, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s %13.1f%% %13.1f%%\n", "FJ (optimized)", 100*pluShare(B0), 100*pluShare(B1))
+
+	// HK with two confidence radii.
+	for _, eps := range []float64{0.3, 0.15} {
+		H0, err := opinion.HKMatrix(d.Sys, opinion.HKParams{Epsilon: eps}, horizon, target, nil)
+		if err != nil {
+			return err
+		}
+		H1, err := opinion.HKMatrix(d.Sys, opinion.HKParams{Epsilon: eps}, horizon, target, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-34s %13.1f%% %13.1f%%\n",
+			fmt.Sprintf("HK bounded confidence (eps=%.2f)", eps), 100*pluShare(H0), 100*pluShare(H1))
+	}
+
+	// Voter model (zealot seeds).
+	rounds := 100
+	if p.Quick {
+		rounds = 20
+	}
+	vp := voter.Params{Horizon: horizon, Target: target, Rounds: rounds}
+	v0, err := voter.ExpectedShare(d.Sys, vp, nil, sampling.NewRand(p.Seed, 601))
+	if err != nil {
+		return err
+	}
+	v1, err := voter.ExpectedShare(d.Sys, vp, seeds, sampling.NewRand(p.Seed, 602))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s %13.1f%% %13.1f%%\n", "voter model (zealot seeds)", 100*v0, 100*v1)
+	fmt.Fprintln(w, "(uplift surviving across dynamics = robust seed choice)")
+	return nil
+}
+
+// ExtBorda exercises the Borda count — the classic positional rule the
+// paper's future work points at — through the full pipeline: it is
+// expressible as positional-r-approval with weights (r−i)/(r−1), so the
+// sandwich machinery and all three methods apply unchanged.
+func ExtBorda(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Extension: Borda count as a positional-p-approval instance (twitter-election-like)")
+	d, err := datasets.TwitterElectionLike(datasets.Options{N: p.size(2000, 200), Seed: p.Seed})
+	if err != nil {
+		return err
+	}
+	borda := voting.BordaAsPositional(d.Sys.R())
+	ks := pickInts(p, []int{10, 25, 50, 100}, []int{2, 4})
+	horizon := horizonFor(p)
+	fmt.Fprintf(w, "%-7s", "method")
+	for _, k := range ks {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("k=%d", k))
+	}
+	fmt.Fprintln(w)
+	for _, m := range []string{"DM", "RW", "RS", "DC"} {
+		fmt.Fprintf(w, "%-7s", m)
+		for _, k := range ks {
+			prob := defaultProblem(d, horizon, k, borda)
+			res, err := runMethod(m, prob, p.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12.2f", res.Exact)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

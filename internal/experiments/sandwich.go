@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ovm/internal/core"
+	"ovm/internal/datasets"
+	"ovm/internal/sketch"
+	"ovm/internal/voting"
+)
+
+// Fig2 reproduces the empirical sandwich-ratio study (§IV-D, Fig 2): the
+// ratio F(SU)/UB(SU) across seed-budget trials, with the plurality score
+// on the Twitter-Social-Distancing stand-in and the Copeland score on the
+// Yelp stand-in. The paper reports the ratio ≥ 0.7 in 90% of trials and
+// ≥ 0.8 in about half.
+func Fig2(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Fig 2: empirical sandwich approximation factor F(SU)/UB(SU)")
+	type combo struct {
+		dataset string
+		n       int
+		score   voting.Score
+	}
+	combos := []combo{
+		{"twitter-distancing-like", p.size(2500, 150), voting.Plurality{}},
+		{"yelp-like", p.size(1500, 150), voting.Copeland{}},
+	}
+	ks := pickInts(p, []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, []int{2, 4})
+	for _, c := range combos {
+		d, err := datasets.ByName(c.dataset, datasets.Options{N: c.n, Seed: p.Seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s / %s (n=%d, t=%d)\n", c.dataset, c.score.Name(), c.n, horizonFor(p))
+		fmt.Fprintf(w, "%6s %10s\n", "k", "ratio")
+		var ratios []float64
+		for _, k := range ks {
+			prob := defaultProblem(d, horizonFor(p), k, c.score)
+			var res *core.SandwichResult
+			if _, ok := c.score.(voting.Copeland); ok {
+				res, err = core.SandwichCopeland(prob)
+			} else {
+				res, err = core.SandwichPositional(prob)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%6d %10.3f\n", k, res.Ratio)
+			ratios = append(ratios, res.Ratio)
+		}
+		ge7, ge8 := 0, 0
+		for _, r := range ratios {
+			if r >= 0.7 {
+				ge7++
+			}
+			if r >= 0.8 {
+				ge8++
+			}
+		}
+		fmt.Fprintf(w, "trials with ratio >= 0.7: %d/%d; >= 0.8: %d/%d\n",
+			ge7, len(ratios), ge8, len(ratios))
+	}
+	return nil
+}
+
+// Fig3 reproduces the θ-admissibility study (Fig 3): the non-monotone
+// left-hand side of Inequality 44 as a function of θ, and the smallest
+// admissible θ (the paper's θ1) when one exists.
+func Fig3(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Fig 3: LHS of Eq. 44 as a function of θ (plurality variants)")
+	// Illustrative parameters chosen, as in the paper's Fig 3, so that the
+	// non-monotone LHS curve actually crosses the RHS: a small instance
+	// (keeping the RHS visibly below 1) and a per-sample confidence ρ very
+	// close to 1 (i.e., generous per-node walk counts).
+	n, k := 60, 2
+	l := 0.3
+	rho, eps := 0.9999999, 0.5
+	opt := 0.9 * float64(n)
+	rhs := sketch.PluralityThetaRHS(n, k, l)
+	fmt.Fprintf(w, "n=%d k=%d rho=%v eps=%v OPT=%.0f  RHS=%.6f\n", n, k, rho, eps, opt, rhs)
+	fmt.Fprintf(w, "%8s %12s\n", "theta", "LHS")
+	thetas := pickInts(p,
+		[]int{1, 10, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600},
+		[]int{1, 100, 1600, 25600})
+	for _, th := range thetas {
+		fmt.Fprintf(w, "%8d %12.6f\n", th, sketch.PluralityThetaLHS(rho, eps, opt, n, th))
+	}
+	if th, ok := sketch.SmallestAdmissibleTheta(func(t int) float64 {
+		return sketch.PluralityThetaLHS(rho, eps, opt, n, t)
+	}, rhs, 1<<20); ok {
+		fmt.Fprintf(w, "smallest admissible theta (theta1) = %d\n", th)
+	} else {
+		fmt.Fprintln(w, "no admissible theta: RHS exceeds the LHS maximum")
+	}
+	// Copeland analogue (Eq. 48).
+	mu := 0.5
+	crhs := sketch.CopelandThetaRHS(n, k, 4, l)
+	if th, ok := sketch.SmallestAdmissibleTheta(func(t int) float64 {
+		return sketch.CopelandThetaLHS(rho, mu, t)
+	}, crhs, 1<<20); ok {
+		fmt.Fprintf(w, "Copeland (Eq. 48, mu=%v): smallest admissible theta = %d\n", mu, th)
+	} else {
+		fmt.Fprintf(w, "Copeland (Eq. 48, mu=%v): no admissible theta\n", mu)
+	}
+	return nil
+}

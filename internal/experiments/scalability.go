@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ovm/internal/core"
+	"ovm/internal/datasets"
+	"ovm/internal/opinion"
+	"ovm/internal/rwalk"
+	"ovm/internal/sampling"
+	"ovm/internal/sketch"
+	"ovm/internal/voting"
+)
+
+// Fig17 reproduces the scalability and memory study (Fig 17): seed-finding
+// time and memory of DM/RW/RS for the cumulative score on node-induced
+// subsamples of the largest dataset. The paper's shape: RW/RS grow
+// near-linearly in n, DM polynomially; DM uses the least memory, RW the
+// most (it stores walks from every node), RS sits in between.
+func Fig17(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Fig 17: seed-finding time and memory vs graph size (twitter-distancing-like)")
+	maxN := p.size(12000, 400)
+	full, err := datasets.TwitterDistancingLike(datasets.Options{N: maxN, Seed: p.Seed})
+	if err != nil {
+		return err
+	}
+	k := p.size(25, 3)
+	horizon := horizonFor(p)
+	fracs := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6, 4.0 / 6, 5.0 / 6, 1}
+	if p.Quick {
+		fracs = []float64{0.5, 1}
+	}
+	r := sampling.NewRand(p.Seed, 402)
+	fmt.Fprintf(w, "%8s | %10s %10s %10s | %10s %10s\n",
+		"n", "DM time", "RW time", "RS time", "RW mem", "RS mem")
+	for _, f := range fracs {
+		sub := int(f * float64(maxN))
+		// Uniform node sample, induced subgraph, re-normalized.
+		perm := r.Perm(maxN)
+		nodes := make([]int32, sub)
+		for i := 0; i < sub; i++ {
+			nodes[i] = int32(perm[i])
+		}
+		g0 := full.Sys.Candidate(0).G
+		subG, mapping, err := g0.InducedSubgraph(nodes)
+		if err != nil {
+			return err
+		}
+		subG, err = subG.ColumnStochastic()
+		if err != nil {
+			return err
+		}
+		cands := make([]*opinion.Candidate, full.Sys.R())
+		for q := 0; q < full.Sys.R(); q++ {
+			src := full.Sys.Candidate(q)
+			init := make([]float64, sub)
+			stub := make([]float64, sub)
+			for old, newID := range mapping {
+				if newID >= 0 {
+					init[newID] = src.Init[old]
+					stub[newID] = src.Stub[old]
+				}
+			}
+			cands[q] = &opinion.Candidate{Name: src.Name, G: subG, Init: init, Stub: stub}
+		}
+		sys, err := opinion.NewSystem(cands)
+		if err != nil {
+			return err
+		}
+		prob := &core.Problem{Sys: sys, Target: full.DefaultTarget, Horizon: horizon, K: k, Score: voting.Cumulative{}}
+
+		startDM := time.Now()
+		if _, _, err := core.SelectSeedsDM(prob); err != nil {
+			return err
+		}
+		dmTime := time.Since(startDM).Seconds()
+
+		startRW := time.Now()
+		rwRes, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+		if err != nil {
+			return err
+		}
+		rwTime := time.Since(startRW).Seconds()
+
+		startRS := time.Now()
+		rsRes, err := sketch.Select(prob, sketch.Config{Seed: p.Seed, MaxTheta: 1 << 18})
+		if err != nil {
+			return err
+		}
+		rsTime := time.Since(startRS).Seconds()
+
+		fmt.Fprintf(w, "%8d | %10.3f %10.3f %10.3f | %9.1fM %9.1fM\n",
+			sub, dmTime, rwTime, rsTime,
+			float64(rwRes.BytesUsed)/1e6, float64(rsRes.BytesUsed)/1e6)
+	}
+	return nil
+}
+
+// Fig18 reproduces the Appendix-B horizon-relevance study (Fig 18): the
+// fraction of nodes whose opinion changes by more than Δ% per step, and
+// the overlap of optimal seed sets across horizons. The paper reports
+// substantial churn before t = 30 and only 42–61% seed overlap between
+// t ∈ {5,10,20} and t = 30.
+func Fig18(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Fig 18: opinion churn per step and seed-set overlap across horizons (yelp-like)")
+	d, err := datasets.YelpLike(datasets.Options{N: p.size(2000, 200), Seed: p.Seed})
+	if err != nil {
+		return err
+	}
+	cand := d.Sys.Candidate(d.DefaultTarget)
+	maxT := 30
+	if p.Quick {
+		maxT = 8
+	}
+	deltas := []float64{1, 5, 10}
+	churn := make([][]float64, len(deltas))
+	for i, delta := range deltas {
+		churn[i] = opinion.ChurnFractions(cand, nil, maxT, delta)
+	}
+	fmt.Fprintf(w, "%6s", "t")
+	for _, delta := range deltas {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("delta=%.0f%%", delta))
+	}
+	fmt.Fprintln(w)
+	for t := 1; t <= maxT; t++ {
+		fmt.Fprintf(w, "%6d", t)
+		for i := range deltas {
+			fmt.Fprintf(w, " %13.1f%%", 100*churn[i][t-1])
+		}
+		fmt.Fprintln(w)
+	}
+	// Seed-set overlap across horizons (k=100 in the paper).
+	k := p.size(100, 5)
+	horizons := []int{5, 10, 20, maxT}
+	if p.Quick {
+		horizons = []int{2, maxT}
+	}
+	seedsAt := map[int][]int32{}
+	for _, t := range horizons {
+		prob := defaultProblem(d, t, k, voting.Cumulative{})
+		res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+		if err != nil {
+			return err
+		}
+		seedsAt[t] = res.Seeds
+	}
+	ref := horizons[len(horizons)-1]
+	for _, t := range horizons[:len(horizons)-1] {
+		fmt.Fprintf(w, "seed overlap t=%d vs t=%d: %.0f%%\n", t, ref, overlap(seedsAt[t], seedsAt[ref]))
+	}
+	return nil
+}
+
+// Fig19 reproduces the Appendix-D µ sensitivity study (Fig 19): voting
+// scores under different edge-weight decay constants µ. The paper's shape:
+// after column normalization the impact of µ is small, with µ = 10 and 15
+// nearly overlapping.
+func Fig19(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	header(w, "Fig 19: score vs edge-weight decay mu")
+	mus := []float64{1, 5, 10, 15, 20}
+	if p.Quick {
+		mus = []float64{1, 10}
+	}
+	k := p.size(50, 4)
+	horizon := horizonFor(p)
+	type combo struct {
+		dataset string
+		score   voting.Score
+	}
+	for _, c := range []combo{
+		{"twitter-election-like", voting.Cumulative{}},
+		{"yelp-like", voting.Plurality{}},
+	} {
+		fmt.Fprintf(w, "%s / %s\n", c.dataset, c.score.Name())
+		fmt.Fprintf(w, "%8s %12s\n", "mu", "score")
+		for _, mu := range mus {
+			d, err := datasets.ByName(c.dataset, datasets.Options{N: p.size(2500, 200), Seed: p.Seed, Mu: mu})
+			if err != nil {
+				return err
+			}
+			prob := defaultProblem(d, horizon, k, c.score)
+			res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+			if err != nil {
+				return err
+			}
+			exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, c.score, res.Seeds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%8.0f %12.2f\n", mu, exact)
+		}
+	}
+	return nil
+}

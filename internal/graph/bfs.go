@@ -1,0 +1,97 @@
+package graph
+
+// BFS is a reusable breadth-first traverser with O(1) reset between runs,
+// used heavily by the t-hop reachability computations of the sandwich upper
+// bounds (Definition 2: the reachable users set N_S^(t)).
+type BFS struct {
+	g     *Graph
+	stamp []int32
+	cur   int32
+	queue []int32
+	depth []int32
+}
+
+// NewBFS allocates a traverser for g.
+func NewBFS(g *Graph) *BFS {
+	return &BFS{
+		g:     g,
+		stamp: make([]int32, g.N()),
+		cur:   0,
+		queue: make([]int32, 0, 1024),
+		depth: make([]int32, g.N()),
+	}
+}
+
+// THopOut visits every node reachable from any source within at most t
+// out-edge hops (sources themselves are at hop 0) and calls visit(v, d)
+// once per node with its hop distance d. Traversal order is breadth-first.
+func (b *BFS) THopOut(sources []int32, t int, visit func(v int32, depth int)) {
+	b.cur++
+	if b.cur == 0 { // wrapped; clear stamps
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.cur = 1
+	}
+	b.queue = b.queue[:0]
+	for _, s := range sources {
+		if b.stamp[s] == b.cur {
+			continue
+		}
+		b.stamp[s] = b.cur
+		b.depth[s] = 0
+		b.queue = append(b.queue, s)
+		visit(s, 0)
+	}
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.depth[v]
+		if int(d) >= t {
+			continue
+		}
+		dst, _ := b.g.OutNeighbors(v)
+		for _, u := range dst {
+			if b.stamp[u] == b.cur {
+				continue
+			}
+			b.stamp[u] = b.cur
+			b.depth[u] = d + 1
+			b.queue = append(b.queue, u)
+			visit(u, int(d+1))
+		}
+	}
+}
+
+// ReachableWithin returns the set of nodes within t out-hops of the sources,
+// as a freshly allocated slice (including the sources).
+func (b *BFS) ReachableWithin(sources []int32, t int) []int32 {
+	var out []int32
+	b.THopOut(sources, t, func(v int32, _ int) { out = append(out, v) })
+	return out
+}
+
+// CountNewlyReachable returns |N_{sources}^(t) \ covered|, where covered is
+// a boolean membership slice. Used by the lazy greedy coverage maximization
+// for the sandwich upper bounds without materializing the set.
+func (b *BFS) CountNewlyReachable(sources []int32, t int, covered []bool) int {
+	cnt := 0
+	b.THopOut(sources, t, func(v int32, _ int) {
+		if !covered[v] {
+			cnt++
+		}
+	})
+	return cnt
+}
+
+// MarkReachable sets covered[v] = true for every node within t out-hops of
+// sources and returns how many were newly marked.
+func (b *BFS) MarkReachable(sources []int32, t int, covered []bool) int {
+	cnt := 0
+	b.THopOut(sources, t, func(v int32, _ int) {
+		if !covered[v] {
+			covered[v] = true
+			cnt++
+		}
+	})
+	return cnt
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// line builds a directed path 0→1→2→…→n-1.
+func line(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(int32(i), int32(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTHopOutOnPath(t *testing.T) {
+	g := line(t, 10)
+	bfs := NewBFS(g)
+	for hops := 0; hops < 12; hops++ {
+		got := bfs.ReachableWithin([]int32{0}, hops)
+		want := hops + 1
+		if want > 10 {
+			want = 10
+		}
+		if len(got) != want {
+			t.Errorf("t=%d: reached %d nodes, want %d", hops, len(got), want)
+		}
+	}
+}
+
+func TestTHopDepths(t *testing.T) {
+	g := line(t, 6)
+	bfs := NewBFS(g)
+	depths := map[int32]int{}
+	bfs.THopOut([]int32{0}, 4, func(v int32, d int) { depths[v] = d })
+	for v := int32(0); v <= 4; v++ {
+		if depths[v] != int(v) {
+			t.Errorf("node %d at depth %d, want %d", v, depths[v], v)
+		}
+	}
+	if _, ok := depths[5]; ok {
+		t.Error("node 5 should be unreachable within 4 hops")
+	}
+}
+
+func TestTHopMultiSource(t *testing.T) {
+	g := line(t, 10)
+	bfs := NewBFS(g)
+	got := bfs.ReachableWithin([]int32{0, 7}, 1)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int32{0, 1, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTHopDuplicateSources(t *testing.T) {
+	g := line(t, 5)
+	bfs := NewBFS(g)
+	got := bfs.ReachableWithin([]int32{2, 2, 2}, 0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("duplicate sources should visit once, got %v", got)
+	}
+}
+
+func TestBFSReusable(t *testing.T) {
+	g := line(t, 8)
+	bfs := NewBFS(g)
+	// Two successive traversals must be independent.
+	a := bfs.ReachableWithin([]int32{0}, 2)
+	b := bfs.ReachableWithin([]int32{5}, 2)
+	if len(a) != 3 || len(b) != 3 {
+		t.Errorf("len(a)=%d len(b)=%d, want 3/3", len(a), len(b))
+	}
+}
+
+func TestCountAndMarkReachable(t *testing.T) {
+	g := line(t, 10)
+	bfs := NewBFS(g)
+	covered := make([]bool, 10)
+	if got := bfs.CountNewlyReachable([]int32{0}, 3, covered); got != 4 {
+		t.Errorf("CountNewlyReachable = %d, want 4", got)
+	}
+	if got := bfs.MarkReachable([]int32{0}, 3, covered); got != 4 {
+		t.Errorf("MarkReachable = %d, want 4", got)
+	}
+	// Second time nothing new.
+	if got := bfs.CountNewlyReachable([]int32{1}, 2, covered); got != 0 {
+		t.Errorf("after covering, CountNewlyReachable = %d, want 0", got)
+	}
+	if got := bfs.CountNewlyReachable([]int32{2}, 3, covered); got != 2 {
+		t.Errorf("partially covered frontier = %d, want 2 (nodes 4,5)", got)
+	}
+}
+
+func TestBFSAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(20)
+		b := NewBuilder(n)
+		m := r.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), 1)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := int32(r.Intn(n))
+		hops := r.Intn(5)
+		// Brute force: adjacency-matrix style expansion.
+		reach := map[int32]bool{src: true}
+		frontier := []int32{src}
+		for h := 0; h < hops; h++ {
+			var next []int32
+			for _, v := range frontier {
+				dst, _ := g.OutNeighbors(v)
+				for _, u := range dst {
+					if !reach[u] {
+						reach[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+		bfs := NewBFS(g)
+		got := bfs.ReachableWithin([]int32{src}, hops)
+		if len(got) != len(reach) {
+			t.Fatalf("trial %d: got %d nodes, want %d", trial, len(got), len(reach))
+		}
+		for _, v := range got {
+			if !reach[v] {
+				t.Fatalf("trial %d: node %d wrongly reached", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and assembles an immutable Graph.
+// Parallel edges between the same ordered pair are merged by summing
+// their weights. Self-loops are permitted (they realize stubbornness-free
+// opinion retention for isolated nodes).
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records a directed edge from → to with weight w.
+func (b *Builder) AddEdge(from, to int32, w float64) error {
+	if from < 0 || int(from) >= b.n || to < 0 || int(to) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, b.n)
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative weight %v on edge (%d,%d)", w, from, to)
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to, W: w})
+	return nil
+}
+
+// AddEdges records a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) error {
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumEdges returns the number of edges recorded so far (before merging).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build assembles the CSR graph. The builder may be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n <= 0 {
+		return nil, fmt.Errorf("graph: need at least one node, got %d", b.n)
+	}
+	edges := mergeParallel(b.edges)
+	g := &Graph{n: b.n}
+
+	// Out-CSR (edges already sorted (From, To) by mergeParallel).
+	g.outStart = make([]int32, b.n+1)
+	for _, e := range edges {
+		g.outStart[e.From+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.outStart[v+1] += g.outStart[v]
+	}
+	g.outDst = make([]int32, len(edges))
+	g.outW = make([]float64, len(edges))
+	for i, e := range edges {
+		g.outDst[i] = e.To
+		g.outW[i] = e.W
+	}
+
+	// In-CSR via counting sort on To.
+	g.inStart = make([]int32, b.n+1)
+	for _, e := range edges {
+		g.inStart[e.To+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inStart[v+1] += g.inStart[v]
+	}
+	g.inSrc = make([]int32, len(edges))
+	g.inW = make([]float64, len(edges))
+	next := make([]int32, b.n)
+	copy(next, g.inStart[:b.n])
+	for _, e := range edges {
+		pos := next[e.To]
+		next[e.To]++
+		g.inSrc[pos] = e.From
+		g.inW[pos] = e.W
+	}
+	return g, nil
+}
+
+// BuildColumnStochastic assembles the graph and normalizes in-edge weights
+// so that each node's in-weights sum to 1. Nodes with zero total in-weight
+// receive a self-loop of weight 1 (so they retain their opinion under
+// DeGroot/FJ diffusion, matching §II-A).
+func (b *Builder) BuildColumnStochastic() (*Graph, error) {
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return g.ColumnStochastic()
+}
+
+func mergeParallel(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	es := make([]Edge, len(edges))
+	copy(es, edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	out := es[:1]
+	for _, e := range es[1:] {
+		last := &out[len(out)-1]
+		if e.From == last.From && e.To == last.To {
+			last.W += e.W
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ColumnStochastic returns a copy of g with in-edge weights normalized to
+// sum to 1 per node; nodes with zero in-weight gain a weight-1 self-loop.
+func (g *Graph) ColumnStochastic() (*Graph, error) {
+	b := NewBuilder(g.n)
+	for v := int32(0); v < int32(g.n); v++ {
+		sum := g.InWeightSum(v)
+		if sum <= 0 {
+			if err := b.AddEdge(v, v, 1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		src, w := g.InNeighbors(v)
+		for i := range src {
+			if w[i] == 0 {
+				continue
+			}
+			if err := b.AddEdge(src[i], v, w[i]/sum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ng, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ng.columnStochastic = true
+	return ng, nil
+}
+
+// FromEdges is shorthand for building a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	if err := b.AddEdges(edges); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// FromEdgesColumnStochastic builds a column-stochastic graph from an edge
+// list.
+func FromEdgesColumnStochastic(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	if err := b.AddEdges(edges); err != nil {
+		return nil, err
+	}
+	return b.BuildColumnStochastic()
+}

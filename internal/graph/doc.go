@@ -1,0 +1,14 @@
+// Package graph provides the directed-graph substrate for voting-based
+// opinion maximization: a compact CSR representation with both in- and
+// out-adjacency, column-stochastic normalization of influence weights
+// (§II-A), t-hop reachability used by the sandwich upper bounds (§IV),
+// O(1) in-edge samplers for reverse random walks (§V, §VI), node-induced
+// subgraphs for the scalability study (Fig 17), synthetic generators
+// standing in for the paper's crawled datasets, and edge-list I/O.
+//
+// Weight convention: the influence matrix W is column-stochastic, i.e. for
+// every node v the weights of v's incoming edges sum to 1. Nodes with no
+// in-edges receive an implicit self-loop of weight 1 during normalization,
+// which realizes the paper's "users without in-neighbors retain their
+// initial opinions" rule.
+package graph

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gnp returns the edge list of a directed Erdős–Rényi G(n, p) graph without
+// self-loops, using geometric edge skipping so the cost is proportional to
+// the number of generated edges rather than n².
+func Gnp(n int, p float64, r *rand.Rand) ([]Edge, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: Gnp needs n > 0, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: Gnp needs p in [0,1], got %v", p)
+	}
+	if p == 0 {
+		return nil, nil
+	}
+	var edges []Edge
+	total := int64(n) * int64(n)
+	logq := math.Log(1 - p)
+	pos := int64(-1)
+	for {
+		if p >= 1 {
+			pos++
+		} else {
+			// Skip ahead geometrically.
+			u := r.Float64()
+			skip := int64(math.Floor(math.Log(1-u)/logq)) + 1
+			pos += skip
+		}
+		if pos >= total {
+			break
+		}
+		from := int32(pos / int64(n))
+		to := int32(pos % int64(n))
+		if from == to {
+			continue
+		}
+		edges = append(edges, Edge{From: from, To: to, W: 1})
+	}
+	return edges, nil
+}
+
+// PreferentialAttachment generates a directed scale-free graph in the
+// spirit of Barabási–Albert: nodes arrive one by one and each creates mOut
+// out-edges whose targets are sampled proportionally to (in-degree + 1)
+// among earlier nodes. The resulting in-degree distribution is heavy-tailed,
+// mimicking retweet/friendship graphs. Returned edges have weight 1.
+func PreferentialAttachment(n, mOut int, r *rand.Rand) ([]Edge, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("graph: PreferentialAttachment needs n > 1, got %d", n)
+	}
+	if mOut <= 0 {
+		return nil, fmt.Errorf("graph: PreferentialAttachment needs mOut > 0, got %d", mOut)
+	}
+	// repeated: every edge endpoint appears once; sampling an element
+	// uniformly from it realizes (in-degree + 1)-proportional selection
+	// because each node is seeded with one occurrence.
+	repeated := make([]int32, 0, n*(mOut+1))
+	edges := make([]Edge, 0, n*mOut)
+	seen := make(map[int32]bool, mOut)
+	repeated = append(repeated, 0)
+	for v := int32(1); v < int32(n); v++ {
+		k := mOut
+		if int(v) < mOut {
+			k = int(v)
+		}
+		for key := range seen {
+			delete(seen, key)
+		}
+		for len(seen) < k {
+			t := repeated[r.Intn(len(repeated))]
+			if t == v || seen[t] {
+				continue
+			}
+			seen[t] = true
+			edges = append(edges, Edge{From: v, To: t, W: 1})
+			repeated = append(repeated, t)
+		}
+		repeated = append(repeated, v)
+	}
+	return edges, nil
+}
+
+// PlantedPartition generates a directed community graph: n nodes are split
+// round-robin into comms communities; each node draws Poisson(avgIntra)
+// out-edges to uniform targets inside its community and Poisson(avgInter)
+// out-edges to uniform targets outside. It returns the edge list and the
+// community assignment. Used to synthesize the DBLP-like case-study world
+// whose domains drive Table IV / Fig 4.
+func PlantedPartition(n, comms int, avgIntra, avgInter float64, r *rand.Rand) ([]Edge, []int, error) {
+	if n <= 0 || comms <= 0 || comms > n {
+		return nil, nil, fmt.Errorf("graph: PlantedPartition needs 0 < comms <= n, got comms=%d n=%d", comms, n)
+	}
+	if avgIntra < 0 || avgInter < 0 {
+		return nil, nil, fmt.Errorf("graph: negative expected degree (intra=%v inter=%v)", avgIntra, avgInter)
+	}
+	community := make([]int, n)
+	members := make([][]int32, comms)
+	for v := 0; v < n; v++ {
+		c := v % comms
+		community[v] = c
+		members[c] = append(members[c], int32(v))
+	}
+	var edges []Edge
+	for v := 0; v < n; v++ {
+		c := community[v]
+		in := members[c]
+		for i, kIntra := 0, poisson(avgIntra, r); i < kIntra; i++ {
+			if len(in) < 2 {
+				break
+			}
+			t := in[r.Intn(len(in))]
+			if int(t) == v {
+				continue
+			}
+			edges = append(edges, Edge{From: int32(v), To: t, W: 1})
+		}
+		for i, kInter := 0, poisson(avgInter, r); i < kInter; i++ {
+			if n-len(in) < 1 {
+				break
+			}
+			t := int32(r.Intn(n))
+			if community[t] == c {
+				continue
+			}
+			edges = append(edges, Edge{From: int32(v), To: t, W: 1})
+		}
+	}
+	return edges, community, nil
+}
+
+// poisson draws a Poisson(lambda) variate (Knuth's method for small lambda,
+// normal approximation above 30).
+func poisson(lambda float64, r *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+		if k < 0 {
+			return 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGnpEdgeCount(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n, p := 300, 0.05
+	edges, err := Gnp(n, p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := p * float64(n) * float64(n-1)
+	if got := float64(len(edges)); math.Abs(got-expected) > 0.15*expected {
+		t.Errorf("edge count %v too far from expectation %v", got, expected)
+	}
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Fatal("Gnp produced a self-loop")
+		}
+	}
+}
+
+func TestGnpEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, err := Gnp(0, 0.5, r); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := Gnp(10, 1.5, r); err == nil {
+		t.Error("expected error for p>1")
+	}
+	edges, err := Gnp(10, 0, r)
+	if err != nil || len(edges) != 0 {
+		t.Errorf("p=0 should give no edges, got %d (err %v)", len(edges), err)
+	}
+	edges, err = Gnp(5, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 20 { // 5*4 ordered pairs without self-loops
+		t.Errorf("p=1 on n=5 should give 20 edges, got %d", len(edges))
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n, mOut := 2000, 4
+	edges, err := PreferentialAttachment(n, mOut, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No self-loops, no node points forward in arrival order.
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Fatal("self-loop generated")
+		}
+		if e.To > e.From {
+			t.Fatalf("edge %d→%d points to a later node", e.From, e.To)
+		}
+	}
+	// Heavy tail: max in-degree far exceeds the mean.
+	maxIn, sumIn := 0, 0
+	for v := int32(0); v < int32(n); v++ {
+		d := g.InDegree(v)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sumIn) / float64(n)
+	if float64(maxIn) < 5*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.2f", maxIn, mean)
+	}
+}
+
+func TestPreferentialAttachmentErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	if _, err := PreferentialAttachment(1, 2, r); err == nil {
+		t.Error("expected error for n=1")
+	}
+	if _, err := PreferentialAttachment(10, 0, r); err == nil {
+		t.Error("expected error for mOut=0")
+	}
+}
+
+func TestPlantedPartitionCommunities(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, comms := 700, 7
+	edges, community, err := PlantedPartition(n, comms, 6, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(community) != n {
+		t.Fatalf("community length %d, want %d", len(community), n)
+	}
+	intra, inter := 0, 0
+	for _, e := range edges {
+		if community[e.From] == community[e.To] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 3*inter {
+		t.Errorf("intra=%d should dominate inter=%d at ratio 6:1", intra, inter)
+	}
+}
+
+func TestPlantedPartitionErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if _, _, err := PlantedPartition(5, 10, 1, 1, r); err == nil {
+		t.Error("expected error for comms>n")
+	}
+	if _, _, err := PlantedPartition(10, 2, -1, 1, r); err == nil {
+		t.Error("expected error for negative degree")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, lambda := range []float64{0.5, 3, 8, 50} {
+		sum := 0
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			sum += poisson(lambda, r)
+		}
+		mean := float64(sum) / draws
+		if math.Abs(mean-lambda) > 0.1*lambda+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if poisson(0, r) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+// Edge is one directed, weighted edge.
+type Edge struct {
+	From, To int32
+	W        float64
+}
+
+// Graph is an immutable directed weighted graph in CSR form, storing both
+// in-adjacency (used by opinion diffusion and reverse random walks) and
+// out-adjacency (used by reachability bounds and forward IC/LT simulation).
+type Graph struct {
+	n int
+
+	inStart []int32 // len n+1; in-edges of v are [inStart[v], inStart[v+1])
+	inSrc   []int32
+	inW     []float64
+
+	outStart []int32 // len n+1; out-edges of v are [outStart[v], outStart[v+1])
+	outDst   []int32
+	outW     []float64
+
+	columnStochastic bool
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.inSrc) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v int32) int {
+	return int(g.inStart[v+1] - g.inStart[v])
+}
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v int32) int {
+	return int(g.outStart[v+1] - g.outStart[v])
+}
+
+// InEdges calls fn(src, w) for every in-edge (src → v, weight w).
+func (g *Graph) InEdges(v int32, fn func(src int32, w float64)) {
+	for i := g.inStart[v]; i < g.inStart[v+1]; i++ {
+		fn(g.inSrc[i], g.inW[i])
+	}
+}
+
+// OutEdges calls fn(dst, w) for every out-edge (v → dst, weight w).
+func (g *Graph) OutEdges(v int32, fn func(dst int32, w float64)) {
+	for i := g.outStart[v]; i < g.outStart[v+1]; i++ {
+		fn(g.outDst[i], g.outW[i])
+	}
+}
+
+// InNeighbors returns the slice views of v's in-edge sources and weights.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) InNeighbors(v int32) ([]int32, []float64) {
+	return g.inSrc[g.inStart[v]:g.inStart[v+1]], g.inW[g.inStart[v]:g.inStart[v+1]]
+}
+
+// OutNeighbors returns the slice views of v's out-edge destinations and
+// weights. The returned slices alias internal storage and must not be
+// modified.
+func (g *Graph) OutNeighbors(v int32) ([]int32, []float64) {
+	return g.outDst[g.outStart[v]:g.outStart[v+1]], g.outW[g.outStart[v]:g.outStart[v+1]]
+}
+
+// InWeightSum returns the total weight of v's in-edges.
+func (g *Graph) InWeightSum(v int32) float64 {
+	sum := 0.0
+	for i := g.inStart[v]; i < g.inStart[v+1]; i++ {
+		sum += g.inW[i]
+	}
+	return sum
+}
+
+// IsColumnStochastic reports whether the graph was built (or normalized)
+// with column-stochastic weights.
+func (g *Graph) IsColumnStochastic() bool { return g.columnStochastic }
+
+// CheckColumnStochastic verifies that every node's in-weights sum to 1
+// within tol. It returns the first offending node, or -1 if all pass.
+func (g *Graph) CheckColumnStochastic(tol float64) int32 {
+	for v := int32(0); v < int32(g.n); v++ {
+		s := g.InWeightSum(v)
+		if s < 1-tol || s > 1+tol {
+			return v
+		}
+	}
+	return -1
+}
+
+// Edges returns all edges in from-major order. Intended for tests and I/O;
+// allocates a fresh slice.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.M())
+	for v := int32(0); v < int32(g.n); v++ {
+		for i := g.outStart[v]; i < g.outStart[v+1]; i++ {
+			es = append(es, Edge{From: v, To: g.outDst[i], W: g.outW[i]})
+		}
+	}
+	return es
+}
+
+// TotalInWeight returns the sum of all edge weights (== n for a
+// column-stochastic graph).
+func (g *Graph) TotalInWeight() float64 {
+	sum := 0.0
+	for _, w := range g.inW {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure1 builds the paper's running-example topology (Fig 1): 4 users,
+// edges 1→3, 2→3, 3→4 (0-indexed: 0→2, 1→2, 2→3), column-stochastic with
+// self-loops so that user 3's recursion is
+// b3' = ½b3 + ¼b1 + ¼b2 and user 4's is b4' = ½b3 + ½b4.
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	edges := []Edge{
+		{0, 2, 0.25}, {1, 2, 0.25}, {2, 2, 0.5},
+		{2, 3, 0.5}, {3, 3, 0.5},
+	}
+	if err := b.AddEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := figure1(t)
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	// Nodes 0 and 1 had no in-edges: normalization adds self-loops.
+	if g.InDegree(0) != 1 || g.InDegree(1) != 1 {
+		t.Errorf("nodes 0/1 should have self-loops, got in-degrees %d/%d", g.InDegree(0), g.InDegree(1))
+	}
+	if g.InDegree(2) != 3 {
+		t.Errorf("node 2 in-degree = %d, want 3", g.InDegree(2))
+	}
+	if v := g.CheckColumnStochastic(1e-12); v != -1 {
+		t.Errorf("node %d not column-stochastic", v)
+	}
+	if !g.IsColumnStochastic() {
+		t.Error("IsColumnStochastic should be true after normalization")
+	}
+}
+
+func TestBuilderMergesParallelEdges(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1, 0.25)
+	_ = b.AddEdge(0, 1, 0.75)
+	_ = b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 after merging", g.M())
+	}
+	src, w := g.InNeighbors(1)
+	if len(src) != 1 || src[0] != 0 || w[0] != 1 {
+		t.Errorf("merged edge = (%v, %v), want (0→1, w=1)", src, w)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 5, 1); err == nil {
+		t.Error("expected range error")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("expected range error for negative id")
+	}
+	if err := b.AddEdge(0, 1, -0.5); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewBuilder(0).Build(); err == nil {
+		t.Error("expected error for zero-node graph")
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		m := r.Intn(100)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), r.Float64())
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		// Sum of in-degrees == sum of out-degrees == M.
+		in, out := 0, 0
+		for v := int32(0); v < int32(n); v++ {
+			in += g.InDegree(v)
+			out += g.OutDegree(v)
+		}
+		if in != g.M() || out != g.M() {
+			return false
+		}
+		// Every out-edge appears as an in-edge with the same weight.
+		type key struct{ f, t int32 }
+		inSet := map[key]float64{}
+		for v := int32(0); v < int32(n); v++ {
+			src, w := g.InNeighbors(v)
+			for i := range src {
+				inSet[key{src[i], v}] = w[i]
+			}
+		}
+		for v := int32(0); v < int32(n); v++ {
+			dst, w := g.OutNeighbors(v)
+			for i := range dst {
+				if ww, ok := inSet[key{v, dst[i]}]; !ok || math.Abs(ww-w[i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnStochasticProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		b := NewBuilder(n)
+		m := r.Intn(150)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), r.Float64()*3)
+		}
+		g, err := b.BuildColumnStochastic()
+		if err != nil {
+			return false
+		}
+		return g.CheckColumnStochastic(1e-9) == -1
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalInWeight(t *testing.T) {
+	g := figure1(t)
+	if got := g.TotalInWeight(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("TotalInWeight = %v, want 4 (== n for column-stochastic)", got)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := figure1(t)
+	es := g.Edges()
+	g2, err := FromEdges(g.N(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("round-trip M = %d, want %d", g2.M(), g.M())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		s1, w1 := g.InNeighbors(v)
+		s2, w2 := g2.InNeighbors(v)
+		if len(s1) != len(s2) {
+			t.Fatalf("node %d in-degree mismatch", v)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] || math.Abs(w1[i]-w2[i]) > 1e-15 {
+				t.Fatalf("node %d edge %d mismatch", v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in a plain text format:
+//
+//	n m
+//	from to weight        (m lines)
+//
+// Weights are written with full float64 round-trip precision.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		dst, ws := g.OutNeighbors(v)
+		for i := range dst {
+			if _, err := fmt.Fprintf(bw, "%d %d %s\n", v, dst[i],
+				strconv.FormatFloat(ws[i], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines that are
+// empty or start with '#' are skipped.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var n, m int
+	header := false
+	var b *Builder
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !header {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: malformed header %q (want \"n m\")", line)
+			}
+			var err error
+			if n, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("graph: bad node count %q: %w", fields[0], err)
+			}
+			if m, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("graph: bad edge count %q: %w", fields[1], err)
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("graph: node count must be positive, got %d", n)
+			}
+			b = NewBuilder(n)
+			header = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: malformed edge line %q (want \"from to w\")", line)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad source %q: %w", fields[0], err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad target %q: %w", fields[1], err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad weight %q: %w", fields[2], err)
+		}
+		if err := b.AddEdge(int32(from), int32(to), w); err != nil {
+			return nil, err
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if read != m {
+		return nil, fmt.Errorf("graph: header promised %d edges, found %d", m, read)
+	}
+	return b.Build()
+}

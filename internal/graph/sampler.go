@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// InEdgeSampler draws a random in-neighbor of a node proportionally to the
+// in-edge weights, in O(1) per draw, via per-node Walker alias tables laid
+// out flat over the in-CSR arrays. It powers the reverse random walks of
+// §V and the sketches of §VI: in the reverse graph, the (column-stochastic)
+// in-weights of v are exactly the transition probabilities out of v.
+type InEdgeSampler struct {
+	g     *Graph
+	prob  []float64 // aligned with g.inSrc
+	alias []int32   // absolute positions into g.inSrc
+}
+
+// NewInEdgeSampler builds the sampler. The graph must be column-stochastic
+// (every node needs positive total in-weight; normalization guarantees it).
+func NewInEdgeSampler(g *Graph) (*InEdgeSampler, error) {
+	if !g.IsColumnStochastic() {
+		if v := g.CheckColumnStochastic(1e-9); v >= 0 {
+			return nil, fmt.Errorf("graph: in-weights of node %d do not sum to 1; normalize first", v)
+		}
+	}
+	s := &InEdgeSampler{
+		g:     g,
+		prob:  make([]float64, g.M()),
+		alias: make([]int32, g.M()),
+	}
+	// Per-node Vose construction over the node's in-edge slice.
+	var small, large []int32
+	for v := int32(0); v < int32(g.n); v++ {
+		lo, hi := g.inStart[v], g.inStart[v+1]
+		deg := int(hi - lo)
+		if deg == 0 {
+			return nil, fmt.Errorf("graph: node %d has no in-edges; normalize first", v)
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += g.inW[i]
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("graph: node %d has zero in-weight; normalize first", v)
+		}
+		small, large = small[:0], large[:0]
+		for i := lo; i < hi; i++ {
+			s.prob[i] = g.inW[i] / sum * float64(deg)
+			if s.prob[i] < 1 {
+				small = append(small, i)
+			} else {
+				large = append(large, i)
+			}
+		}
+		for len(small) > 0 && len(large) > 0 {
+			sm := small[len(small)-1]
+			small = small[:len(small)-1]
+			lg := large[len(large)-1]
+			large = large[:len(large)-1]
+			s.alias[sm] = lg
+			s.prob[lg] += s.prob[sm] - 1
+			if s.prob[lg] < 1 {
+				small = append(small, lg)
+			} else {
+				large = append(large, lg)
+			}
+		}
+		for _, i := range large {
+			s.prob[i] = 1
+			s.alias[i] = i
+		}
+		for _, i := range small {
+			s.prob[i] = 1
+			s.alias[i] = i
+		}
+	}
+	return s, nil
+}
+
+// Sample returns a random in-neighbor of v drawn with probability equal to
+// the corresponding in-edge weight (given column-stochastic weights).
+func (s *InEdgeSampler) Sample(v int32, r *rand.Rand) int32 {
+	lo := s.g.inStart[v]
+	deg := s.g.inStart[v+1] - lo
+	i := lo + int32(r.Intn(int(deg)))
+	if r.Float64() < s.prob[i] {
+		return s.g.inSrc[i]
+	}
+	return s.g.inSrc[s.alias[i]]
+}
+
+// Graph returns the underlying graph.
+func (s *InEdgeSampler) Graph() *Graph { return s.g }

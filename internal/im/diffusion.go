@@ -1,0 +1,122 @@
+package im
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ovm/internal/graph"
+)
+
+// Model selects the diffusion model for simulation and RR-set sampling.
+type Model int
+
+const (
+	// IC is the Independent Cascade model: an activating node gets one
+	// chance to activate each out-neighbor with probability equal to the
+	// edge weight.
+	IC Model = iota
+	// LT is the Linear Threshold model: a node activates when the weight of
+	// its activated in-neighbors reaches a uniform random threshold.
+	LT
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Simulate runs one forward diffusion from the seed set and returns the
+// number of activated nodes (including seeds).
+func Simulate(g *graph.Graph, model Model, seeds []int32, r *rand.Rand) int {
+	switch model {
+	case IC:
+		return simulateIC(g, seeds, r)
+	case LT:
+		return simulateLT(g, seeds, r)
+	default:
+		panic(fmt.Sprintf("im: unknown model %d", model))
+	}
+}
+
+func simulateIC(g *graph.Graph, seeds []int32, r *rand.Rand) int {
+	active := make([]bool, g.N())
+	queue := make([]int32, 0, len(seeds))
+	count := 0
+	for _, s := range seeds {
+		if !active[s] {
+			active[s] = true
+			queue = append(queue, s)
+			count++
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dst, w := g.OutNeighbors(v)
+		for i, u := range dst {
+			if active[u] {
+				continue
+			}
+			if r.Float64() < w[i] {
+				active[u] = true
+				queue = append(queue, u)
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func simulateLT(g *graph.Graph, seeds []int32, r *rand.Rand) int {
+	n := g.N()
+	active := make([]bool, n)
+	threshold := make([]float64, n)
+	inWeight := make([]float64, n)
+	for v := range threshold {
+		threshold[v] = r.Float64()
+	}
+	queue := make([]int32, 0, len(seeds))
+	count := 0
+	for _, s := range seeds {
+		if !active[s] {
+			active[s] = true
+			queue = append(queue, s)
+			count++
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dst, w := g.OutNeighbors(v)
+		for i, u := range dst {
+			if active[u] || u == v {
+				continue
+			}
+			inWeight[u] += w[i]
+			if inWeight[u] >= threshold[u] {
+				active[u] = true
+				queue = append(queue, u)
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ExpectedSpread estimates the expected influence spread (EIS) of a seed
+// set by averaging rounds Monte-Carlo simulations.
+func ExpectedSpread(g *graph.Graph, model Model, seeds []int32, rounds int, r *rand.Rand) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < rounds; i++ {
+		total += Simulate(g, model, seeds, r)
+	}
+	return float64(total) / float64(rounds)
+}

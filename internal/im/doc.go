@@ -1,0 +1,14 @@
+// Package im implements the classic influence-maximization substrate used
+// by the paper's baselines (§VIII-A) and by the expected-influence-spread
+// study (Fig 11): the Independent Cascade (IC) and Linear Threshold (LT)
+// diffusion models of Kempe et al. [9], Monte-Carlo spread estimation,
+// reverse-reachable (RR) set sampling, and the IMM algorithm of Tang et
+// al. [3] (martingale-based sampling bound plus greedy max-coverage node
+// selection).
+//
+// Edge semantics: influence probabilities are the edge weights of the
+// (column-stochastic) influence graph, read along in-edges exactly as in
+// the paper's experimental setup, which couples IC/LT with "only the edge
+// weights". Self-loops (added by normalization for in-degree-0 nodes) are
+// harmless: a node cannot re-activate itself.
+package im

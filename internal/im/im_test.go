@@ -1,0 +1,214 @@
+package im_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/im"
+)
+
+// star builds a hub with n-1 leaves; hub→leaf edges of probability p, and
+// each leaf's in-weights normalized so it sums to 1 (leaf also gets
+// (1−p) self-loop weight to stay column-stochastic).
+func star(t *testing.T, n int, p float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, int32(v), p); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(int32(v), int32(v), 1-p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build() // already column-stochastic except hub (no in-edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g.ColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+func chain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		if err := b.AddEdge(int32(v), int32(v+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulateICStarExpectation(t *testing.T) {
+	// Seeding the hub: E[spread] = 1 + (n−1)·p.
+	n, p := 101, 0.3
+	g := star(t, n, p)
+	r := rand.New(rand.NewSource(1))
+	got := im.ExpectedSpread(g, im.IC, []int32{0}, 4000, r)
+	want := 1 + float64(n-1)*p
+	if math.Abs(got-want) > 2 {
+		t.Errorf("IC star spread = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSimulateICChainDeterministic(t *testing.T) {
+	// Weight-1 chain: seeding node 0 activates everyone.
+	g := chain(t, 20)
+	r := rand.New(rand.NewSource(2))
+	if got := im.Simulate(g, im.IC, []int32{0}, r); got != 20 {
+		t.Errorf("IC chain spread = %d, want 20", got)
+	}
+	// Seeding the last node activates only itself.
+	if got := im.Simulate(g, im.IC, []int32{19}, r); got != 1 {
+		t.Errorf("IC chain tail spread = %d, want 1", got)
+	}
+}
+
+func TestSimulateLTChainDeterministic(t *testing.T) {
+	// Weight-1 chain under LT: every threshold ≤ 1 is met once the
+	// predecessor fires, so the whole suffix activates.
+	g := chain(t, 15)
+	r := rand.New(rand.NewSource(3))
+	if got := im.Simulate(g, im.LT, []int32{0}, r); got != 15 {
+		t.Errorf("LT chain spread = %d, want 15", got)
+	}
+}
+
+func TestSimulateDedupsSeeds(t *testing.T) {
+	g := chain(t, 5)
+	r := rand.New(rand.NewSource(4))
+	if got := im.Simulate(g, im.IC, []int32{0, 0, 0}, r); got != 5 {
+		t.Errorf("duplicate seeds miscounted: %d", got)
+	}
+}
+
+func TestExpectedSpreadZeroRounds(t *testing.T) {
+	g := chain(t, 5)
+	r := rand.New(rand.NewSource(5))
+	if got := im.ExpectedSpread(g, im.IC, []int32{0}, 0, r); got != 0 {
+		t.Errorf("zero rounds should return 0, got %v", got)
+	}
+}
+
+func TestRRSetsICChain(t *testing.T) {
+	// On the weight-1 chain, an IC RR set from root v is exactly {0..v}.
+	g := chain(t, 10)
+	col := im.NewRRCollection(g, im.IC)
+	r := rand.New(rand.NewSource(6))
+	col.Add(200, r)
+	if col.NumSets() != 200 {
+		t.Fatalf("NumSets = %d, want 200", col.NumSets())
+	}
+	for i := 0; i < col.NumSets(); i++ {
+		set := col.Set(i)
+		root := set[0]
+		if len(set) != int(root)+1 {
+			t.Fatalf("RR set from root %d has %d members, want %d", root, len(set), root+1)
+		}
+	}
+}
+
+func TestRRSetsLTChain(t *testing.T) {
+	// LT RR sets on the chain are also prefixes (single in-neighbor paths).
+	g := chain(t, 10)
+	col := im.NewRRCollection(g, im.LT)
+	r := rand.New(rand.NewSource(7))
+	col.Add(200, r)
+	for i := 0; i < col.NumSets(); i++ {
+		set := col.Set(i)
+		root := set[0]
+		if len(set) != int(root)+1 {
+			t.Fatalf("LT RR set from root %d = %v", root, set)
+		}
+	}
+}
+
+func TestGreedyCoverPicksHub(t *testing.T) {
+	g := star(t, 50, 0.5)
+	col := im.NewRRCollection(g, im.IC)
+	r := rand.New(rand.NewSource(8))
+	col.Add(2000, r)
+	seeds, frac := col.GreedyCover(1)
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Errorf("greedy cover picked %v, want hub [0]", seeds)
+	}
+	if frac <= 0 || frac > 1 {
+		t.Errorf("covered fraction = %v", frac)
+	}
+}
+
+func TestGreedyCoverEmptyCollection(t *testing.T) {
+	g := chain(t, 5)
+	col := im.NewRRCollection(g, im.IC)
+	seeds, frac := col.GreedyCover(2)
+	if len(seeds) != 2 || frac != 0 {
+		t.Errorf("empty collection: seeds=%v frac=%v", seeds, frac)
+	}
+}
+
+func TestIMMOnStar(t *testing.T) {
+	// The hub is the unique optimal seed under both models.
+	g := star(t, 80, 0.4)
+	for _, model := range []im.Model{im.IC, im.LT} {
+		res, err := im.IMM(g, model, 1, im.IMMConfig{Seed: 9, MaxSets: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+			t.Errorf("%v: IMM picked %v, want hub [0]", model, res.Seeds)
+		}
+		if res.NumRRSets < 1 {
+			t.Errorf("%v: no RR sets generated", model)
+		}
+		if res.OPTLowerBound < 1 {
+			t.Errorf("%v: OPT lower bound %v < 1", model, res.OPTLowerBound)
+		}
+	}
+}
+
+func TestIMMSpreadEstimateAccuracy(t *testing.T) {
+	// IMM's spread estimate for its chosen seed should be close to the MC
+	// ground truth.
+	g := star(t, 60, 0.5)
+	res, err := im.IMM(g, im.IC, 1, im.IMMConfig{Seed: 10, MaxSets: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	mc := im.ExpectedSpread(g, im.IC, res.Seeds, 4000, r)
+	if math.Abs(res.SpreadEstimate-mc) > 0.25*mc+2 {
+		t.Errorf("IMM estimate %v vs MC %v", res.SpreadEstimate, mc)
+	}
+}
+
+func TestIMMErrors(t *testing.T) {
+	g := chain(t, 5)
+	if _, err := im.IMM(g, im.IC, 0, im.IMMConfig{}); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := im.IMM(g, im.IC, 10, im.IMMConfig{}); err == nil {
+		t.Error("expected error for k>n")
+	}
+	if _, err := im.IMM(g, im.IC, 1, im.IMMConfig{Epsilon: 2}); err == nil {
+		t.Error("expected error for epsilon >= 1")
+	}
+	if _, err := im.IMM(g, im.IC, 1, im.IMMConfig{L: -1}); err == nil {
+		t.Error("expected error for negative l")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if im.IC.String() != "IC" || im.LT.String() != "LT" {
+		t.Error("model names wrong")
+	}
+}

@@ -1,0 +1,198 @@
+package im
+
+import (
+	"math/rand"
+
+	"ovm/internal/graph"
+)
+
+// RRCollection accumulates reverse-reachable sets in flat storage together
+// with the node → set inverted index needed by greedy coverage.
+type RRCollection struct {
+	g     *graph.Graph
+	model Model
+
+	nodes []int32 // concatenated set members
+	off   []int32 // len numSets+1
+
+	// Inverted index, rebuilt lazily by buildIndex.
+	idxNodes []int32 // concatenated set ids per node
+	idxOff   []int32 // len n+1
+	indexed  int     // number of sets included in the index
+
+	scratchVisited []bool
+	scratchQueue   []int32
+}
+
+// NewRRCollection prepares an empty collection for the given graph/model.
+func NewRRCollection(g *graph.Graph, model Model) *RRCollection {
+	return &RRCollection{
+		g:              g,
+		model:          model,
+		off:            []int32{0},
+		scratchVisited: make([]bool, g.N()),
+	}
+}
+
+// NumSets returns the number of RR sets generated so far.
+func (c *RRCollection) NumSets() int { return len(c.off) - 1 }
+
+// Set returns the members of set i (aliases internal storage).
+func (c *RRCollection) Set(i int) []int32 { return c.nodes[c.off[i]:c.off[i+1]] }
+
+// Add generates count new RR sets from uniformly random roots.
+func (c *RRCollection) Add(count int, r *rand.Rand) {
+	for i := 0; i < count; i++ {
+		root := int32(r.Intn(c.g.N()))
+		switch c.model {
+		case IC:
+			c.sampleIC(root, r)
+		case LT:
+			c.sampleLT(root, r)
+		}
+	}
+	c.indexed = 0 // invalidate index
+}
+
+// sampleIC performs a reverse randomized BFS: each in-edge is live with
+// probability equal to its weight.
+func (c *RRCollection) sampleIC(root int32, r *rand.Rand) {
+	q := c.scratchQueue[:0]
+	q = append(q, root)
+	c.scratchVisited[root] = true
+	start := len(c.nodes)
+	c.nodes = append(c.nodes, root)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		src, w := c.g.InNeighbors(v)
+		for i, u := range src {
+			if c.scratchVisited[u] {
+				continue
+			}
+			if r.Float64() < w[i] {
+				c.scratchVisited[u] = true
+				q = append(q, u)
+				c.nodes = append(c.nodes, u)
+			}
+		}
+	}
+	for _, v := range c.nodes[start:] {
+		c.scratchVisited[v] = false
+	}
+	c.scratchQueue = q[:0]
+	c.off = append(c.off, int32(len(c.nodes)))
+}
+
+// sampleLT samples the live-edge path of the LT model: each node picks
+// exactly one in-neighbor with probability equal to the edge weight
+// (in-weights sum to 1 on a column-stochastic graph); the walk stops when
+// it revisits a node.
+func (c *RRCollection) sampleLT(root int32, r *rand.Rand) {
+	start := len(c.nodes)
+	cur := root
+	c.scratchVisited[root] = true
+	c.nodes = append(c.nodes, root)
+	for {
+		src, w := c.g.InNeighbors(cur)
+		if len(src) == 0 {
+			break
+		}
+		x := r.Float64()
+		next := int32(-1)
+		acc := 0.0
+		for i, u := range src {
+			acc += w[i]
+			if x < acc {
+				next = u
+				break
+			}
+		}
+		if next < 0 { // residual probability mass: no live in-edge
+			break
+		}
+		if c.scratchVisited[next] {
+			break
+		}
+		c.scratchVisited[next] = true
+		c.nodes = append(c.nodes, next)
+		cur = next
+	}
+	for _, v := range c.nodes[start:] {
+		c.scratchVisited[v] = false
+	}
+	c.off = append(c.off, int32(len(c.nodes)))
+}
+
+func (c *RRCollection) buildIndex() {
+	if c.indexed == c.NumSets() {
+		return
+	}
+	n := c.g.N()
+	counts := make([]int32, n+1)
+	for _, v := range c.nodes {
+		counts[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	c.idxOff = counts
+	c.idxNodes = make([]int32, len(c.nodes))
+	cursor := make([]int32, n)
+	copy(cursor, c.idxOff[:n])
+	for s := 0; s < c.NumSets(); s++ {
+		for i := c.off[s]; i < c.off[s+1]; i++ {
+			v := c.nodes[i]
+			c.idxNodes[cursor[v]] = int32(s)
+			cursor[v]++
+		}
+	}
+	c.indexed = c.NumSets()
+}
+
+// GreedyCover selects k nodes greedily maximizing the number of covered RR
+// sets; it returns the seeds and the covered fraction of sets.
+func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
+	c.buildIndex()
+	n := c.g.N()
+	numSets := c.NumSets()
+	if numSets == 0 {
+		seeds := make([]int32, 0, k)
+		for v := int32(0); len(seeds) < k && v < int32(n); v++ {
+			seeds = append(seeds, v)
+		}
+		return seeds, 0
+	}
+	degree := make([]int32, n)
+	for v := 0; v < n; v++ {
+		degree[v] = c.idxOff[v+1] - c.idxOff[v]
+	}
+	coveredSet := make([]bool, numSets)
+	seeds := make([]int32, 0, k)
+	coveredCount := 0
+	for len(seeds) < k {
+		best, bestDeg := int32(-1), int32(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if degree[v] > bestDeg {
+				best, bestDeg = v, degree[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		degree[best] = -1 // never re-pick
+		for _, sid := range c.idxNodes[c.idxOff[best]:c.idxOff[best+1]] {
+			if coveredSet[sid] {
+				continue
+			}
+			coveredSet[sid] = true
+			coveredCount++
+			for _, u := range c.Set(int(sid)) {
+				if degree[u] > 0 {
+					degree[u]--
+				}
+			}
+		}
+	}
+	return seeds, float64(coveredCount) / float64(numSets)
+}

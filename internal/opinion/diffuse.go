@@ -1,0 +1,201 @@
+package opinion
+
+import (
+	"fmt"
+
+	"ovm/internal/graph"
+)
+
+// Step performs one FJ update in place:
+//
+//	next[v] = (1 − stub[v]) · Σ_u w_uv · cur[u] + stub[v] · init[v]
+//
+// cur and next must not alias. All slices must have length g.N().
+func Step(g *graph.Graph, cur, next, init, stub []float64) {
+	n := int32(g.N())
+	for v := int32(0); v < n; v++ {
+		src, w := g.InNeighbors(v)
+		acc := 0.0
+		for i := range src {
+			acc += w[i] * cur[src[i]]
+		}
+		d := stub[v]
+		next[v] = (1-d)*acc + d*init[v]
+	}
+}
+
+// Diffuser evaluates FJ opinions at a time horizon for a single candidate,
+// reusing internal buffers across calls. It is the workhorse behind the DM
+// (direct matrix-vector multiplication) greedy evaluator of §III-C: one
+// Run costs O(t·m).
+type Diffuser struct {
+	c        *Candidate
+	cur, nxt []float64
+	effInit  []float64
+	effStub  []float64
+}
+
+// NewDiffuser allocates a diffuser for candidate c.
+func NewDiffuser(c *Candidate) *Diffuser {
+	n := c.G.N()
+	return &Diffuser{
+		c:       c,
+		cur:     make([]float64, n),
+		nxt:     make([]float64, n),
+		effInit: make([]float64, n),
+		effStub: make([]float64, n),
+	}
+}
+
+// Run returns B_q^(t)[S]: the opinions at horizon t with seed set seeds
+// applied at time 0. The returned slice is owned by the Diffuser and is
+// valid until the next call; copy it if you need to keep it.
+func (d *Diffuser) Run(t int, seeds []int32) []float64 {
+	copy(d.effInit, d.c.Init)
+	copy(d.effStub, d.c.Stub)
+	for _, s := range seeds {
+		d.effInit[s] = 1
+		d.effStub[s] = 1
+	}
+	copy(d.cur, d.effInit)
+	for step := 0; step < t; step++ {
+		Step(d.c.G, d.cur, d.nxt, d.effInit, d.effStub)
+		d.cur, d.nxt = d.nxt, d.cur
+	}
+	return d.cur
+}
+
+// RunCopy is Run followed by a defensive copy.
+func (d *Diffuser) RunCopy(t int, seeds []int32) []float64 {
+	res := d.Run(t, seeds)
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out
+}
+
+// Trajectory returns the full opinion trajectory [B^(0), B^(1), …, B^(t)]
+// (t+1 slices, each freshly allocated). Used by the Appendix-B churn study.
+func (d *Diffuser) Trajectory(t int, seeds []int32) [][]float64 {
+	copy(d.effInit, d.c.Init)
+	copy(d.effStub, d.c.Stub)
+	for _, s := range seeds {
+		d.effInit[s] = 1
+		d.effStub[s] = 1
+	}
+	out := make([][]float64, 0, t+1)
+	copy(d.cur, d.effInit)
+	snap := make([]float64, len(d.cur))
+	copy(snap, d.cur)
+	out = append(out, snap)
+	for step := 0; step < t; step++ {
+		Step(d.c.G, d.cur, d.nxt, d.effInit, d.effStub)
+		d.cur, d.nxt = d.nxt, d.cur
+		snap = make([]float64, len(d.cur))
+		copy(snap, d.cur)
+		out = append(out, snap)
+	}
+	return out
+}
+
+// OpinionsAt is a convenience one-shot wrapper around NewDiffuser + RunCopy.
+func OpinionsAt(c *Candidate, t int, seeds []int32) []float64 {
+	return NewDiffuser(c).RunCopy(t, seeds)
+}
+
+// Matrix computes the full opinion matrix B^(t)[S] for a system: row q holds
+// candidate q's opinions at horizon t. Only the target candidate receives
+// the seed set; all others diffuse seedless, matching the problem setup of
+// §II-C (known/no seeds for non-targets).
+func Matrix(s *System, t int, target int, seeds []int32) ([][]float64, error) {
+	if target < 0 || target >= s.R() {
+		return nil, fmt.Errorf("opinion: target candidate %d out of range [0,%d)", target, s.R())
+	}
+	out := make([][]float64, s.R())
+	for q := 0; q < s.R(); q++ {
+		var sd []int32
+		if q == target {
+			sd = seeds
+		}
+		out[q] = OpinionsAt(s.Candidate(q), t, sd)
+	}
+	return out, nil
+}
+
+// MaxAbsDiff returns max_v |a[v] − b[v]|; used for convergence detection.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// StepsToConverge runs FJ until successive iterates differ by at most tol
+// in max-norm or maxSteps is reached. It returns the number of steps taken
+// and whether convergence was declared.
+func StepsToConverge(c *Candidate, seeds []int32, tol float64, maxSteps int) (int, bool) {
+	d := NewDiffuser(c)
+	copy(d.effInit, c.Init)
+	copy(d.effStub, c.Stub)
+	for _, s := range seeds {
+		d.effInit[s] = 1
+		d.effStub[s] = 1
+	}
+	copy(d.cur, d.effInit)
+	for step := 1; step <= maxSteps; step++ {
+		Step(c.G, d.cur, d.nxt, d.effInit, d.effStub)
+		if MaxAbsDiff(d.cur, d.nxt) <= tol {
+			return step, true
+		}
+		d.cur, d.nxt = d.nxt, d.cur
+	}
+	return maxSteps, false
+}
+
+// ObliviousNodes returns the nodes that are (1) non-stubborn and (2) not
+// reachable from any (fully or partially) stubborn node along influence
+// edges — the nodes whose presence decides FJ convergence (§II-A).
+func ObliviousNodes(c *Candidate) []int32 {
+	n := c.G.N()
+	var stubborn []int32
+	for v := 0; v < n; v++ {
+		if c.Stub[v] > 0 {
+			stubborn = append(stubborn, int32(v))
+		}
+	}
+	reached := make([]bool, n)
+	bfs := graph.NewBFS(c.G)
+	bfs.MarkReachable(stubborn, n, reached) // n hops = unbounded for n nodes
+	var out []int32
+	for v := 0; v < n; v++ {
+		if c.Stub[v] == 0 && !reached[v] {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// ChurnFractions returns, for each step 1..t, the fraction of nodes whose
+// opinion changed by more than tolerance·100% relative to the previous step:
+// |b^(s) − b^(s−1)| > (Δ/100)·b^(s−1), per Appendix B (Fig 18).
+func ChurnFractions(c *Candidate, seeds []int32, t int, deltaPct float64) []float64 {
+	traj := NewDiffuser(c).Trajectory(t, seeds)
+	out := make([]float64, 0, t)
+	for s := 1; s <= t; s++ {
+		changed := 0
+		prev, cur := traj[s-1], traj[s]
+		for v := range cur {
+			if diff := cur[v] - prev[v]; diff > deltaPct/100*prev[v] || -diff > deltaPct/100*prev[v] {
+				changed++
+			}
+		}
+		out = append(out, float64(changed)/float64(len(cur)))
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package opinion_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ovm/internal/opinion"
+	"ovm/internal/paperexample"
+)
+
+func TestHKLargeEpsilonMatchesFJ(t *testing.T) {
+	// With ε ≥ 1 every in-neighbor is confident; since the in-weights
+	// already sum to 1, renormalization is a no-op and HK coincides with FJ.
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Candidate(0)
+	for _, horizon := range []int{0, 1, 3, 7} {
+		for _, seeds := range [][]int32{nil, {2}} {
+			fj := opinion.OpinionsAt(c, horizon, seeds)
+			hk, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: 1}, horizon, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range fj {
+				if math.Abs(fj[v]-hk[v]) > 1e-12 {
+					t.Fatalf("t=%d seeds=%v node %d: HK %v vs FJ %v", horizon, seeds, v, hk[v], fj[v])
+				}
+			}
+		}
+	}
+}
+
+func TestHKZeroEpsilonFreezesOpinions(t *testing.T) {
+	// ε = 0 with distinct neighbor opinions: only exactly-equal neighbors
+	// influence; on the paper example with distinct initials, nodes keep
+	// their own value (self-loops are always confident).
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Candidate(0)
+	hk, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: 0}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range hk {
+		if math.Abs(hk[v]-c.Init[v]) > 1e-12 {
+			t.Errorf("node %d moved from %v to %v under eps=0", v, c.Init[v], hk[v])
+		}
+	}
+}
+
+func TestHKOpinionsStayInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := randomCandidate(t, r, 30)
+	for _, eps := range []float64{0.05, 0.2, 0.5} {
+		res, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: eps}, 10, []int32{3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, b := range res {
+			if b < -1e-12 || b > 1+1e-12 {
+				t.Fatalf("eps=%v node %d: opinion %v outside [0,1]", eps, v, b)
+			}
+		}
+		// Seeds pinned.
+		if math.Abs(res[3]-1) > 1e-12 {
+			t.Errorf("eps=%v: seed opinion %v, want 1", eps, res[3])
+		}
+	}
+}
+
+func TestHKErrors(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Candidate(0)
+	if _, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: -1}, 1, nil); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+	if _, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: 0.1}, -1, nil); err == nil {
+		t.Error("expected error for negative horizon")
+	}
+	if _, err := opinion.HKMatrix(sys, opinion.HKParams{Epsilon: 0.1}, 1, 9, nil); err == nil {
+		t.Error("expected error for bad target")
+	}
+}
+
+func TestHKMatrixShape(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, err := opinion.HKMatrix(sys, opinion.HKParams{Epsilon: 1}, 1, 0, []int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(B) != 2 || len(B[0]) != 4 {
+		t.Fatalf("matrix shape %dx%d, want 2x4", len(B), len(B[0]))
+	}
+	// ε=1 HK == FJ: row 0 must match Table I's {3} row.
+	want := paperexample.TableI[3].Opinions
+	for v := 0; v < 4; v++ {
+		if math.Abs(B[0][v]-want[v]) > 1e-12 {
+			t.Errorf("B[0][%d] = %v, want %v", v, B[0][v], want[v])
+		}
+	}
+}
+
+func TestClusterCount(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		eps  float64
+		want int
+	}{
+		{nil, 0.1, 0},
+		{[]float64{0.5}, 0.1, 1},
+		{[]float64{0.1, 0.15, 0.8, 0.85}, 0.2, 2},
+		{[]float64{0.1, 0.5, 0.9}, 0.2, 3},
+		{[]float64{0.1, 0.5, 0.9}, 0.5, 1},
+	}
+	for _, c := range cases {
+		if got := opinion.ClusterCount(c.xs, c.eps); got != c.want {
+			t.Errorf("ClusterCount(%v, %v) = %d, want %d", c.xs, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestHKPolarizes(t *testing.T) {
+	// Small confidence radius on a polarized population should preserve at
+	// least two clusters, while DeGroot (ε=1, no stubbornness) merges them
+	// on a connected graph. Build a two-camp complete graph.
+	r := rand.New(rand.NewSource(9))
+	n := 20
+	c := randomCandidate(t, r, n)
+	for v := 0; v < n; v++ {
+		c.Stub[v] = 0
+		if v < n/2 {
+			c.Init[v] = 0.1 + 0.02*r.Float64()
+		} else {
+			c.Init[v] = 0.9 + 0.02*r.Float64()
+		}
+	}
+	narrow, err := opinion.HKOpinionsAt(c, opinion.HKParams{Epsilon: 0.1}, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opinion.ClusterCount(narrow, 0.3); got < 2 {
+		t.Errorf("narrow confidence should preserve polarization, got %d clusters", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package paperexample reconstructs the running example of the paper
+// (Figure 1, Example 1/2, Table I): a 4-user graph with two candidates whose
+// FJ diffusion at horizon t = 1 is reported digit-for-digit in Table I.
+// It serves as the repository's exactness anchor: unit tests across the
+// voting, core, and experiment packages assert against these values.
+//
+// Reconstruction notes. The paper states the update rules
+//
+//	b3' = ½·[b3 + ½(b1 + b2)]    b4' = ½·[b3 + b4]
+//
+// and that users 1, 2 keep their initial opinions. This is realized as a
+// column-stochastic graph with edges (0-indexed)
+//
+//	0→2 (¼), 1→2 (¼), 2→2 (½), 2→3 (½), 3→3 (½), 0→0 (1), 1→1 (1)
+//
+// with zero stubbornness everywhere. Initial opinions are inverted from
+// Table I's t = 1 rows: B_c1^(0) = [0.40, 0.80, 0.60, 0.90] and
+// B_c2^(0) = [0.35, 0.75, 1.00, 0.80] (the paper's "0.78" for user 3 about
+// c2 at t = 1 is 0.775 after rounding).
+package paperexample
+
+import (
+	"fmt"
+
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+)
+
+// Horizon is the time horizon used by Table I.
+const Horizon = 1
+
+// Target is the target candidate index (c1).
+const Target = 0
+
+// TableIRow is one row of Table I.
+type TableIRow struct {
+	Seeds      []int32 // 0-indexed seed set for c1
+	Opinions   [4]float64
+	Cumulative float64
+	Plurality  float64
+	Copeland   float64
+}
+
+// New builds the Figure-1 two-candidate system.
+func New() (*opinion.System, error) {
+	b := graph.NewBuilder(4)
+	edges := []graph.Edge{
+		{From: 0, To: 2, W: 0.25},
+		{From: 1, To: 2, W: 0.25},
+		{From: 2, To: 2, W: 0.5},
+		{From: 2, To: 3, W: 0.5},
+		{From: 3, To: 3, W: 0.5},
+	}
+	if err := b.AddEdges(edges); err != nil {
+		return nil, err
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		return nil, err
+	}
+	zeros := make([]float64, 4)
+	c1 := &opinion.Candidate{
+		Name: "c1",
+		G:    g,
+		Init: []float64{0.40, 0.80, 0.60, 0.90},
+		Stub: append([]float64(nil), zeros...),
+	}
+	c2 := &opinion.Candidate{
+		Name: "c2",
+		G:    g,
+		Init: []float64{0.35, 0.75, 1.00, 0.80},
+		Stub: append([]float64(nil), zeros...),
+	}
+	return opinion.NewSystem([]*opinion.Candidate{c1, c2})
+}
+
+// C2AtHorizon is the competing candidate's opinion vector at t = 1 without
+// seeds, as printed in Table I's caption (user 3 exact value is 0.775,
+// rounded to 0.78 in the paper).
+var C2AtHorizon = [4]float64{0.35, 0.75, 0.775, 0.90}
+
+// TableI lists every row of Table I (seed sets are 0-indexed; the paper is
+// 1-indexed).
+var TableI = []TableIRow{
+	{Seeds: nil, Opinions: [4]float64{0.40, 0.80, 0.60, 0.75}, Cumulative: 2.55, Plurality: 2, Copeland: 0},
+	{Seeds: []int32{0}, Opinions: [4]float64{1.00, 0.80, 0.75, 0.75}, Cumulative: 3.30, Plurality: 2, Copeland: 0},
+	{Seeds: []int32{1}, Opinions: [4]float64{0.40, 1.00, 0.65, 0.75}, Cumulative: 2.80, Plurality: 2, Copeland: 0},
+	{Seeds: []int32{2}, Opinions: [4]float64{0.40, 0.80, 1.00, 0.95}, Cumulative: 3.15, Plurality: 4, Copeland: 1},
+	{Seeds: []int32{3}, Opinions: [4]float64{0.40, 0.80, 0.60, 1.00}, Cumulative: 2.80, Plurality: 3, Copeland: 1},
+	{Seeds: []int32{0, 1}, Opinions: [4]float64{1.00, 1.00, 0.80, 0.75}, Cumulative: 3.55, Plurality: 3, Copeland: 1},
+}
+
+// SeedLabel renders a 0-indexed seed set in the paper's 1-indexed notation,
+// e.g. {1, 2}.
+func SeedLabel(seeds []int32) string {
+	if len(seeds) == 0 {
+		return "{}"
+	}
+	s := "{"
+	for i, v := range seeds {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(v + 1)
+	}
+	return s + "}"
+}

@@ -1,0 +1,256 @@
+// Package rwalk implements the RW method (Algorithm 4, §V): greedy seed
+// selection over pre-generated t-step reverse random walks with
+// post-generation truncation.
+//
+// Walk counts follow the paper's accuracy guarantees: Theorem 10 for the
+// cumulative score (λ ≥ ln(2/(1−ρ))/(2δ²)), Theorems 11/12 for the
+// plurality family and Copeland (λ_v ≥ ln(2/(1−ρ))/(2γ*_v²)), where the
+// per-node opinion gap γ*_v = min_{S} min_{x≠q} |b_xv − b̂_qv[S]| is
+// estimated by the greedy pilot heuristic of §V-C: α pilot walks per node
+// produce initial estimates, then a simulated greedy seed trajectory tracks
+// the running minimum gap. Gaps are floored (γ can be arbitrarily small in
+// adversarial instances, exploding the bound — the paper assumes γ ≠ 0) and
+// walk counts are capped to keep memory bounded.
+package rwalk
+
+import (
+	"fmt"
+	"math"
+
+	"ovm/internal/core"
+	"ovm/internal/graph"
+	"ovm/internal/sampling"
+	"ovm/internal/stats"
+	"ovm/internal/voting"
+	"ovm/internal/walks"
+)
+
+// Config controls the RW method.
+type Config struct {
+	// Rho is the per-node estimate confidence ρ (default 0.9).
+	Rho float64
+	// Delta is the cumulative-score accuracy δ of Theorem 10 (default 0.1).
+	Delta float64
+	// GammaFloor lower-bounds the estimated per-node opinion gap γ*_v so
+	// the Theorem 11/12 walk counts stay finite (default 0.05).
+	GammaFloor float64
+	// MaxWalksPerNode caps λ_v (default 2000).
+	MaxWalksPerNode int
+	// PilotWalks is α, the pilot walk count per node used by the γ*
+	// heuristic; 0 means use the Theorem 10 count.
+	PilotWalks int
+	// MaxPilotRounds caps the simulated greedy trajectory length of the γ*
+	// heuristic (default 20): beyond a short prefix the running minimum gap
+	// stabilizes, while each extra round costs a full walk scan.
+	MaxPilotRounds int
+	// Seed drives all randomness (walk generation, pilot estimation).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rho == 0 {
+		c.Rho = 0.9
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.GammaFloor == 0 {
+		c.GammaFloor = 0.05
+	}
+	if c.MaxWalksPerNode == 0 {
+		c.MaxWalksPerNode = 2000
+	}
+	if c.MaxPilotRounds == 0 {
+		c.MaxPilotRounds = 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Rho <= 0 || c.Rho >= 1 {
+		return fmt.Errorf("rwalk: rho must lie in (0,1), got %v", c.Rho)
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		return fmt.Errorf("rwalk: delta must lie in (0,1), got %v", c.Delta)
+	}
+	if c.GammaFloor <= 0 {
+		return fmt.Errorf("rwalk: gamma floor must be positive, got %v", c.GammaFloor)
+	}
+	if c.MaxWalksPerNode < 1 {
+		return fmt.Errorf("rwalk: max walks per node must be >= 1, got %d", c.MaxWalksPerNode)
+	}
+	return nil
+}
+
+// Result reports an RW run.
+type Result struct {
+	Seeds          []int32
+	EstimatedValue float64 // F̂ of the selected seed set
+	Gains          []float64
+	TotalWalks     int
+	BytesUsed      int64     // walk storage footprint (Fig 17 memory study)
+	Lambda         []int32   // final per-node walk plan
+	Gamma          []float64 // estimated γ*_v (nil for cumulative)
+}
+
+// Select runs Algorithm 4 for the given problem.
+func Select(p *core.Problem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cand := p.Sys.Candidate(p.Target)
+	sampler, err := graph.NewInEdgeSampler(cand.G)
+	if err != nil {
+		return nil, err
+	}
+	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon)
+
+	res := &Result{}
+	n := p.Sys.N()
+	plan := make([]int32, n)
+	switch p.Score.(type) {
+	case voting.Cumulative:
+		lam, err := stats.WalksForCumulative(cfg.Delta, cfg.Rho)
+		if err != nil {
+			return nil, err
+		}
+		if lam > cfg.MaxWalksPerNode {
+			lam = cfg.MaxWalksPerNode
+		}
+		for v := range plan {
+			plan[v] = int32(lam)
+		}
+	default:
+		gamma, err := estimateGammaStar(p, cfg, sampler, comp)
+		if err != nil {
+			return nil, err
+		}
+		res.Gamma = gamma
+		oneSided := false
+		if _, ok := p.Score.(voting.Copeland); ok {
+			oneSided = true
+		}
+		for v := range plan {
+			var lam int
+			var err error
+			if oneSided {
+				lam, err = stats.WalksForCopeland(gamma[v], cfg.Rho)
+			} else {
+				lam, err = stats.WalksForPlurality(gamma[v], cfg.Rho)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if lam > cfg.MaxWalksPerNode {
+				lam = cfg.MaxWalksPerNode
+			}
+			plan[v] = int32(lam)
+		}
+	}
+	res.Lambda = plan
+
+	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.NewRand(cfg.Seed, 101))
+	if err != nil {
+		return nil, err
+	}
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set))
+	if err != nil {
+		return nil, err
+	}
+	gr, err := est.SelectGreedy(p.K, p.Score)
+	if err != nil {
+		return nil, err
+	}
+	res.Seeds = gr.Seeds
+	res.EstimatedValue = gr.Value
+	res.Gains = gr.Gains
+	res.TotalWalks = set.NumWalks()
+	res.BytesUsed = set.BytesUsed()
+	return res, nil
+}
+
+// Selector adapts Select to the core.SeedSelector signature used by
+// MinSeedsToWin.
+func Selector(p core.Problem, cfg Config) core.SeedSelector {
+	return func(k int) ([]int32, error) {
+		q := p
+		q.K = k
+		r, err := Select(&q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Seeds, nil
+	}
+}
+
+// estimateGammaStar implements the §V-C pilot heuristic for
+// γ*_v = min_{|S|≤k} min_{x≠q} |b_xv − b̂_qv[S]|: α pilot walks per node
+// estimate the seedless opinions; a simulated greedy trajectory (cumulative
+// gains on the pilot walks) adds up to k pilot seeds, and the running
+// minimum gap per node is recorded after every addition.
+func estimateGammaStar(p *core.Problem, cfg Config, sampler *graph.InEdgeSampler, comp [][]float64) ([]float64, error) {
+	cand := p.Sys.Candidate(p.Target)
+	n := p.Sys.N()
+	alpha := cfg.PilotWalks
+	if alpha == 0 {
+		a, err := stats.WalksForCumulative(cfg.Delta, cfg.Rho)
+		if err != nil {
+			return nil, err
+		}
+		alpha = a
+	}
+	if alpha > cfg.MaxWalksPerNode {
+		alpha = cfg.MaxWalksPerNode
+	}
+	plan := make([]int32, n)
+	for v := range plan {
+		plan[v] = int32(alpha)
+	}
+	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.NewRand(cfg.Seed, 103))
+	if err != nil {
+		return nil, err
+	}
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set))
+	if err != nil {
+		return nil, err
+	}
+	gamma := make([]float64, n)
+	for v := range gamma {
+		gamma[v] = math.Inf(1)
+	}
+	record := func() {
+		for i := 0; i < set.NumOwners(); i++ {
+			v := set.Owner(i)
+			b := est.Estimate(i)
+			for x := range comp {
+				if x == p.Target {
+					continue
+				}
+				if g := math.Abs(comp[x][v] - b); g < gamma[v] {
+					gamma[v] = g
+				}
+			}
+		}
+	}
+	record()
+	rounds := p.K
+	if rounds > cfg.MaxPilotRounds {
+		rounds = cfg.MaxPilotRounds
+	}
+	for round := 0; round < rounds && round < n; round++ {
+		if _, err := est.SelectGreedy(1, voting.Cumulative{}); err != nil {
+			return nil, err
+		}
+		record()
+	}
+	for v := range gamma {
+		if gamma[v] < cfg.GammaFloor || math.IsInf(gamma[v], 1) {
+			gamma[v] = cfg.GammaFloor
+		}
+	}
+	return gamma, nil
+}

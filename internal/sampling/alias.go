@@ -1,0 +1,130 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Alias is a Walker alias table supporting O(1) sampling from a fixed
+// discrete distribution over {0, …, n−1}. Construction is O(n).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table from non-negative weights. The weights need
+// not sum to 1; they are normalized internally. It returns an error if the
+// slice is empty, contains a negative weight, or sums to zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty weight slice")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampling: negative weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sampling: weights sum to zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities; small/large worklists (Vose's method).
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1 // numerical leftovers
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// N returns the support size of the distribution.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index according to the table's distribution.
+func (a *Alias) Sample(r *rand.Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Prefix supports O(log n) sampling via binary search over cumulative
+// weights. It is cheaper to build than an alias table and is used for
+// distributions sampled only a handful of times.
+type Prefix struct {
+	cum []float64
+}
+
+// NewPrefix builds a prefix-sum sampler from non-negative weights.
+func NewPrefix(weights []float64) (*Prefix, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("sampling: empty weight slice")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampling: negative weight %v at index %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sampling: weights sum to zero")
+	}
+	return &Prefix{cum: cum}, nil
+}
+
+// Sample draws one index according to the distribution.
+func (p *Prefix) Sample(r *rand.Rand) int {
+	total := p.cum[len(p.cum)-1]
+	x := r.Float64() * total
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the support size of the distribution.
+func (p *Prefix) N() int { return len(p.cum) }

@@ -1,0 +1,213 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chiSquareOK(counts []int, weights []float64, draws int) bool {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	// Generous threshold: per-bucket relative error < 15% for buckets with
+	// expectation >= 100.
+	for i, c := range counts {
+		exp := weights[i] / total * float64(draws)
+		if exp < 100 {
+			continue
+		}
+		if math.Abs(float64(c)-exp) > 0.15*exp {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, len(weights))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	if !chiSquareOK(counts, weights, draws) {
+		t.Errorf("alias sampling deviates from distribution: %v", counts)
+	}
+}
+
+func TestPrefixDistribution(t *testing.T) {
+	weights := []float64{5, 0, 1, 4}
+	p, err := NewPrefix(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	counts := make([]int, len(weights))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[p.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket sampled %d times", counts[1])
+	}
+	if !chiSquareOK(counts, weights, draws) {
+		t.Errorf("prefix sampling deviates from distribution: %v", counts)
+	}
+}
+
+func TestAliasSingleBucket(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-bucket alias must always return 0")
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("expected error for zero-sum weights")
+	}
+	if _, err := NewPrefix(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewPrefix([]float64{-0.1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewPrefix([]float64{0}); err == nil {
+		t.Error("expected error for zero-sum weights")
+	}
+}
+
+func TestAliasNeverSamplesZeroWeight(t *testing.T) {
+	weights := []float64{0, 1, 0, 2, 0}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		s := a.Sample(r)
+		if weights[s] == 0 {
+			t.Fatalf("sampled zero-weight index %d", s)
+		}
+	}
+}
+
+func TestAliasMatchesPrefixStatistically(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() * 10
+		}
+		weights[r.Intn(n)] = 5 // ensure positive total
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		p, err := NewPrefix(weights)
+		if err != nil {
+			return false
+		}
+		const draws = 20000
+		ca := make([]float64, n)
+		cp := make([]float64, n)
+		ra := rand.New(rand.NewSource(seed + 1))
+		rp := rand.New(rand.NewSource(seed + 2))
+		for i := 0; i < draws; i++ {
+			ca[a.Sample(ra)]++
+			cp[p.Sample(rp)]++
+		}
+		for i := range ca {
+			if math.Abs(ca[i]-cp[i]) > 0.05*draws {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveSeedDistinctStreams(t *testing.T) {
+	seen := map[int64]uint64{}
+	for s := uint64(0); s < 1000; s++ {
+		d := DeriveSeed(42, s)
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("streams %d and %d collide on seed 42", prev, s)
+		}
+		seen[d] = s
+	}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Error("DeriveSeed must be deterministic")
+	}
+	if DeriveSeed(7, 3) == DeriveSeed(8, 3) {
+		t.Error("different parent seeds should give different children")
+	}
+}
+
+func TestNewRandReproducible(t *testing.T) {
+	r1 := NewRand(99, 5)
+	r2 := NewRand(99, 5)
+	for i := 0; i < 10; i++ {
+		if r1.Int63() != r2.Int63() {
+			t.Fatal("NewRand streams with equal (seed,stream) must match")
+		}
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 1024)
+	r := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = r.Float64()
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}
+
+func BenchmarkPrefixSample(b *testing.B) {
+	weights := make([]float64, 1024)
+	r := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = r.Float64()
+	}
+	p, err := NewPrefix(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(r)
+	}
+}

@@ -1,0 +1,6 @@
+// Package sampling provides the weighted discrete sampling substrate for the
+// random-walk (§V) and sketch (§VI) estimators: Walker alias tables for O(1)
+// draws from the per-node in-edge distributions, prefix-sum samplers for
+// one-shot distributions, and deterministic splittable RNG streams so that
+// every experiment in the harness is reproducible from a single seed.
+package sampling

@@ -1,0 +1,31 @@
+package sampling
+
+import "math/rand"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used to derive statistically independent child seeds from a parent
+// seed, so that each subsystem (walk generation, sketch sampling, dataset
+// synthesis, …) gets its own reproducible stream.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives the stream-th child seed from seed.
+// Distinct stream values give (empirically) uncorrelated child streams.
+func DeriveSeed(seed int64, stream uint64) int64 {
+	s := uint64(seed) ^ (stream * 0xd1342543de82ef95)
+	var out uint64
+	s, out = splitmix64(s)
+	_, out2 := splitmix64(s ^ out)
+	return int64(out2)
+}
+
+// NewRand returns a deterministic *rand.Rand for the given (seed, stream)
+// pair. Each caller should use a distinct stream identifier.
+func NewRand(seed int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, stream)))
+}

@@ -1,0 +1,187 @@
+// Package serialize persists complete multi-candidate opinion systems —
+// influence graph, per-candidate initial opinions, and stubbornness — in a
+// line-oriented text format, so synthesized worlds can be exported,
+// inspected, version-controlled, and reloaded bit-exactly by other tools
+// or later runs.
+//
+// Format (all on one stream):
+//
+//	ovm-system v1
+//	candidates <r>
+//	candidate <name may contain spaces>
+//	init <n space-separated floats>
+//	stub <n space-separated floats>
+//	        … repeated r times …
+//	graph
+//	<n> <m>
+//	<from> <to> <weight>       (m lines)
+//
+// Floats use strconv 'g' formatting with full round-trip precision.
+package serialize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+)
+
+const magic = "ovm-system v1"
+
+// WriteSystem serializes a system to w.
+func WriteSystem(w io.Writer, s *opinion.System) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, magic); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "candidates %d\n", s.R()); err != nil {
+		return err
+	}
+	for q := 0; q < s.R(); q++ {
+		c := s.Candidate(q)
+		if strings.ContainsAny(c.Name, "\n\r") {
+			return fmt.Errorf("serialize: candidate name %q contains newline", c.Name)
+		}
+		if _, err := fmt.Fprintf(bw, "candidate %s\n", c.Name); err != nil {
+			return err
+		}
+		if err := writeVector(bw, "init", c.Init); err != nil {
+			return err
+		}
+		if err := writeVector(bw, "stub", c.Stub); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "graph"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// All candidates share the topology in serialized systems; candidate 0's
+	// graph is authoritative (the common case across this repository).
+	return graph.WriteEdgeList(w, s.Candidate(0).G)
+}
+
+func writeVector(w io.Writer, tag string, xs []float64) error {
+	var sb strings.Builder
+	sb.WriteString(tag)
+	for _, x := range xs {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ReadSystem parses the format produced by WriteSystem and validates the
+// result (column-stochastic weights, opinion/stubbornness ranges).
+func ReadSystem(r io.Reader) (*opinion.System, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if line != magic {
+		return nil, fmt.Errorf("serialize: bad header %q (want %q)", line, magic)
+	}
+	line, err = readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	var rCand int
+	if _, err := fmt.Sscanf(line, "candidates %d", &rCand); err != nil {
+		return nil, fmt.Errorf("serialize: bad candidate count line %q: %w", line, err)
+	}
+	if rCand < 2 {
+		return nil, fmt.Errorf("serialize: need at least 2 candidates, got %d", rCand)
+	}
+	type protoCand struct {
+		name string
+		init []float64
+		stub []float64
+	}
+	protos := make([]protoCand, rCand)
+	for q := 0; q < rCand; q++ {
+		line, err = readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(line, "candidate ") {
+			return nil, fmt.Errorf("serialize: expected candidate line, got %q", line)
+		}
+		protos[q].name = strings.TrimPrefix(line, "candidate ")
+		if protos[q].init, err = readVector(br, "init"); err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d: %w", q, err)
+		}
+		if protos[q].stub, err = readVector(br, "stub"); err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d: %w", q, err)
+		}
+	}
+	line, err = readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if line != "graph" {
+		return nil, fmt.Errorf("serialize: expected graph section, got %q", line)
+	}
+	g, err := graph.ReadEdgeList(br)
+	if err != nil {
+		return nil, err
+	}
+	gNorm, err := g.ColumnStochastic()
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]*opinion.Candidate, rCand)
+	for q := range cands {
+		cands[q] = &opinion.Candidate{
+			Name: protos[q].name,
+			G:    gNorm,
+			Init: protos[q].init,
+			Stub: protos[q].stub,
+		}
+	}
+	return opinion.NewSystem(cands)
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return "", fmt.Errorf("serialize: unexpected end of input: %w", err)
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed != "" {
+			return trimmed, nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("serialize: unexpected end of input: %w", err)
+		}
+	}
+}
+
+func readVector(br *bufio.Reader, tag string) ([]float64, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != tag {
+		return nil, fmt.Errorf("expected %q vector, got %q", tag, line)
+	}
+	out := make([]float64, len(fields)-1)
+	for i, f := range fields[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q: %w", tag, f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator maintains streaming count, mean, variance (Welford's
+// algorithm), minimum, and maximum of a sequence of observations.
+// The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the population variance (0 if fewer than 2 observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

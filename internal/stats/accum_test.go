@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Errorf("N = %d, want 5", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := a.Variance(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Variance = %v, want 2", got)
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(7)
+	if a.Variance() != 0 {
+		t.Errorf("single-sample variance = %v, want 0", a.Variance())
+	}
+	if a.Min() != 7 || a.Max() != 7 {
+		t.Error("single-sample min/max should equal the sample")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			a.Add(xs[i])
+		}
+		mean := Mean(xs)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		batchVar := varSum / float64(n)
+		return math.Abs(a.Mean()-mean) < 1e-8 && math.Abs(a.Variance()-batchVar) < 1e-6
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile(0.3) = %v, want 3", got)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v, want 4", got)
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoeffdingTail bounds Pr(|mean - E[mean]| >= delta) for the mean of n
+// independent random variables in [0,1]: the two-sided Hoeffding bound
+// 2·exp(−2·n·δ²) (Appendix E, Theorem 18 specialization used in §V-C).
+func HoeffdingTail(n int, delta float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Exp(-2*float64(n)*delta*delta))
+}
+
+// WalksForCumulative returns the smallest λ_v satisfying Theorem 10:
+//
+//	λ_v ≥ ln(2/(1−ρ)) / (2δ²)
+//
+// so that the estimated opinion of any node deviates from the exact FJ
+// opinion by less than δ with probability at least ρ.
+func WalksForCumulative(delta, rho float64) (int, error) {
+	if delta <= 0 {
+		return 0, fmt.Errorf("stats: delta must be positive, got %v", delta)
+	}
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("stats: rho must lie in (0,1), got %v", rho)
+	}
+	lam := math.Log(2/(1-rho)) / (2 * delta * delta)
+	return int(math.Ceil(lam)), nil
+}
+
+// WalksForPlurality returns the smallest λ_v satisfying Theorem 11:
+//
+//	λ_v ≥ ln(2/(1−ρ)) / (2γ²)
+//
+// where γ = γ_v[S] is the minimum opinion gap between the target candidate
+// and any competitor at node v. The same formula serves the p-approval and
+// positional-p-approval variants.
+func WalksForPlurality(gamma, rho float64) (int, error) {
+	if gamma <= 0 {
+		return 0, fmt.Errorf("stats: gamma must be positive, got %v", gamma)
+	}
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("stats: rho must lie in (0,1), got %v", rho)
+	}
+	lam := math.Log(2/(1-rho)) / (2 * gamma * gamma)
+	return int(math.Ceil(lam)), nil
+}
+
+// WalksForCopeland returns the smallest λ_v satisfying Theorem 12:
+//
+//	λ_v ≥ ln(1/(1−ρ)) / (2γ²)
+//
+// (one-sided version of the plurality bound).
+func WalksForCopeland(gamma, rho float64) (int, error) {
+	if gamma <= 0 {
+		return 0, fmt.Errorf("stats: gamma must be positive, got %v", gamma)
+	}
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("stats: rho must lie in (0,1), got %v", rho)
+	}
+	lam := math.Log(1/(1-rho)) / (2 * gamma * gamma)
+	return int(math.Ceil(lam)), nil
+}
+
+// SketchesForCumulative returns the Theorem 13 sketch count:
+//
+//	θ ≥ (2n / (OPT·ε²)) · [ (1−1/e)·√ln(2nˡ) + √((1−1/e)(ln(2nˡ)+ln C(n,k))) ]²
+//
+// guaranteeing a (1−1/e−ε)-approximation with probability ≥ 1 − n^{−l}.
+// optLB is a lower bound on OPT (estimated by sketch.EstimateOPT).
+func SketchesForCumulative(n, k int, eps, l, optLB float64) (int, error) {
+	if n <= 0 || k <= 0 || k > n {
+		return 0, fmt.Errorf("stats: need 0 < k <= n, got k=%d n=%d", k, n)
+	}
+	if eps <= 0 {
+		return 0, fmt.Errorf("stats: eps must be positive, got %v", eps)
+	}
+	if optLB <= 0 {
+		return 0, fmt.Errorf("stats: optLB must be positive, got %v", optLB)
+	}
+	e1 := 1 - 1/math.E
+	ln2nl := l*math.Log(float64(n)) + math.Ln2
+	lnBinom := LogChoose(n, k)
+	term := e1*math.Sqrt(ln2nl) + math.Sqrt(e1*(ln2nl+lnBinom))
+	theta := 2 * float64(n) / (optLB * eps * eps) * term * term
+	if theta > float64(math.MaxInt32) {
+		theta = float64(math.MaxInt32)
+	}
+	return int(math.Ceil(theta)), nil
+}
+
+// ChungLuUpper is the upper-tail inequality of Theorem 16 (Chung & Lu):
+// for X = ΣX_i with X_i − E[X_i] ≤ M,
+//
+//	Pr(X − E[X] ≥ β) ≤ exp(−β² / (2(Var[X] + Mβ/3))).
+func ChungLuUpper(beta, variance, m float64) float64 {
+	if beta <= 0 {
+		return 1
+	}
+	den := 2 * (variance + m*beta/3)
+	if den <= 0 {
+		return 0
+	}
+	return math.Min(1, math.Exp(-beta*beta/den))
+}
+
+// ChungLuLower is the lower-tail inequality of Theorem 16:
+//
+//	Pr(X − E[X] ≤ −β) ≤ exp(−β² / (2·Σ E[X_i²])).
+func ChungLuLower(beta, sumSecondMoments float64) float64 {
+	if beta <= 0 {
+		return 1
+	}
+	if sumSecondMoments <= 0 {
+		return 0
+	}
+	return math.Min(1, math.Exp(-beta*beta/(2*sumSecondMoments)))
+}
+
+// MartingaleTail is the inequality of Theorem 17 ([7]): for θ i.i.d.
+// variables in [0,1] with mean µ,
+//
+//	Pr(|X − θµ| ≥ ε·θµ) ≤ exp(−ε²·θµ / (2+ε)).
+//
+// (Written in the paper with the exponent's sign folded in; we return the
+// probability bound directly.)
+func MartingaleTail(theta int, mu, eps float64) float64 {
+	if theta <= 0 || mu <= 0 || eps <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Exp(-eps*eps*float64(theta)*mu/(2+eps)))
+}
+
+// RelativeEntropyTail is the Chernoff–Hoeffding bound of Theorem 18 ([80]):
+// for the mean X̄ of θ independent [0,1] variables with E[X̄] = µ and
+// 0 ≤ ε < 1−µ,
+//
+//	Pr(X̄ − µ ≥ ε) ≤ [ (µ/(µ+ε))^{µ+ε} · ((1−µ)/(1−µ−ε))^{1−µ−ε} ]^θ.
+func RelativeEntropyTail(theta int, mu, eps float64) float64 {
+	if theta <= 0 || eps <= 0 {
+		return 1
+	}
+	if mu <= 0 {
+		return 0
+	}
+	if eps >= 1-mu {
+		// Outside the theorem's range; the event is impossible for eps > 1-mu.
+		return 0
+	}
+	a := mu + eps
+	b := 1 - mu - eps
+	logBase := a*math.Log(mu/a) + b*math.Log((1-mu)/b)
+	return math.Min(1, math.Exp(float64(theta)*logBase))
+}
+
+// CopelandMajorityTail bounds Pr(Σ Z_j ≥ θ/2) for i.i.d. Bernoulli Z with
+// mean (1−µ)/2, as used in Lemma 7:
+//
+//	Pr ≤ ((1−µ)^{1/2}·(1+µ)^{1/2})^θ = (1−µ²)^{θ/2}.
+func CopelandMajorityTail(theta int, mu float64) float64 {
+	if theta <= 0 {
+		return 1
+	}
+	if mu <= 0 {
+		return 1
+	}
+	if mu >= 1 {
+		return 0
+	}
+	return math.Pow(1-mu*mu, float64(theta)/2)
+}
+
+// LogChoose returns ln C(n, k) computed via log-gamma, stable for large n.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWalksForCumulativeMatchesFormula(t *testing.T) {
+	got, err := WalksForCumulative(0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(math.Log(20) / 0.02)) // ln(2/0.1)/(2*0.01)
+	if got != want {
+		t.Fatalf("WalksForCumulative(0.1,0.9) = %d, want %d", got, want)
+	}
+}
+
+func TestWalksForCumulativeSatisfiesHoeffding(t *testing.T) {
+	for _, tc := range []struct{ delta, rho float64 }{
+		{0.1, 0.9}, {0.05, 0.95}, {0.2, 0.75}, {0.01, 0.99},
+	} {
+		n, err := WalksForCumulative(tc.delta, tc.rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With n samples, failure prob 2exp(-2nδ²) must be ≤ 1-ρ.
+		if fail := 2 * math.Exp(-2*float64(n)*tc.delta*tc.delta); fail > 1-tc.rho+1e-12 {
+			t.Errorf("delta=%v rho=%v: n=%d gives failure %v > %v", tc.delta, tc.rho, n, fail, 1-tc.rho)
+		}
+		// n-1 samples must NOT suffice (minimality), unless n == 1.
+		if n > 1 {
+			if fail := 2 * math.Exp(-2*float64(n-1)*tc.delta*tc.delta); fail < 1-tc.rho-1e-9 {
+				t.Errorf("delta=%v rho=%v: n=%d not minimal", tc.delta, tc.rho, n)
+			}
+		}
+	}
+}
+
+func TestWalksErrorCases(t *testing.T) {
+	if _, err := WalksForCumulative(0, 0.9); err == nil {
+		t.Error("expected error for delta=0")
+	}
+	if _, err := WalksForCumulative(0.1, 1); err == nil {
+		t.Error("expected error for rho=1")
+	}
+	if _, err := WalksForPlurality(-1, 0.9); err == nil {
+		t.Error("expected error for gamma<0")
+	}
+	if _, err := WalksForCopeland(0.1, 0); err == nil {
+		t.Error("expected error for rho=0")
+	}
+	if _, err := SketchesForCumulative(10, 0, 0.1, 1, 5); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := SketchesForCumulative(10, 3, 0.1, 1, 0); err == nil {
+		t.Error("expected error for optLB=0")
+	}
+}
+
+func TestCopelandWalksSmallerThanPlurality(t *testing.T) {
+	// The one-sided Copeland bound needs no more walks than the two-sided
+	// plurality bound at the same (gamma, rho).
+	for _, gamma := range []float64{0.05, 0.1, 0.3} {
+		for _, rho := range []float64{0.75, 0.9, 0.95} {
+			p, _ := WalksForPlurality(gamma, rho)
+			c, _ := WalksForCopeland(gamma, rho)
+			if c > p {
+				t.Errorf("gamma=%v rho=%v: copeland %d > plurality %d", gamma, rho, c, p)
+			}
+		}
+	}
+}
+
+func TestSketchesForCumulativeMonotone(t *testing.T) {
+	// θ decreases in OPT and increases as ε shrinks.
+	t1, err := SketchesForCumulative(1000, 10, 0.1, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := SketchesForCumulative(1000, 10, 0.1, 1, 100)
+	if t2 > t1 {
+		t.Errorf("theta should shrink with larger OPT: %d > %d", t2, t1)
+	}
+	t3, _ := SketchesForCumulative(1000, 10, 0.05, 1, 50)
+	if t3 < t1 {
+		t.Errorf("theta should grow with smaller eps: %d < %d", t3, t1)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{10, 3, math.Log(120)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 7), -1) {
+		t.Error("LogChoose(5,7) should be -Inf")
+	}
+	if !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("LogChoose(5,-1) should be -Inf")
+	}
+}
+
+func TestLogChooseSymmetry(t *testing.T) {
+	err := quick.Check(func(n uint8, k uint8) bool {
+		nn := int(n%60) + 1
+		kk := int(k) % (nn + 1)
+		return math.Abs(LogChoose(nn, kk)-LogChoose(nn, nn-kk)) < 1e-8
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTailBoundsAreProbabilities(t *testing.T) {
+	err := quick.Check(func(beta, variance, m float64) bool {
+		bound := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(x), 1e6)
+		}
+		b, v, mm := bound(beta), bound(variance), bound(m)
+		u := ChungLuUpper(b, v, mm)
+		l := ChungLuLower(b, v)
+		return u >= 0 && u <= 1 && l >= 0 && l <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeEntropyTightensHoeffding(t *testing.T) {
+	// The relative-entropy bound is at least as tight as the simple
+	// Hoeffding bound exp(-2θε²) on its valid domain.
+	for _, mu := range []float64{0.1, 0.3, 0.5} {
+		for _, eps := range []float64{0.05, 0.1, 0.2} {
+			if eps >= 1-mu {
+				continue
+			}
+			theta := 100
+			re := RelativeEntropyTail(theta, mu, eps)
+			hf := math.Exp(-2 * float64(theta) * eps * eps)
+			if re > hf+1e-12 {
+				t.Errorf("mu=%v eps=%v: relative entropy %v looser than hoeffding %v", mu, eps, re, hf)
+			}
+		}
+	}
+}
+
+func TestCopelandMajorityTail(t *testing.T) {
+	if got := CopelandMajorityTail(10, 1); got != 0 {
+		t.Errorf("mu=1 should give 0, got %v", got)
+	}
+	if got := CopelandMajorityTail(10, 0); got != 1 {
+		t.Errorf("mu=0 should give 1, got %v", got)
+	}
+	// Monotone decreasing in both theta and mu.
+	if CopelandMajorityTail(20, 0.5) > CopelandMajorityTail(10, 0.5) {
+		t.Error("tail should decrease with theta")
+	}
+	if CopelandMajorityTail(10, 0.8) > CopelandMajorityTail(10, 0.2) {
+		t.Error("tail should decrease with mu")
+	}
+}
+
+func TestMartingaleTailMonotone(t *testing.T) {
+	if MartingaleTail(100, 0.5, 0.1) > MartingaleTail(50, 0.5, 0.1) {
+		t.Error("tail should decrease with theta")
+	}
+	if MartingaleTail(100, 0.5, 0.2) > MartingaleTail(100, 0.5, 0.1) {
+		t.Error("tail should decrease with eps")
+	}
+	if got := MartingaleTail(0, 0.5, 0.1); got != 1 {
+		t.Errorf("theta=0 should give 1, got %v", got)
+	}
+}
+
+func TestHoeffdingTail(t *testing.T) {
+	if got := HoeffdingTail(0, 0.1); got != 1 {
+		t.Errorf("n=0 should give 1, got %v", got)
+	}
+	want := 2 * math.Exp(-2*100*0.01)
+	if got := HoeffdingTail(100, 0.1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("HoeffdingTail(100,0.1) = %v, want %v", got, want)
+	}
+}

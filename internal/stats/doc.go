@@ -1,0 +1,7 @@
+// Package stats provides the statistical substrate used throughout the
+// voting-based opinion maximization library: the concentration inequalities
+// of the paper's Appendix E (Hoeffding, Chung–Lu, and the relative-entropy
+// Chernoff bound), closed-form sample-count bounds from Theorems 10–13,
+// log-binomial coefficients, and streaming accumulators (Welford variance,
+// percentile summaries) used by the experiment harness.
+package stats

@@ -1,0 +1,140 @@
+// Package voter implements the discrete voter model discussed in §VII
+// ([54]–[56], [60]): each user holds exactly one preferred candidate; at
+// every timestamp each (non-zealot) user adopts the preference of a random
+// in-neighbor, sampled with probability equal to the influence weight.
+// Seed nodes act as zealots permanently committed to the target.
+//
+// The model serves two purposes in this repository: (1) it realizes the
+// paper's future-work direction of "more opinion diffusion models" with a
+// genuinely different (discrete, stochastic) dynamics, and (2) the
+// experiments use it to stress-test how FJ-optimized seed sets transfer to
+// voter-model vote shares, analogous to the paper's EIS study (Fig 11).
+package voter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+)
+
+// State holds each user's current preferred candidate (index into the
+// system's candidate list).
+type State []int8
+
+// InitialState derives the discrete starting preferences from a
+// multi-candidate opinion system: each user prefers the candidate with her
+// highest initial opinion (ties to the lowest index).
+func InitialState(s *opinion.System) State {
+	n := s.N()
+	r := s.R()
+	st := make(State, n)
+	for v := 0; v < n; v++ {
+		best, bestVal := 0, s.Candidate(0).Init[v]
+		for q := 1; q < r; q++ {
+			if b := s.Candidate(q).Init[v]; b > bestVal {
+				best, bestVal = q, b
+			}
+		}
+		st[v] = int8(best)
+	}
+	return st
+}
+
+// Params configures a voter-model simulation.
+type Params struct {
+	// Horizon is the number of synchronous update rounds.
+	Horizon int
+	// Target is the candidate whose zealots the seed set provides.
+	Target int
+	// Rounds is the number of Monte-Carlo repetitions for share estimates.
+	Rounds int
+}
+
+// Validate checks the parameters against a system.
+func (p Params) Validate(s *opinion.System) error {
+	if p.Horizon < 0 {
+		return fmt.Errorf("voter: negative horizon %d", p.Horizon)
+	}
+	if p.Target < 0 || p.Target >= s.R() {
+		return fmt.Errorf("voter: target %d out of range [0,%d)", p.Target, s.R())
+	}
+	if p.Rounds < 1 {
+		return fmt.Errorf("voter: need at least 1 round, got %d", p.Rounds)
+	}
+	return nil
+}
+
+// Step performs one synchronous voter-model round: every non-zealot user
+// adopts the previous-round preference of one in-neighbor sampled by
+// influence weight. cur and next must not alias.
+func Step(smp *graph.InEdgeSampler, zealot []bool, cur, next State, r *rand.Rand) {
+	n := int32(len(cur))
+	for v := int32(0); v < n; v++ {
+		if zealot[v] {
+			next[v] = cur[v]
+			continue
+		}
+		next[v] = cur[smp.Sample(v, r)]
+	}
+}
+
+// Simulate runs one trajectory from the initial state with the given seed
+// set pinned to the target, returning the final preference vector.
+func Simulate(s *opinion.System, smp *graph.InEdgeSampler, p Params, seeds []int32, r *rand.Rand) (State, error) {
+	if err := p.Validate(s); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	cur := InitialState(s)
+	zealot := make([]bool, n)
+	for _, sd := range seeds {
+		if sd < 0 || int(sd) >= n {
+			return nil, fmt.Errorf("voter: seed %d out of range [0,%d)", sd, n)
+		}
+		zealot[sd] = true
+		cur[sd] = int8(p.Target)
+	}
+	next := make(State, n)
+	for step := 0; step < p.Horizon; step++ {
+		Step(smp, zealot, cur, next, r)
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// Share counts the fraction of users preferring candidate q in a state.
+func Share(st State, q int) float64 {
+	if len(st) == 0 {
+		return 0
+	}
+	c := 0
+	for _, pref := range st {
+		if int(pref) == q {
+			c++
+		}
+	}
+	return float64(c) / float64(len(st))
+}
+
+// ExpectedShare estimates the target's expected vote share at the horizon
+// across p.Rounds Monte-Carlo trajectories.
+func ExpectedShare(s *opinion.System, p Params, seeds []int32, r *rand.Rand) (float64, error) {
+	if err := p.Validate(s); err != nil {
+		return 0, err
+	}
+	smp, err := graph.NewInEdgeSampler(s.Candidate(p.Target).G)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := 0; i < p.Rounds; i++ {
+		st, err := Simulate(s, smp, p, seeds, r)
+		if err != nil {
+			return 0, err
+		}
+		total += Share(st, p.Target)
+	}
+	return total / float64(p.Rounds), nil
+}

@@ -1,0 +1,184 @@
+package voter_test
+
+import (
+	"math"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+	"ovm/internal/paperexample"
+	"ovm/internal/sampling"
+	"ovm/internal/voter"
+)
+
+func TestInitialState(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := voter.InitialState(sys)
+	// Initial opinions: c1 = [0.40,0.80,0.60,0.90], c2 = [0.35,0.75,1.00,0.80]:
+	// users 1,2 prefer c1; user 3 prefers c2; user 4 prefers c1.
+	want := []int8{0, 0, 1, 0}
+	for v := range want {
+		if st[v] != want[v] {
+			t.Errorf("initial pref of user %d = %d, want %d", v+1, st[v], want[v])
+		}
+	}
+}
+
+func TestShare(t *testing.T) {
+	st := voter.State{0, 0, 1, 0}
+	if got := voter.Share(st, 0); got != 0.75 {
+		t.Errorf("share(0) = %v, want 0.75", got)
+	}
+	if got := voter.Share(st, 1); got != 0.25 {
+		t.Errorf("share(1) = %v, want 0.25", got)
+	}
+	if got := voter.Share(voter.State{}, 0); got != 0 {
+		t.Errorf("empty share = %v, want 0", got)
+	}
+}
+
+func TestZealotsNeverFlip(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := graph.NewInEdgeSampler(sys.Candidate(0).G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampling.NewRand(1, 1)
+	p := voter.Params{Horizon: 10, Target: 0, Rounds: 1}
+	for trial := 0; trial < 50; trial++ {
+		st, err := voter.Simulate(sys, smp, p, []int32{2}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st[2] != 0 {
+			t.Fatalf("zealot flipped to %d", st[2])
+		}
+	}
+}
+
+func TestAllZealotsUnanimity(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voter.Params{Horizon: 3, Target: 0, Rounds: 5}
+	share, err := voter.ExpectedShare(sys, p, []int32{0, 1, 2, 3}, sampling.NewRand(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share != 1 {
+		t.Errorf("all-zealot share = %v, want 1", share)
+	}
+}
+
+func TestSeedsIncreaseExpectedShare(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voter.Params{Horizon: 5, Target: 0, Rounds: 400}
+	none, err := voter.ExpectedShare(sys, p, nil, sampling.NewRand(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := voter.ExpectedShare(sys, p, []int32{2}, sampling.NewRand(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded <= none {
+		t.Errorf("zealot for the target should raise the share: %v vs %v", seeded, none)
+	}
+}
+
+func TestHorizonZeroReturnsInitialShares(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voter.Params{Horizon: 0, Target: 0, Rounds: 3}
+	share, err := voter.ExpectedShare(sys, p, nil, sampling.NewRand(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(share-0.75) > 1e-12 {
+		t.Errorf("t=0 share = %v, want 0.75 (initial preferences)", share)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampling.NewRand(5, 1)
+	if _, err := voter.ExpectedShare(sys, voter.Params{Horizon: -1, Target: 0, Rounds: 1}, nil, r); err == nil {
+		t.Error("expected error for negative horizon")
+	}
+	if _, err := voter.ExpectedShare(sys, voter.Params{Horizon: 1, Target: 5, Rounds: 1}, nil, r); err == nil {
+		t.Error("expected error for bad target")
+	}
+	if _, err := voter.ExpectedShare(sys, voter.Params{Horizon: 1, Target: 0, Rounds: 0}, nil, r); err == nil {
+		t.Error("expected error for zero rounds")
+	}
+	smp, err := graph.NewInEdgeSampler(sys.Candidate(0).G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := voter.Simulate(sys, smp, voter.Params{Horizon: 1, Target: 0, Rounds: 1}, []int32{99}, r); err == nil {
+		t.Error("expected error for out-of-range seed")
+	}
+}
+
+// TestVoterAgreesWithFJOnStar: on a star where the hub is the sole
+// influencer, a hub zealot converts everyone in one step under both the
+// voter model and FJ — a cross-model sanity anchor.
+func TestVoterAgreesWithFJOnStar(t *testing.T) {
+	n := 10
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, int32(v), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []*opinion.Candidate {
+		cands := make([]*opinion.Candidate, 2)
+		for q := range cands {
+			init := make([]float64, n)
+			for v := range init {
+				if q == 1 {
+					init[v] = 0.6
+				}
+			}
+			cands[q] = &opinion.Candidate{Name: string(rune('a' + q)), G: g, Init: init, Stub: make([]float64, n)}
+		}
+		return cands
+	}
+	sys, err := opinion.NewSystem(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := voter.Params{Horizon: 2, Target: 0, Rounds: 20}
+	share, err := voter.ExpectedShare(sys, p, []int32{0}, sampling.NewRand(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share != 1 {
+		t.Errorf("hub zealot should convert the whole star, got share %v", share)
+	}
+	fj := opinion.OpinionsAt(sys.Candidate(0), 2, []int32{0})
+	for v := 1; v < n; v++ {
+		if math.Abs(fj[v]-1) > 1e-12 {
+			t.Errorf("FJ: leaf %d = %v, want 1", v, fj[v])
+		}
+	}
+}

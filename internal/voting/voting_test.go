@@ -1,0 +1,346 @@
+package voting_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovm/internal/opinion"
+	"ovm/internal/paperexample"
+	"ovm/internal/voting"
+)
+
+func tableIMatrix(t *testing.T, seeds []int32) [][]float64 {
+	t.Helper()
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, err := opinion.Matrix(sys, paperexample.Horizon, paperexample.Target, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return B
+}
+
+// TestTableIScores reproduces the Cumu./Plu./Cope. columns of Table I.
+func TestTableIScores(t *testing.T) {
+	for _, row := range paperexample.TableI {
+		B := tableIMatrix(t, row.Seeds)
+		if got := (voting.Cumulative{}).Eval(B, 0); math.Abs(got-row.Cumulative) > 1e-9 {
+			t.Errorf("seeds %v: cumulative = %v, want %v", paperexample.SeedLabel(row.Seeds), got, row.Cumulative)
+		}
+		if got := (voting.Plurality{}).Eval(B, 0); got != row.Plurality {
+			t.Errorf("seeds %v: plurality = %v, want %v", paperexample.SeedLabel(row.Seeds), got, row.Plurality)
+		}
+		if got := (voting.Copeland{}).Eval(B, 0); got != row.Copeland {
+			t.Errorf("seeds %v: copeland = %v, want %v", paperexample.SeedLabel(row.Seeds), got, row.Copeland)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	B := [][]float64{
+		{0.9, 0.5, 0.3},
+		{0.1, 0.5, 0.6},
+		{0.5, 0.2, 0.9},
+	}
+	// User 0: opinions (0.9, 0.1, 0.5) → ranks 1, 3, 2.
+	if got := voting.Rank(B, 0, 0); got != 1 {
+		t.Errorf("rank(c0,u0) = %d, want 1", got)
+	}
+	if got := voting.Rank(B, 1, 0); got != 3 {
+		t.Errorf("rank(c1,u0) = %d, want 3", got)
+	}
+	if got := voting.Rank(B, 2, 0); got != 2 {
+		t.Errorf("rank(c2,u0) = %d, want 2", got)
+	}
+	// User 1: tie between c0 and c1 at 0.5 → both rank 2 (ties share the
+	// worse rank); c2 rank 3.
+	if got := voting.Rank(B, 0, 1); got != 2 {
+		t.Errorf("rank(c0,u1) = %d, want 2 (tie)", got)
+	}
+	if got := voting.Rank(B, 1, 1); got != 2 {
+		t.Errorf("rank(c1,u1) = %d, want 2 (tie)", got)
+	}
+	if got := voting.Rank(B, 2, 1); got != 3 {
+		t.Errorf("rank(c2,u1) = %d, want 3", got)
+	}
+}
+
+func TestPluralityExcludesTies(t *testing.T) {
+	B := [][]float64{
+		{0.5, 0.8},
+		{0.5, 0.2},
+	}
+	// User 0 is tied → votes for nobody under plurality.
+	if got := (voting.Plurality{}).Eval(B, 0); got != 1 {
+		t.Errorf("plurality(c0) = %v, want 1", got)
+	}
+	if got := (voting.Plurality{}).Eval(B, 1); got != 0 {
+		t.Errorf("plurality(c1) = %v, want 0", got)
+	}
+}
+
+func TestPApproval(t *testing.T) {
+	B := [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.5, 0.5, 0.6},
+		{0.1, 0.9, 0.7},
+	}
+	// Ranks of c1 (index 0): u0→1, u1→3, u2→3.
+	if got := (voting.PApproval{P: 1}).Eval(B, 0); got != 1 {
+		t.Errorf("1-approval = %v, want 1", got)
+	}
+	if got := (voting.PApproval{P: 2}).Eval(B, 0); got != 1 {
+		t.Errorf("2-approval = %v, want 1", got)
+	}
+	if got := (voting.PApproval{P: 3}).Eval(B, 0); got != 3 {
+		t.Errorf("3-approval = %v, want 3", got)
+	}
+}
+
+func TestPositionalMatchesManual(t *testing.T) {
+	B := [][]float64{
+		{0.9, 0.4, 0.5},
+		{0.5, 0.5, 0.6},
+		{0.1, 0.9, 0.7},
+	}
+	// Ranks of c0: u0→1, u1→3, u2→3. Ranks of c1: u0→2, u1→2, u2→2.
+	s := voting.Positional{P: 2, Omega: []float64{1, 0.5}}
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Eval(B, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("positional(c0) = %v, want 1", got)
+	}
+	if got := s.Eval(B, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("positional(c1) = %v, want 1.5", got)
+	}
+}
+
+func TestPositionalValidate(t *testing.T) {
+	if err := (voting.Positional{P: 0, Omega: []float64{1}}).Validate(3); err == nil {
+		t.Error("expected error for P=0")
+	}
+	if err := (voting.Positional{P: 4, Omega: []float64{1, 1, 1, 1}}).Validate(3); err == nil {
+		t.Error("expected error for P>r")
+	}
+	if err := (voting.Positional{P: 2, Omega: []float64{1}}).Validate(3); err == nil {
+		t.Error("expected error for short omega")
+	}
+	if err := (voting.Positional{P: 2, Omega: []float64{0.5, 0.8}}).Validate(3); err == nil {
+		t.Error("expected error for increasing omega")
+	}
+	if err := (voting.Positional{P: 2, Omega: []float64{1.5, 0.5}}).Validate(3); err == nil {
+		t.Error("expected error for omega > 1")
+	}
+	if err := (voting.PApproval{P: 0}).Validate(3); err == nil {
+		t.Error("expected error for 0-approval")
+	}
+}
+
+func TestVariantsGeneralizePlurality(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rCand := 2 + r.Intn(4)
+		n := 1 + r.Intn(30)
+		B := make([][]float64, rCand)
+		for q := range B {
+			B[q] = make([]float64, n)
+			for v := range B[q] {
+				B[q][v] = r.Float64()
+			}
+		}
+		q := r.Intn(rCand)
+		plu := (voting.Plurality{}).Eval(B, q)
+		if (voting.PApproval{P: 1}).Eval(B, q) != plu {
+			return false
+		}
+		if voting.PluralityAsPositional().Eval(B, q) != plu {
+			return false
+		}
+		p := 1 + r.Intn(rCand)
+		if voting.PApprovalAsPositional(p).Eval(B, q) != (voting.PApproval{P: p}).Eval(B, q) {
+			return false
+		}
+		// r-approval counts everyone.
+		return (voting.PApproval{P: rCand}).Eval(B, q) == float64(n)
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopelandAndCondorcet(t *testing.T) {
+	// Classic rock-paper-scissors cycle: no Condorcet winner.
+	B := [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.5, 0.9, 0.1},
+		{0.1, 0.5, 0.9},
+	}
+	for q := 0; q < 3; q++ {
+		if got := (voting.Copeland{}).Eval(B, q); got != 1 {
+			t.Errorf("cycle: copeland(c%d) = %v, want 1", q, got)
+		}
+	}
+	if w := voting.CondorcetWinner(B); w != -1 {
+		t.Errorf("cycle should have no Condorcet winner, got %d", w)
+	}
+	// Dominant candidate wins everything.
+	B2 := [][]float64{
+		{0.9, 0.9, 0.9},
+		{0.5, 0.1, 0.3},
+		{0.1, 0.5, 0.2},
+	}
+	if w := voting.CondorcetWinner(B2); w != 0 {
+		t.Errorf("Condorcet winner = %d, want 0", w)
+	}
+	if got := (voting.Copeland{}).Eval(B2, 0); got != 2 {
+		t.Errorf("copeland = %v, want 2", got)
+	}
+}
+
+func TestWinner(t *testing.T) {
+	B := [][]float64{
+		{0.2, 0.3},
+		{0.9, 0.8},
+	}
+	w, s := voting.Winner(B, voting.Cumulative{})
+	if w != 1 || math.Abs(s-1.7) > 1e-12 {
+		t.Errorf("winner = %d (%v), want 1 (1.7)", w, s)
+	}
+}
+
+func TestRankHistogram(t *testing.T) {
+	B := [][]float64{
+		{0.9, 0.1, 0.5, 0.6},
+		{0.5, 0.5, 0.6, 0.5},
+		{0.1, 0.9, 0.7, 0.4},
+	}
+	// Ranks of c0: u0→1, u1→3, u2→3, u3→1.
+	hist := voting.RankHistogram(B, 0)
+	want := []int{2, 0, 2}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, hist[i], want[i])
+		}
+	}
+	// Histogram sums to n for each candidate.
+	for q := 0; q < 3; q++ {
+		total := 0
+		for _, h := range voting.RankHistogram(B, q) {
+			total += h
+		}
+		if total != 4 {
+			t.Errorf("histogram of c%d sums to %d, want 4", q, total)
+		}
+	}
+}
+
+func TestScoresNonDecreasingInSeeds(t *testing.T) {
+	// Monotonicity of all scores w.r.t. seed inclusion on the paper example.
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []voting.Score{
+		voting.Cumulative{}, voting.Plurality{},
+		voting.PApproval{P: 2}, voting.Positional{P: 2, Omega: []float64{1, 0.5}},
+		voting.Copeland{},
+	}
+	subsets := [][]int32{nil, {0}, {1}, {2}, {3}, {0, 1}, {0, 2}, {1, 3}, {0, 1, 2}, {0, 1, 2, 3}}
+	for _, f := range scores {
+		for _, base := range subsets {
+			Bb, err := opinion.Matrix(sys, 1, 0, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb := f.Eval(Bb, 0)
+			for add := int32(0); add < 4; add++ {
+				ext := append(append([]int32{}, base...), add)
+				Be, err := opinion.Matrix(sys, 1, 0, ext)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fe := f.Eval(Be, 0); fe < fb-1e-9 {
+					t.Errorf("%s: adding %d to %v decreased score %v→%v",
+						f.Name(), add, base, fb, fe)
+				}
+			}
+		}
+	}
+}
+
+func TestBordaAsPositional(t *testing.T) {
+	B := [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.5, 0.5, 0.6},
+		{0.1, 0.9, 0.7},
+	}
+	borda := voting.BordaAsPositional(3)
+	if err := borda.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks of c0: u0→1 (weight 1), u1→3 (0), u2→3 (0) → Borda 1.
+	if got := borda.Eval(B, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("borda(c0) = %v, want 1", got)
+	}
+	// Ranks of c2: u0→3 (0), u1→1 (1), u2→1 (1) → Borda 2.
+	if got := borda.Eval(B, 2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("borda(c2) = %v, want 2", got)
+	}
+	// Two candidates: Borda degenerates to plurality (weights 1, 0).
+	B2 := [][]float64{{0.9, 0.2}, {0.5, 0.8}}
+	if voting.BordaAsPositional(2).Eval(B2, 0) != (voting.Plurality{}).Eval(B2, 0) {
+		t.Error("2-candidate Borda should equal plurality")
+	}
+}
+
+func TestBordaSeedSelectionIntegrates(t *testing.T) {
+	// Borda plugs into the full pipeline: monotone on the paper example.
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	borda := voting.BordaAsPositional(2)
+	B0, err := opinion.Matrix(sys, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B3, err := opinion.Matrix(sys, 1, 0, []int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if borda.Eval(B3, 0) < borda.Eval(B0, 0) {
+		t.Error("Borda should not decrease with seeds")
+	}
+}
+
+// TestNonSubmodularityExample3 verifies the paper's Example 3: inserting
+// node 2 (paper numbering) into ∅ yields zero marginal plurality/Copeland
+// gain, but inserting it into {1} yields gain 1 — submodularity is violated.
+func TestNonSubmodularityExample3(t *testing.T) {
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(f voting.Score, seeds []int32) float64 {
+		B, err := opinion.Matrix(sys, 1, 0, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Eval(B, 0)
+	}
+	for _, f := range []voting.Score{voting.Plurality{}, voting.Copeland{}} {
+		gainEmpty := eval(f, []int32{1}) - eval(f, nil)
+		gainAfter1 := eval(f, []int32{0, 1}) - eval(f, []int32{0})
+		if gainEmpty != 0 {
+			t.Errorf("%s: marginal gain of node 2 into empty set = %v, want 0", f.Name(), gainEmpty)
+		}
+		if gainAfter1 != 1 {
+			t.Errorf("%s: marginal gain of node 2 into {1} = %v, want 1", f.Name(), gainAfter1)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package walks is the reverse-random-walk substrate shared by the RW (§V)
+// and RS (§VI) seed selectors.
+//
+// A t-step reverse random walk from node u (Direct Generation, §V-A) moves
+// through the reverse influence graph: at the current node v it terminates
+// with probability d_v (the stubbornness) and otherwise steps to an
+// in-neighbor sampled with probability equal to the in-edge weight, for at
+// most t steps. The initial opinion of the walk's end node is an unbiased
+// estimate of u's opinion at horizon t (Theorem 8).
+//
+// Seed sets are applied by Post-Generation Truncation (§V-B): walks are
+// generated once with no seeds and later truncated at the first occurrence
+// of a seed node, whose initial opinion is pinned to 1. Theorem 9 shows the
+// truncated estimate remains unbiased, so the same walk set serves every
+// round of the greedy algorithm.
+//
+// The package stores walks in flat arrays grouped by start node ("owner"),
+// maintains per-owner opinion estimates, and implements the one-scan
+// marginal-gain computation that gives Algorithm 4 its O(k·t·Σλ_v) seed
+// selection cost — including the rank-based extensions needed by the
+// plurality family and the Copeland score.
+package walks

@@ -1,0 +1,225 @@
+package walks
+
+import (
+	"fmt"
+
+	"ovm/internal/voting"
+)
+
+// Estimator turns a walk Set into voting-score estimates and drives the
+// greedy seed selection of Algorithms 4 and 5. It keeps per-owner opinion
+// estimates b̂_qv[S] refreshed after every seed insertion, and computes
+// marginal gains for all candidate nodes in one scan over the walks.
+//
+// Owner weights express how an owner's contribution enters the estimated
+// score: 1 for the RW method (every node is an owner), and m_v·n/θ for the
+// RS method (owner v sampled m_v times among θ sketches).
+type Estimator struct {
+	set    *Set
+	target int
+	b0     []float64   // target candidate's initial opinions (no seeds)
+	comp   [][]float64 // exact horizon opinions per candidate; comp[target] ignored
+	weight []float64   // per-owner score weight
+
+	est          []float64 // per-owner b̂
+	walkOwnerIdx []int32   // owner index of each walk
+
+	// scan scratch
+	stamp      []int32
+	gainAcc    []float64
+	touched    []int32
+	entryCount []int32
+	entryOff   []int32
+	entryOwner []int32
+	entryAdd   []float64
+
+	// Copeland scratch
+	plus, minus           []float64
+	scratchPlus, scrMinus []float64
+}
+
+// NewEstimator assembles an estimator. comp must hold the exact horizon-t
+// opinion vector of every non-target candidate (indexed by candidate, then
+// node id); the target row is ignored and may be nil. weight must have one
+// entry per owner.
+func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight []float64) (*Estimator, error) {
+	n := set.Graph().N()
+	if len(b0) != n {
+		return nil, fmt.Errorf("walks: b0 has %d entries, want %d", len(b0), n)
+	}
+	if len(weight) != set.NumOwners() {
+		return nil, fmt.Errorf("walks: weight has %d entries, want %d owners", len(weight), set.NumOwners())
+	}
+	for q, row := range comp {
+		if q == target {
+			continue
+		}
+		if len(row) != n {
+			return nil, fmt.Errorf("walks: comp[%d] has %d entries, want %d", q, len(row), n)
+		}
+	}
+	e := &Estimator{
+		set:         set,
+		target:      target,
+		b0:          b0,
+		comp:        comp,
+		weight:      weight,
+		est:         make([]float64, set.NumOwners()),
+		stamp:       make([]int32, n),
+		gainAcc:     make([]float64, n),
+		entryCount:  make([]int32, n),
+		entryOff:    make([]int32, n+1),
+		plus:        make([]float64, len(comp)),
+		minus:       make([]float64, len(comp)),
+		scratchPlus: make([]float64, len(comp)),
+		scrMinus:    make([]float64, len(comp)),
+	}
+	for i := range e.stamp {
+		e.stamp[i] = -1
+	}
+	e.walkOwnerIdx = make([]int32, set.NumWalks())
+	for i := 0; i < set.NumOwners(); i++ {
+		for w := set.ownerOff[i]; w < set.ownerOff[i+1]; w++ {
+			e.walkOwnerIdx[w] = int32(i)
+		}
+	}
+	e.Refresh()
+	return e, nil
+}
+
+// UniformOwnerWeights returns all-ones weights (the RW estimator).
+func UniformOwnerWeights(set *Set) []float64 {
+	w := make([]float64, set.NumOwners())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// SketchOwnerWeights returns the RS weights m_v·n/θ, where m_v is the number
+// of sketches started at owner v (Equation 35 / 42 scaling).
+func SketchOwnerWeights(set *Set, theta int) []float64 {
+	n := float64(set.Graph().N())
+	w := make([]float64, set.NumOwners())
+	for i := range w {
+		w[i] = float64(set.OwnerWalkCount(i)) * n / float64(theta)
+	}
+	return w
+}
+
+// Refresh recomputes all per-owner estimates (and Copeland pairwise counts)
+// from the current truncation state. Called automatically after AddSeed.
+func (e *Estimator) Refresh() {
+	e.set.EstimatePerOwner(e.b0, e.est)
+	for x := range e.comp {
+		e.plus[x], e.minus[x] = 0, 0
+	}
+	for i, v := range e.set.ownerNodes {
+		for x := range e.comp {
+			if x == e.target {
+				continue
+			}
+			switch {
+			case e.est[i] > e.comp[x][v]:
+				e.plus[x] += e.weight[i]
+			case e.est[i] < e.comp[x][v]:
+				e.minus[x] += e.weight[i]
+			}
+		}
+	}
+}
+
+// Estimate returns the current b̂ of owner i.
+func (e *Estimator) Estimate(i int) float64 { return e.est[i] }
+
+// EstimateOf returns the current b̂ of node v, or (0, false) if v owns no
+// walks.
+func (e *Estimator) EstimateOf(v int32) (float64, bool) {
+	// Binary search over the sorted owner list.
+	lo, hi := 0, len(e.set.ownerNodes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.set.ownerNodes[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.set.ownerNodes) && e.set.ownerNodes[lo] == v {
+		return e.est[lo], true
+	}
+	return 0, false
+}
+
+// AddSeed applies a seed and refreshes the estimates.
+func (e *Estimator) AddSeed(u int32) {
+	e.set.AddSeed(u)
+	e.Refresh()
+}
+
+// rankOf returns β for the target at owner-node v given target estimate b:
+// 1 plus the number of competitors with exact opinion ≥ b.
+func (e *Estimator) rankOf(v int32, b float64) int {
+	rank := 1
+	for x := range e.comp {
+		if x == e.target {
+			continue
+		}
+		if e.comp[x][v] >= b {
+			rank++
+		}
+	}
+	return rank
+}
+
+// positionalContrib is ω[β]·1[β ≤ p] for owner-node v at estimate b.
+func positionalContrib(e *Estimator, v int32, b float64, p int, omega []float64) float64 {
+	beta := e.rankOf(v, b)
+	if beta <= p {
+		return omega[beta-1]
+	}
+	return 0
+}
+
+// EstimatedScore evaluates the estimated voting score F̂ for the current
+// truncation state (Equations 35, 42, 47).
+func (e *Estimator) EstimatedScore(score voting.Score) (float64, error) {
+	switch s := score.(type) {
+	case voting.Cumulative:
+		total := 0.0
+		for i := range e.est {
+			total += e.weight[i] * e.est[i]
+		}
+		return total, nil
+	case voting.Plurality:
+		return e.estimatedPositional(voting.PluralityAsPositional()), nil
+	case voting.PApproval:
+		return e.estimatedPositional(voting.PApprovalAsPositional(s.P)), nil
+	case voting.Positional:
+		return e.estimatedPositional(s), nil
+	case voting.Copeland:
+		total := 0.0
+		for x := range e.comp {
+			if x == e.target {
+				continue
+			}
+			if e.plus[x] > e.minus[x] {
+				total++
+			}
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("walks: unsupported score %s", score.Name())
+	}
+}
+
+func (e *Estimator) estimatedPositional(s voting.Positional) float64 {
+	total := 0.0
+	for i, v := range e.set.ownerNodes {
+		total += e.weight[i] * positionalContrib(e, v, e.est[i], s.P, s.Omega)
+	}
+	return total
+}
+
+// Set returns the underlying walk set.
+func (e *Estimator) Set() *Set { return e.set }

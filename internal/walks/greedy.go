@@ -1,0 +1,300 @@
+package walks
+
+import (
+	"fmt"
+	"math"
+
+	"ovm/internal/core"
+	"ovm/internal/voting"
+)
+
+type scoreKind int
+
+const (
+	kindCumulative scoreKind = iota
+	kindPositional
+	kindCopeland
+)
+
+func classifyScore(score voting.Score) (scoreKind, voting.Positional, error) {
+	switch s := score.(type) {
+	case voting.Cumulative:
+		return kindCumulative, voting.Positional{}, nil
+	case voting.Plurality:
+		return kindPositional, voting.PluralityAsPositional(), nil
+	case voting.PApproval:
+		return kindPositional, voting.PApprovalAsPositional(s.P), nil
+	case voting.Positional:
+		return kindPositional, s, nil
+	case voting.Copeland:
+		return kindCopeland, voting.Positional{}, nil
+	default:
+		return 0, voting.Positional{}, fmt.Errorf("walks: unsupported score %s", score.Name())
+	}
+}
+
+// SelectGreedy runs the walk-based greedy seed selection (the selection
+// loops of Algorithm 4 and Algorithm 5): k rounds, each computing the
+// estimated marginal gain of every candidate node in one scan over the
+// active walk prefixes, then truncating the walks at the chosen seed.
+func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult, error) {
+	n := e.set.Graph().N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("walks: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	kind, pos, err := classifyScore(score)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.GreedyResult{}
+	curScore, err := e.EstimatedScore(score)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < k; round++ {
+		var best int32
+		var bestGain float64
+		switch kind {
+		case kindCumulative:
+			best, bestGain = e.bestCumulative()
+		case kindPositional:
+			best, bestGain = e.bestRankBased(func(i int32, delta float64) float64 {
+				v := e.set.ownerNodes[i]
+				oldC := positionalContrib(e, v, e.est[i], pos.P, pos.Omega)
+				newC := positionalContrib(e, v, e.est[i]+delta, pos.P, pos.Omega)
+				return e.weight[i] * (newC - oldC)
+			}, nil)
+		case kindCopeland:
+			best, bestGain = e.bestCopeland(curScore)
+		}
+		res.Evaluations++
+		if best < 0 {
+			// All walks saturated: any non-seed node has zero estimated gain.
+			for v := int32(0); v < int32(n); v++ {
+				if !e.set.inSeed[v] {
+					best, bestGain = v, 0
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		e.AddSeed(best)
+		res.Seeds = append(res.Seeds, best)
+		res.Gains = append(res.Gains, bestGain)
+		curScore, err = e.EstimatedScore(score)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Value = curScore
+	return res, nil
+}
+
+// bestCumulative computes, in one pass, for every node u the estimated
+// cumulative marginal gain Σ_{walks ∋ u} weight·(1 − Y(w))/λ_owner and
+// returns the argmax (ties to the lowest id). Returns (-1, 0) if no node
+// has positive support.
+func (e *Estimator) bestCumulative() (int32, float64) {
+	e.touched = e.touched[:0]
+	set := e.set
+	for w := 0; w < set.NumWalks(); w++ {
+		val := set.WalkValue(w, e.b0)
+		rem := 1 - val
+		if rem <= 0 {
+			continue
+		}
+		i := e.walkOwnerIdx[w]
+		share := e.weight[i] * rem / float64(set.OwnerWalkCount(int(i)))
+		marker := int32(w + 1)
+		for pos := set.off[w]; pos <= set.end[w]; pos++ {
+			u := set.nodes[pos]
+			if e.stamp[u] == marker {
+				continue
+			}
+			e.stamp[u] = marker
+			if e.gainAcc[u] == 0 {
+				e.touched = append(e.touched, u)
+			}
+			e.gainAcc[u] += share
+		}
+	}
+	best, bestGain := int32(-1), 0.0
+	for _, u := range e.touched {
+		g := e.gainAcc[u]
+		e.gainAcc[u] = 0
+		if e.set.inSeed[u] {
+			continue
+		}
+		if g > bestGain || (g == bestGain && best >= 0 && u < best) {
+			best, bestGain = u, g
+		}
+	}
+	// Reset stamps lazily: markers are per-walk ids, reused next round, so
+	// clear explicitly to avoid collisions.
+	for i := range e.stamp {
+		e.stamp[i] = -1
+	}
+	return best, bestGain
+}
+
+// bestRankBased evaluates marginal gains for rank-dependent scores. For
+// each candidate u it aggregates the per-owner estimate deltas caused by
+// truncating u's walks, then sums gainOf(owner, delta) over affected
+// owners. copelandEval, if non-nil, overrides the aggregation (see
+// bestCopeland).
+func (e *Estimator) bestRankBased(gainOf func(owner int32, delta float64) float64,
+	copelandEval func(u int32, lo, hi int32) float64) (int32, float64) {
+	set := e.set
+	n := set.Graph().N()
+	// Pass A: count first occurrences per candidate node.
+	for i := 0; i < n; i++ {
+		e.entryCount[i] = 0
+	}
+	e.touched = e.touched[:0]
+	for w := 0; w < set.NumWalks(); w++ {
+		val := set.WalkValue(w, e.b0)
+		if 1-val <= 0 {
+			continue
+		}
+		marker := int32(2*w + 1)
+		for pos := set.off[w]; pos <= set.end[w]; pos++ {
+			u := set.nodes[pos]
+			if e.stamp[u] == marker {
+				continue
+			}
+			e.stamp[u] = marker
+			if e.entryCount[u] == 0 {
+				e.touched = append(e.touched, u)
+			}
+			e.entryCount[u]++
+		}
+	}
+	total := int32(0)
+	e.entryOff[0] = 0
+	for i := 0; i < n; i++ {
+		total += e.entryCount[i]
+		e.entryOff[i+1] = total
+	}
+	if cap(e.entryOwner) < int(total) {
+		e.entryOwner = make([]int32, total)
+		e.entryAdd = make([]float64, total)
+	}
+	e.entryOwner = e.entryOwner[:total]
+	e.entryAdd = e.entryAdd[:total]
+	next := e.entryCount // reuse as cursor: next[u] = entryOff[u] position
+	for i := 0; i < n; i++ {
+		next[i] = e.entryOff[i]
+	}
+	// Pass B: fill entries in walk (hence owner-ascending) order.
+	for w := 0; w < set.NumWalks(); w++ {
+		val := set.WalkValue(w, e.b0)
+		rem := 1 - val
+		if rem <= 0 {
+			continue
+		}
+		i := e.walkOwnerIdx[w]
+		add := rem / float64(set.OwnerWalkCount(int(i)))
+		marker := int32(2*w + 2)
+		for pos := set.off[w]; pos <= set.end[w]; pos++ {
+			u := set.nodes[pos]
+			if e.stamp[u] == marker {
+				continue
+			}
+			e.stamp[u] = marker
+			p := next[u]
+			next[u]++
+			e.entryOwner[p] = i
+			e.entryAdd[p] = add
+		}
+	}
+	for i := range e.stamp {
+		e.stamp[i] = -1
+	}
+	// Gain evaluation per candidate.
+	best, bestGain := int32(-1), math.Inf(-1)
+	for _, u := range e.touched {
+		if e.set.inSeed[u] {
+			continue
+		}
+		lo, hi := e.entryOff[u], e.entryOff[u+1]
+		var gain float64
+		if copelandEval != nil {
+			gain = copelandEval(u, lo, hi)
+		} else {
+			gain = 0
+			p := lo
+			for p < hi {
+				owner := e.entryOwner[p]
+				delta := e.entryAdd[p]
+				p++
+				for p < hi && e.entryOwner[p] == owner {
+					delta += e.entryAdd[p]
+					p++
+				}
+				gain += gainOf(owner, delta)
+			}
+		}
+		if gain > bestGain || (gain == bestGain && best >= 0 && u < best) {
+			best, bestGain = u, gain
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestGain
+}
+
+// bestCopeland evaluates Copeland marginal gains: for each candidate u it
+// adjusts the weighted pairwise win/loss counters by the estimate deltas of
+// the affected owners and recounts the one-on-one victories (Equation 47).
+func (e *Estimator) bestCopeland(curScore float64) (int32, float64) {
+	return e.bestRankBased(nil, func(u int32, lo, hi int32) float64 {
+		copy(e.scratchPlus, e.plus)
+		copy(e.scrMinus, e.minus)
+		p := lo
+		for p < hi {
+			owner := e.entryOwner[p]
+			delta := e.entryAdd[p]
+			p++
+			for p < hi && e.entryOwner[p] == owner {
+				delta += e.entryAdd[p]
+				p++
+			}
+			v := e.set.ownerNodes[owner]
+			oldB := e.est[owner]
+			newB := oldB + delta
+			for x := range e.comp {
+				if x == e.target {
+					continue
+				}
+				cx := e.comp[x][v]
+				// Remove old comparison.
+				switch {
+				case oldB > cx:
+					e.scratchPlus[x] -= e.weight[owner]
+				case oldB < cx:
+					e.scrMinus[x] -= e.weight[owner]
+				}
+				// Add new comparison.
+				switch {
+				case newB > cx:
+					e.scratchPlus[x] += e.weight[owner]
+				case newB < cx:
+					e.scrMinus[x] += e.weight[owner]
+				}
+			}
+		}
+		newScore := 0.0
+		for x := range e.comp {
+			if x == e.target {
+				continue
+			}
+			if e.scratchPlus[x] > e.scrMinus[x] {
+				newScore++
+			}
+		}
+		return newScore - curScore
+	})
+}

@@ -1,0 +1,233 @@
+package walks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ovm/internal/graph"
+)
+
+// Set is a collection of t-step reverse random walks stored in flat arrays,
+// grouped contiguously by start node (owner), with per-walk truncation
+// state for Post-Generation Truncation.
+type Set struct {
+	g       *graph.Graph
+	horizon int
+
+	nodes []int32 // concatenated walk sequences (walk w is nodes[off[w]:off[w+1]])
+	off   []int32 // len numWalks+1
+	end   []int32 // absolute index into nodes of each walk's current end node
+
+	ownerNodes []int32 // distinct start nodes, ascending
+	ownerOff   []int32 // CSR into walk ids: owner i owns walks [ownerOff[i], ownerOff[i+1])
+
+	inSeed []bool // seed markers (len n)
+	seeds  []int32
+}
+
+// Generate creates plan[v] walks from every node v (Direct Generation with
+// an empty seed set). Nodes with plan[v] == 0 get no walks. The stub slice
+// supplies per-node termination probabilities (the stubbornness d_v).
+func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32, r *rand.Rand) (*Set, error) {
+	g := s.Graph()
+	n := g.N()
+	if len(plan) != n {
+		return nil, fmt.Errorf("walks: plan has %d entries, want %d", len(plan), n)
+	}
+	if len(stub) != n {
+		return nil, fmt.Errorf("walks: stub has %d entries, want %d", len(stub), n)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("walks: negative horizon %d", horizon)
+	}
+	totalWalks := 0
+	for v, c := range plan {
+		if c < 0 {
+			return nil, fmt.Errorf("walks: negative walk count %d for node %d", c, v)
+		}
+		totalWalks += int(c)
+	}
+	if est := int64(totalWalks) * int64(horizon+1); est > math.MaxInt32 {
+		return nil, fmt.Errorf("walks: plan requires up to %d walk elements, exceeding storage limits", est)
+	}
+	set := &Set{
+		g:       g,
+		horizon: horizon,
+		nodes:   make([]int32, 0, totalWalks*(horizon+1)/2),
+		off:     make([]int32, 1, totalWalks+1),
+		end:     make([]int32, 0, totalWalks),
+		inSeed:  make([]bool, n),
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if plan[v] == 0 {
+			continue
+		}
+		set.ownerNodes = append(set.ownerNodes, v)
+		for j := int32(0); j < plan[v]; j++ {
+			set.appendWalk(s, stub, v, r)
+		}
+		set.ownerOff = append(set.ownerOff, int32(len(set.end)))
+	}
+	set.finishOwners()
+	return set, nil
+}
+
+// GenerateSampled creates theta walks whose start nodes are drawn uniformly
+// at random with replacement (the sketch set of §VI-A, with λ_v = 1 per
+// sample). Walks from repeated samples of the same node are grouped under
+// one owner, so per-owner averages realize the footnote-6 estimator.
+func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int, r *rand.Rand) (*Set, error) {
+	g := s.Graph()
+	n := g.N()
+	if len(stub) != n {
+		return nil, fmt.Errorf("walks: stub has %d entries, want %d", len(stub), n)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("walks: negative horizon %d", horizon)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("walks: need theta > 0, got %d", theta)
+	}
+	starts := make([]int32, theta)
+	for i := range starts {
+		starts[i] = int32(r.Intn(n))
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	set := &Set{
+		g:       g,
+		horizon: horizon,
+		nodes:   make([]int32, 0, theta*(horizon+1)/2),
+		off:     make([]int32, 1, theta+1),
+		end:     make([]int32, 0, theta),
+		inSeed:  make([]bool, n),
+	}
+	for i := 0; i < theta; {
+		v := starts[i]
+		set.ownerNodes = append(set.ownerNodes, v)
+		for i < theta && starts[i] == v {
+			set.appendWalk(s, stub, v, r)
+			i++
+		}
+		set.ownerOff = append(set.ownerOff, int32(len(set.end)))
+	}
+	set.finishOwners()
+	return set, nil
+}
+
+func (set *Set) appendWalk(s *graph.InEdgeSampler, stub []float64, start int32, r *rand.Rand) {
+	set.nodes = append(set.nodes, start)
+	cur := start
+	for step := 0; step < set.horizon; step++ {
+		if r.Float64() < stub[cur] {
+			break
+		}
+		cur = s.Sample(cur, r)
+		set.nodes = append(set.nodes, cur)
+	}
+	set.end = append(set.end, int32(len(set.nodes))-1)
+	set.off = append(set.off, int32(len(set.nodes)))
+}
+
+func (set *Set) finishOwners() {
+	// Prepend the leading zero to ownerOff.
+	set.ownerOff = append([]int32{0}, set.ownerOff...)
+}
+
+// NumWalks returns the total number of walks.
+func (set *Set) NumWalks() int { return len(set.end) }
+
+// NumOwners returns the number of distinct start nodes.
+func (set *Set) NumOwners() int { return len(set.ownerNodes) }
+
+// Owner returns the i-th distinct start node.
+func (set *Set) Owner(i int) int32 { return set.ownerNodes[i] }
+
+// OwnerWalkCount returns how many walks start at owner i.
+func (set *Set) OwnerWalkCount(i int) int {
+	return int(set.ownerOff[i+1] - set.ownerOff[i])
+}
+
+// Horizon returns the walk length bound t.
+func (set *Set) Horizon() int { return set.horizon }
+
+// Graph returns the underlying graph.
+func (set *Set) Graph() *graph.Graph { return set.g }
+
+// Seeds returns the seed nodes applied so far (in insertion order).
+func (set *Set) Seeds() []int32 { return set.seeds }
+
+// IsSeed reports whether v has been applied as a seed.
+func (set *Set) IsSeed(v int32) bool { return set.inSeed[v] }
+
+// WalkValue returns Y_qu[S] for walk w: 1 if the (truncated) end node is a
+// seed, else the initial opinion b0 of the end node.
+func (set *Set) WalkValue(w int, b0 []float64) float64 {
+	e := set.nodes[set.end[w]]
+	if set.inSeed[e] {
+		return 1
+	}
+	return b0[e]
+}
+
+// AddSeed marks u as a seed and truncates every walk at its first
+// occurrence of u (Post-Generation Truncation, §V-B). Cost: one pass over
+// all remaining walk elements.
+func (set *Set) AddSeed(u int32) {
+	if set.inSeed[u] {
+		return
+	}
+	set.inSeed[u] = true
+	set.seeds = append(set.seeds, u)
+	for w := 0; w < len(set.end); w++ {
+		for i := set.off[w]; i <= set.end[w]; i++ {
+			if set.nodes[i] == u {
+				set.end[w] = i
+				break
+			}
+		}
+	}
+}
+
+// ValueWithSeeds returns the walk's Y value under a hypothetical extra seed
+// mask, without mutating the truncation state. Used by property tests
+// (Lemma 3) and the γ* estimation heuristic.
+func (set *Set) ValueWithSeeds(w int, b0 []float64, seedMask []bool) float64 {
+	for i := set.off[w]; i <= set.end[w]; i++ {
+		if seedMask[set.nodes[i]] {
+			return 1
+		}
+	}
+	e := set.nodes[set.end[w]]
+	if set.inSeed[e] {
+		return 1
+	}
+	return b0[e]
+}
+
+// WalkNodes returns walk w's node sequence up to the current truncation
+// point (aliases internal storage; do not modify).
+func (set *Set) WalkNodes(w int) []int32 {
+	return set.nodes[set.off[w] : set.end[w]+1]
+}
+
+// EstimatePerOwner writes the per-owner opinion estimates
+// b̂_v[S] = (1/λ_v)·Σ_w Y-value(w) into out (len NumOwners).
+func (set *Set) EstimatePerOwner(b0 []float64, out []float64) {
+	for i := range set.ownerNodes {
+		lo, hi := set.ownerOff[i], set.ownerOff[i+1]
+		sum := 0.0
+		for w := lo; w < hi; w++ {
+			sum += set.WalkValue(int(w), b0)
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+}
+
+// BytesUsed approximates the walk storage footprint, for the memory study
+// (Fig 17).
+func (set *Set) BytesUsed() int64 {
+	return int64(len(set.nodes))*4 + int64(len(set.off))*4 + int64(len(set.end))*4 +
+		int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4 + int64(len(set.inSeed))
+}

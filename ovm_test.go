@@ -1,0 +1,154 @@
+package ovm_test
+
+import (
+	"math"
+	"testing"
+
+	"ovm"
+	"ovm/internal/paperexample"
+)
+
+func paperSystem(t *testing.T) *ovm.System {
+	t.Helper()
+	sys, err := paperexample.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeSelectSeedsAllMethods(t *testing.T) {
+	sys := paperSystem(t)
+	for _, m := range ovm.Methods {
+		prob := &ovm.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: ovm.Plurality()}
+		sel, err := ovm.SelectSeeds(prob, m, &ovm.SelectOptions{Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(sel.Seeds) != 1 {
+			t.Errorf("%s: got %d seeds, want 1", m, len(sel.Seeds))
+		}
+		if sel.ExactValue < 0 || sel.ExactValue > 4 {
+			t.Errorf("%s: exact value %v out of range", m, sel.ExactValue)
+		}
+	}
+	prob := &ovm.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: ovm.Plurality()}
+	if _, err := ovm.SelectSeeds(prob, ovm.Method("nope"), nil); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestFacadeProposedMethodsFindOptimum(t *testing.T) {
+	sys := paperSystem(t)
+	for _, m := range []ovm.Method{ovm.MethodDM, ovm.MethodRW, ovm.MethodRS} {
+		prob := &ovm.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: ovm.Plurality()}
+		sel, err := ovm.SelectSeeds(prob, m, &ovm.SelectOptions{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if sel.ExactValue != 4 {
+			t.Errorf("%s: exact plurality %v, want 4 (optimal seed {3})", m, sel.ExactValue)
+		}
+	}
+}
+
+func TestFacadeScores(t *testing.T) {
+	sys := paperSystem(t)
+	B, err := ovm.OpinionMatrix(sys, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ovm.Cumulative().Eval(B, 0); math.Abs(got-2.55) > 1e-9 {
+		t.Errorf("cumulative = %v, want 2.55", got)
+	}
+	if got := ovm.Plurality().Eval(B, 0); got != 2 {
+		t.Errorf("plurality = %v, want 2", got)
+	}
+	if got := ovm.PApproval(2).Eval(B, 0); got != 4 {
+		t.Errorf("2-approval = %v, want 4", got)
+	}
+	if got := ovm.Positional(2, []float64{1, 0.5}).Eval(B, 0); math.Abs(got-3) > 1e-9 {
+		t.Errorf("positional = %v, want 3 (2 firsts + 2 halves)", got)
+	}
+	if got := ovm.Copeland().Eval(B, 0); got != 0 {
+		t.Errorf("copeland = %v, want 0", got)
+	}
+	if w, s := ovm.Winner(B, ovm.Cumulative()); w != 1 || s < 2.55 {
+		t.Errorf("winner = %d (%v), want candidate 1", w, s)
+	}
+	// Without seeds the pairwise contest is tied 2–2: no Condorcet winner.
+	if cw := ovm.CondorcetWinner(B); cw != -1 {
+		t.Errorf("condorcet winner = %d, want -1 (tie)", cw)
+	}
+	// Seeding user 3 makes the target the Condorcet winner (Example 2).
+	B2, err := ovm.OpinionMatrix(sys, 1, 0, []int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw := ovm.CondorcetWinner(B2); cw != 0 {
+		t.Errorf("condorcet winner with seed {3} = %d, want 0", cw)
+	}
+}
+
+func TestFacadeMinSeedsToWin(t *testing.T) {
+	sys := paperSystem(t)
+	for _, m := range []ovm.Method{ovm.MethodDM, ovm.MethodRW, ovm.MethodRS} {
+		seeds, err := ovm.MinSeedsToWin(sys, 0, 1, ovm.Plurality(), m, &ovm.SelectOptions{Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(seeds) != 1 {
+			t.Errorf("%s: k* = %d, want 1", m, len(seeds))
+		}
+		ok, err := ovm.Wins(sys, 0, 1, ovm.Plurality(), seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: returned seeds do not win", m)
+		}
+	}
+	if _, err := ovm.MinSeedsToWin(sys, 0, 1, ovm.Plurality(), ovm.MethodPR, nil); err == nil {
+		t.Error("expected error for unsupported method")
+	}
+}
+
+func TestFacadeGraphAndSystem(t *testing.T) {
+	edges := []ovm.Edge{{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 0.5}}
+	g, err := ovm.FromEdges(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d, want 3", g.N())
+	}
+	if v := g.CheckColumnStochastic(1e-9); v != -1 {
+		t.Errorf("node %d not normalized", v)
+	}
+	c1 := &ovm.Candidate{Name: "a", G: g, Init: []float64{1, 0, 0}, Stub: []float64{1, 0, 0}}
+	c2 := &ovm.Candidate{Name: "b", G: g, Init: []float64{0, 0, 1}, Stub: []float64{0, 0, 1}}
+	sys, err := ovm.NewSystem([]*ovm.Candidate{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ovm.OpinionsAt(sys.Candidate(0), 5, nil)
+	if res[0] != 1 {
+		t.Errorf("stubborn node moved: %v", res[0])
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if len(ovm.DatasetNames) != 5 {
+		t.Fatalf("expected 5 datasets, got %d", len(ovm.DatasetNames))
+	}
+	d, err := ovm.LoadDataset("yelp-like", ovm.DatasetOptions{N: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Sys.N() != 200 || d.Sys.R() != 10 {
+		t.Errorf("yelp-like shape wrong: n=%d r=%d", d.Sys.N(), d.Sys.R())
+	}
+	if _, err := ovm.LoadDataset("bogus", ovm.DatasetOptions{}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}

@@ -109,3 +109,9 @@ func BenchmarkExtRobustness(b *testing.B) { benchExperiment(b, "ext-robustness")
 
 // BenchmarkExtBorda runs the Borda-count extension through all methods.
 func BenchmarkExtBorda(b *testing.B) { benchExperiment(b, "ext-borda") }
+
+// BenchmarkParallelScaling sweeps the engine worker count over DM/RW/RS
+// and verifies the determinism contract (identical seeds at every
+// Parallelism). Run cmd/ovmbench -exp parallel-scaling at full scale for
+// paper-shape speedup numbers on a multi-core machine.
+func BenchmarkParallelScaling(b *testing.B) { benchExperiment(b, "parallel-scaling") }

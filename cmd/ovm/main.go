@@ -32,6 +32,7 @@ func main() {
 		horizon = flag.Int("t", 20, "time horizon")
 		target  = flag.Int("target", -1, "target candidate index (-1 = dataset default)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes the result")
 		win     = flag.Bool("win", false, "solve FJ-Vote-Win (minimum seeds to win) instead of FJ-Vote")
 		load    = flag.String("load", "", "load a .system file (written by ovmgen -system) instead of synthesizing a dataset")
 		listAll = flag.Bool("list", false, "list datasets and exit")
@@ -84,7 +85,7 @@ func main() {
 		label, sys.N(), sys.Candidate(0).G.M(), sys.R(),
 		names[tgt], sc.Name(), *horizon)
 
-	opts := &ovm.SelectOptions{Seed: *seed}
+	opts := &ovm.SelectOptions{Seed: *seed, Parallelism: *par}
 	if *win {
 		seeds, err := ovm.MinSeedsToWin(sys, tgt, *horizon, sc, ovm.Method(*method), opts)
 		if err != nil {

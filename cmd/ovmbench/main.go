@@ -8,6 +8,8 @@
 //	ovmbench -exp table1
 //	ovmbench -exp fig6 -scale 0.5
 //	ovmbench -all -quick
+//	ovmbench -exp parallel-scaling            # sweep engine worker counts
+//	ovmbench -all -parallel 1                 # force serial hot paths
 package main
 
 import (
@@ -21,12 +23,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list)")
-		all   = flag.Bool("all", false, "run every experiment in paper order")
-		quick = flag.Bool("quick", false, "smoke-test sizes")
-		scale = flag.Float64("scale", 1, "node-count multiplier")
-		seed  = flag.Int64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id (see -list)")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		quick    = flag.Bool("quick", false, "smoke-test sizes")
+		scale    = flag.Float64("scale", 1, "node-count multiplier")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); results are identical, only wall times change")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -36,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	params := experiments.Params{Quick: *quick, Scale: *scale, Seed: *seed}
+	params := experiments.Params{Quick: *quick, Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	run := func(id string) {
 		r, ok := experiments.Registry[id]
 		if !ok {

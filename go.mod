@@ -1,0 +1,3 @@
+module ovm
+
+go 1.24

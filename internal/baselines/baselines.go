@@ -44,6 +44,11 @@ type Config struct {
 	PowerIters int
 	// PowerTol is the L1 convergence tolerance (default 1e-10).
 	PowerTol float64
+	// Parallelism caps the engine worker pool for the sampling-based
+	// baselines (IC/LT RR-set generation, GED-T greedy evaluation): 0 means
+	// GOMAXPROCS, 1 disables concurrency. Selected seeds are bit-identical
+	// across Parallelism values. It seeds IMM.Parallelism when that is 0.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +72,9 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.IMM.Parallelism == 0 {
+		cfg.IMM.Parallelism = cfg.Parallelism
+	}
 	g := p.Sys.Candidate(p.Target).G
 	switch m {
 	case MethodIC:
@@ -84,7 +92,7 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 	case MethodGEDT:
 		q := *p
 		q.Score = voting.Cumulative{}
-		seeds, _, err := core.SelectSeedsDM(&q)
+		seeds, _, err := core.SelectSeedsDM(&q, cfg.Parallelism)
 		return seeds, err
 	case MethodPR:
 		scores := PageRank(g, cfg.Damping, cfg.PowerIters, cfg.PowerTol)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ovm/internal/engine"
 	"ovm/internal/graph"
 	"ovm/internal/voting"
 )
@@ -63,8 +64,11 @@ func CoverageValue(g *graph.Graph, horizon int, base []bool, scale float64, seed
 // GreedyCoverage maximizes scale·|N_S^(t) ∪ base| over size-k seed sets with
 // the incremental lazy-greedy algorithm (the function is monotone
 // submodular, Theorems 6/7, so CELF-style laziness is exact). It returns
-// the usual GreedyResult; Evaluations counts BFS probes.
-func GreedyCoverage(g *graph.Graph, horizon int, base []bool, scale float64, k int) (*GreedyResult, error) {
+// the usual GreedyResult; Evaluations counts BFS probes. The initial
+// all-nodes gain sweep runs on the engine worker pool (one BFS state per
+// worker); the lazy loop stays serial so the heap evolves exactly as in
+// the sequential algorithm, keeping results parallelism-invariant.
+func GreedyCoverage(g *graph.Graph, horizon int, base []bool, scale float64, k, parallelism int) (*GreedyResult, error) {
 	n := g.N()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
@@ -82,17 +86,27 @@ func GreedyCoverage(g *graph.Graph, horizon int, base []bool, scale float64, k i
 		}
 	}
 	bfs := graph.NewBFS(g)
-	// Initial marginal gains.
+	// Initial marginal gains, sharded across per-worker BFS states (covered
+	// is read-only during the sweep).
 	type entry struct {
 		node  int32
 		gain  int
 		stamp int
 	}
 	entries := make([]entry, n)
-	for v := int32(0); v < int32(n); v++ {
-		entries[v] = entry{node: v, gain: bfs.CountNewlyReachable([]int32{v}, horizon, covered), stamp: 0}
-		res.Evaluations++
-	}
+	workers := make([]*graph.BFS, engine.Workers(parallelism))
+	_ = engine.ForEachChunk(parallelism, n, 64, 1024, func(worker, _, lo, hi int) error {
+		wbfs := workers[worker]
+		if wbfs == nil {
+			wbfs = graph.NewBFS(g)
+			workers[worker] = wbfs
+		}
+		for v := int32(lo); v < int32(hi); v++ {
+			entries[v] = entry{node: v, gain: wbfs.CountNewlyReachable([]int32{v}, horizon, covered), stamp: 0}
+		}
+		return nil
+	})
+	res.Evaluations += n
 	// Binary max-heap over entries.
 	h := make([]int, n) // heap of indices into entries
 	for i := range h {

@@ -13,10 +13,31 @@ type GreedyResult struct {
 	Evaluations int       // number of Objective.Value calls
 }
 
+// evaluateBatch computes Value(base ∪ {cand}) for every candidate, through
+// ValueBatch when the objective supports it (fanning the evaluations over
+// the worker pool) and serially otherwise. out[i] corresponds to cands[i].
+// The candidate order — and hence every downstream argmax or heap build —
+// is identical on both paths.
+func evaluateBatch(obj Objective, base []int32, cands []int32, out []float64) {
+	if bo, ok := obj.(BatchObjective); ok {
+		bo.ValueBatch(base, cands, out)
+		return
+	}
+	scratch := make([]int32, 0, len(base)+1)
+	for i, v := range cands {
+		scratch = append(scratch[:0], base...)
+		scratch = append(scratch, v)
+		out[i] = obj.Value(scratch)
+	}
+}
+
 // Greedy is Algorithm 1: k rounds, each picking the node with the maximum
 // marginal gain, re-evaluating every remaining candidate node per round.
 // Exact but O(k·n) objective evaluations; prefer GreedyCELF for
-// non-decreasing submodular objectives.
+// non-decreasing submodular objectives. If obj implements BatchObjective,
+// each round's candidate sweep runs on the worker pool; picks are identical
+// either way (candidates are scanned in ascending node order with
+// first-max-wins tie-breaking).
 func Greedy(obj Objective, k int) (*GreedyResult, error) {
 	n := obj.N()
 	if k < 1 || k > n {
@@ -27,18 +48,21 @@ func Greedy(obj Objective, k int) (*GreedyResult, error) {
 	inSeed := make([]bool, n)
 	cur := obj.Value(nil)
 	res.Evaluations++
-	scratch := make([]int32, 0, k)
+	cands := make([]int32, 0, n)
+	vals := make([]float64, 0, n)
 	for round := 0; round < k; round++ {
-		best, bestGain := int32(-1), -1.0
+		cands = cands[:0]
 		for v := int32(0); v < int32(n); v++ {
-			if inSeed[v] {
-				continue
+			if !inSeed[v] {
+				cands = append(cands, v)
 			}
-			scratch = append(scratch[:0], seeds...)
-			scratch = append(scratch, v)
-			gain := obj.Value(scratch) - cur
-			res.Evaluations++
-			if gain > bestGain {
+		}
+		vals = vals[:len(cands)]
+		evaluateBatch(obj, seeds, cands, vals)
+		res.Evaluations += len(cands)
+		best, bestGain := int32(-1), -1.0
+		for i, v := range cands {
+			if gain := vals[i] - cur; gain > bestGain {
 				best, bestGain = v, gain
 			}
 		}
@@ -64,11 +88,11 @@ type celfEntry struct {
 
 type celfHeap []celfEntry
 
-func (h celfHeap) Len() int            { return len(h) }
-func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
-func (h *celfHeap) Pop() interface{} {
+func (h celfHeap) Len() int           { return len(h) }
+func (h celfHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h celfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x any)        { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -82,6 +106,12 @@ func (h *celfHeap) Pop() interface{} {
 // objectives (cumulative score, the sandwich LB/UB surrogates); for
 // non-submodular objectives it degrades to a heuristic, matching how the
 // paper applies the greedy feasible solution SF.
+//
+// The initial full sweep — the dominant cost, n evaluations — runs on the
+// worker pool when obj implements BatchObjective. The lazy re-evaluation
+// loop is kept strictly serial so the heap evolves exactly as in the
+// sequential algorithm; results are therefore bit-identical across
+// Parallelism values.
 func GreedyCELF(obj Objective, k int) (*GreedyResult, error) {
 	n := obj.N()
 	if k < 1 || k > n {
@@ -93,11 +123,16 @@ func GreedyCELF(obj Objective, k int) (*GreedyResult, error) {
 	seeds := make([]int32, 0, k)
 	scratch := make([]int32, 0, k)
 
+	cands := make([]int32, n)
+	vals := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		cands[v] = v
+	}
+	evaluateBatch(obj, nil, cands, vals)
+	res.Evaluations += n
 	h := make(celfHeap, 0, n)
 	for v := int32(0); v < int32(n); v++ {
-		gain := obj.Value([]int32{v}) - base
-		res.Evaluations++
-		h = append(h, celfEntry{node: v, gain: gain, stamp: 0})
+		h = append(h, celfEntry{node: v, gain: vals[v] - base, stamp: 0})
 	}
 	heap.Init(&h)
 

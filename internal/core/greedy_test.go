@@ -162,7 +162,7 @@ func TestGreedyApproximationVsBruteForce(t *testing.T) {
 		n := sys.N()
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				v, err := EvaluateExact(sys, 0, 2, voting.Cumulative{}, []int32{int32(i), int32(j)})
+				v, err := EvaluateExact(sys, 0, 2, voting.Cumulative{}, []int32{int32(i), int32(j)}, 1)
 				if err != nil {
 					t.Fatal(err)
 				}

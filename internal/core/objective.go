@@ -33,7 +33,7 @@ func NewDMObjective(p *Problem) (*DMObjective, error) {
 	o := &DMObjective{
 		prob: p,
 		diff: opinion.NewDiffuser(p.Sys.Candidate(p.Target)),
-		b:    CompetitorOpinions(p.Sys, p.Target, p.Horizon),
+		b:    CompetitorOpinions(p.Sys, p.Target, p.Horizon, 1),
 	}
 	return o, nil
 }

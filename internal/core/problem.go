@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ovm/internal/engine"
 	"ovm/internal/opinion"
 	"ovm/internal/voting"
 )
@@ -44,8 +45,10 @@ func (p *Problem) Validate() error {
 
 // EvaluateExact computes F(B^(Horizon)[seeds], target) for any score via
 // direct diffusion — the ground-truth evaluation used to compare methods.
-func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32) (float64, error) {
-	B, err := opinion.Matrix(sys, horizon, target, seeds)
+// parallelism caps the per-candidate diffusion fan-out (0 = GOMAXPROCS,
+// 1 = serial); the result is identical at any setting.
+func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32, parallelism int) (float64, error) {
+	B, err := opinion.Matrix(sys, horizon, target, seeds, parallelism)
 	if err != nil {
 		return 0, err
 	}
@@ -55,14 +58,16 @@ func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score,
 // CompetitorOpinions computes the horizon-t opinion rows of every candidate
 // except the target (seedless), plus a scratch matrix whose target row can
 // be swapped in by evaluators. Competitor rows never change with the
-// target's seeds, so this is computed once per problem.
-func CompetitorOpinions(sys *opinion.System, target, horizon int) [][]float64 {
+// target's seeds, so this is computed once per problem; the independent
+// per-candidate diffusions run concurrently on the engine worker pool
+// (parallelism: 0 = GOMAXPROCS, 1 = serial).
+func CompetitorOpinions(sys *opinion.System, target, horizon, parallelism int) [][]float64 {
 	B := make([][]float64, sys.R())
-	for q := 0; q < sys.R(); q++ {
-		if q == target {
-			continue
+	_ = engine.ForEachShard(parallelism, sys.R(), func(_, q int) error {
+		if q != target {
+			B[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
 		}
-		B[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
-	}
+		return nil
+	})
 	return B
 }

@@ -29,8 +29,9 @@ type SandwichResult struct {
 // SandwichPositional runs Algorithm 3 for a positional-p-approval score
 // (hence also plurality and p-approval): greedy on the submodular LB and UB
 // surrogates of §IV-B plus the standard greedy on F itself, returning the
-// best of the three under exact evaluation.
-func SandwichPositional(p *Problem) (*SandwichResult, error) {
+// best of the three under exact evaluation. parallelism follows the engine
+// convention (0 = GOMAXPROCS) and never changes the result.
+func SandwichPositional(p *Problem, parallelism int) (*SandwichResult, error) {
 	pos, ok := p.Score.(voting.Positional)
 	if !ok {
 		switch s := p.Score.(type) {
@@ -50,13 +51,13 @@ func SandwichPositional(p *Problem) (*SandwichResult, error) {
 
 	// Seedless horizon matrix for the bound ingredients.
 	noSeedB := make([][]float64, p.Sys.R())
-	comp := CompetitorOpinions(p.Sys, p.Target, p.Horizon)
+	comp := CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
 	copy(noSeedB, comp)
-	tgtDiff, err := NewDMObjective(&inner)
+	tgtDiff, err := NewParallelDMObjective(&inner, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	noSeedB[p.Target] = tgtDiff.diff.RunCopy(p.Horizon, nil)
+	noSeedB[p.Target] = tgtDiff.baseOpinions()
 
 	bounds, err := NewPositionalBounds(noSeedB, p.Target, pos)
 	if err != nil {
@@ -64,7 +65,7 @@ func SandwichPositional(p *Problem) (*SandwichResult, error) {
 	}
 
 	// SU: greedy on UB(S) = ω[1]·|N_S^(t) ∪ V_q^(t)| (Definition 4).
-	su, err := GreedyCoverage(p.Sys.Candidate(p.Target).G, p.Horizon, bounds.Favorable, bounds.Omega1, p.K)
+	su, err := GreedyCoverage(p.Sys.Candidate(p.Target).G, p.Horizon, bounds.Favorable, bounds.Omega1, p.K, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func SandwichPositional(p *Problem) (*SandwichResult, error) {
 	// LB(S) = ω[p]·Σ_{v∈V_q^(t)} b_qv^(t)[S] (Definition 3).
 	lbProb := inner
 	lbProb.Score = restrictedCumulative{mask: bounds.Favorable, scale: bounds.OmegaP}
-	lbObj, err := NewDMObjective(&lbProb)
+	lbObj, err := NewParallelDMObjective(&lbProb, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func SandwichPositional(p *Problem) (*SandwichResult, error) {
 	}
 
 	// SF: standard greedy feasible solution on F itself.
-	fObj, err := NewDMObjective(&inner)
+	fObj, err := NewParallelDMObjective(&inner, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -92,15 +93,16 @@ func SandwichPositional(p *Problem) (*SandwichResult, error) {
 		return nil, err
 	}
 
-	return assembleSandwich(&inner, su, sl, sf, func(seeds []int32) float64 {
+	return assembleSandwich(&inner, parallelism, su, sl, sf, func(seeds []int32) float64 {
 		return CoverageValue(p.Sys.Candidate(p.Target).G, p.Horizon, bounds.Favorable, bounds.Omega1, seeds)
 	})
 }
 
 // SandwichCopeland runs Algorithm 3 for the Copeland score: greedy on the
 // submodular UB of §IV-C (Definition 6) and the standard greedy on F; the
-// paper leaves a useful LB open, so only SU and SF compete.
-func SandwichCopeland(p *Problem) (*SandwichResult, error) {
+// paper leaves a useful LB open, so only SU and SF compete. parallelism
+// follows the engine convention (0 = GOMAXPROCS).
+func SandwichCopeland(p *Problem, parallelism int) (*SandwichResult, error) {
 	if _, ok := p.Score.(voting.Copeland); !ok {
 		return nil, fmt.Errorf("core: sandwich copeland needs the Copeland score, got %s", p.Score.Name())
 	}
@@ -108,19 +110,19 @@ func SandwichCopeland(p *Problem) (*SandwichResult, error) {
 		return nil, err
 	}
 	noSeedB := make([][]float64, p.Sys.R())
-	copy(noSeedB, CompetitorOpinions(p.Sys, p.Target, p.Horizon))
-	fObj, err := NewDMObjective(p)
+	copy(noSeedB, CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism))
+	fObj, err := NewParallelDMObjective(p, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	noSeedB[p.Target] = fObj.diff.RunCopy(p.Horizon, nil)
+	noSeedB[p.Target] = fObj.baseOpinions()
 
 	weakly := WeaklyFavorableSet(noSeedB, p.Target)
 	n := p.Sys.N()
 	r := p.Sys.R()
 	scale := float64(r-1) / float64(n/2+1)
 
-	su, err := GreedyCoverage(p.Sys.Candidate(p.Target).G, p.Horizon, weakly, scale, p.K)
+	su, err := GreedyCoverage(p.Sys.Candidate(p.Target).G, p.Horizon, weakly, scale, p.K, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -128,23 +130,23 @@ func SandwichCopeland(p *Problem) (*SandwichResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleSandwich(p, su, nil, sf, func(seeds []int32) float64 {
+	return assembleSandwich(p, parallelism, su, nil, sf, func(seeds []int32) float64 {
 		return CoverageValue(p.Sys.Candidate(p.Target).G, p.Horizon, weakly, scale, seeds)
 	})
 }
 
-func assembleSandwich(p *Problem, su, sl, sf *GreedyResult, ubValue func([]int32) float64) (*SandwichResult, error) {
+func assembleSandwich(p *Problem, parallelism int, su, sl, sf *GreedyResult, ubValue func([]int32) float64) (*SandwichResult, error) {
 	res := &SandwichResult{SU: su, SL: sl, SF: sf}
 	var err error
-	if res.FofSU, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, su.Seeds); err != nil {
+	if res.FofSU, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, su.Seeds, parallelism); err != nil {
 		return nil, err
 	}
-	if res.FofSF, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sf.Seeds); err != nil {
+	if res.FofSF, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sf.Seeds, parallelism); err != nil {
 		return nil, err
 	}
 	res.Seeds, res.Value, res.Chosen = su.Seeds, res.FofSU, "UB"
 	if sl != nil {
-		if res.FofSL, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sl.Seeds); err != nil {
+		if res.FofSL, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sl.Seeds, parallelism); err != nil {
 			return nil, err
 		}
 		if res.FofSL > res.Value {
@@ -163,14 +165,16 @@ func assembleSandwich(p *Problem, su, sl, sf *GreedyResult, ubValue func([]int32
 
 // SelectSeedsDM is the paper's DM method dispatch: CELF greedy for the
 // submodular cumulative score, sandwich approximation for the plurality
-// family and Copeland.
-func SelectSeedsDM(p *Problem) ([]int32, float64, error) {
+// family and Copeland. parallelism sets the engine worker pool for the
+// gain evaluations (0 = GOMAXPROCS, 1 = serial); seeds and values are
+// bit-identical across Parallelism values.
+func SelectSeedsDM(p *Problem, parallelism int) ([]int32, float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
 	switch p.Score.(type) {
 	case voting.Cumulative:
-		obj, err := NewDMObjective(p)
+		obj, err := NewParallelDMObjective(p, parallelism)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -180,13 +184,13 @@ func SelectSeedsDM(p *Problem) ([]int32, float64, error) {
 		}
 		return res.Seeds, res.Value, nil
 	case voting.Copeland:
-		res, err := SandwichCopeland(p)
+		res, err := SandwichCopeland(p, parallelism)
 		if err != nil {
 			return nil, 0, err
 		}
 		return res.Seeds, res.Value, nil
 	default:
-		res, err := SandwichPositional(p)
+		res, err := SandwichPositional(p, parallelism)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -14,7 +14,7 @@ func TestFavorableSetTableI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	B, err := opinion.Matrix(sys, 1, 0, nil)
+	B, err := opinion.Matrix(sys, 1, 0, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestCoverageValueAndGreedyCoverage(t *testing.T) {
 	if got := CoverageValue(g, 1, base, 1, []int32{0}); got != 3 {
 		t.Errorf("CoverageValue = %v, want 3", got)
 	}
-	res, err := GreedyCoverage(g, 1, base, 1, 1)
+	res, err := GreedyCoverage(g, 1, base, 1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestGreedyCoverageMatchesNaive(t *testing.T) {
 		}
 		horizon := 1 + r.Intn(3)
 		k := 1 + r.Intn(3)
-		res, err := GreedyCoverage(g, horizon, base, 1, k)
+		res, err := GreedyCoverage(g, horizon, base, 1, k, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,10 +111,10 @@ func TestGreedyCoverageMatchesNaive(t *testing.T) {
 func TestGreedyCoverageErrors(t *testing.T) {
 	p := paperProblem(t, voting.Plurality{}, 1)
 	g := p.Sys.Candidate(0).G
-	if _, err := GreedyCoverage(g, 1, make([]bool, 4), 1, 0); err == nil {
+	if _, err := GreedyCoverage(g, 1, make([]bool, 4), 1, 0, 1); err == nil {
 		t.Error("expected error for k=0")
 	}
-	if _, err := GreedyCoverage(g, 1, make([]bool, 2), 1, 1); err == nil {
+	if _, err := GreedyCoverage(g, 1, make([]bool, 2), 1, 1, 1); err == nil {
 		t.Error("expected error for wrong mask size")
 	}
 }
@@ -136,7 +136,7 @@ func TestBoundsSandwichF(t *testing.T) {
 		}
 		pos := voting.Positional{P: pp, Omega: omega}
 
-		noSeedB, err := opinion.Matrix(sys, horizon, target, nil)
+		noSeedB, err := opinion.Matrix(sys, horizon, target, nil, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,12 +153,12 @@ func TestBoundsSandwichF(t *testing.T) {
 		for len(seeds) < r.Intn(4) {
 			seeds = append(seeds, int32(r.Intn(n)))
 		}
-		f, err := EvaluateExact(sys, target, horizon, pos, seeds)
+		f, err := EvaluateExact(sys, target, horizon, pos, seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		lb := restrictedCumulative{mask: bounds.Favorable, scale: bounds.OmegaP}
-		B, err := opinion.Matrix(sys, horizon, target, seeds)
+		B, err := opinion.Matrix(sys, horizon, target, seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestBoundsSandwichF(t *testing.T) {
 		}
 		// Copeland: F ≤ UB under the no-ties assumption; random real-valued
 		// opinions are tie-free almost surely.
-		fCope, err := EvaluateExact(sys, target, horizon, voting.Copeland{}, seeds)
+		fCope, err := EvaluateExact(sys, target, horizon, voting.Copeland{}, seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +187,7 @@ func TestSandwichPositionalOnPaperExample(t *testing.T) {
 	// Example 2: for plurality with k = 1 the optimum is user 3 (index 2)
 	// with score 4. Sandwich must find it.
 	p := paperProblem(t, voting.Plurality{}, 1)
-	res, err := SandwichPositional(p)
+	res, err := SandwichPositional(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestSandwichPositionalOnPaperExample(t *testing.T) {
 func TestSandwichCopelandOnPaperExample(t *testing.T) {
 	// Example 2: Copeland k = 1 optimum is 1 (users 3 or 4).
 	p := paperProblem(t, voting.Copeland{}, 1)
-	res, err := SandwichCopeland(p)
+	res, err := SandwichCopeland(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,15 +224,15 @@ func TestSandwichCopelandOnPaperExample(t *testing.T) {
 }
 
 func TestSandwichScoreDispatch(t *testing.T) {
-	if _, err := SandwichPositional(paperProblem(t, voting.Copeland{}, 1)); err == nil {
+	if _, err := SandwichPositional(paperProblem(t, voting.Copeland{}, 1), 0); err == nil {
 		t.Error("expected error passing Copeland to SandwichPositional")
 	}
-	if _, err := SandwichCopeland(paperProblem(t, voting.Plurality{}, 1)); err == nil {
+	if _, err := SandwichCopeland(paperProblem(t, voting.Plurality{}, 1), 0); err == nil {
 		t.Error("expected error passing plurality to SandwichCopeland")
 	}
 	// PApproval routes through the positional path.
 	p := paperProblem(t, voting.PApproval{P: 1}, 1)
-	res, err := SandwichPositional(p)
+	res, err := SandwichPositional(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,14 +247,14 @@ func TestSelectSeedsDMAllScores(t *testing.T) {
 		voting.Positional{P: 2, Omega: []float64{1, 0.5}}, voting.Copeland{},
 	} {
 		p := paperProblem(t, score, 1)
-		seeds, val, err := SelectSeedsDM(p)
+		seeds, val, err := SelectSeedsDM(p, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", score.Name(), err)
 		}
 		if len(seeds) != 1 {
 			t.Errorf("%s: got %d seeds, want 1", score.Name(), len(seeds))
 		}
-		exact, err := EvaluateExact(p.Sys, 0, 1, score, seeds)
+		exact, err := EvaluateExact(p.Sys, 0, 1, score, seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +274,7 @@ func TestWinsAndMinSeedsToWin(t *testing.T) {
 	if ok {
 		t.Error("c1 should not win without seeds (tie)")
 	}
-	seeds, err := MinSeedsToWin(p.Sys, 0, 1, voting.Plurality{}, DMSelector(p.Sys, 0, 1, voting.Plurality{}))
+	seeds, err := MinSeedsToWin(p.Sys, 0, 1, voting.Plurality{}, DMSelector(p.Sys, 0, 1, voting.Plurality{}, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestWinsAndMinSeedsToWin(t *testing.T) {
 func TestMinSeedsToWinAlreadyWinning(t *testing.T) {
 	// Make c2 the target: with no seeds c2's cumulative is 2.825 > 2.55.
 	p := paperProblem(t, voting.Cumulative{}, 1)
-	seeds, err := MinSeedsToWin(p.Sys, 1, 1, voting.Cumulative{}, DMSelector(p.Sys, 1, 1, voting.Cumulative{}))
+	seeds, err := MinSeedsToWin(p.Sys, 1, 1, voting.Cumulative{}, DMSelector(p.Sys, 1, 1, voting.Cumulative{}, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestMinSeedsToWinImpossible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = MinSeedsToWin(sys, 0, 1, voting.Plurality{}, DMSelector(sys, 0, 1, voting.Plurality{}))
+	_, err = MinSeedsToWin(sys, 0, 1, voting.Plurality{}, DMSelector(sys, 0, 1, voting.Plurality{}, 0))
 	if err != ErrCannotWin {
 		t.Errorf("expected ErrCannotWin, got %v", err)
 	}

@@ -21,7 +21,7 @@ type SeedSelector func(k int) ([]int32, error)
 // exceeds every competitor's score on the same opinion matrix (Problem 2's
 // winning predicate, Equation 9).
 func Wins(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32) (bool, error) {
-	B, err := opinion.Matrix(sys, horizon, target, seeds)
+	B, err := opinion.Matrix(sys, horizon, target, seeds, 0)
 	if err != nil {
 		return false, err
 	}
@@ -117,11 +117,12 @@ func MinSeedsToWin(sys *opinion.System, target, horizon int, score voting.Score,
 	return best, nil
 }
 
-// DMSelector returns a SeedSelector backed by SelectSeedsDM.
-func DMSelector(sys *opinion.System, target, horizon int, score voting.Score) SeedSelector {
+// DMSelector returns a SeedSelector backed by SelectSeedsDM running with
+// the given engine parallelism (0 = GOMAXPROCS).
+func DMSelector(sys *opinion.System, target, horizon int, score voting.Score, parallelism int) SeedSelector {
 	return func(k int) ([]int32, error) {
 		p := &Problem{Sys: sys, Target: target, Horizon: horizon, K: k, Score: score}
-		seeds, _, err := SelectSeedsDM(p)
+		seeds, _, err := SelectSeedsDM(p, parallelism)
 		return seeds, err
 	}
 }

@@ -1,0 +1,204 @@
+// Package engine is the parallel execution substrate shared by every hot
+// path in the library: a bounded worker pool with panic-safe fan-out
+// primitives and a sharding discipline designed for bit-reproducibility.
+//
+// The central invariant is that the *algorithm* — how work is cut into
+// shards, which random substream each work item consumes, and the order in
+// which per-shard results are folded — never depends on the worker count.
+// Workers only decide which goroutine executes a shard; every shard's output
+// is identical regardless, and reductions always fold in ascending shard
+// order. Consequently Parallelism is a pure execution knob: callers get the
+// same seeds, the same scores, the same bytes, at 1 worker or 64.
+//
+// Conventions used across the library:
+//
+//   - Parallelism 0 resolves to runtime.GOMAXPROCS(0), negative values to 1
+//     (see Workers);
+//   - shard counts come from NumShards, which ignores the worker count;
+//   - per-item randomness comes from sampling.Stream.At(item), never from a
+//     generator shared across items.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism configuration value to an actual worker
+// count: 0 means runtime.GOMAXPROCS(0), values below zero mean 1.
+func Workers(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism < 0 {
+		return 1
+	}
+	return parallelism
+}
+
+// NumShards picks a shard count for n work items with roughly minPerShard
+// items per shard, capped at maxShards. The result is independent of the
+// worker count on purpose: shard geometry is part of the algorithm, so it
+// must not change when Parallelism does.
+func NumShards(n, minPerShard, maxShards int) int {
+	if n <= 0 {
+		return 0
+	}
+	if minPerShard < 1 {
+		minPerShard = 1
+	}
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	s := (n + minPerShard - 1) / minPerShard
+	if s > maxShards {
+		s = maxShards
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardRange returns the half-open item range [lo, hi) of shard s when n
+// items are cut into shards contiguous pieces of near-equal size.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// shardPanic carries a recovered panic value from a worker to the caller.
+type shardPanic struct {
+	shard int
+	val   any
+	stack []byte
+}
+
+// ForEachShard runs fn(worker, shard) for every shard in [0, shards) on at
+// most Workers(parallelism) goroutines. The worker argument is a stable
+// index in [0, workers) identifying the executing goroutine, so callers can
+// maintain per-worker scratch state (diffusers, visit marks, buffers)
+// without locking.
+//
+// Error and panic handling are deterministic: every shard runs to
+// completion even if another shard fails (hot-path functions rarely error,
+// and not cancelling keeps the behavior independent of timing); afterwards
+// the error (or panic) of the lowest-numbered failing shard is returned
+// (re-raised). A panic in a shard is re-thrown on the calling goroutine
+// with the original value, so the process fails loudly rather than hanging.
+func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) error {
+	if shards <= 0 {
+		return nil
+	}
+	w := Workers(parallelism)
+	if w > shards {
+		w = shards
+	}
+	errs := make([]error, shards)
+	var panics []shardPanic
+	var mu sync.Mutex
+	runShard := func(worker, s int) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				mu.Lock()
+				panics = append(panics, shardPanic{shard: s, val: r, stack: buf})
+				mu.Unlock()
+			}
+		}()
+		errs[s] = fn(worker, s)
+	}
+	if w <= 1 {
+		// Same run-to-completion and lowest-shard-wins semantics as the
+		// parallel path, so error-path side effects are worker-count
+		// independent too.
+		for s := 0; s < shards; s++ {
+			runShard(0, s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for worker := 0; worker < w; worker++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					runShard(worker, s)
+				}
+			}(worker)
+		}
+		wg.Wait()
+	}
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.shard < first.shard {
+				first = p
+			}
+		}
+		panic(fmt.Sprintf("engine: panic in shard %d: %v\n%s", first.shard, first.val, first.stack))
+	}
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// ForEachChunk cuts n items into NumShards(n, minPerShard, maxShards)
+// contiguous chunks and runs fn(worker, shard, lo, hi) for each. It is the
+// common "parallel for over a slice" shape.
+func ForEachChunk(parallelism, n, minPerShard, maxShards int, fn func(worker, shard, lo, hi int) error) error {
+	shards := NumShards(n, minPerShard, maxShards)
+	return ForEachShard(parallelism, shards, func(worker, s int) error {
+		lo, hi := ShardRange(n, shards, s)
+		return fn(worker, s, lo, hi)
+	})
+}
+
+// Map runs fn for every shard and returns the results indexed by shard —
+// the deterministic fan-out/fan-in building block.
+func Map[T any](parallelism, shards int, fn func(worker, shard int) (T, error)) ([]T, error) {
+	out := make([]T, shards)
+	err := ForEachShard(parallelism, shards, func(worker, s int) error {
+		v, err := fn(worker, s)
+		if err != nil {
+			return err
+		}
+		out[s] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduce runs mapFn per shard and folds the results with reduceFn in
+// ascending shard order, starting from init. Folding in shard order keeps
+// floating-point reductions bit-identical across worker counts.
+func MapReduce[T, R any](parallelism, shards int, init R, mapFn func(worker, shard int) (T, error), reduceFn func(R, T) R) (R, error) {
+	parts, err := Map(parallelism, shards, mapFn)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	acc := init
+	for _, p := range parts {
+		acc = reduceFn(acc, p)
+	}
+	return acc, nil
+}

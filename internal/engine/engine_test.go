@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", w)
+	}
+	if w := Workers(-3); w != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Errorf("Workers(7) = %d, want 7", w)
+	}
+}
+
+func TestNumShardsIndependentOfWorkers(t *testing.T) {
+	if s := NumShards(0, 10, 64); s != 0 {
+		t.Errorf("NumShards(0) = %d, want 0", s)
+	}
+	if s := NumShards(5, 10, 64); s != 1 {
+		t.Errorf("NumShards(5, 10) = %d, want 1", s)
+	}
+	if s := NumShards(1000, 10, 64); s != 64 {
+		t.Errorf("NumShards(1000, 10, 64) = %d, want 64 (capped)", s)
+	}
+	if s := NumShards(35, 10, 64); s != 4 {
+		t.Errorf("NumShards(35, 10) = %d, want 4", s)
+	}
+}
+
+func TestShardRangeCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{10, 3}, {7, 7}, {100, 8}, {5, 1}} {
+		covered := 0
+		prevHi := 0
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := ShardRange(tc.n, tc.shards, s)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, s, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n {
+			t.Errorf("n=%d shards=%d: covered %d items", tc.n, tc.shards, covered)
+		}
+	}
+}
+
+func TestForEachShardRunsAll(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, 100)
+		err := ForEachShard(par, 100, func(worker, s int) error {
+			if worker < 0 || worker >= Workers(par) {
+				t.Errorf("worker id %d out of range", worker)
+			}
+			if seen[s].Swap(true) {
+				t.Errorf("shard %d ran twice", s)
+			}
+			hits.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits.Load() != 100 {
+			t.Errorf("parallelism %d: %d shards ran, want 100", par, hits.Load())
+		}
+	}
+}
+
+func TestForEachShardLowestErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		err := ForEachShard(par, 50, func(worker, s int) error {
+			if s == 13 || s == 37 {
+				return fmt.Errorf("shard %d: %w", s, boom)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("parallelism %d: err = %v, want boom", par, err)
+		}
+		if !strings.Contains(err.Error(), "shard 13") {
+			t.Errorf("parallelism %d: error %q should name the lowest failing shard", par, err)
+		}
+	}
+}
+
+func TestForEachShardPanicPropagates(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("parallelism %d: panic did not propagate", par)
+					return
+				}
+				if s, ok := r.(string); par > 1 && (!ok || !strings.Contains(s, "shard 3")) {
+					t.Errorf("parallelism %d: recovered %v, want mention of shard 3", par, r)
+				}
+			}()
+			_ = ForEachShard(par, 8, func(worker, s int) error {
+				if s == 3 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachChunk(t *testing.T) {
+	n := 1003
+	sum := make([]int64, 64)
+	err := ForEachChunk(4, n, 10, 64, func(worker, shard, lo, hi int) error {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sum[shard] = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range sum {
+		total += s
+	}
+	if want := int64(n) * int64(n-1) / 2; total != want {
+		t.Errorf("chunked sum = %d, want %d", total, want)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(8, 20, func(worker, s int) (int, error) { return s * s, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range out {
+		if v != s*s {
+			t.Errorf("out[%d] = %d, want %d", s, v, s*s)
+		}
+	}
+}
+
+// TestMapReduceDeterministic folds non-associative floating point across
+// worker counts and demands bit-identical results — the core determinism
+// contract of the engine.
+func TestMapReduceDeterministic(t *testing.T) {
+	mapFn := func(worker, s int) (float64, error) {
+		return 1.0 / float64(s+1), nil
+	}
+	reduce := func(a, b float64) float64 { return a + b }
+	base, err := MapReduce(1, 1000, 0.0, mapFn, reduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 32} {
+		got, err := MapReduce(par, 1000, 0.0, mapFn, reduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("parallelism %d: sum %v != serial %v (must be bit-identical)", par, got, base)
+		}
+	}
+}

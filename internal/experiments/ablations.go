@@ -70,7 +70,7 @@ func AblationTruncation(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	comp := core.CompetitorOpinions(d.Sys, d.DefaultTarget, horizon)
+	comp := core.CompetitorOpinions(d.Sys, d.DefaultTarget, horizon, p.Parallelism)
 	lam, err := stats.WalksForCumulative(0.1, 0.9)
 	if err != nil {
 		return err
@@ -84,11 +84,11 @@ func AblationTruncation(w io.Writer, p Params) error {
 
 	// Variant A: generate once, truncate per round (the paper's design).
 	startA := time.Now()
-	setA, err := walks.Generate(sampler, cand.Stub, horizon, plan, sampling.NewRand(p.Seed, 501))
+	setA, err := walks.Generate(sampler, cand.Stub, horizon, plan, sampling.Stream{Seed: p.Seed, ID: 501}, p.Parallelism)
 	if err != nil {
 		return err
 	}
-	estA, err := walks.NewEstimator(setA, d.DefaultTarget, cand.Init, comp, walks.UniformOwnerWeights(setA))
+	estA, err := walks.NewEstimator(setA, d.DefaultTarget, cand.Init, comp, walks.UniformOwnerWeights(setA), p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -97,7 +97,7 @@ func AblationTruncation(w io.Writer, p Params) error {
 		return err
 	}
 	timeA := time.Since(startA).Seconds()
-	exactA, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, resA.Seeds)
+	exactA, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, resA.Seeds, p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -110,11 +110,11 @@ func AblationTruncation(w io.Writer, p Params) error {
 	effStub := append([]float64(nil), cand.Stub...)
 	var seedsB []int32
 	for round := 0; round < k; round++ {
-		set, err := walks.Generate(sampler, effStub, horizon, plan, sampling.NewRand(p.Seed, uint64(502+round)))
+		set, err := walks.Generate(sampler, effStub, horizon, plan, sampling.Stream{Seed: p.Seed, ID: uint64(502 + round)}, p.Parallelism)
 		if err != nil {
 			return err
 		}
-		est, err := walks.NewEstimator(set, d.DefaultTarget, effInit, comp, walks.UniformOwnerWeights(set))
+		est, err := walks.NewEstimator(set, d.DefaultTarget, effInit, comp, walks.UniformOwnerWeights(set), p.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -128,7 +128,7 @@ func AblationTruncation(w io.Writer, p Params) error {
 		effStub[s] = 1
 	}
 	timeB := time.Since(startB).Seconds()
-	exactB, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, seedsB)
+	exactB, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, seedsB, p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -158,7 +158,7 @@ func AblationSketchShape(w io.Writer, p Params) error {
 	}
 
 	startW := time.Now()
-	set, err := walks.GenerateSampled(sampler, cand.Stub, horizon, theta, sampling.NewRand(p.Seed, 503))
+	set, err := walks.GenerateSampled(sampler, cand.Stub, horizon, theta, sampling.Stream{Seed: p.Seed, ID: 503}, p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -169,8 +169,8 @@ func AblationSketchShape(w io.Writer, p Params) error {
 	}
 
 	startR := time.Now()
-	col := im.NewRRCollection(g, im.IC)
-	col.Add(theta, sampling.NewRand(p.Seed, 504))
+	col := im.NewRRCollection(g, im.IC, sampling.Stream{Seed: p.Seed, ID: 504}, p.Parallelism)
+	col.Add(theta)
 	rrTime := time.Since(startR).Seconds()
 	rrElems := 0
 	for i := 0; i < col.NumSets(); i++ {

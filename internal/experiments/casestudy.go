@@ -33,17 +33,17 @@ func Table4CaseStudy(w io.Writer, p Params) error {
 		n, k, horizon, d.CandidateNames[target])
 
 	prob := defaultProblem(d, horizon, k, voting.Plurality{})
-	res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+	res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300, Parallelism: p.Parallelism})
 	if err != nil {
 		return err
 	}
 	seeds := res.Seeds
 
-	before, err := opinion.Matrix(d.Sys, horizon, target, nil)
+	before, err := opinion.Matrix(d.Sys, horizon, target, nil, p.Parallelism)
 	if err != nil {
 		return err
 	}
-	after, err := opinion.Matrix(d.Sys, horizon, target, seeds)
+	after, err := opinion.Matrix(d.Sys, horizon, target, seeds, p.Parallelism)
 	if err != nil {
 		return err
 	}

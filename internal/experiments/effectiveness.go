@@ -36,7 +36,7 @@ func scoreVsK(w io.Writer, p Params, score voting.Score, datasetNames []string, 
 			var lastTime float64
 			for _, k := range ks {
 				prob := defaultProblem(d, horizon, k, score)
-				res, err := runMethod(m, prob, p.Seed)
+				res, err := runMethod(m, prob, p.Seed, p.Parallelism)
 				if err != nil {
 					return fmt.Errorf("%s on %s: %w", m, name, err)
 				}
@@ -97,7 +97,7 @@ func Fig9(w io.Writer, p Params) error {
 	theta := p.size(1<<15, 2048)
 	selectFor := func(score voting.Score) ([]int32, error) {
 		prob := defaultProblem(d, horizon, k, score)
-		res, err := sketch.SelectWithTheta(prob, theta, p.Seed)
+		res, err := sketch.SelectWithTheta(prob, theta, p.Seed, p.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -162,11 +162,11 @@ func Fig10(w io.Writer, p Params) error {
 	fmt.Fprintln(w)
 	for _, score := range variants {
 		prob := defaultProblem(d, horizon, k, score)
-		res, err := sketch.SelectWithTheta(prob, theta, p.Seed)
+		res, err := sketch.SelectWithTheta(prob, theta, p.Seed, p.Parallelism)
 		if err != nil {
 			return err
 		}
-		B, err := opinion.Matrix(d.Sys, horizon, d.DefaultTarget, res.Seeds)
+		B, err := opinion.Matrix(d.Sys, horizon, d.DefaultTarget, res.Seeds, p.Parallelism)
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,10 @@ type Params struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism caps the engine worker pool in every method's hot path
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical across values;
+	// only wall times change.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
@@ -118,16 +122,16 @@ type MethodResult struct {
 
 // runMethod executes one seed-selection method on the problem and
 // evaluates the returned seeds exactly.
-func runMethod(name string, p *core.Problem, seed int64) (*MethodResult, error) {
+func runMethod(name string, p *core.Problem, seed int64, parallelism int) (*MethodResult, error) {
 	start := time.Now()
 	var seeds []int32
 	var err error
 	switch name {
 	case "DM":
-		seeds, _, err = core.SelectSeedsDM(p)
+		seeds, _, err = core.SelectSeedsDM(p, parallelism)
 	case "RW":
 		var res *rwalk.Result
-		res, err = rwalk.Select(p, rwalk.Config{Seed: seed, MaxWalksPerNode: 400})
+		res, err = rwalk.Select(p, rwalk.Config{Seed: seed, MaxWalksPerNode: 400, Parallelism: parallelism})
 		if res != nil {
 			seeds = res.Seeds
 		}
@@ -136,19 +140,19 @@ func runMethod(name string, p *core.Problem, seed int64) (*MethodResult, error) 
 		// InitialTheta starts the §VI-E doubling search high enough that
 		// rank-based scores do not declare convergence prematurely on the
 		// scaled-down datasets (the paper's per-dataset θ* are 2^15–2^19).
-		res, err = sketch.Select(p, sketch.Config{Seed: seed, InitialTheta: 1 << 13, MaxTheta: 1 << 18, ConvergeTol: 0.005})
+		res, err = sketch.Select(p, sketch.Config{Seed: seed, InitialTheta: 1 << 13, MaxTheta: 1 << 18, ConvergeTol: 0.005, Parallelism: parallelism})
 		if res != nil {
 			seeds = res.Seeds
 		}
 	default:
 		seeds, err = baselines.Select(baselines.Method(name), p,
-			baselines.Config{IMM: im.IMMConfig{Seed: seed, MaxSets: 1 << 18}})
+			baselines.Config{IMM: im.IMMConfig{Seed: seed, MaxSets: 1 << 18}, Parallelism: parallelism})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	elapsed := time.Since(start).Seconds()
-	exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, seeds)
+	exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, seeds, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -157,14 +161,14 @@ func runMethod(name string, p *core.Problem, seed int64) (*MethodResult, error) 
 
 // winSelector maps a proposed-method name onto a core.SeedSelector for the
 // FJ-Vote-Win search (Table VI).
-func winSelector(method string, p *core.Problem, seed int64) (core.SeedSelector, error) {
+func winSelector(method string, p *core.Problem, seed int64, parallelism int) (core.SeedSelector, error) {
 	switch method {
 	case "DM":
-		return core.DMSelector(p.Sys, p.Target, p.Horizon, p.Score), nil
+		return core.DMSelector(p.Sys, p.Target, p.Horizon, p.Score, parallelism), nil
 	case "RW":
-		return rwalk.Selector(*p, rwalk.Config{Seed: seed, MaxWalksPerNode: 200}), nil
+		return rwalk.Selector(*p, rwalk.Config{Seed: seed, MaxWalksPerNode: 200, Parallelism: parallelism}), nil
 	case "RS":
-		return sketch.Selector(*p, sketch.Config{Seed: seed, MaxTheta: 1 << 17}), nil
+		return sketch.Selector(*p, sketch.Config{Seed: seed, MaxTheta: 1 << 17, Parallelism: parallelism}), nil
 	default:
 		return nil, fmt.Errorf("experiments: no win selector for method %q", method)
 	}

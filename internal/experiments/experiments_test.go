@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table6", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19",
 		"ablation-celf", "ablation-truncation", "ablation-sketch-shape",
-		"ext-robustness", "ext-borda",
+		"ext-robustness", "ext-borda", "parallel-scaling",
 	}
 	for _, id := range want {
 		if _, ok := experiments.Registry[id]; !ok {

@@ -34,7 +34,7 @@ func ExtRobustness(w io.Writer, p Params) error {
 	horizon := horizonFor(p)
 	target := d.DefaultTarget
 	prob := defaultProblem(d, horizon, k, voting.Plurality{})
-	res, err := sketch.SelectWithTheta(prob, p.size(1<<15, 2048), p.Seed)
+	res, err := sketch.SelectWithTheta(prob, p.size(1<<15, 2048), p.Seed, p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -46,11 +46,11 @@ func ExtRobustness(w io.Writer, p Params) error {
 		return (voting.Plurality{}).Eval(B, target) / float64(d.Sys.N())
 	}
 	// FJ reference.
-	B0, err := opinion.Matrix(d.Sys, horizon, target, nil)
+	B0, err := opinion.Matrix(d.Sys, horizon, target, nil, p.Parallelism)
 	if err != nil {
 		return err
 	}
-	B1, err := opinion.Matrix(d.Sys, horizon, target, seeds)
+	B1, err := opinion.Matrix(d.Sys, horizon, target, seeds, p.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -112,7 +112,7 @@ func ExtBorda(w io.Writer, p Params) error {
 		fmt.Fprintf(w, "%-7s", m)
 		for _, k := range ks {
 			prob := defaultProblem(d, horizon, k, borda)
-			res, err := runMethod(m, prob, p.Seed)
+			res, err := runMethod(m, prob, p.Seed, p.Parallelism)
 			if err != nil {
 				return err
 			}

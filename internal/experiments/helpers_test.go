@@ -65,7 +65,7 @@ func TestWinSelectorDispatch(t *testing.T) {
 	}
 	p := &core.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: voting.Plurality{}}
 	for _, m := range []string{"DM", "RW", "RS"} {
-		sel, err := winSelector(m, p, 1)
+		sel, err := winSelector(m, p, 1, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -77,7 +77,7 @@ func TestWinSelectorDispatch(t *testing.T) {
 			t.Errorf("%s: got %d seeds", m, len(seeds))
 		}
 	}
-	if _, err := winSelector("PR", p, 1); err == nil {
+	if _, err := winSelector("PR", p, 1, 1); err == nil {
 		t.Error("expected error for unsupported win selector")
 	}
 }
@@ -88,7 +88,7 @@ func TestRunMethodUnknown(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &core.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: voting.Plurality{}}
-	if _, err := runMethod("bogus", p, 1); err == nil {
+	if _, err := runMethod("bogus", p, 1, 1); err == nil {
 		t.Error("expected error for unknown method")
 	}
 }
@@ -100,7 +100,7 @@ func TestRunMethodAllKnown(t *testing.T) {
 	}
 	for _, m := range MethodNames {
 		p := &core.Problem{Sys: sys, Target: 0, Horizon: 1, K: 1, Score: voting.Cumulative{}}
-		res, err := runMethod(m, p, 1)
+		res, err := runMethod(m, p, 1, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}

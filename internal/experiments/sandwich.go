@@ -40,9 +40,9 @@ func Fig2(w io.Writer, p Params) error {
 			prob := defaultProblem(d, horizonFor(p), k, c.score)
 			var res *core.SandwichResult
 			if _, ok := c.score.(voting.Copeland); ok {
-				res, err = core.SandwichCopeland(prob)
+				res, err = core.SandwichCopeland(prob, p.Parallelism)
 			} else {
-				res, err = core.SandwichPositional(prob)
+				res, err = core.SandwichPositional(prob, p.Parallelism)
 			}
 			if err != nil {
 				return err

@@ -73,20 +73,20 @@ func Fig17(w io.Writer, p Params) error {
 		prob := &core.Problem{Sys: sys, Target: full.DefaultTarget, Horizon: horizon, K: k, Score: voting.Cumulative{}}
 
 		startDM := time.Now()
-		if _, _, err := core.SelectSeedsDM(prob); err != nil {
+		if _, _, err := core.SelectSeedsDM(prob, p.Parallelism); err != nil {
 			return err
 		}
 		dmTime := time.Since(startDM).Seconds()
 
 		startRW := time.Now()
-		rwRes, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+		rwRes, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
 		rwTime := time.Since(startRW).Seconds()
 
 		startRS := time.Now()
-		rsRes, err := sketch.Select(prob, sketch.Config{Seed: p.Seed, MaxTheta: 1 << 18})
+		rsRes, err := sketch.Select(prob, sketch.Config{Seed: p.Seed, MaxTheta: 1 << 18, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
@@ -142,7 +142,7 @@ func Fig18(w io.Writer, p Params) error {
 	seedsAt := map[int][]int32{}
 	for _, t := range horizons {
 		prob := defaultProblem(d, t, k, voting.Cumulative{})
-		res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+		res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
@@ -184,11 +184,11 @@ func Fig19(w io.Writer, p Params) error {
 				return err
 			}
 			prob := defaultProblem(d, horizon, k, c.score)
-			res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+			res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300, Parallelism: p.Parallelism})
 			if err != nil {
 				return err
 			}
-			exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, c.score, res.Seeds)
+			exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, c.score, res.Seeds, p.Parallelism)
 			if err != nil {
 				return err
 			}

@@ -39,14 +39,14 @@ func Fig11(w io.Writer, p Params) error {
 	var entries []entry
 	for _, score := range []voting.Score{voting.Cumulative{}, voting.Plurality{}, voting.Copeland{}} {
 		prob := defaultProblem(d, horizon, k, score)
-		res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300})
+		res, err := rwalk.Select(prob, rwalk.Config{Seed: p.Seed, MaxWalksPerNode: 300, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
 		entries = append(entries, entry{"RW/" + score.Name(), res.Seeds})
 	}
 	for _, model := range []im.Model{im.IC, im.LT} {
-		res, err := im.IMM(g, model, k, im.IMMConfig{Seed: p.Seed, MaxSets: 1 << 18})
+		res, err := im.IMM(g, model, k, im.IMMConfig{Seed: p.Seed, MaxSets: 1 << 18, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
@@ -85,7 +85,7 @@ func Fig12(w io.Writer, p Params) error {
 		fmt.Fprintf(w, "%6d", t)
 		for _, m := range []string{"DM", "RW", "RS"} {
 			prob := defaultProblem(d, t, k, voting.Cumulative{})
-			res, err := runMethod(m, prob, p.Seed)
+			res, err := runMethod(m, prob, p.Seed, p.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -125,11 +125,11 @@ func thetaSweep(w io.Writer, p Params, dataset string, score voting.Score) error
 		fmt.Fprintf(w, "%10d", th)
 		for _, c := range combos {
 			prob := defaultProblem(d, c.t, c.k, score)
-			res, err := sketch.SelectWithTheta(prob, th, p.Seed)
+			res, err := sketch.SelectWithTheta(prob, th, p.Seed, p.Parallelism)
 			if err != nil {
 				return err
 			}
-			exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, c.t, score, res.Seeds)
+			exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, c.t, score, res.Seeds, p.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -172,12 +172,12 @@ func Fig15(w io.Writer, p Params) error {
 	for _, e := range eps {
 		prob := defaultProblem(d, horizon, k, voting.Cumulative{})
 		start := time.Now()
-		res, err := sketch.Select(prob, sketch.Config{Epsilon: e, Seed: p.Seed, MaxTheta: 1 << 18})
+		res, err := sketch.Select(prob, sketch.Config{Epsilon: e, Seed: p.Seed, MaxTheta: 1 << 18, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start).Seconds()
-		exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, res.Seeds)
+		exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Cumulative{}, res.Seeds, p.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -206,12 +206,12 @@ func Fig16(w io.Writer, p Params) error {
 	for _, rho := range rhos {
 		prob := defaultProblem(d, horizon, k, voting.Plurality{})
 		start := time.Now()
-		res, err := rwalk.Select(prob, rwalk.Config{Rho: rho, Seed: p.Seed, MaxWalksPerNode: 600})
+		res, err := rwalk.Select(prob, rwalk.Config{Rho: rho, Seed: p.Seed, MaxWalksPerNode: 600, Parallelism: p.Parallelism})
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start).Seconds()
-		exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Plurality{}, res.Seeds)
+		exact, err := core.EvaluateExact(d.Sys, d.DefaultTarget, horizon, voting.Plurality{}, res.Seeds, p.Parallelism)
 		if err != nil {
 			return err
 		}

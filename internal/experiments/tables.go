@@ -26,7 +26,7 @@ func Table1(w io.Writer, p Params) error {
 	fmt.Fprintf(w, "%-8s | %5s %5s %5s %5s | %6s %5s %5s\n",
 		"Seeds", "u1", "u2", "u3", "u4", "Cumu.", "Plu.", "Cope.")
 	for _, row := range paperexample.TableI {
-		B, err := opinion.Matrix(sys, paperexample.Horizon, paperexample.Target, row.Seeds)
+		B, err := opinion.Matrix(sys, paperexample.Horizon, paperexample.Target, row.Seeds, p.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -92,7 +92,7 @@ func Table6(w io.Writer, p Params) error {
 		prob := &core.Problem{Sys: d.Sys, Target: 1, Horizon: horizonFor(p), K: 1, Score: voting.Plurality{}}
 		row := fmt.Sprintf("%-26s", name)
 		for _, m := range []string{"DM", "RW", "RS"} {
-			sel, err := winSelector(m, prob, p.Seed)
+			sel, err := winSelector(m, prob, p.Seed, p.Parallelism)
 			if err != nil {
 				return err
 			}

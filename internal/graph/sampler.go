@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"math/rand"
+
+	"ovm/internal/sampling"
 )
 
 // InEdgeSampler draws a random in-neighbor of a node proportionally to the
@@ -79,8 +80,10 @@ func NewInEdgeSampler(g *Graph) (*InEdgeSampler, error) {
 }
 
 // Sample returns a random in-neighbor of v drawn with probability equal to
-// the corresponding in-edge weight (given column-stochastic weights).
-func (s *InEdgeSampler) Sample(v int32, r *rand.Rand) int32 {
+// the corresponding in-edge weight (given column-stochastic weights). Any
+// sampling.Source works; parallel walk generation passes per-item SplitMix
+// substreams, serial callers typically pass a *rand.Rand.
+func (s *InEdgeSampler) Sample(v int32, r sampling.Source) int32 {
 	lo := s.g.inStart[v]
 	deg := s.g.inStart[v+1] - lo
 	i := lo + int32(r.Intn(int(deg)))

@@ -7,6 +7,7 @@ import (
 
 	"ovm/internal/graph"
 	"ovm/internal/im"
+	"ovm/internal/sampling"
 )
 
 // star builds a hub with n-1 leaves; hub→leaf edges of probability p, and
@@ -103,9 +104,8 @@ func TestExpectedSpreadZeroRounds(t *testing.T) {
 func TestRRSetsICChain(t *testing.T) {
 	// On the weight-1 chain, an IC RR set from root v is exactly {0..v}.
 	g := chain(t, 10)
-	col := im.NewRRCollection(g, im.IC)
-	r := rand.New(rand.NewSource(6))
-	col.Add(200, r)
+	col := im.NewRRCollection(g, im.IC, sampling.Stream{Seed: 6, ID: 1}, 2)
+	col.Add(200)
 	if col.NumSets() != 200 {
 		t.Fatalf("NumSets = %d, want 200", col.NumSets())
 	}
@@ -121,9 +121,8 @@ func TestRRSetsICChain(t *testing.T) {
 func TestRRSetsLTChain(t *testing.T) {
 	// LT RR sets on the chain are also prefixes (single in-neighbor paths).
 	g := chain(t, 10)
-	col := im.NewRRCollection(g, im.LT)
-	r := rand.New(rand.NewSource(7))
-	col.Add(200, r)
+	col := im.NewRRCollection(g, im.LT, sampling.Stream{Seed: 7, ID: 1}, 2)
+	col.Add(200)
 	for i := 0; i < col.NumSets(); i++ {
 		set := col.Set(i)
 		root := set[0]
@@ -135,9 +134,8 @@ func TestRRSetsLTChain(t *testing.T) {
 
 func TestGreedyCoverPicksHub(t *testing.T) {
 	g := star(t, 50, 0.5)
-	col := im.NewRRCollection(g, im.IC)
-	r := rand.New(rand.NewSource(8))
-	col.Add(2000, r)
+	col := im.NewRRCollection(g, im.IC, sampling.Stream{Seed: 8, ID: 1}, 2)
+	col.Add(2000)
 	seeds, frac := col.GreedyCover(1)
 	if len(seeds) != 1 || seeds[0] != 0 {
 		t.Errorf("greedy cover picked %v, want hub [0]", seeds)
@@ -149,7 +147,7 @@ func TestGreedyCoverPicksHub(t *testing.T) {
 
 func TestGreedyCoverEmptyCollection(t *testing.T) {
 	g := chain(t, 5)
-	col := im.NewRRCollection(g, im.IC)
+	col := im.NewRRCollection(g, im.IC, sampling.Stream{Seed: 1, ID: 1}, 1)
 	seeds, frac := col.GreedyCover(2)
 	if len(seeds) != 2 || frac != 0 {
 		t.Errorf("empty collection: seeds=%v frac=%v", seeds, frac)

@@ -3,9 +3,9 @@ package im
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"ovm/internal/graph"
+	"ovm/internal/sampling"
 	"ovm/internal/stats"
 )
 
@@ -21,6 +21,10 @@ type IMMConfig struct {
 	MaxSets int
 	// Seed drives sampling.
 	Seed int64
+	// Parallelism caps the engine worker pool for RR-set generation: 0
+	// means GOMAXPROCS, 1 disables concurrency. The sampled sets — and the
+	// selected seeds — are bit-identical across Parallelism values.
+	Parallelism int
 }
 
 func (c IMMConfig) withDefaults() IMMConfig {
@@ -60,7 +64,6 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 	if cfg.L <= 0 {
 		return nil, fmt.Errorf("im: l must be positive, got %v", cfg.L)
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
 	nf := float64(n)
 	logN := math.Log(nf)
 	logBinom := stats.LogChoose(n, k)
@@ -68,7 +71,7 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 	// Phase 1: estimate a lower bound on OPT (Algorithm 2 of [3]).
 	epsPrime := math.Sqrt2 * cfg.Epsilon
 	lambdaPrime := (2 + 2*epsPrime/3) * (logBinom + cfg.L*logN + math.Log(math.Max(math.Log2(nf), 1))) * nf / (epsPrime * epsPrime)
-	col := NewRRCollection(g, model)
+	col := NewRRCollection(g, model, sampling.Stream{Seed: cfg.Seed, ID: 701}, cfg.Parallelism)
 	lb := 1.0
 	for i := 1; i < int(math.Ceil(math.Log2(nf))); i++ {
 		x := nf / math.Pow(2, float64(i))
@@ -77,7 +80,7 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 			thetaI = cfg.MaxSets
 		}
 		if col.NumSets() < thetaI {
-			col.Add(thetaI-col.NumSets(), r)
+			col.Add(thetaI - col.NumSets())
 		}
 		_, frac := col.GreedyCover(k)
 		if nf*frac >= (1+epsPrime)*x {
@@ -98,7 +101,7 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 		theta = cfg.MaxSets
 	}
 	if col.NumSets() < theta {
-		col.Add(theta-col.NumSets(), r)
+		col.Add(theta - col.NumSets())
 	}
 	seeds, frac := col.GreedyCover(k)
 	return &IMMResult{

@@ -1,16 +1,25 @@
 package im
 
 import (
-	"math/rand"
-
+	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/sampling"
 )
 
 // RRCollection accumulates reverse-reachable sets in flat storage together
 // with the node → set inverted index needed by greedy coverage.
+//
+// Generation is sharded over the engine worker pool: RR set number i (a
+// global, monotonically increasing index across Add calls) always consumes
+// its own random substream str.At(i), so the collection's contents are
+// bit-identical for every parallelism value and independent of how Add
+// batches interleave with worker scheduling.
 type RRCollection struct {
-	g     *graph.Graph
-	model Model
+	g           *graph.Graph
+	model       Model
+	str         sampling.Stream
+	parallelism int
+	drawn       int // total sets generated so far (the global index cursor)
 
 	nodes []int32 // concatenated set members
 	off   []int32 // len numSets+1
@@ -20,17 +29,21 @@ type RRCollection struct {
 	idxOff   []int32 // len n+1
 	indexed  int     // number of sets included in the index
 
-	scratchVisited []bool
-	scratchQueue   []int32
+	// Per-worker sampling scratch, reused across Add calls.
+	scratchVisited [][]bool
+	scratchQueue   [][]int32
 }
 
 // NewRRCollection prepares an empty collection for the given graph/model.
-func NewRRCollection(g *graph.Graph, model Model) *RRCollection {
+// str seeds the per-set substream family; parallelism follows the engine
+// convention (0 = GOMAXPROCS, 1 = serial).
+func NewRRCollection(g *graph.Graph, model Model, str sampling.Stream, parallelism int) *RRCollection {
 	return &RRCollection{
-		g:              g,
-		model:          model,
-		off:            []int32{0},
-		scratchVisited: make([]bool, g.N()),
+		g:           g,
+		model:       model,
+		str:         str,
+		parallelism: parallelism,
+		off:         []int32{0},
 	}
 }
 
@@ -40,64 +53,103 @@ func (c *RRCollection) NumSets() int { return len(c.off) - 1 }
 // Set returns the members of set i (aliases internal storage).
 func (c *RRCollection) Set(i int) []int32 { return c.nodes[c.off[i]:c.off[i+1]] }
 
-// Add generates count new RR sets from uniformly random roots.
-func (c *RRCollection) Add(count int, r *rand.Rand) {
-	for i := 0; i < count; i++ {
-		root := int32(r.Intn(c.g.N()))
-		switch c.model {
-		case IC:
-			c.sampleIC(root, r)
-		case LT:
-			c.sampleLT(root, r)
-		}
+// rrShard is one shard's locally-buffered output: concatenated members plus
+// per-set lengths, in set-index order.
+type rrShard struct {
+	nodes []int32
+	lens  []int32
+}
+
+// Add generates count new RR sets from uniformly random roots, sharded over
+// the worker pool and merged in set-index order.
+func (c *RRCollection) Add(count int) {
+	if count <= 0 {
+		return
 	}
+	n := c.g.N()
+	base := c.drawn
+	if w := engine.Workers(c.parallelism); len(c.scratchVisited) < w {
+		c.scratchVisited = make([][]bool, w)
+		c.scratchQueue = make([][]int32, w)
+	}
+	numShards := engine.NumShards(count, 64, 256)
+	shards, _ := engine.Map(c.parallelism, numShards, func(worker, sh int) (rrShard, error) {
+		lo, hi := engine.ShardRange(count, numShards, sh)
+		out := rrShard{lens: make([]int32, 0, hi-lo)}
+		if c.scratchVisited[worker] == nil {
+			c.scratchVisited[worker] = make([]bool, n)
+		}
+		visited := c.scratchVisited[worker]
+		queue := c.scratchQueue[worker]
+		for i := lo; i < hi; i++ {
+			rng := c.str.At(uint64(base + i))
+			root := int32(rng.Intn(n))
+			start := len(out.nodes)
+			switch c.model {
+			case IC:
+				out.nodes, queue = sampleIC(c.g, root, rng, out.nodes, visited, queue)
+			case LT:
+				out.nodes = sampleLT(c.g, root, rng, out.nodes, visited)
+			}
+			out.lens = append(out.lens, int32(len(out.nodes)-start))
+		}
+		c.scratchQueue[worker] = queue
+		return out, nil
+	})
+	for _, sh := range shards {
+		for _, l := range sh.lens {
+			c.off = append(c.off, c.off[len(c.off)-1]+l)
+		}
+		c.nodes = append(c.nodes, sh.nodes...)
+	}
+	c.drawn += count
 	c.indexed = 0 // invalidate index
 }
 
 // sampleIC performs a reverse randomized BFS: each in-edge is live with
-// probability equal to its weight.
-func (c *RRCollection) sampleIC(root int32, r *rand.Rand) {
-	q := c.scratchQueue[:0]
+// probability equal to its weight. Members are appended to nodes; visited
+// must be all-false on entry and is restored before returning.
+func sampleIC(g *graph.Graph, root int32, rng sampling.Source, nodes []int32, visited []bool, queue []int32) ([]int32, []int32) {
+	q := queue[:0]
 	q = append(q, root)
-	c.scratchVisited[root] = true
-	start := len(c.nodes)
-	c.nodes = append(c.nodes, root)
+	visited[root] = true
+	start := len(nodes)
+	nodes = append(nodes, root)
 	for head := 0; head < len(q); head++ {
 		v := q[head]
-		src, w := c.g.InNeighbors(v)
+		src, w := g.InNeighbors(v)
 		for i, u := range src {
-			if c.scratchVisited[u] {
+			if visited[u] {
 				continue
 			}
-			if r.Float64() < w[i] {
-				c.scratchVisited[u] = true
+			if rng.Float64() < w[i] {
+				visited[u] = true
 				q = append(q, u)
-				c.nodes = append(c.nodes, u)
+				nodes = append(nodes, u)
 			}
 		}
 	}
-	for _, v := range c.nodes[start:] {
-		c.scratchVisited[v] = false
+	for _, v := range nodes[start:] {
+		visited[v] = false
 	}
-	c.scratchQueue = q[:0]
-	c.off = append(c.off, int32(len(c.nodes)))
+	return nodes, q[:0]
 }
 
 // sampleLT samples the live-edge path of the LT model: each node picks
 // exactly one in-neighbor with probability equal to the edge weight
 // (in-weights sum to 1 on a column-stochastic graph); the walk stops when
 // it revisits a node.
-func (c *RRCollection) sampleLT(root int32, r *rand.Rand) {
-	start := len(c.nodes)
+func sampleLT(g *graph.Graph, root int32, rng sampling.Source, nodes []int32, visited []bool) []int32 {
+	start := len(nodes)
 	cur := root
-	c.scratchVisited[root] = true
-	c.nodes = append(c.nodes, root)
+	visited[root] = true
+	nodes = append(nodes, root)
 	for {
-		src, w := c.g.InNeighbors(cur)
+		src, w := g.InNeighbors(cur)
 		if len(src) == 0 {
 			break
 		}
-		x := r.Float64()
+		x := rng.Float64()
 		next := int32(-1)
 		acc := 0.0
 		for i, u := range src {
@@ -110,17 +162,17 @@ func (c *RRCollection) sampleLT(root int32, r *rand.Rand) {
 		if next < 0 { // residual probability mass: no live in-edge
 			break
 		}
-		if c.scratchVisited[next] {
+		if visited[next] {
 			break
 		}
-		c.scratchVisited[next] = true
-		c.nodes = append(c.nodes, next)
+		visited[next] = true
+		nodes = append(nodes, next)
 		cur = next
 	}
-	for _, v := range c.nodes[start:] {
-		c.scratchVisited[v] = false
+	for _, v := range nodes[start:] {
+		visited[v] = false
 	}
-	c.off = append(c.off, int32(len(c.nodes)))
+	return nodes
 }
 
 func (c *RRCollection) buildIndex() {

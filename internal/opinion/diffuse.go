@@ -3,6 +3,7 @@ package opinion
 import (
 	"fmt"
 
+	"ovm/internal/engine"
 	"ovm/internal/graph"
 )
 
@@ -105,19 +106,23 @@ func OpinionsAt(c *Candidate, t int, seeds []int32) []float64 {
 // Matrix computes the full opinion matrix B^(t)[S] for a system: row q holds
 // candidate q's opinions at horizon t. Only the target candidate receives
 // the seed set; all others diffuse seedless, matching the problem setup of
-// §II-C (known/no seeds for non-targets).
-func Matrix(s *System, t int, target int, seeds []int32) ([][]float64, error) {
+// §II-C (known/no seeds for non-targets). Candidate rows are independent
+// diffusions, so they run concurrently on the engine worker pool
+// (parallelism: 0 = GOMAXPROCS, 1 = serial); each row is deterministic,
+// making the matrix identical at any worker count.
+func Matrix(s *System, t int, target int, seeds []int32, parallelism int) ([][]float64, error) {
 	if target < 0 || target >= s.R() {
 		return nil, fmt.Errorf("opinion: target candidate %d out of range [0,%d)", target, s.R())
 	}
 	out := make([][]float64, s.R())
-	for q := 0; q < s.R(); q++ {
+	_ = engine.ForEachShard(parallelism, s.R(), func(_, q int) error {
 		var sd []int32
 		if q == target {
 			sd = seeds
 		}
 		out[q] = OpinionsAt(s.Candidate(q), t, sd)
-	}
+		return nil
+	})
 	return out, nil
 }
 

@@ -361,7 +361,7 @@ func TestMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	B, err := opinion.Matrix(sys, 1, 0, []int32{2})
+	B, err := opinion.Matrix(sys, 1, 0, []int32{2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestMatrix(t *testing.T) {
 			t.Errorf("B[1][%d] = %v, want %v", v, B[1][v], paperexample.C2AtHorizon[v])
 		}
 	}
-	if _, err := opinion.Matrix(sys, 1, 5, nil); err == nil {
+	if _, err := opinion.Matrix(sys, 1, 5, nil, 1); err == nil {
 		t.Error("expected error for bad target")
 	}
 }

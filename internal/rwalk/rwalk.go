@@ -45,6 +45,10 @@ type Config struct {
 	MaxPilotRounds int
 	// Seed drives all randomness (walk generation, pilot estimation).
 	Seed int64
+	// Parallelism caps the engine worker pool for walk generation and the
+	// greedy scans: 0 means GOMAXPROCS, 1 disables concurrency. Seeds and
+	// scores are bit-identical across Parallelism values.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +111,7 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon)
+	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, cfg.Parallelism)
 
 	res := &Result{}
 	n := p.Sys.N()
@@ -153,11 +157,11 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	}
 	res.Lambda = plan
 
-	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.NewRand(cfg.Seed, 101))
+	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 101}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set))
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -210,11 +214,11 @@ func estimateGammaStar(p *core.Problem, cfg Config, sampler *graph.InEdgeSampler
 	for v := range plan {
 		plan[v] = int32(alpha)
 	}
-	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.NewRand(cfg.Seed, 103))
+	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 103}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set))
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set), cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

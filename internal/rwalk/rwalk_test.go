@@ -110,11 +110,11 @@ func TestSelectApproachesDMQuality(t *testing.T) {
 	// On random instances RW's exact score should be close to DM's.
 	for _, score := range []voting.Score{voting.Cumulative{}, voting.Plurality{}} {
 		p := randomProblem(t, 7, 60, 2, 3, 4, score)
-		dmSeeds, _, err := core.SelectSeedsDM(p)
+		dmSeeds, _, err := core.SelectSeedsDM(p, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dmVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, score, dmSeeds)
+		dmVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, score, dmSeeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func TestSelectApproachesDMQuality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rwVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, score, res.Seeds)
+		rwVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, score, res.Seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,126 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a := NewSplitMix(42, 7)
+	b := NewSplitMix(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at output %d", i)
+		}
+	}
+	c := NewSplitMix(42, 8)
+	if a.Uint64() == c.Uint64() {
+		t.Error("distinct streams produced the same output (suspicious)")
+	}
+}
+
+func TestSplitMixFloat64Range(t *testing.T) {
+	s := NewSplitMix(1, 1)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestSplitMixFloat64Uniform(t *testing.T) {
+	s := NewSplitMix(3, 9)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("variance = %v, want ≈1/12", variance)
+	}
+}
+
+func TestSplitMixIntn(t *testing.T) {
+	s := NewSplitMix(5, 2)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/10) > 4*math.Sqrt(n/10) {
+			t.Errorf("Intn bucket %d has %d hits, want ≈%d", v, c, n/10)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestStreamAtIndependence(t *testing.T) {
+	st := Stream{Seed: 11, ID: 3}
+	a, b := st.At(0), st.At(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent substreams collided on %d of 64 outputs", same)
+	}
+	// Same index twice must replay exactly.
+	c, d := st.At(5), st.At(5)
+	for i := 0; i < 32; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Stream.At is not reproducible")
+		}
+	}
+}
+
+func TestStreamSubDistinct(t *testing.T) {
+	st := Stream{Seed: 1, ID: 100}
+	s1, s2 := st.Sub(1), st.Sub(2)
+	if s1.ID == s2.ID {
+		t.Error("Sub(1) and Sub(2) share an ID")
+	}
+	if s1.Seed != st.Seed {
+		t.Error("Sub must preserve the root seed")
+	}
+	a, b := s1.At(0), s2.At(0)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Error("child streams produced identical outputs")
+	}
+}
+
+// TestSourceCompat confirms both generators satisfy the Source interface
+// and behave sanely through it.
+func TestSourceCompat(t *testing.T) {
+	for _, src := range []Source{
+		NewSplitMix(1, 1),
+		rand.New(rand.NewSource(1)),
+	} {
+		if f := src.Float64(); f < 0 || f >= 1 {
+			t.Errorf("Float64 out of range: %v", f)
+		}
+		if v := src.Intn(3); v < 0 || v >= 3 {
+			t.Errorf("Intn out of range: %d", v)
+		}
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	MaxTheta int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism caps the engine worker pool for sketch generation and the
+	// greedy scans: 0 means GOMAXPROCS, 1 disables concurrency. Seeds and
+	// scores are bit-identical across Parallelism values.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,11 +107,13 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SelectWithTheta(p, theta, cfg.Seed)
+	return SelectWithTheta(p, theta, cfg.Seed, cfg.Parallelism)
 }
 
 // SelectWithTheta runs Algorithm 5 with a fixed sketch count θ.
-func SelectWithTheta(p *core.Problem, theta int, seed int64) (*Result, error) {
+// Parallelism follows the usual engine convention (0 = GOMAXPROCS, 1 =
+// serial) and never changes the selected seeds.
+func SelectWithTheta(p *core.Problem, theta int, seed int64, parallelism int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -119,12 +125,12 @@ func SelectWithTheta(p *core.Problem, theta int, seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon)
-	set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.NewRand(seed, 211))
+	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: seed, ID: 211}, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta))
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta), parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +158,7 @@ func selectCumulative(p *core.Problem, cfg Config) (*Result, error) {
 	if theta > cfg.MaxTheta {
 		theta = cfg.MaxTheta
 	}
-	res, err := SelectWithTheta(p, theta, cfg.Seed)
+	res, err := SelectWithTheta(p, theta, cfg.Seed, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +192,7 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	n := p.Sys.N()
 	cand := p.Sys.Candidate(p.Target)
-	base, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, voting.Cumulative{}, nil)
+	base, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, voting.Cumulative{}, nil, cfg.Parallelism)
 	if err != nil {
 		return 0, err
 	}
@@ -197,7 +203,7 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon)
+	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, cfg.Parallelism)
 	lnTerm := cfg.L*math.Log(float64(n)) + math.Log(math.Log2(float64(n))+1)
 	for x := float64(n) / 2; x >= float64(p.K); x /= 2 {
 		theta := int(math.Ceil((2 + 2*epsPrime/3) * lnTerm * float64(n) / (epsPrime * epsPrime * x)))
@@ -207,11 +213,11 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 		if theta < 1 {
 			theta = 1
 		}
-		set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.NewRand(cfg.Seed, uint64(223+int(x))))
+		set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: cfg.Seed, ID: uint64(223 + int(x))}, cfg.Parallelism)
 		if err != nil {
 			return 0, err
 		}
-		est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta))
+		est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta), cfg.Parallelism)
 		if err != nil {
 			return 0, err
 		}
@@ -252,11 +258,11 @@ func HeuristicTheta(p *core.Problem, cfg Config) (int, []ThetaTrace, error) {
 	theta := cfg.InitialTheta
 	chosen := theta
 	for {
-		res, err := SelectWithTheta(p, theta, cfg.Seed)
+		res, err := SelectWithTheta(p, theta, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return 0, nil, err
 		}
-		exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, res.Seeds)
+		exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, res.Seeds, cfg.Parallelism)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -79,7 +79,7 @@ func TestSelectPluralityPaperExample(t *testing.T) {
 
 func TestSelectWithThetaFixed(t *testing.T) {
 	p := paperProblem(t, voting.Copeland{}, 1)
-	res, err := sketch.SelectWithTheta(p, 4096, 3)
+	res, err := sketch.SelectWithTheta(p, 4096, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestSelectWithThetaFixed(t *testing.T) {
 	if res.Theta != 4096 {
 		t.Errorf("theta = %d, want 4096", res.Theta)
 	}
-	if _, err := sketch.SelectWithTheta(p, 0, 3); err == nil {
+	if _, err := sketch.SelectWithTheta(p, 0, 3, 1); err == nil {
 		t.Error("expected error for theta=0")
 	}
 }
@@ -155,19 +155,19 @@ func TestConfigValidation(t *testing.T) {
 
 func TestSketchQualityVsDM(t *testing.T) {
 	p := randomProblem(t, 11, 60, 2, 3, 4, voting.Cumulative{})
-	dmSeeds, _, err := core.SelectSeedsDM(p)
+	dmSeeds, _, err := core.SelectSeedsDM(p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dmVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, voting.Cumulative{}, dmSeeds)
+	dmVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, voting.Cumulative{}, dmSeeds, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sketch.SelectWithTheta(p, 30000, 12)
+	res, err := sketch.SelectWithTheta(p, 30000, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rsVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, voting.Cumulative{}, res.Seeds)
+	rsVal, err := core.EvaluateExact(p.Sys, 0, p.Horizon, voting.Cumulative{}, res.Seeds, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

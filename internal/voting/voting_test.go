@@ -17,7 +17,7 @@ func tableIMatrix(t *testing.T, seeds []int32) [][]float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	B, err := opinion.Matrix(sys, paperexample.Horizon, paperexample.Target, seeds)
+	B, err := opinion.Matrix(sys, paperexample.Horizon, paperexample.Target, seeds, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,14 +253,14 @@ func TestScoresNonDecreasingInSeeds(t *testing.T) {
 	subsets := [][]int32{nil, {0}, {1}, {2}, {3}, {0, 1}, {0, 2}, {1, 3}, {0, 1, 2}, {0, 1, 2, 3}}
 	for _, f := range scores {
 		for _, base := range subsets {
-			Bb, err := opinion.Matrix(sys, 1, 0, base)
+			Bb, err := opinion.Matrix(sys, 1, 0, base, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
 			fb := f.Eval(Bb, 0)
 			for add := int32(0); add < 4; add++ {
 				ext := append(append([]int32{}, base...), add)
-				Be, err := opinion.Matrix(sys, 1, 0, ext)
+				Be, err := opinion.Matrix(sys, 1, 0, ext, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -305,11 +305,11 @@ func TestBordaSeedSelectionIntegrates(t *testing.T) {
 		t.Fatal(err)
 	}
 	borda := voting.BordaAsPositional(2)
-	B0, err := opinion.Matrix(sys, 1, 0, nil)
+	B0, err := opinion.Matrix(sys, 1, 0, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	B3, err := opinion.Matrix(sys, 1, 0, []int32{2})
+	B3, err := opinion.Matrix(sys, 1, 0, []int32{2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestNonSubmodularityExample3(t *testing.T) {
 		t.Fatal(err)
 	}
 	eval := func(f voting.Score, seeds []int32) float64 {
-		B, err := opinion.Matrix(sys, 1, 0, seeds)
+		B, err := opinion.Matrix(sys, 1, 0, seeds, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,4 +19,10 @@
 // marginal-gain computation that gives Algorithm 4 its O(k·t·Σλ_v) seed
 // selection cost — including the rank-based extensions needed by the
 // plurality family and the Copeland score.
+//
+// Generation, truncation, estimate refresh, and the gain scans all run on
+// the internal/engine worker pool. Each owner draws from its own
+// sampling.Stream substream and shard geometry ignores the worker count,
+// so every Set, estimate, and greedy pick is bit-identical across
+// Parallelism settings.
 package walks

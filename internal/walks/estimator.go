@@ -3,6 +3,7 @@ package walks
 import (
 	"fmt"
 
+	"ovm/internal/engine"
 	"ovm/internal/voting"
 )
 
@@ -14,6 +15,12 @@ import (
 // Owner weights express how an owner's contribution enters the estimated
 // score: 1 for the RW method (every node is an owner), and m_v·n/θ for the
 // RS method (owner v sampled m_v times among θ sketches).
+//
+// The scan-heavy phases (estimate refresh, truncation, marginal-gain
+// evaluation) run on the engine worker pool. Shard geometry and reduction
+// order are fixed independently of the worker count, so greedy decisions —
+// and therefore seed sets and scores — are bit-identical for every
+// Parallelism value.
 type Estimator struct {
 	set    *Set
 	target int
@@ -24,6 +31,8 @@ type Estimator struct {
 	est          []float64 // per-owner b̂
 	walkOwnerIdx []int32   // owner index of each walk
 
+	parallelism int // engine worker knob (0 = GOMAXPROCS)
+
 	// scan scratch
 	stamp      []int32
 	gainAcc    []float64
@@ -32,17 +41,27 @@ type Estimator struct {
 	entryOff   []int32
 	entryOwner []int32
 	entryAdd   []float64
+	gainBuf    []float64 // per-candidate gains, indexed like touched
+
+	// cumulative-scan shards (allocated lazily; geometry fixed per Set)
+	scanShards   int
+	shardAcc     [][]float64
+	shardStamp   [][]int32
+	shardTouched [][]int32
 
 	// Copeland scratch
-	plus, minus           []float64
-	scratchPlus, scrMinus []float64
+	plus, minus []float64
+	cpPlus      [][]float64 // per-worker scratch copies of plus
+	cpMinus     [][]float64 // per-worker scratch copies of minus
 }
 
 // NewEstimator assembles an estimator. comp must hold the exact horizon-t
 // opinion vector of every non-target candidate (indexed by candidate, then
 // node id); the target row is ignored and may be nil. weight must have one
-// entry per owner.
-func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight []float64) (*Estimator, error) {
+// entry per owner. parallelism caps the worker pool for every scan,
+// including the initial estimate refresh performed here (0 = GOMAXPROCS,
+// 1 = serial); SetParallelism can adjust it later.
+func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight []float64, parallelism int) (*Estimator, error) {
 	n := set.Graph().N()
 	if len(b0) != n {
 		return nil, fmt.Errorf("walks: b0 has %d entries, want %d", len(b0), n)
@@ -60,6 +79,7 @@ func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight [
 	}
 	e := &Estimator{
 		set:         set,
+		parallelism: parallelism,
 		target:      target,
 		b0:          b0,
 		comp:        comp,
@@ -71,8 +91,6 @@ func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight [
 		entryOff:    make([]int32, n+1),
 		plus:        make([]float64, len(comp)),
 		minus:       make([]float64, len(comp)),
-		scratchPlus: make([]float64, len(comp)),
-		scrMinus:    make([]float64, len(comp)),
 	}
 	for i := range e.stamp {
 		e.stamp[i] = -1
@@ -83,8 +101,59 @@ func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight [
 			e.walkOwnerIdx[w] = int32(i)
 		}
 	}
+	// Shard geometry for the cumulative gain scan: enough walks per shard
+	// to amortize the merge, capped both absolutely and by the per-shard
+	// O(n) scratch each shard carries. Worker count plays no role here.
+	maxByMem := (8 << 20) / (n + 1)
+	if maxByMem < 1 {
+		maxByMem = 1
+	}
+	if maxByMem > 64 {
+		maxByMem = 64
+	}
+	e.scanShards = engine.NumShards(set.NumWalks(), 2048, maxByMem)
 	e.Refresh()
 	return e, nil
+}
+
+// SetParallelism pins the worker count for all subsequent scans: 0 means
+// GOMAXPROCS, 1 disables concurrency. Estimates, gains, and greedy picks do
+// not depend on this value.
+func (e *Estimator) SetParallelism(p int) { e.parallelism = p }
+
+// Parallelism returns the current worker knob.
+func (e *Estimator) Parallelism() int { return e.parallelism }
+
+// ensureScanScratch allocates the per-shard cumulative-scan buffers.
+func (e *Estimator) ensureScanScratch() {
+	if e.shardAcc != nil {
+		return
+	}
+	n := e.set.Graph().N()
+	e.shardAcc = make([][]float64, e.scanShards)
+	e.shardStamp = make([][]int32, e.scanShards)
+	e.shardTouched = make([][]int32, e.scanShards)
+	for s := range e.shardAcc {
+		e.shardAcc[s] = make([]float64, n)
+		e.shardStamp[s] = make([]int32, n)
+		for i := range e.shardStamp[s] {
+			e.shardStamp[s][i] = -1
+		}
+	}
+}
+
+// ensureWorkerScratch sizes the per-worker Copeland counters.
+func (e *Estimator) ensureWorkerScratch() {
+	w := engine.Workers(e.parallelism)
+	if len(e.cpPlus) >= w {
+		return
+	}
+	e.cpPlus = make([][]float64, w)
+	e.cpMinus = make([][]float64, w)
+	for i := 0; i < w; i++ {
+		e.cpPlus[i] = make([]float64, len(e.comp))
+		e.cpMinus[i] = make([]float64, len(e.comp))
+	}
 }
 
 // UniformOwnerWeights returns all-ones weights (the RW estimator).
@@ -110,7 +179,7 @@ func SketchOwnerWeights(set *Set, theta int) []float64 {
 // Refresh recomputes all per-owner estimates (and Copeland pairwise counts)
 // from the current truncation state. Called automatically after AddSeed.
 func (e *Estimator) Refresh() {
-	e.set.EstimatePerOwner(e.b0, e.est)
+	e.set.EstimatePerOwner(e.b0, e.est, e.parallelism)
 	for x := range e.comp {
 		e.plus[x], e.minus[x] = 0, 0
 	}
@@ -153,7 +222,7 @@ func (e *Estimator) EstimateOf(v int32) (float64, bool) {
 
 // AddSeed applies a seed and refreshes the estimates.
 func (e *Estimator) AddSeed(u int32) {
-	e.set.AddSeed(u)
+	e.set.AddSeed(u, e.parallelism)
 	e.Refresh()
 }
 

@@ -55,7 +55,7 @@ func randomWorld(t *testing.T, seed int64, n int) (make2 func() (*opinion.System
 		for i := range plan {
 			plan[i] = 30
 		}
-		set, err := walks.Generate(smp, stubs[0], horizon, plan, sampling.NewRand(seed, 77))
+		set, err := walks.Generate(smp, stubs[0], horizon, plan, sampling.Stream{Seed: seed, ID: 77}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func randomWorld(t *testing.T, seed int64, n int) (make2 func() (*opinion.System
 		for q := 1; q < rCand; q++ {
 			comp[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
 		}
-		est, err := walks.NewEstimator(set, 0, inits[0], comp, walks.UniformOwnerWeights(set))
+		est, err := walks.NewEstimator(set, 0, inits[0], comp, walks.UniformOwnerWeights(set), 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ovm/internal/core"
+	"ovm/internal/engine"
 	"ovm/internal/voting"
 )
 
@@ -35,8 +36,10 @@ func classifyScore(score voting.Score) (scoreKind, voting.Positional, error) {
 
 // SelectGreedy runs the walk-based greedy seed selection (the selection
 // loops of Algorithm 4 and Algorithm 5): k rounds, each computing the
-// estimated marginal gain of every candidate node in one scan over the
-// active walk prefixes, then truncating the walks at the chosen seed.
+// estimated marginal gain of every candidate node in one sharded scan over
+// the active walk prefixes, then truncating the walks at the chosen seed.
+// Picks are parallelism-invariant: shard geometry and merge order are fixed
+// and ties break to the lowest node id.
 func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult, error) {
 	n := e.set.Graph().N()
 	if k < 1 || k > n {
@@ -58,7 +61,7 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 		case kindCumulative:
 			best, bestGain = e.bestCumulative()
 		case kindPositional:
-			best, bestGain = e.bestRankBased(func(i int32, delta float64) float64 {
+			best, bestGain = e.bestRankBased(func(_ int, i int32, delta float64) float64 {
 				v := e.set.ownerNodes[i]
 				oldC := positionalContrib(e, v, e.est[i], pos.P, pos.Omega)
 				newC := positionalContrib(e, v, e.est[i]+delta, pos.P, pos.Omega)
@@ -92,14 +95,14 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 	return res, nil
 }
 
-// bestCumulative computes, in one pass, for every node u the estimated
-// cumulative marginal gain Σ_{walks ∋ u} weight·(1 − Y(w))/λ_owner and
-// returns the argmax (ties to the lowest id). Returns (-1, 0) if no node
-// has positive support.
-func (e *Estimator) bestCumulative() (int32, float64) {
-	e.touched = e.touched[:0]
+// scanShardCumulative accumulates the cumulative marginal-gain shares of
+// walks [wLo, wHi) into acc, recording first-touched nodes in touched.
+// stamp must be all -1 on entry; the function leaves its per-walk markers
+// in stamp, and the CALLER must reset the array to -1 before the next scan
+// (markers repeat across rounds, so stale stamps corrupt the dedup).
+func (e *Estimator) scanShardCumulative(wLo, wHi int, acc []float64, stamp []int32, touched []int32) []int32 {
 	set := e.set
-	for w := 0; w < set.NumWalks(); w++ {
+	for w := wLo; w < wHi; w++ {
 		val := set.WalkValue(w, e.b0)
 		rem := 1 - val
 		if rem <= 0 {
@@ -110,14 +113,56 @@ func (e *Estimator) bestCumulative() (int32, float64) {
 		marker := int32(w + 1)
 		for pos := set.off[w]; pos <= set.end[w]; pos++ {
 			u := set.nodes[pos]
-			if e.stamp[u] == marker {
+			if stamp[u] == marker {
 				continue
 			}
-			e.stamp[u] = marker
-			if e.gainAcc[u] == 0 {
-				e.touched = append(e.touched, u)
+			stamp[u] = marker
+			if acc[u] == 0 {
+				touched = append(touched, u)
 			}
-			e.gainAcc[u] += share
+			acc[u] += share
+		}
+	}
+	return touched
+}
+
+// bestCumulative computes, in one sharded pass, for every node u the
+// estimated cumulative marginal gain Σ_{walks ∋ u} weight·(1 − Y(w))/λ_owner
+// and returns the argmax (ties to the lowest id). Returns (-1, 0) if no
+// node has positive support. Per-shard partial gains are merged in shard
+// order, so the floating-point result does not depend on the worker count.
+func (e *Estimator) bestCumulative() (int32, float64) {
+	set := e.set
+	e.touched = e.touched[:0]
+	if e.scanShards <= 1 {
+		e.touched = e.scanShardCumulative(0, set.NumWalks(), e.gainAcc, e.stamp, e.touched)
+		for i := range e.stamp {
+			e.stamp[i] = -1
+		}
+	} else {
+		e.ensureScanScratch()
+		numWalks := set.NumWalks()
+		_ = engine.ForEachShard(e.parallelism, e.scanShards, func(_, s int) error {
+			lo, hi := engine.ShardRange(numWalks, e.scanShards, s)
+			e.shardTouched[s] = e.scanShardCumulative(lo, hi, e.shardAcc[s], e.shardStamp[s], e.shardTouched[s][:0])
+			// Reset this shard's stamps for the next round; markers repeat
+			// across rounds, so stale stamps would corrupt the dedup.
+			stamp := e.shardStamp[s]
+			for i := range stamp {
+				stamp[i] = -1
+			}
+			return nil
+		})
+		// Deterministic merge: fold shard accumulators in shard order.
+		for s := 0; s < e.scanShards; s++ {
+			acc := e.shardAcc[s]
+			for _, u := range e.shardTouched[s] {
+				if e.gainAcc[u] == 0 {
+					e.touched = append(e.touched, u)
+				}
+				e.gainAcc[u] += acc[u]
+				acc[u] = 0
+			}
 		}
 	}
 	best, bestGain := int32(-1), 0.0
@@ -131,21 +176,18 @@ func (e *Estimator) bestCumulative() (int32, float64) {
 			best, bestGain = u, g
 		}
 	}
-	// Reset stamps lazily: markers are per-walk ids, reused next round, so
-	// clear explicitly to avoid collisions.
-	for i := range e.stamp {
-		e.stamp[i] = -1
-	}
 	return best, bestGain
 }
 
 // bestRankBased evaluates marginal gains for rank-dependent scores. For
 // each candidate u it aggregates the per-owner estimate deltas caused by
-// truncating u's walks, then sums gainOf(owner, delta) over affected
-// owners. copelandEval, if non-nil, overrides the aggregation (see
+// truncating u's walks, then sums gainOf(worker, owner, delta) over
+// affected owners; the per-candidate evaluations run sharded on the worker
+// pool (each candidate reads shared state and writes only its own gain
+// slot). copelandEval, if non-nil, overrides the aggregation (see
 // bestCopeland).
-func (e *Estimator) bestRankBased(gainOf func(owner int32, delta float64) float64,
-	copelandEval func(u int32, lo, hi int32) float64) (int32, float64) {
+func (e *Estimator) bestRankBased(gainOf func(worker int, owner int32, delta float64) float64,
+	copelandEval func(worker int, u int32, lo, hi int32) float64) (int32, float64) {
 	set := e.set
 	n := set.Graph().N()
 	// Pass A: count first occurrences per candidate node.
@@ -212,30 +254,50 @@ func (e *Estimator) bestRankBased(gainOf func(owner int32, delta float64) float6
 	for i := range e.stamp {
 		e.stamp[i] = -1
 	}
-	// Gain evaluation per candidate.
+	// Gain evaluation per candidate, sharded over the worker pool. Every
+	// candidate's gain depends only on the (read-only) entry lists and
+	// per-worker scratch, so the values — and the lowest-id tie-broken
+	// argmax below — are identical for any parallelism.
+	if cap(e.gainBuf) < len(e.touched) {
+		e.gainBuf = make([]float64, len(e.touched))
+	}
+	gains := e.gainBuf[:len(e.touched)]
+	e.ensureWorkerScratch()
+	_ = engine.ForEachChunk(e.parallelism, len(e.touched), 64, 256, func(worker, _, tLo, tHi int) error {
+		for ti := tLo; ti < tHi; ti++ {
+			u := e.touched[ti]
+			if e.set.inSeed[u] {
+				gains[ti] = math.Inf(-1)
+				continue
+			}
+			lo, hi := e.entryOff[u], e.entryOff[u+1]
+			var gain float64
+			if copelandEval != nil {
+				gain = copelandEval(worker, u, lo, hi)
+			} else {
+				gain = 0
+				p := lo
+				for p < hi {
+					owner := e.entryOwner[p]
+					delta := e.entryAdd[p]
+					p++
+					for p < hi && e.entryOwner[p] == owner {
+						delta += e.entryAdd[p]
+						p++
+					}
+					gain += gainOf(worker, owner, delta)
+				}
+			}
+			gains[ti] = gain
+		}
+		return nil
+	})
 	best, bestGain := int32(-1), math.Inf(-1)
-	for _, u := range e.touched {
+	for ti, u := range e.touched {
 		if e.set.inSeed[u] {
 			continue
 		}
-		lo, hi := e.entryOff[u], e.entryOff[u+1]
-		var gain float64
-		if copelandEval != nil {
-			gain = copelandEval(u, lo, hi)
-		} else {
-			gain = 0
-			p := lo
-			for p < hi {
-				owner := e.entryOwner[p]
-				delta := e.entryAdd[p]
-				p++
-				for p < hi && e.entryOwner[p] == owner {
-					delta += e.entryAdd[p]
-					p++
-				}
-				gain += gainOf(owner, delta)
-			}
-		}
+		gain := gains[ti]
 		if gain > bestGain || (gain == bestGain && best >= 0 && u < best) {
 			best, bestGain = u, gain
 		}
@@ -249,10 +311,12 @@ func (e *Estimator) bestRankBased(gainOf func(owner int32, delta float64) float6
 // bestCopeland evaluates Copeland marginal gains: for each candidate u it
 // adjusts the weighted pairwise win/loss counters by the estimate deltas of
 // the affected owners and recounts the one-on-one victories (Equation 47).
+// Each worker adjusts its own scratch copy of the counters.
 func (e *Estimator) bestCopeland(curScore float64) (int32, float64) {
-	return e.bestRankBased(nil, func(u int32, lo, hi int32) float64 {
-		copy(e.scratchPlus, e.plus)
-		copy(e.scrMinus, e.minus)
+	return e.bestRankBased(nil, func(worker int, u int32, lo, hi int32) float64 {
+		scrPlus, scrMinus := e.cpPlus[worker], e.cpMinus[worker]
+		copy(scrPlus, e.plus)
+		copy(scrMinus, e.minus)
 		p := lo
 		for p < hi {
 			owner := e.entryOwner[p]
@@ -273,16 +337,16 @@ func (e *Estimator) bestCopeland(curScore float64) (int32, float64) {
 				// Remove old comparison.
 				switch {
 				case oldB > cx:
-					e.scratchPlus[x] -= e.weight[owner]
+					scrPlus[x] -= e.weight[owner]
 				case oldB < cx:
-					e.scrMinus[x] -= e.weight[owner]
+					scrMinus[x] -= e.weight[owner]
 				}
 				// Add new comparison.
 				switch {
 				case newB > cx:
-					e.scratchPlus[x] += e.weight[owner]
+					scrPlus[x] += e.weight[owner]
 				case newB < cx:
-					e.scrMinus[x] += e.weight[owner]
+					scrMinus[x] += e.weight[owner]
 				}
 			}
 		}
@@ -291,7 +355,7 @@ func (e *Estimator) bestCopeland(curScore float64) (int32, float64) {
 			if x == e.target {
 				continue
 			}
-			if e.scratchPlus[x] > e.scrMinus[x] {
+			if scrPlus[x] > scrMinus[x] {
 				newScore++
 			}
 		}

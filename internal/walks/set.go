@@ -3,10 +3,11 @@ package walks
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
+	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/sampling"
 )
 
 // Set is a collection of t-step reverse random walks stored in flat arrays,
@@ -27,10 +28,23 @@ type Set struct {
 	seeds  []int32
 }
 
+// Substream family offsets within a walk-generation Stream: walks for owner
+// v draw from Sub(walkStream).At(v); the sketch start-node draws use
+// Sub(startStream).At(0).
+const (
+	startStream = 1
+	walkStream  = 2
+)
+
 // Generate creates plan[v] walks from every node v (Direct Generation with
 // an empty seed set). Nodes with plan[v] == 0 get no walks. The stub slice
 // supplies per-node termination probabilities (the stubbornness d_v).
-func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32, r *rand.Rand) (*Set, error) {
+//
+// Generation is sharded by start node over the engine worker pool. Each
+// owner v consumes its own random substream str.Sub(walkStream).At(v), so
+// the returned Set is bit-identical for every parallelism value (0 =
+// GOMAXPROCS workers).
+func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32, str sampling.Stream, parallelism int) (*Set, error) {
 	g := s.Graph()
 	n := g.N()
 	if len(plan) != n {
@@ -52,33 +66,24 @@ func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32,
 	if est := int64(totalWalks) * int64(horizon+1); est > math.MaxInt32 {
 		return nil, fmt.Errorf("walks: plan requires up to %d walk elements, exceeding storage limits", est)
 	}
-	set := &Set{
-		g:       g,
-		horizon: horizon,
-		nodes:   make([]int32, 0, totalWalks*(horizon+1)/2),
-		off:     make([]int32, 1, totalWalks+1),
-		end:     make([]int32, 0, totalWalks),
-		inSeed:  make([]bool, n),
-	}
+	var owners, counts []int32
 	for v := int32(0); v < int32(n); v++ {
 		if plan[v] == 0 {
 			continue
 		}
-		set.ownerNodes = append(set.ownerNodes, v)
-		for j := int32(0); j < plan[v]; j++ {
-			set.appendWalk(s, stub, v, r)
-		}
-		set.ownerOff = append(set.ownerOff, int32(len(set.end)))
+		owners = append(owners, v)
+		counts = append(counts, plan[v])
 	}
-	set.finishOwners()
-	return set, nil
+	return generateGrouped(s, stub, horizon, owners, counts, totalWalks, str, parallelism)
 }
 
 // GenerateSampled creates theta walks whose start nodes are drawn uniformly
 // at random with replacement (the sketch set of §VI-A, with λ_v = 1 per
 // sample). Walks from repeated samples of the same node are grouped under
 // one owner, so per-owner averages realize the footnote-6 estimator.
-func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int, r *rand.Rand) (*Set, error) {
+// Sketch generation is sharded by owner exactly like Generate and is
+// equally reproducible across parallelism values.
+func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int, str sampling.Stream, parallelism int) (*Set, error) {
 	g := s.Graph()
 	n := g.N()
 	if len(stub) != n {
@@ -90,49 +95,92 @@ func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int,
 	if theta <= 0 {
 		return nil, fmt.Errorf("walks: need theta > 0, got %d", theta)
 	}
+	// Start nodes come from a single sequential substream: theta cheap draws,
+	// not worth sharding, and the sorted multiset is what the walk stage
+	// consumes anyway.
+	rng := str.Sub(startStream).At(0)
 	starts := make([]int32, theta)
 	for i := range starts {
-		starts[i] = int32(r.Intn(n))
+		starts[i] = int32(rng.Intn(n))
 	}
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	set := &Set{
-		g:       g,
-		horizon: horizon,
-		nodes:   make([]int32, 0, theta*(horizon+1)/2),
-		off:     make([]int32, 1, theta+1),
-		end:     make([]int32, 0, theta),
-		inSeed:  make([]bool, n),
-	}
+	var owners, counts []int32
 	for i := 0; i < theta; {
 		v := starts[i]
-		set.ownerNodes = append(set.ownerNodes, v)
+		c := int32(0)
 		for i < theta && starts[i] == v {
-			set.appendWalk(s, stub, v, r)
+			c++
 			i++
 		}
-		set.ownerOff = append(set.ownerOff, int32(len(set.end)))
+		owners = append(owners, v)
+		counts = append(counts, c)
 	}
-	set.finishOwners()
-	return set, nil
+	return generateGrouped(s, stub, horizon, owners, counts, theta, str, parallelism)
 }
 
-func (set *Set) appendWalk(s *graph.InEdgeSampler, stub []float64, start int32, r *rand.Rand) {
-	set.nodes = append(set.nodes, start)
-	cur := start
-	for step := 0; step < set.horizon; step++ {
-		if r.Float64() < stub[cur] {
-			break
+// generateGrouped runs the sharded walk generation common to Generate and
+// GenerateSampled: owners (ascending, with per-owner walk counts) are cut
+// into contiguous shards, each shard generates its owners' walks into local
+// buffers, and the shard outputs are concatenated in shard order.
+func generateGrouped(s *graph.InEdgeSampler, stub []float64, horizon int, owners, counts []int32, totalWalks int, str sampling.Stream, parallelism int) (*Set, error) {
+	g := s.Graph()
+	n := g.N()
+	set := &Set{
+		g:          g,
+		horizon:    horizon,
+		ownerNodes: owners,
+		ownerOff:   make([]int32, len(owners)+1),
+		off:        make([]int32, 1, totalWalks+1),
+		end:        make([]int32, 0, totalWalks),
+		inSeed:     make([]bool, n),
+	}
+	for i, c := range counts {
+		set.ownerOff[i+1] = set.ownerOff[i] + c
+	}
+	walkStr := str.Sub(walkStream)
+
+	type shardOut struct {
+		nodes []int32 // concatenated walk sequences of this shard
+		lens  []int32 // per-walk lengths, in walk order
+	}
+	numShards := engine.NumShards(len(owners), 64, 256)
+	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (shardOut, error) {
+		lo, hi := engine.ShardRange(len(owners), numShards, sh)
+		var out shardOut
+		walkCount := int(set.ownerOff[hi] - set.ownerOff[lo])
+		out.lens = make([]int32, 0, walkCount)
+		out.nodes = make([]int32, 0, walkCount*(horizon+1)/2+1)
+		for i := lo; i < hi; i++ {
+			v := owners[i]
+			rng := walkStr.At(uint64(v))
+			for j := int32(0); j < counts[i]; j++ {
+				startLen := len(out.nodes)
+				out.nodes = append(out.nodes, v)
+				cur := v
+				for step := 0; step < horizon; step++ {
+					if rng.Float64() < stub[cur] {
+						break
+					}
+					cur = s.Sample(cur, rng)
+					out.nodes = append(out.nodes, cur)
+				}
+				out.lens = append(out.lens, int32(len(out.nodes)-startLen))
+			}
 		}
-		cur = s.Sample(cur, r)
-		set.nodes = append(set.nodes, cur)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	set.end = append(set.end, int32(len(set.nodes))-1)
-	set.off = append(set.off, int32(len(set.nodes)))
-}
-
-func (set *Set) finishOwners() {
-	// Prepend the leading zero to ownerOff.
-	set.ownerOff = append([]int32{0}, set.ownerOff...)
+	for _, sh := range shards {
+		for _, l := range sh.lens {
+			pos := set.off[len(set.off)-1]
+			set.end = append(set.end, pos+l-1)
+			set.off = append(set.off, pos+l)
+		}
+		set.nodes = append(set.nodes, sh.nodes...)
+	}
+	return set, nil
 }
 
 // NumWalks returns the total number of walks.
@@ -173,21 +221,26 @@ func (set *Set) WalkValue(w int, b0 []float64) float64 {
 
 // AddSeed marks u as a seed and truncates every walk at its first
 // occurrence of u (Post-Generation Truncation, §V-B). Cost: one pass over
-// all remaining walk elements.
-func (set *Set) AddSeed(u int32) {
+// all remaining walk elements, sharded over the worker pool (each walk's
+// truncation point is independent of every other walk's, so the result is
+// identical for any parallelism).
+func (set *Set) AddSeed(u int32, parallelism int) {
 	if set.inSeed[u] {
 		return
 	}
 	set.inSeed[u] = true
 	set.seeds = append(set.seeds, u)
-	for w := 0; w < len(set.end); w++ {
-		for i := set.off[w]; i <= set.end[w]; i++ {
-			if set.nodes[i] == u {
-				set.end[w] = i
-				break
+	_ = engine.ForEachChunk(parallelism, len(set.end), 4096, 256, func(_, _, lo, hi int) error {
+		for w := lo; w < hi; w++ {
+			for i := set.off[w]; i <= set.end[w]; i++ {
+				if set.nodes[i] == u {
+					set.end[w] = i
+					break
+				}
 			}
 		}
-	}
+		return nil
+	})
 }
 
 // ValueWithSeeds returns the walk's Y value under a hypothetical extra seed
@@ -213,16 +266,21 @@ func (set *Set) WalkNodes(w int) []int32 {
 }
 
 // EstimatePerOwner writes the per-owner opinion estimates
-// b̂_v[S] = (1/λ_v)·Σ_w Y-value(w) into out (len NumOwners).
-func (set *Set) EstimatePerOwner(b0 []float64, out []float64) {
-	for i := range set.ownerNodes {
-		lo, hi := set.ownerOff[i], set.ownerOff[i+1]
-		sum := 0.0
-		for w := lo; w < hi; w++ {
-			sum += set.WalkValue(int(w), b0)
+// b̂_v[S] = (1/λ_v)·Σ_w Y-value(w) into out (len NumOwners), sharding the
+// owner scan over the worker pool. Every owner's estimate is an independent
+// reduction over its own walks, so the output is parallelism-invariant.
+func (set *Set) EstimatePerOwner(b0 []float64, out []float64, parallelism int) {
+	_ = engine.ForEachChunk(parallelism, len(set.ownerNodes), 512, 256, func(_, _, iLo, iHi int) error {
+		for i := iLo; i < iHi; i++ {
+			lo, hi := set.ownerOff[i], set.ownerOff[i+1]
+			sum := 0.0
+			for w := lo; w < hi; w++ {
+				sum += set.WalkValue(int(w), b0)
+			}
+			out[i] = sum / float64(hi-lo)
 		}
-		out[i] = sum / float64(hi-lo)
-	}
+		return nil
+	})
 }
 
 // BytesUsed approximates the walk storage footprint, for the memory study

@@ -28,7 +28,7 @@ func paperSetup(t *testing.T, lambda int, seed int64) (*opinion.System, *walks.S
 	for i := range plan {
 		plan[i] = int32(lambda)
 	}
-	set, err := walks.Generate(smp, c.Stub, paperexample.Horizon, plan, sampling.NewRand(seed, 1))
+	set, err := walks.Generate(smp, c.Stub, paperexample.Horizon, plan, sampling.Stream{Seed: seed, ID: 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,20 +71,20 @@ func TestGenerateErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := sampling.NewRand(1, 2)
-	if _, err := walks.Generate(smp, c.Stub, 1, []int32{1}, r); err == nil {
+	str := sampling.Stream{Seed: 1, ID: 2}
+	if _, err := walks.Generate(smp, c.Stub, 1, []int32{1}, str, 1); err == nil {
 		t.Error("expected error for wrong plan length")
 	}
-	if _, err := walks.Generate(smp, c.Stub, -1, make([]int32, 4), r); err == nil {
+	if _, err := walks.Generate(smp, c.Stub, -1, make([]int32, 4), str, 1); err == nil {
 		t.Error("expected error for negative horizon")
 	}
-	if _, err := walks.Generate(smp, c.Stub, 1, []int32{-1, 0, 0, 0}, r); err == nil {
+	if _, err := walks.Generate(smp, c.Stub, 1, []int32{-1, 0, 0, 0}, str, 1); err == nil {
 		t.Error("expected error for negative plan entry")
 	}
-	if _, err := walks.Generate(smp, []float64{0}, 1, make([]int32, 4), r); err == nil {
+	if _, err := walks.Generate(smp, []float64{0}, 1, make([]int32, 4), str, 1); err == nil {
 		t.Error("expected error for wrong stub length")
 	}
-	if _, err := walks.GenerateSampled(smp, c.Stub, 1, 0, r); err == nil {
+	if _, err := walks.GenerateSampled(smp, c.Stub, 1, 0, str, 1); err == nil {
 		t.Error("expected error for theta=0")
 	}
 }
@@ -101,7 +101,7 @@ func TestFullyStubbornWalksStayPut(t *testing.T) {
 	}
 	stub := []float64{1, 1, 1, 1}
 	plan := []int32{5, 5, 5, 5}
-	set, err := walks.Generate(smp, stub, 10, plan, sampling.NewRand(3, 1))
+	set, err := walks.Generate(smp, stub, 10, plan, sampling.Stream{Seed: 3, ID: 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestUnbiasedNoSeeds(t *testing.T) {
 	sys, set := paperSetup(t, 20000, 7)
 	exact := opinion.OpinionsAt(sys.Candidate(0), paperexample.Horizon, nil)
 	est := make([]float64, set.NumOwners())
-	set.EstimatePerOwner(sys.Candidate(0).Init, est)
+	set.EstimatePerOwner(sys.Candidate(0).Init, est, 1)
 	for i := 0; i < set.NumOwners(); i++ {
 		v := set.Owner(i)
 		if math.Abs(est[i]-exact[v]) > 0.01 {
@@ -136,10 +136,10 @@ func TestUnbiasedWithTruncation(t *testing.T) {
 		}
 		sys, set := paperSetup(t, 20000, 11)
 		for _, s := range row.Seeds {
-			set.AddSeed(s)
+			set.AddSeed(s, 1)
 		}
 		est := make([]float64, set.NumOwners())
-		set.EstimatePerOwner(sys.Candidate(0).Init, est)
+		set.EstimatePerOwner(sys.Candidate(0).Init, est, 1)
 		for i := 0; i < set.NumOwners(); i++ {
 			v := set.Owner(i)
 			if math.Abs(est[i]-row.Opinions[v]) > 0.01 {
@@ -153,7 +153,7 @@ func TestUnbiasedWithTruncation(t *testing.T) {
 func TestAddSeedTruncates(t *testing.T) {
 	sys, set := paperSetup(t, 50, 13)
 	b0 := sys.Candidate(0).Init
-	set.AddSeed(2)
+	set.AddSeed(2, 1)
 	if !set.IsSeed(2) {
 		t.Error("IsSeed(2) should be true")
 	}
@@ -171,7 +171,7 @@ func TestAddSeedTruncates(t *testing.T) {
 	}
 	// Idempotent.
 	before := set.Seeds()
-	set.AddSeed(2)
+	set.AddSeed(2, 1)
 	if len(set.Seeds()) != len(before) {
 		t.Error("AddSeed should be idempotent")
 	}
@@ -215,7 +215,7 @@ func TestWalkValueSubmodular(t *testing.T) {
 func TestEstimatorCumulativeMatchesExact(t *testing.T) {
 	sys, set := paperSetup(t, 20000, 19)
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestEstimatorCumulativeMatchesExact(t *testing.T) {
 func TestEstimatorPluralityAndCopeland(t *testing.T) {
 	sys, set := paperSetup(t, 20000, 23)
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestSelectGreedyMatchesTableI(t *testing.T) {
 	for _, tc := range cases {
 		sys, set := paperSetup(t, 5000, 29)
 		comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-		e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+		e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +305,7 @@ func TestSelectGreedyMatchesTableI(t *testing.T) {
 func TestSelectGreedyErrors(t *testing.T) {
 	sys, set := paperSetup(t, 10, 31)
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestSelectGreedyErrors(t *testing.T) {
 func TestSelectGreedyFillsKSeeds(t *testing.T) {
 	sys, set := paperSetup(t, 100, 37)
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestGenerateSampledGrouping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := walks.GenerateSampled(smp, c.Stub, 1, 1000, sampling.NewRand(41, 1))
+	set, err := walks.GenerateSampled(smp, c.Stub, 1, 1000, sampling.Stream{Seed: 41, ID: 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,12 +388,12 @@ func TestSketchEstimateCumulative(t *testing.T) {
 		t.Fatal(err)
 	}
 	theta := 60000
-	set, err := walks.GenerateSampled(smp, c.Stub, 1, theta, sampling.NewRand(43, 1))
+	set, err := walks.GenerateSampled(smp, c.Stub, 1, theta, sampling.Stream{Seed: 43, ID: 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, c.Init, comp, walks.SketchOwnerWeights(set, theta))
+	e, err := walks.NewEstimator(set, 0, c.Init, comp, walks.SketchOwnerWeights(set, theta), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestSketchEstimateCumulative(t *testing.T) {
 func TestEstimateOf(t *testing.T) {
 	sys, set := paperSetup(t, 100, 47)
 	comp := [][]float64{nil, opinion.OpinionsAt(sys.Candidate(1), 1, nil)}
-	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set))
+	e, err := walks.NewEstimator(set, 0, sys.Candidate(0).Init, comp, walks.UniformOwnerWeights(set), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,18 @@
 // centrality) are available through the same entry point for comparison
 // studies, and the experiments registry regenerates every table and figure
 // of the paper's evaluation.
+//
+// # Parallelism
+//
+// Every hot path — DM gain evaluation, walk and sketch generation, RR-set
+// sampling, the greedy scans — runs on a bounded worker pool
+// (internal/engine). SelectOptions.Parallelism (and the matching fields on
+// RWConfig, RSConfig, and BaselineConfig) sets the worker count: 0 means
+// GOMAXPROCS, 1 forces serial execution. Parallelism is strictly an
+// execution knob: work is sharded and each work item consumes its own
+// deterministic random substream, so seed sets, scores, and estimates are
+// bit-identical for every setting — run with 1 worker or 64 and diff
+// nothing.
 package ovm
 
 import (
@@ -96,7 +108,7 @@ func OpinionsAt(c *Candidate, t int, seeds []int32) []float64 {
 // OpinionMatrix computes the full horizon-t opinion matrix with the seed
 // set applied to the target candidate only.
 func OpinionMatrix(sys *System, t, target int, seeds []int32) ([][]float64, error) {
-	return opinion.Matrix(sys, t, target, seeds)
+	return opinion.Matrix(sys, t, target, seeds, 0)
 }
 
 // Score constructors (§II-B).
@@ -147,7 +159,8 @@ var Methods = []Method{
 }
 
 // SelectOptions tunes SelectSeeds; the zero value (or nil) uses the
-// paper's default parameters (ρ=0.9, δ=0.1, ε=0.1, l=1).
+// paper's default parameters (ρ=0.9, δ=0.1, ε=0.1, l=1) and full
+// parallelism.
 type SelectOptions struct {
 	RW       RWConfig
 	RS       RSConfig
@@ -155,6 +168,17 @@ type SelectOptions struct {
 	// Seed drives randomness for RW/RS/baselines when their configs leave
 	// it unset.
 	Seed int64
+	// Parallelism caps the engine worker pool used by every method's hot
+	// path (DM gain evaluation, walk/sketch/RR-set generation, greedy
+	// scans): 0 means GOMAXPROCS, 1 disables concurrency, any other value
+	// pins the worker count. It seeds the per-method configs when their
+	// own Parallelism fields are 0.
+	//
+	// Parallelism is a pure execution knob: shard geometry, random
+	// substreams, and reduction order are fixed independently of the worker
+	// count, so SelectSeeds returns bit-identical seeds and values for
+	// every setting.
+	Parallelism int
 }
 
 // Selection is the outcome of SelectSeeds.
@@ -178,11 +202,14 @@ func SelectSeeds(p *Problem, m Method, opts *SelectOptions) (*Selection, error) 
 	var err error
 	switch m {
 	case MethodDM:
-		seeds, _, err = core.SelectSeedsDM(p)
+		seeds, _, err = core.SelectSeedsDM(p, opts.Parallelism)
 	case MethodRW:
 		cfg := opts.RW
 		if cfg.Seed == 0 {
 			cfg.Seed = opts.Seed
+		}
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = opts.Parallelism
 		}
 		var res *rwalk.Result
 		if res, err = rwalk.Select(p, cfg); err == nil {
@@ -193,6 +220,9 @@ func SelectSeeds(p *Problem, m Method, opts *SelectOptions) (*Selection, error) 
 		if cfg.Seed == 0 {
 			cfg.Seed = opts.Seed
 		}
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = opts.Parallelism
+		}
 		var res *sketch.Result
 		if res, err = sketch.Select(p, cfg); err == nil {
 			seeds = res.Seeds
@@ -202,6 +232,9 @@ func SelectSeeds(p *Problem, m Method, opts *SelectOptions) (*Selection, error) 
 		if cfg.IMM.Seed == 0 {
 			cfg.IMM.Seed = opts.Seed
 		}
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = opts.Parallelism
+		}
 		seeds, err = baselines.Select(baselines.Method(m), p, cfg)
 	default:
 		return nil, fmt.Errorf("ovm: unknown method %q", m)
@@ -210,7 +243,7 @@ func SelectSeeds(p *Problem, m Method, opts *SelectOptions) (*Selection, error) 
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, seeds)
+	exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, seeds, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +252,7 @@ func SelectSeeds(p *Problem, m Method, opts *SelectOptions) (*Selection, error) 
 
 // Evaluate computes the exact score of an arbitrary seed set.
 func Evaluate(sys *System, target, horizon int, score Score, seeds []int32) (float64, error) {
-	return core.EvaluateExact(sys, target, horizon, score, seeds)
+	return core.EvaluateExact(sys, target, horizon, score, seeds, 0)
 }
 
 // Wins reports whether the target strictly beats every competitor with the
@@ -242,17 +275,23 @@ func MinSeedsToWin(sys *System, target, horizon int, score Score, m Method, opts
 	var sel core.SeedSelector
 	switch m {
 	case MethodDM:
-		sel = core.DMSelector(sys, target, horizon, score)
+		sel = core.DMSelector(sys, target, horizon, score, opts.Parallelism)
 	case MethodRW:
 		cfg := opts.RW
 		if cfg.Seed == 0 {
 			cfg.Seed = opts.Seed
+		}
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = opts.Parallelism
 		}
 		sel = rwalk.Selector(base, cfg)
 	case MethodRS:
 		cfg := opts.RS
 		if cfg.Seed == 0 {
 			cfg.Seed = opts.Seed
+		}
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = opts.Parallelism
 		}
 		sel = sketch.Selector(base, cfg)
 	default:

@@ -1,0 +1,143 @@
+package ovm_test
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"ovm"
+)
+
+// plantedSystem builds a 3-candidate system on a planted-partition graph —
+// large enough that walk generation, sketch generation, RR-set sampling,
+// and the DM gain sweep all take their sharded paths, small enough for the
+// race detector.
+func plantedSystem(t *testing.T, n int, seed int64) *ovm.System {
+	t.Helper()
+	edges, comm, err := ovm.PlantedPartitionEdges(n, 4, 5, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ovm.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]*ovm.Candidate, 3)
+	for q := range cands {
+		init := make([]float64, n)
+		stub := make([]float64, n)
+		for v := 0; v < n; v++ {
+			// Deterministic, candidate- and community-dependent profile.
+			init[v] = math.Mod(0.13+0.31*float64(q)+0.17*float64(comm[v])+0.003*float64(v), 1)
+			stub[v] = math.Mod(0.29+0.07*float64(q)+0.011*float64(v), 0.9) + 0.05
+		}
+		cands[q] = &ovm.Candidate{Name: string(rune('A' + q)), G: g, Init: init, Stub: stub}
+	}
+	sys, err := ovm.NewSystem(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSelectSeedsParallelismInvariant is the acceptance test for the
+// parallel engine: for every proposed method (and one IMM baseline), the
+// seed set and exact value returned by SelectSeeds must be bit-identical
+// at Parallelism 1 and 4 (and GOMAXPROCS via 0).
+func TestSelectSeedsParallelismInvariant(t *testing.T) {
+	sys := plantedSystem(t, 600, 11)
+	scores := map[ovm.Method]ovm.Score{
+		ovm.MethodDM: ovm.Plurality(), // exercises the full sandwich machinery
+		ovm.MethodRW: ovm.Cumulative(),
+		ovm.MethodRS: ovm.Cumulative(),
+		ovm.MethodIC: ovm.Cumulative(), // IMM RR-set path
+	}
+	for _, m := range []ovm.Method{ovm.MethodDM, ovm.MethodRW, ovm.MethodRS, ovm.MethodIC} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			prob := &ovm.Problem{Sys: sys, Target: 0, Horizon: 8, K: 4, Score: scores[m]}
+			var refSeeds []int32
+			var refValue float64
+			for i, par := range []int{1, 4, 0} {
+				sel, err := ovm.SelectSeeds(prob, m, &ovm.SelectOptions{Seed: 5, Parallelism: par})
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if len(sel.Seeds) != prob.K {
+					t.Fatalf("parallelism %d: got %d seeds, want %d", par, len(sel.Seeds), prob.K)
+				}
+				if i == 0 {
+					refSeeds, refValue = sel.Seeds, sel.ExactValue
+					continue
+				}
+				if !slices.Equal(sel.Seeds, refSeeds) {
+					t.Fatalf("parallelism %d: seeds %v differ from parallelism-1 seeds %v", par, sel.Seeds, refSeeds)
+				}
+				if sel.ExactValue != refValue {
+					t.Fatalf("parallelism %d: exact value %v differs from %v (must be bit-identical)", par, sel.ExactValue, refValue)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectSeedsParallelismInvariantRankScores repeats the check on the
+// rank-based estimators (positional and Copeland walk scans), which use a
+// different parallel gain-evaluation path than the cumulative score.
+func TestSelectSeedsParallelismInvariantRankScores(t *testing.T) {
+	sys := plantedSystem(t, 300, 23)
+	for _, tc := range []struct {
+		name  string
+		m     ovm.Method
+		score ovm.Score
+	}{
+		{"RW-plurality", ovm.MethodRW, ovm.Plurality()},
+		{"RS-copeland", ovm.MethodRS, ovm.Copeland()},
+		{"DM-copeland", ovm.MethodDM, ovm.Copeland()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prob := &ovm.Problem{Sys: sys, Target: 1, Horizon: 6, K: 3, Score: tc.score}
+			opts1 := &ovm.SelectOptions{Seed: 9, Parallelism: 1}
+			opts4 := &ovm.SelectOptions{Seed: 9, Parallelism: 4}
+			// Cap the RS doubling search so the test stays fast.
+			opts1.RS.MaxTheta, opts4.RS.MaxTheta = 1<<14, 1<<14
+			a, err := ovm.SelectSeeds(prob, tc.m, opts1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ovm.SelectSeeds(prob, tc.m, opts4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(a.Seeds, b.Seeds) {
+				t.Fatalf("seeds differ across parallelism: %v vs %v", a.Seeds, b.Seeds)
+			}
+			if a.ExactValue != b.ExactValue {
+				t.Fatalf("values differ across parallelism: %v vs %v", a.ExactValue, b.ExactValue)
+			}
+		})
+	}
+}
+
+// TestMinSeedsToWinParallelismInvariant checks the win-search path, which
+// re-runs the selectors at many k values.
+func TestMinSeedsToWinParallelismInvariant(t *testing.T) {
+	sys := plantedSystem(t, 200, 31)
+	get := func(par int) []int32 {
+		t.Helper()
+		seeds, err := ovm.MinSeedsToWin(sys, 2, 5, ovm.Cumulative(), ovm.MethodRS,
+			&ovm.SelectOptions{Seed: 13, Parallelism: par})
+		if err != nil {
+			if err == ovm.ErrCannotWin {
+				return nil
+			}
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	a, b := get(1), get(4)
+	if !slices.Equal(a, b) {
+		t.Fatalf("seeds differ across parallelism: %v vs %v", a, b)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"io"
 	"testing"
 
+	"ovm/internal/datasets"
 	"ovm/internal/experiments"
+	"ovm/internal/service"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -115,3 +117,67 @@ func BenchmarkExtBorda(b *testing.B) { benchExperiment(b, "ext-borda") }
 // Parallelism). Run cmd/ovmbench -exp parallel-scaling at full scale for
 // paper-shape speedup numbers on a multi-core machine.
 func BenchmarkParallelScaling(b *testing.B) { benchExperiment(b, "parallel-scaling") }
+
+// BenchmarkServiceQuery measures the ovmd serving path on the 12k-node
+// sweep graph (the parallel-scaling dataset): one select-seeds query
+// against a service with a precomputed sketch index. cold resets the LRU
+// response cache each iteration (full indexed computation: clone, greedy,
+// exact evaluation); warm repeats the identical request (cache hit). The
+// cold/warm gap is the serving-path number future PRs must not regress.
+func BenchmarkServiceQuery(b *testing.B) {
+	const (
+		horizon = 10
+		theta   = 1 << 14
+		seed    = int64(42)
+		k       = 20
+	)
+	d, err := datasets.TwitterDistancingLike(datasets.Options{N: 12000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := service.BuildIndex(d.Sys, service.BuildOptions{
+		Target: d.DefaultTarget, Horizon: horizon, Seed: seed, SketchTheta: theta,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := service.New(service.Config{})
+	if err := svc.AddIndex("sweep", idx); err != nil {
+		b.Fatal(err)
+	}
+	req := &service.SelectSeedsRequest{
+		Dataset: "sweep",
+		Method:  "RS",
+		Score:   service.ScoreSpec{Name: "plurality"},
+		K:       k,
+		Horizon: horizon,
+		Target:  d.DefaultTarget,
+		Seed:    seed,
+		Theta:   theta,
+	}
+	query := func(b *testing.B) *service.SelectSeedsResponse {
+		b.Helper()
+		resp, serr := svc.SelectSeeds(req)
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		return resp
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc.ResetCache()
+			if resp := query(b); resp.Cached || !resp.FromIndex {
+				b.Fatalf("cold query must compute from the index (cached=%v fromIndex=%v)", resp.Cached, resp.FromIndex)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		query(b) // prime the cache entry
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := query(b); !resp.Cached {
+				b.Fatal("warm query must be served from the cache")
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"ovm"
+	"ovm/internal/cliutil"
 	"ovm/internal/serialize"
 )
 
@@ -32,12 +33,21 @@ func main() {
 		horizon = flag.Int("t", 20, "time horizon")
 		target  = flag.Int("target", -1, "target candidate index (-1 = dataset default)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		theta   = flag.Int("theta", 0, "fixed sketch count θ for the RS method (0 = paper's θ search); matches ovmd index artifacts")
 		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes the result")
 		win     = flag.Bool("win", false, "solve FJ-Vote-Win (minimum seeds to win) instead of FJ-Vote")
 		load    = flag.String("load", "", "load a .system file (written by ovmgen -system) instead of synthesizing a dataset")
 		listAll = flag.Bool("list", false, "list datasets and exit")
 	)
 	flag.Parse()
+
+	checkFlag(*n >= 0, "-n must be >= 0, got %d", *n)
+	checkFlag(*mu > 0, "-mu must be > 0, got %v", *mu)
+	checkFlag(*pVal >= 1, "-p must be >= 1, got %d", *pVal)
+	checkFlag(*k >= 1, "-k must be >= 1, got %d", *k)
+	checkFlag(*horizon >= 0, "-t must be >= 0, got %d", *horizon)
+	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
+	checkFlag(*par >= 0, "-parallel must be >= 0, got %d", *par)
 
 	if *listAll {
 		for _, name := range ovm.DatasetNames {
@@ -86,6 +96,7 @@ func main() {
 		names[tgt], sc.Name(), *horizon)
 
 	opts := &ovm.SelectOptions{Seed: *seed, Parallelism: *par}
+	opts.RS.FixedTheta = *theta
 	if *win {
 		seeds, err := ovm.MinSeedsToWin(sys, tgt, *horizon, sc, ovm.Method(*method), opts)
 		if err != nil {
@@ -150,7 +161,8 @@ func printSeeds(seeds []int32) {
 	fmt.Println()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ovm:", err)
-	os.Exit(1)
+func checkFlag(ok bool, format string, args ...any) {
+	cliutil.CheckFlag("ovm", ok, format, args...)
 }
+
+func fatal(err error) { cliutil.Fatal("ovm", err) }

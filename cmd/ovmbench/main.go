@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"ovm/internal/cliutil"
 	"ovm/internal/experiments"
 )
 
@@ -32,6 +33,9 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	checkFlag(*scale > 0, "-scale must be > 0, got %v", *scale)
+	checkFlag(*parallel >= 0, "-parallel must be >= 0, got %d", *parallel)
 
 	if *list {
 		for _, id := range experiments.Order {
@@ -64,4 +68,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ovmbench: pass -exp <id>, -all, or -list")
 		os.Exit(1)
 	}
+}
+
+func checkFlag(ok bool, format string, args ...any) {
+	cliutil.CheckFlag("ovmbench", ok, format, args...)
 }

@@ -1,0 +1,204 @@
+// Command ovmd is the opinion-maximization query daemon: it loads an
+// opinion system once, restores (or builds) precomputed walk/sketch/RR-set
+// indexes, and serves select-seeds, evaluate, wins, and min-seeds-to-win
+// queries over HTTP/JSON — concurrently, with an LRU response cache and
+// singleflight coalescing, and with every answer bit-identical to the
+// direct library call at any parallelism.
+//
+// Build an index once:
+//
+//	ovmgen -dataset yelp-like -n 5000 -system -out world
+//	ovmd -build-index -load world.system -out world.ovmidx -theta 8192 -t 20 -seed 1
+//
+// Serve it (startup loads, never recomputes):
+//
+//	ovmd -listen :8080 -index world.ovmidx
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/select-seeds -d '{
+//	  "dataset":"default","method":"RS","score":{"name":"plurality"},
+//	  "k":10,"horizon":20,"seed":1,"theta":8192}'
+//
+// Endpoints and schemas are documented in the README ("The ovmd daemon").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ovm"
+	"ovm/internal/cliutil"
+	"ovm/internal/serialize"
+	"ovm/internal/service"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "HTTP listen address")
+		name    = flag.String("name", "default", "dataset registration name")
+		index   = flag.String("index", "", "index file to serve (written by -build-index)")
+		load    = flag.String("load", "", "system file to load (written by ovmgen -system)")
+		dataset = flag.String("dataset", "", "synthetic dataset to generate when no -index/-load: "+strings.Join(ovm.DatasetNames, ", "))
+		n       = flag.Int("n", 0, "node count override for -dataset (0 = dataset default)")
+		mu      = flag.Float64("mu", 10, "edge-weight decay constant µ for -dataset")
+		seed    = flag.Int64("seed", 1, "random seed (index build; also the dataset synthesis seed)")
+		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes any response")
+		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
+
+		build  = flag.Bool("build-index", false, "build an index file and exit instead of serving")
+		out    = flag.String("out", "index.ovmidx", "index output path for -build-index")
+		theta  = flag.Int("theta", 8192, "sketch count θ precomputed for the RS method (0 = skip)")
+		walks  = flag.Bool("walks", true, "precompute the RW method's cumulative-score walk set")
+		rr     = flag.Int("rr", 0, "reverse-reachable sets precomputed per IC/LT model (0 = skip)")
+		tBuild = flag.Int("t", 20, "time horizon the index artifacts are generated for")
+		target = flag.Int("target", 0, "target candidate the index artifacts serve")
+	)
+	flag.Parse()
+
+	checkFlag(*n >= 0, "-n must be >= 0, got %d", *n)
+	checkFlag(*mu > 0, "-mu must be > 0, got %v", *mu)
+	checkFlag(*par >= 0, "-parallel must be >= 0, got %d", *par)
+	checkFlag(*cache >= 0, "-cache must be >= 0, got %d", *cache)
+	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
+	checkFlag(*rr >= 0, "-rr must be >= 0, got %d", *rr)
+	checkFlag(*tBuild >= 0, "-t must be >= 0, got %d", *tBuild)
+	checkFlag(*target >= 0, "-target must be >= 0, got %d", *target)
+
+	if *build {
+		buildIndex(*load, *dataset, *n, *mu, *seed, *out, *theta, *walks, *rr, *tBuild, *target, *par)
+		return
+	}
+	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache)
+}
+
+// buildIndex implements ovmd -build-index: load or synthesize a system,
+// precompute the artifacts, and write the versioned binary index.
+func buildIndex(load, dataset string, n int, mu float64, seed int64, out string, theta int, walks bool, rr, horizon, target, par int) {
+	sys := loadSystem(load, dataset, n, mu, seed)
+	start := time.Now()
+	idx, err := service.BuildIndex(sys, service.BuildOptions{
+		Target:       target,
+		Horizon:      horizon,
+		Seed:         seed,
+		SketchTheta:  theta,
+		IncludeWalks: walks,
+		RRSets:       rr,
+		Parallelism:  par,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := serialize.WriteIndex(f, idx); err != nil {
+		_ = f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (format v%d): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, %d bytes, built in %s\n",
+		out, serialize.IndexFormatVersion, sys.N(), sys.R(),
+		len(idx.Sketches), len(idx.Walks), len(idx.RRs), info.Size(),
+		time.Since(start).Round(time.Millisecond))
+}
+
+// serve implements the daemon mode: register the dataset (index preferred,
+// so startup is load-not-recompute), then run the HTTP server until
+// SIGINT/SIGTERM triggers a graceful drain.
+func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache int) {
+	svc := service.New(service.Config{CacheSize: cache, Parallelism: par})
+	switch {
+	case index != "":
+		f, err := os.Open(index)
+		if err != nil {
+			fatal(err)
+		}
+		idx, err := serialize.ReadIndex(f)
+		_ = f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := svc.AddIndex(name, idx); err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded index %s: n=%d r=%d, %d sketch + %d walk + %d rr artifacts (no recomputation)",
+			index, idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs))
+	default:
+		sys := loadSystem(load, dataset, n, mu, seed)
+		if err := svc.AddDataset(name, sys); err != nil {
+			fatal(err)
+		}
+		log.Printf("registered dataset %q without precomputed artifacts (n=%d r=%d); queries compute from scratch",
+			name, sys.N(), sys.R())
+	}
+
+	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ovmd serving dataset %q on %s", name, listen)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining in-flight queries)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("ovmd stopped")
+}
+
+// loadSystem resolves the three system sources: a .system file, a named
+// synthetic dataset, or (neither given) an error.
+func loadSystem(load, dataset string, n int, mu float64, seed int64) *ovm.System {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err := serialize.ReadSystem(f)
+		_ = f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		return sys
+	case dataset != "":
+		d, err := ovm.LoadDataset(dataset, ovm.DatasetOptions{N: n, Mu: mu, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		return d.Sys
+	default:
+		fatal(fmt.Errorf("pass -index, -load, or -dataset"))
+		return nil
+	}
+}
+
+func checkFlag(ok bool, format string, args ...any) {
+	cliutil.CheckFlag("ovmd", ok, format, args...)
+}
+
+func fatal(err error) { cliutil.Fatal("ovmd", err) }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"ovm"
+	"ovm/internal/cliutil"
 	"ovm/internal/graph"
 	"ovm/internal/serialize"
 )
@@ -35,6 +36,9 @@ func main() {
 		system  = flag.Bool("system", false, "additionally write <out>.system (self-contained, reloadable by ovm -load)")
 	)
 	flag.Parse()
+
+	checkFlag(*n >= 0, "-n must be >= 0, got %d", *n)
+	checkFlag(*mu > 0, "-mu must be > 0, got %v", *mu)
 
 	d, err := ovm.LoadDataset(*dataset, ovm.DatasetOptions{N: *n, Mu: *mu, Seed: *seed})
 	if err != nil {
@@ -105,7 +109,8 @@ func writeVectors(path string, d *ovm.Dataset, pick func(*ovm.Candidate) []float
 	return w.Flush()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ovmgen:", err)
-	os.Exit(1)
+func checkFlag(ok bool, format string, args ...any) {
+	cliutil.CheckFlag("ovmgen", ok, format, args...)
 }
+
+func fatal(err error) { cliutil.Fatal("ovmgen", err) }

@@ -1,16 +1,26 @@
 // Streaming: a p-approval / positional-p-approval scenario from the
 // paper's introduction — users hold memberships of up to p streaming
 // platforms, and platforms prefer being ranked higher because users buy
-// premium tiers only for their favourites. The world is built from scratch
-// with the public API: a preferential-attachment friendship graph, six
-// platform candidates with taste-driven initial opinions, and partially
-// stubborn users.
+// premium tiers only for their favourites.
+//
+// This example runs the scenario the way a production deployment would:
+// build the world once, precompute a serving index (ovm.BuildIndex), start
+// an ovmd-style daemon on a loopback port, and then act as an HTTP client —
+// issuing the three campaign queries over the wire, re-issuing one to show
+// the response cache, and checking /stats. Every seed set returned by the
+// daemon is bit-identical to the direct ovm.SelectSeeds call.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"time"
 
 	"ovm"
 )
@@ -21,9 +31,112 @@ func main() {
 		k       = 40
 		horizon = 15
 		seed    = 11
+		theta   = 8192 // sketch count precomputed into the index
 	)
 	platforms := []string{"NordStream", "FlixHub", "PrimeView", "CineMax", "DocuPlus", "AnimeBay"}
 
+	sys := buildWorld(n, seed, platforms)
+	target := 0 // NordStream runs the campaign
+
+	// Precompute the serving index once — this is what `ovmd -build-index`
+	// persists to disk; here it stays in memory.
+	buildStart := time.Now()
+	idx, err := ovm.BuildIndex(sys, ovm.IndexBuildOptions{
+		Target:      target,
+		Horizon:     horizon,
+		Seed:        seed,
+		SketchTheta: theta,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built in %s (1 sketch artifact, θ=%d)\n", time.Since(buildStart).Round(time.Millisecond), theta)
+
+	// Start the daemon on a loopback port.
+	svc := ovm.NewQueryService(ovm.QueryServiceConfig{})
+	if err := svc.AddIndex("streaming", idx); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("ovmd serving on %s\n\n", base)
+
+	fmt.Printf("market: %d users, %d platforms; campaign by %q, horizon t=%d\n",
+		n, len(platforms), platforms[target], horizon)
+
+	// Three campaign objectives, same budget: the chosen influencers shift
+	// as the objective counts second and third memberships (Fig 9's point).
+	objectives := []struct {
+		label string
+		score ovm.ScoreSpec
+	}{
+		{"plurality (favourite only)", ovm.ScoreSpec{Name: "plurality"}},
+		{"2-approval (any top-2 membership)", ovm.ScoreSpec{Name: "p-approval", P: 2}},
+		{"positional-2 (premium tiers favour rank 1)", ovm.ScoreSpec{Name: "positional", P: 2, Omega: []float64{1, 0.4}}},
+	}
+	fmt.Printf("\nselecting k=%d influencers via HTTP (RS sketches from the index):\n", k)
+	var pluralitySeeds []int32
+	for i, obj := range objectives {
+		resp := postSelect(base, &ovm.SelectSeedsRequest{
+			Dataset: "streaming",
+			Method:  "RS",
+			Score:   obj.score,
+			K:       k,
+			Horizon: horizon,
+			Target:  target,
+			Seed:    seed,
+			Theta:   theta,
+		})
+		if i == 0 {
+			pluralitySeeds = resp.Seeds
+		}
+		fmt.Printf("  %-44s score %8.1f  fromIndex=%-5v %6.1fms  overlap w/ plurality seeds %4.0f%%\n",
+			obj.label, resp.ExactValue, resp.FromIndex, resp.ElapsedMs, overlapPct(resp.Seeds, pluralitySeeds))
+	}
+
+	// The same query again: served from the LRU cache, microseconds.
+	again := postSelect(base, &ovm.SelectSeedsRequest{
+		Dataset: "streaming", Method: "RS", Score: ovm.ScoreSpec{Name: "plurality"},
+		K: k, Horizon: horizon, Target: target, Seed: seed, Theta: theta,
+	})
+	fmt.Printf("\nrepeat plurality query: cached=%v in %.3fms\n", again.Cached, again.ElapsedMs)
+
+	// Cross-check the daemon against the direct library call.
+	opts := &ovm.SelectOptions{Seed: seed}
+	opts.RS.FixedTheta = theta
+	direct, err := ovm.SelectSeeds(&ovm.Problem{
+		Sys: sys, Target: target, Horizon: horizon, K: k, Score: ovm.Plurality(),
+	}, ovm.MethodRS, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon == direct library result: %v\n", equalSeeds(direct.Seeds, pluralitySeeds) && direct.ExactValue == again.ExactValue)
+
+	var stats ovm.ServiceStats
+	getJSON(base+"/stats", &stats)
+	fmt.Printf("daemon stats: %d requests, %d computed, cache hit rate %.0f%%\n",
+		stats.Requests, stats.Computations, 100*stats.CacheHitRate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildWorld synthesizes the streaming market: a preferential-attachment
+// friendship graph, six platform candidates with taste-driven initial
+// opinions, and partially stubborn users.
+func buildWorld(n int, seed int64, platforms []string) *ovm.System {
 	edges, err := ovm.PreferentialAttachmentEdges(n, 5, seed)
 	if err != nil {
 		log.Fatal(err)
@@ -32,7 +145,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	// Each platform has a genre profile; each user a taste vector.
 	r := rand.New(rand.NewSource(seed))
 	const genres = 4
@@ -66,44 +178,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	return sys
+}
 
-	target := 0 // NordStream runs the campaign
-	B, err := ovm.OpinionMatrix(sys, horizon, target, nil)
+func postSelect(base string, req *ovm.SelectSeedsRequest) *ovm.SelectSeedsResponse {
+	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("market: %d users, %d platforms; campaign by %q, horizon t=%d\n",
-		n, len(platforms), platforms[target], horizon)
-	fmt.Println("\nsubscriber counts at the horizon without seeding:")
-	fmt.Printf("  %-12s %10s %14s %14s\n", "platform", "top choice", "top-2 member", "top-3 member")
-	for q, name := range platforms {
-		fmt.Printf("  %-12s %10.0f %14.0f %14.0f\n", name,
-			ovm.Plurality().Eval(B, q), ovm.PApproval(2).Eval(B, q), ovm.PApproval(3).Eval(B, q))
+	httpResp, err := http.Post(base+"/v1/select-seeds", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e map[string]any
+		_ = json.NewDecoder(httpResp.Body).Decode(&e)
+		log.Fatalf("select-seeds: HTTP %d: %v", httpResp.StatusCode, e)
+	}
+	var resp ovm.SelectSeedsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	return &resp
+}
 
-	// Three campaign objectives, same budget: the chosen influencers shift
-	// as the objective counts second and third memberships (Fig 9's point).
-	objectives := []struct {
-		label string
-		score ovm.Score
-	}{
-		{"plurality (favourite only)", ovm.Plurality()},
-		{"2-approval (any top-2 membership)", ovm.PApproval(2)},
-		{"positional-2 (premium tiers favour rank 1)", ovm.Positional(2, []float64{1, 0.4})},
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nselecting k=%d influencers with the RS sketch method:\n", k)
-	var pluralitySeeds []int32
-	for i, obj := range objectives {
-		prob := &ovm.Problem{Sys: sys, Target: target, Horizon: horizon, K: k, Score: obj.score}
-		sel, err := ovm.SelectSeeds(prob, ovm.MethodRS, &ovm.SelectOptions{Seed: seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if i == 0 {
-			pluralitySeeds = sel.Seeds
-		}
-		fmt.Printf("  %-44s score %8.1f  overlap w/ plurality seeds %4.0f%%\n",
-			obj.label, sel.ExactValue, overlapPct(sel.Seeds, pluralitySeeds))
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -115,6 +222,18 @@ func clamp(x float64) float64 {
 		return 1
 	}
 	return x
+}
+
+func equalSeeds(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func overlapPct(a, b []int32) float64 {

@@ -49,6 +49,13 @@ type Config struct {
 	// GOMAXPROCS, 1 disables concurrency. Selected seeds are bit-identical
 	// across Parallelism values. It seeds IMM.Parallelism when that is 0.
 	Parallelism int
+	// RRCache optionally supplies a precomputed RR-set collection for the
+	// IC/LT baselines (a loaded ovmd index artifact). It is consulted only
+	// when its model matches the requested baseline; the IMM run copies
+	// cached set prefixes instead of re-sampling them and stays
+	// byte-identical to an uncached run. The cache must stem from the same
+	// graph and IMM stream (seed IMM.Seed) — im.IMMCached rejects mismatches.
+	RRCache *im.RRCollection
 }
 
 func (c Config) withDefaults() Config {
@@ -76,15 +83,21 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 		cfg.IMM.Parallelism = cfg.Parallelism
 	}
 	g := p.Sys.Candidate(p.Target).G
+	rrCache := func(model im.Model) *im.RRCollection {
+		if cfg.RRCache != nil && cfg.RRCache.Model() == model {
+			return cfg.RRCache
+		}
+		return nil
+	}
 	switch m {
 	case MethodIC:
-		res, err := im.IMM(g, im.IC, p.K, cfg.IMM)
+		res, err := im.IMMCached(g, im.IC, p.K, cfg.IMM, rrCache(im.IC))
 		if err != nil {
 			return nil, err
 		}
 		return res.Seeds, nil
 	case MethodLT:
-		res, err := im.IMM(g, im.LT, p.K, cfg.IMM)
+		res, err := im.IMMCached(g, im.LT, p.K, cfg.IMM, rrCache(im.LT))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,27 @@
+// Package cliutil holds the few helpers every command main shares, so
+// flag-validation and fatal-exit behavior stays consistent across ovm,
+// ovmgen, ovmbench, and ovmd.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CheckFlag exits non-zero with usage when a numeric flag violates its
+// bound, instead of silently misbehaving deeper in the run.
+func CheckFlag(prog string, ok bool, format string, args ...any) {
+	if ok {
+		return
+	}
+	fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// Fatal prints err prefixed with the program name and exits 1.
+func Fatal(prog string, err error) {
+	fmt.Fprintln(os.Stderr, prog+":", err)
+	os.Exit(1)
+}

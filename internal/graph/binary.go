@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"ovm/internal/binio"
+)
+
+// Binary graph codec: the exact CSR arrays, little-endian, so a loaded
+// graph is bit-identical to the one written — no re-normalization, no float
+// re-parsing. Used by the persistent index format (internal/serialize),
+// where bit-identity is what makes load-not-recompute daemons return the
+// same answers as fresh computation.
+//
+// Layout (after the container's own framing):
+//
+//	u32 n, u64 m, u8 columnStochastic
+//	inStart  (n+1 × i32)   inSrc (m × i32)   inW (m × f64)
+//	outStart (n+1 × i32)   outDst (m × i32)  outW (m × f64)
+
+// Sanity caps on declared sizes, so truncated or corrupted headers fail
+// with an error instead of attempting a multi-gigabyte allocation.
+const (
+	maxBinaryNodes = 1 << 28
+	maxBinaryEdges = 1 << 31
+)
+
+// WriteBinary serializes g's exact CSR representation to w.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if err := binio.WriteU32(bw, uint32(g.n)); err != nil {
+		return err
+	}
+	if err := binio.WriteU64(bw, uint64(g.M())); err != nil {
+		return err
+	}
+	cs := byte(0)
+	if g.columnStochastic {
+		cs = 1
+	}
+	if err := bw.WriteByte(cs); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{g.inStart, g.inSrc} {
+		if err := binio.WriteI32s(bw, arr); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteF64s(bw, g.inW); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{g.outStart, g.outDst} {
+		if err := binio.WriteI32s(bw, arr); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteF64s(bw, g.outW); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary and validates every
+// structural invariant (offset monotonicity, id ranges, finite weights, and
+// in/out adjacency describing the same edge multiset sizes). It reads
+// exactly the payload bytes and never buffers ahead, so it composes inside
+// container formats that continue reading from r afterwards.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	n64, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	n := int(n64)
+	if n <= 0 || n > maxBinaryNodes {
+		return nil, fmt.Errorf("graph: binary node count %d outside (0,%d]", n, maxBinaryNodes)
+	}
+	m64, err := binio.ReadU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	if m64 > maxBinaryEdges {
+		return nil, fmt.Errorf("graph: binary edge count %d exceeds limit", m64)
+	}
+	m := int(m64)
+	var csBuf [1]byte
+	if _, err := io.ReadFull(r, csBuf[:]); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	cs := csBuf[0]
+	if cs > 1 {
+		return nil, fmt.Errorf("graph: binary columnStochastic flag %d, want 0 or 1", cs)
+	}
+	g := &Graph{n: n, columnStochastic: cs == 1}
+	if g.inStart, err = binio.ReadI32s(r, n+1); err != nil {
+		return nil, err
+	}
+	if g.inSrc, err = binio.ReadI32s(r, m); err != nil {
+		return nil, err
+	}
+	if g.inW, err = binio.ReadF64s(r, m); err != nil {
+		return nil, err
+	}
+	if g.outStart, err = binio.ReadI32s(r, n+1); err != nil {
+		return nil, err
+	}
+	if g.outDst, err = binio.ReadI32s(r, m); err != nil {
+		return nil, err
+	}
+	if g.outW, err = binio.ReadF64s(r, m); err != nil {
+		return nil, err
+	}
+	if err := validateCSR(g.inStart, g.inSrc, n, m, "in"); err != nil {
+		return nil, err
+	}
+	if err := validateCSR(g.outStart, g.outDst, n, m, "out"); err != nil {
+		return nil, err
+	}
+	for i, w := range g.inW {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("graph: binary in-weight %d is %v", i, w)
+		}
+	}
+	for i, w := range g.outW {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("graph: binary out-weight %d is %v", i, w)
+		}
+	}
+	return g, nil
+}
+
+func validateCSR(start, ids []int32, n, m int, side string) error {
+	if start[0] != 0 || int(start[n]) != m {
+		return fmt.Errorf("graph: binary %s-offsets must span [0,%d], got [%d,%d]", side, m, start[0], start[n])
+	}
+	for v := 0; v < n; v++ {
+		if start[v+1] < start[v] {
+			return fmt.Errorf("graph: binary %s-offsets not monotone at node %d", side, v)
+		}
+	}
+	for i, id := range ids {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("graph: binary %s-edge %d references node %d, want [0,%d)", side, i, id, n)
+		}
+	}
+	return nil
+}

@@ -53,6 +53,17 @@ type IMMResult struct {
 // required RR-set count θ; the node-selection phase greedily covers the
 // sampled sets.
 func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) {
+	return IMMCached(g, model, k, cfg, nil)
+}
+
+// IMMCached is IMM with an optional precomputed RR-set collection acting as
+// a sampling cache: any set index already present in cache is copied
+// instead of re-sampled. Because set i's content is a pure function of the
+// (seed, stream, i) triple, the run is byte-identical to IMM — the cache
+// only shortcuts the sampling cost. cache must have been generated over the
+// same graph and model with the stream family IMM uses (seed cfg.Seed,
+// stream id 701); a mismatched cache is rejected.
+func IMMCached(g *graph.Graph, model Model, k int, cfg IMMConfig, cache *RRCollection) (*IMMResult, error) {
 	cfg = cfg.withDefaults()
 	n := g.N()
 	if k < 1 || k > n {
@@ -68,10 +79,17 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 	logN := math.Log(nf)
 	logBinom := stats.LogChoose(n, k)
 
+	str := sampling.Stream{Seed: cfg.Seed, ID: 701}
+	if cache != nil {
+		if cache.g != g || cache.model != model || cache.str != str {
+			return nil, fmt.Errorf("im: RR cache generated for a different graph, model, or stream")
+		}
+	}
+
 	// Phase 1: estimate a lower bound on OPT (Algorithm 2 of [3]).
 	epsPrime := math.Sqrt2 * cfg.Epsilon
 	lambdaPrime := (2 + 2*epsPrime/3) * (logBinom + cfg.L*logN + math.Log(math.Max(math.Log2(nf), 1))) * nf / (epsPrime * epsPrime)
-	col := NewRRCollection(g, model, sampling.Stream{Seed: cfg.Seed, ID: 701}, cfg.Parallelism)
+	col := NewRRCollection(g, model, str, cfg.Parallelism)
 	lb := 1.0
 	for i := 1; i < int(math.Ceil(math.Log2(nf))); i++ {
 		x := nf / math.Pow(2, float64(i))
@@ -80,7 +98,7 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 			thetaI = cfg.MaxSets
 		}
 		if col.NumSets() < thetaI {
-			col.Add(thetaI - col.NumSets())
+			col.AddCached(thetaI-col.NumSets(), cache)
 		}
 		_, frac := col.GreedyCover(k)
 		if nf*frac >= (1+epsPrime)*x {
@@ -101,7 +119,7 @@ func IMM(g *graph.Graph, model Model, k int, cfg IMMConfig) (*IMMResult, error) 
 		theta = cfg.MaxSets
 	}
 	if col.NumSets() < theta {
-		col.Add(theta - col.NumSets())
+		col.AddCached(theta-col.NumSets(), cache)
 	}
 	seeds, frac := col.GreedyCover(k)
 	return &IMMResult{

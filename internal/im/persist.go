@@ -1,0 +1,115 @@
+package im
+
+import (
+	"fmt"
+
+	"ovm/internal/graph"
+	"ovm/internal/sampling"
+)
+
+// Snapshot is the portable state of an RRCollection: the diffusion model
+// plus the flat set storage. Because RR set i always consumes the substream
+// str.At(i), a snapshot taken after Add(count) on a fresh collection holds
+// exactly the sets a new collection with the same stream would generate —
+// so a restored snapshot can serve as a sampling cache (see AddCached)
+// without disturbing byte-reproducibility.
+type Snapshot struct {
+	Model Model
+	Nodes []int32 // concatenated set members
+	Off   []int32 // len numSets+1
+}
+
+// Snapshot captures the collection's sampled sets. It requires that every
+// drawn set is still stored (the collection never truncates, so this always
+// holds for collections produced by NewRRCollection + Add).
+func (c *RRCollection) Snapshot() (*Snapshot, error) {
+	if c.NumSets() != c.drawn {
+		return nil, fmt.Errorf("im: collection stores %d sets but drew %d", c.NumSets(), c.drawn)
+	}
+	return &Snapshot{Model: c.model, Nodes: c.nodes, Off: c.off}, nil
+}
+
+// FromSnapshot reconstructs a collection over g with the draw cursor
+// positioned after the stored sets, so a subsequent Add(k) generates set
+// indices NumSets()..NumSets()+k-1 — exactly what a fresh collection that
+// had drawn the same prefix would do. str and parallelism follow the
+// NewRRCollection conventions and must match the generation-time values for
+// the determinism guarantee to hold.
+func FromSnapshot(g *graph.Graph, s *Snapshot, str sampling.Stream, parallelism int) (*RRCollection, error) {
+	n := g.N()
+	if s.Model != IC && s.Model != LT {
+		return nil, fmt.Errorf("im: snapshot has unknown model %d", s.Model)
+	}
+	if len(s.Off) == 0 || s.Off[0] != 0 {
+		return nil, fmt.Errorf("im: snapshot set offsets must start at 0")
+	}
+	numSets := len(s.Off) - 1
+	for i := 0; i < numSets; i++ {
+		if s.Off[i+1] < s.Off[i] {
+			return nil, fmt.Errorf("im: snapshot set offsets not monotone at %d", i)
+		}
+	}
+	if int(s.Off[numSets]) != len(s.Nodes) {
+		return nil, fmt.Errorf("im: snapshot stores %d members but offsets cover %d", len(s.Nodes), s.Off[numSets])
+	}
+	for i, v := range s.Nodes {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("im: snapshot member %d references node %d, want [0,%d)", i, v, n)
+		}
+	}
+	c := NewRRCollection(g, s.Model, str, parallelism)
+	// Cap the adopted slices so a later Add cannot write into snapshot
+	// backing storage shared with other collections.
+	c.nodes = s.Nodes[:len(s.Nodes):len(s.Nodes)]
+	c.off = s.Off[:len(s.Off):len(s.Off)]
+	c.drawn = numSets
+	return c, nil
+}
+
+// Model returns the diffusion model the collection samples.
+func (c *RRCollection) Model() Model { return c.model }
+
+// BytesUsed approximates the RR-set storage footprint.
+func (c *RRCollection) BytesUsed() int64 {
+	return int64(len(c.nodes))*4 + int64(len(c.off))*4 + int64(len(c.idxNodes))*4 + int64(len(c.idxOff))*4
+}
+
+// EnsureIndex builds the node → set inverted index now. Call it once after
+// loading (or generating) a collection that will serve concurrent read-only
+// GreedyCover calls: with the index prebuilt and no further Add, GreedyCover
+// touches only immutable state.
+func (c *RRCollection) EnsureIndex() { c.buildIndex() }
+
+// AddCached generates count new RR sets like Add, but copies any set whose
+// global index is already present in cache instead of re-sampling it. Since
+// set i's content is a pure function of (stream, i), copying is
+// indistinguishable from sampling — the collection ends up byte-identical
+// to one built by Add alone — while skipping the sampling cost for the
+// cached prefix. cache must have been generated over the same graph, model,
+// and stream family; the caller is responsible for that correspondence
+// (ovmd keys cached collections by those parameters).
+func (c *RRCollection) AddCached(count int, cache *RRCollection) {
+	if count <= 0 {
+		return
+	}
+	if cache == nil || c.drawn >= cache.NumSets() {
+		c.Add(count)
+		return
+	}
+	avail := cache.NumSets() - c.drawn
+	take := count
+	if take > avail {
+		take = avail
+	}
+	lo, hi := cache.off[c.drawn], cache.off[c.drawn+take]
+	c.nodes = append(c.nodes, cache.nodes[lo:hi]...)
+	for i := 0; i < take; i++ {
+		l := cache.off[c.drawn+i+1] - cache.off[c.drawn+i]
+		c.off = append(c.off, c.off[len(c.off)-1]+l)
+	}
+	c.drawn += take
+	c.indexed = 0
+	if count > take {
+		c.Add(count - take)
+	}
+}

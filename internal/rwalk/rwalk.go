@@ -97,6 +97,70 @@ type Result struct {
 	Gamma          []float64 // estimated γ*_v (nil for cumulative)
 }
 
+// CumulativeLambda resolves the per-node walk count the cumulative score
+// uses (Theorem 10's λ, capped by MaxWalksPerNode) for this configuration.
+// Index builders call it so a persisted walk artifact records exactly the
+// plan a live Select would generate.
+func CumulativeLambda(cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	lam, err := stats.WalksForCumulative(cfg.Delta, cfg.Rho)
+	if err != nil {
+		return 0, err
+	}
+	if lam > cfg.MaxWalksPerNode {
+		lam = cfg.MaxWalksPerNode
+	}
+	return lam, nil
+}
+
+// GenerateSet creates the Algorithm 4 walk set for an explicit per-node
+// plan on the problem's target candidate, using the same substream family
+// as Select — the artifact a serving index persists. The returned set is
+// pristine (no seeds applied).
+func GenerateSet(p *core.Problem, plan []int32, seed int64, parallelism int) (*walks.Set, error) {
+	cand := p.Sys.Candidate(p.Target)
+	sampler, err := graph.NewInEdgeSampler(cand.G)
+	if err != nil {
+		return nil, err
+	}
+	return walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: seed, ID: 101}, parallelism)
+}
+
+// SelectOnSet runs the greedy selection of Algorithm 4 over a pre-generated
+// walk set (freshly generated, or a Clone of a loaded artifact). The set is
+// mutated by truncation; callers serving concurrent queries must pass a
+// private clone. comp may carry precomputed competitor opinions for the
+// problem's (target, horizon); nil computes them here. Given a set produced
+// by GenerateSet with the plan Select would derive, the result's seeds and
+// estimates are byte-identical to Select's.
+func SelectOnSet(p *core.Problem, set *walks.Set, comp [][]float64, parallelism int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if comp == nil {
+		comp = core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	}
+	cand := p.Sys.Candidate(p.Target)
+	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set), parallelism)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := est.SelectGreedy(p.K, p.Score)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seeds:          gr.Seeds,
+		EstimatedValue: gr.Value,
+		Gains:          gr.Gains,
+		TotalWalks:     set.NumWalks(),
+		BytesUsed:      set.BytesUsed(),
+	}, nil
+}
+
 // Select runs Algorithm 4 for the given problem.
 func Select(p *core.Problem, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -113,17 +177,14 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	}
 	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, cfg.Parallelism)
 
-	res := &Result{}
+	var gammaOut []float64
 	n := p.Sys.N()
 	plan := make([]int32, n)
 	switch p.Score.(type) {
 	case voting.Cumulative:
-		lam, err := stats.WalksForCumulative(cfg.Delta, cfg.Rho)
+		lam, err := CumulativeLambda(cfg)
 		if err != nil {
 			return nil, err
-		}
-		if lam > cfg.MaxWalksPerNode {
-			lam = cfg.MaxWalksPerNode
 		}
 		for v := range plan {
 			plan[v] = int32(lam)
@@ -133,7 +194,7 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Gamma = gamma
+		gammaOut = gamma
 		oneSided := false
 		if _, ok := p.Score.(voting.Copeland); ok {
 			oneSided = true
@@ -155,25 +216,17 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 			plan[v] = int32(lam)
 		}
 	}
-	res.Lambda = plan
 
 	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 101}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set), cfg.Parallelism)
+	res, err := SelectOnSet(p, set, comp, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	gr, err := est.SelectGreedy(p.K, p.Score)
-	if err != nil {
-		return nil, err
-	}
-	res.Seeds = gr.Seeds
-	res.EstimatedValue = gr.Value
-	res.Gains = gr.Gains
-	res.TotalWalks = set.NumWalks()
-	res.BytesUsed = set.BytesUsed()
+	res.Lambda = plan
+	res.Gamma = gammaOut
 	return res, nil
 }
 

@@ -1,0 +1,495 @@
+// Binary index format: the persistent artifact store behind ovmd's
+// load-not-recompute startup. One file bundles a complete opinion system
+// (exact CSR graph + per-candidate vectors) with any number of precomputed
+// sketch sets, walk sets, and RR-set collections, each tagged with the
+// generation parameters (target, horizon, θ/λ/count, seed) that make the
+// artifact reusable: a query whose parameters match loads the artifact and
+// proceeds bit-identically to a from-scratch run.
+//
+// Layout (all integers little-endian):
+//
+//	magic "OVMIDX" + u32 format version (currently 1)
+//	system:   graph (see graph.WriteBinary), u32 r, per candidate
+//	          {u32 nameLen, name, n×f64 init, n×f64 stub}
+//	sketches: u32 count, each {i64 seed, u32 target, u32 horizon, u32 theta,
+//	          walk snapshot}
+//	walks:    u32 count, each {i64 seed, u32 target, u32 horizon, u32 lambda,
+//	          walk snapshot}
+//	rrsets:   u32 count, each {i64 seed, u32 target, u32 model,
+//	          u64 memberLen, members, u64 offLen, offsets}
+//	u32 CRC-32 (IEEE) of every preceding byte
+//
+// A walk snapshot is {u32 horizon, u64 nodesLen, nodes, u64 offLen, offs,
+// u64 ownerLen, owners, owner offsets (ownerLen+1)}.
+package serialize
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"ovm/internal/binio"
+	"ovm/internal/graph"
+	"ovm/internal/im"
+	"ovm/internal/opinion"
+	"ovm/internal/walks"
+)
+
+// IndexFormatVersion is the on-disk version written by WriteIndex and the
+// only version ReadIndex accepts. Bump it on any layout change.
+const IndexFormatVersion = 1
+
+const indexMagic = "OVMIDX"
+
+// Sanity caps for declared counts, so corrupted headers error out instead
+// of triggering huge allocations.
+const (
+	maxArtifacts   = 1 << 16
+	maxElements    = 1 << 31
+	maxNameLen     = 1 << 16
+	maxCandidates  = 1 << 16
+	indexTrailerSz = 4
+)
+
+// Index bundles an opinion system with its precomputed query-serving
+// artifacts. Artifact slices may be empty; Sys is mandatory.
+type Index struct {
+	Sys      *opinion.System
+	Sketches []*SketchArtifact
+	Walks    []*WalkArtifact
+	RRs      []*RRArtifact
+}
+
+// SketchArtifact is a sampled reverse-walk sketch set (the RS method's
+// precomputation), tagged with the parameters that reproduce it: walks are
+// GenerateSampled(target's graph/stub, Horizon, Theta, sketch stream(Seed)).
+type SketchArtifact struct {
+	Seed    int64
+	Target  int
+	Horizon int
+	Theta   int
+	Set     *walks.Snapshot
+}
+
+// WalkArtifact is a per-node walk set generated with the RW method's
+// uniform cumulative plan: Lambda walks from every node at the given
+// horizon (Theorem 10's λ, already capped).
+type WalkArtifact struct {
+	Seed    int64
+	Target  int
+	Horizon int
+	Lambda  int
+	Set     *walks.Snapshot
+}
+
+// RRArtifact is a reverse-reachable set collection for one diffusion model,
+// sampled from the IMM stream family of the given seed. Loaded collections
+// serve as sampling caches for IC/LT baseline queries.
+type RRArtifact struct {
+	Seed   int64
+	Target int
+	Sets   *im.Snapshot
+}
+
+// Validate checks the index invariants that do not require replaying
+// generation: shapes, ranges, and finite values.
+func (idx *Index) Validate() error {
+	if idx.Sys == nil {
+		return fmt.Errorf("serialize: index has no system")
+	}
+	for i, a := range idx.Sketches {
+		if a.Set == nil {
+			return fmt.Errorf("serialize: sketch artifact %d has no walk set", i)
+		}
+		if a.Target < 0 || a.Target >= idx.Sys.R() {
+			return fmt.Errorf("serialize: sketch artifact %d targets candidate %d of %d", i, a.Target, idx.Sys.R())
+		}
+		if a.Horizon < 0 || a.Theta < 1 {
+			return fmt.Errorf("serialize: sketch artifact %d has horizon %d, theta %d", i, a.Horizon, a.Theta)
+		}
+	}
+	for i, a := range idx.Walks {
+		if a.Set == nil {
+			return fmt.Errorf("serialize: walk artifact %d has no walk set", i)
+		}
+		if a.Target < 0 || a.Target >= idx.Sys.R() {
+			return fmt.Errorf("serialize: walk artifact %d targets candidate %d of %d", i, a.Target, idx.Sys.R())
+		}
+		if a.Horizon < 0 || a.Lambda < 1 {
+			return fmt.Errorf("serialize: walk artifact %d has horizon %d, lambda %d", i, a.Horizon, a.Lambda)
+		}
+	}
+	for i, a := range idx.RRs {
+		if a.Sets == nil {
+			return fmt.Errorf("serialize: rr artifact %d has no set collection", i)
+		}
+		if a.Target < 0 || a.Target >= idx.Sys.R() {
+			return fmt.Errorf("serialize: rr artifact %d targets candidate %d of %d", i, a.Target, idx.Sys.R())
+		}
+	}
+	return nil
+}
+
+// WriteIndex serializes idx in the versioned binary format, appending a
+// CRC-32 of the whole payload so loaders detect torn or corrupted files.
+func WriteIndex(w io.Writer, idx *Index) error {
+	if err := idx.Validate(); err != nil {
+		return err
+	}
+	if err := checkSystemFinite(idx.Sys); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(bw, IndexFormatVersion); err != nil {
+		return err
+	}
+	if err := writeBinarySystem(bw, idx.Sys); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(bw, uint32(len(idx.Sketches))); err != nil {
+		return err
+	}
+	for _, a := range idx.Sketches {
+		if err := binio.WriteI64(bw, a.Seed); err != nil {
+			return err
+		}
+		for _, v := range []uint32{uint32(a.Target), uint32(a.Horizon), uint32(a.Theta)} {
+			if err := binio.WriteU32(bw, v); err != nil {
+				return err
+			}
+		}
+		if err := writeWalkSnapshot(bw, a.Set); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteU32(bw, uint32(len(idx.Walks))); err != nil {
+		return err
+	}
+	for _, a := range idx.Walks {
+		if err := binio.WriteI64(bw, a.Seed); err != nil {
+			return err
+		}
+		for _, v := range []uint32{uint32(a.Target), uint32(a.Horizon), uint32(a.Lambda)} {
+			if err := binio.WriteU32(bw, v); err != nil {
+				return err
+			}
+		}
+		if err := writeWalkSnapshot(bw, a.Set); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteU32(bw, uint32(len(idx.RRs))); err != nil {
+		return err
+	}
+	for _, a := range idx.RRs {
+		if err := binio.WriteI64(bw, a.Seed); err != nil {
+			return err
+		}
+		if err := binio.WriteU32(bw, uint32(a.Target)); err != nil {
+			return err
+		}
+		if err := binio.WriteU32(bw, uint32(a.Sets.Model)); err != nil {
+			return err
+		}
+		if err := binWriteI32s(bw, a.Sets.Nodes); err != nil {
+			return err
+		}
+		if err := binWriteI32s(bw, a.Sets.Off); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The CRC covers everything flushed so far; write it raw (uncovered).
+	var tail [indexTrailerSz]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// ReadIndex parses and validates the format produced by WriteIndex. The
+// returned artifacts are structurally validated against the system's graph;
+// restoring them into live walk sets / RR collections (walks.FromSnapshot,
+// im.FromSnapshot) performs the deeper invariant checks.
+func ReadIndex(r io.Reader) (*Index, error) {
+	crc := crc32.NewIEEE()
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20), h: crc}
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("serialize: index header: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("serialize: bad index magic %q (want %q)", magic, indexMagic)
+	}
+	version, err := binio.ReadU32(cr)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: index header: %w", err)
+	}
+	if version != IndexFormatVersion {
+		return nil, fmt.Errorf("serialize: index format version %d unsupported (want %d)", version, IndexFormatVersion)
+	}
+	sys, err := readBinarySystem(cr)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Sys: sys}
+	numSketches, err := binReadCount(cr, maxArtifacts)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: sketch artifact count: %w", err)
+	}
+	for i := 0; i < numSketches; i++ {
+		a := &SketchArtifact{}
+		if a.Seed, err = binio.ReadI64(cr); err != nil {
+			return nil, err
+		}
+		var fields [3]uint32
+		for j := range fields {
+			if fields[j], err = binio.ReadU32(cr); err != nil {
+				return nil, err
+			}
+		}
+		a.Target, a.Horizon, a.Theta = int(fields[0]), int(fields[1]), int(fields[2])
+		if a.Set, err = readWalkSnapshot(cr); err != nil {
+			return nil, fmt.Errorf("serialize: sketch artifact %d: %w", i, err)
+		}
+		idx.Sketches = append(idx.Sketches, a)
+	}
+	numWalks, err := binReadCount(cr, maxArtifacts)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: walk artifact count: %w", err)
+	}
+	for i := 0; i < numWalks; i++ {
+		a := &WalkArtifact{}
+		if a.Seed, err = binio.ReadI64(cr); err != nil {
+			return nil, err
+		}
+		var fields [3]uint32
+		for j := range fields {
+			if fields[j], err = binio.ReadU32(cr); err != nil {
+				return nil, err
+			}
+		}
+		a.Target, a.Horizon, a.Lambda = int(fields[0]), int(fields[1]), int(fields[2])
+		if a.Set, err = readWalkSnapshot(cr); err != nil {
+			return nil, fmt.Errorf("serialize: walk artifact %d: %w", i, err)
+		}
+		idx.Walks = append(idx.Walks, a)
+	}
+	numRRs, err := binReadCount(cr, maxArtifacts)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: rr artifact count: %w", err)
+	}
+	for i := 0; i < numRRs; i++ {
+		a := &RRArtifact{Sets: &im.Snapshot{}}
+		if a.Seed, err = binio.ReadI64(cr); err != nil {
+			return nil, err
+		}
+		var target, model uint32
+		if target, err = binio.ReadU32(cr); err != nil {
+			return nil, err
+		}
+		if model, err = binio.ReadU32(cr); err != nil {
+			return nil, err
+		}
+		a.Target = int(target)
+		a.Sets.Model = im.Model(model)
+		if a.Sets.Nodes, err = binReadI32s(cr); err != nil {
+			return nil, fmt.Errorf("serialize: rr artifact %d members: %w", i, err)
+		}
+		if a.Sets.Off, err = binReadI32s(cr); err != nil {
+			return nil, fmt.Errorf("serialize: rr artifact %d offsets: %w", i, err)
+		}
+		idx.RRs = append(idx.RRs, a)
+	}
+	var tail [indexTrailerSz]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("serialize: index checksum missing: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("serialize: index checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	if err := idx.Validate(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// checkSystemFinite rejects NaN/Inf opinion and stubbornness values — they
+// would survive a float round-trip and poison every downstream estimate.
+func checkSystemFinite(s *opinion.System) error {
+	for q := 0; q < s.R(); q++ {
+		c := s.Candidate(q)
+		for i, v := range c.Init {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("serialize: candidate %q Init[%d] is %v", c.Name, i, v)
+			}
+		}
+		for i, v := range c.Stub {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("serialize: candidate %q Stub[%d] is %v", c.Name, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// writeBinarySystem serializes the shared graph (candidate 0's, as in the
+// text format) followed by every candidate's name and vectors.
+func writeBinarySystem(w io.Writer, s *opinion.System) error {
+	if err := graph.WriteBinary(w, s.Candidate(0).G); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(s.R())); err != nil {
+		return err
+	}
+	for q := 0; q < s.R(); q++ {
+		c := s.Candidate(q)
+		name := []byte(c.Name)
+		if len(name) > maxNameLen {
+			return fmt.Errorf("serialize: candidate %d name too long (%d bytes)", q, len(name))
+		}
+		if err := binio.WriteU32(w, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write(name); err != nil {
+			return err
+		}
+		if err := binio.WriteF64s(w, c.Init); err != nil {
+			return err
+		}
+		if err := binio.WriteF64s(w, c.Stub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBinarySystem(r io.Reader) (*opinion.System, error) {
+	g, err := graph.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	rCand, err := binReadCount(r, maxCandidates)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: candidate count: %w", err)
+	}
+	if rCand < 2 {
+		return nil, fmt.Errorf("serialize: need at least 2 candidates, got %d", rCand)
+	}
+	n := g.N()
+	cands := make([]*opinion.Candidate, rCand)
+	for q := range cands {
+		nameLen, err := binReadCount(r, maxNameLen)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d name length: %w", q, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d name: %w", q, err)
+		}
+		init, err := binio.ReadF64s(r, n)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d init: %w", q, err)
+		}
+		stub, err := binio.ReadF64s(r, n)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: candidate %d stub: %w", q, err)
+		}
+		cands[q] = &opinion.Candidate{Name: string(name), G: g, Init: init, Stub: stub}
+	}
+	return opinion.NewSystem(cands)
+}
+
+func writeWalkSnapshot(w io.Writer, s *walks.Snapshot) error {
+	if err := binio.WriteU32(w, uint32(s.Horizon)); err != nil {
+		return err
+	}
+	if err := binWriteI32s(w, s.Nodes); err != nil {
+		return err
+	}
+	if err := binWriteI32s(w, s.Off); err != nil {
+		return err
+	}
+	if err := binWriteI32s(w, s.OwnerNodes); err != nil {
+		return err
+	}
+	return binWriteI32s(w, s.OwnerOff)
+}
+
+func readWalkSnapshot(r io.Reader) (*walks.Snapshot, error) {
+	horizon, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &walks.Snapshot{Horizon: int(horizon)}
+	if s.Nodes, err = binReadI32s(r); err != nil {
+		return nil, err
+	}
+	if s.Off, err = binReadI32s(r); err != nil {
+		return nil, err
+	}
+	if s.OwnerNodes, err = binReadI32s(r); err != nil {
+		return nil, err
+	}
+	if s.OwnerOff, err = binReadI32s(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// crcReader feeds every byte it reads into the running hash.
+type crcReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		_, _ = c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// binWriteI32s writes a u32 count followed by the raw payload. Slices
+// beyond the read-side cap are rejected at write time, so WriteIndex can
+// never produce a file whose count ReadIndex refuses (or silently wraps).
+func binWriteI32s(w io.Writer, xs []int32) error {
+	if len(xs) > maxElements {
+		return fmt.Errorf("serialize: slice of %d elements exceeds format limit %d", len(xs), maxElements)
+	}
+	if err := binio.WriteU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	return binio.WriteI32s(w, xs)
+}
+
+// binReadCount reads a u32 count and bounds it.
+func binReadCount(r io.Reader, limit int) (int, error) {
+	v, err := binio.ReadU32(r)
+	if err != nil {
+		return 0, err
+	}
+	if int64(v) > int64(limit) {
+		return 0, fmt.Errorf("declared count %d exceeds limit %d", v, limit)
+	}
+	return int(v), nil
+}
+
+// binReadI32s reads a count-prefixed int32 slice.
+func binReadI32s(r io.Reader) ([]int32, error) {
+	count, err := binReadCount(r, maxElements)
+	if err != nil {
+		return nil, err
+	}
+	return binio.ReadI32s(r, count)
+}

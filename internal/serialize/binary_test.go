@@ -1,0 +1,211 @@
+package serialize_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"ovm/internal/datasets"
+	"ovm/internal/graph"
+	"ovm/internal/im"
+	"ovm/internal/opinion"
+	"ovm/internal/sampling"
+	"ovm/internal/serialize"
+	"ovm/internal/walks"
+)
+
+// buildTestIndex assembles a small but fully populated index: one sketch
+// artifact, one walk artifact, and one RR artifact over a synthetic system.
+func buildTestIndex(t testing.TB) *serialize.Index {
+	t.Helper()
+	d, err := datasets.YelpLike(datasets.Options{N: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := d.Sys
+	cand := sys.Candidate(0)
+	sampler, err := graph.NewInEdgeSampler(cand.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		horizon = 6
+		theta   = 64
+		lambda  = 3
+		seed    = int64(9)
+	)
+	sketchSet, err := walks.GenerateSampled(sampler, cand.Stub, horizon, theta, sampling.Stream{Seed: seed, ID: 211}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchSnap, err := sketchSet.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := make([]int32, sys.N())
+	for v := range plan {
+		plan[v] = lambda
+	}
+	walkSet, err := walks.Generate(sampler, cand.Stub, horizon, plan, sampling.Stream{Seed: seed, ID: 101}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walkSnap, err := walkSet.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := im.NewRRCollection(cand.G, im.IC, sampling.Stream{Seed: seed, ID: 701}, 0)
+	col.Add(50)
+	rrSnap, err := col.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &serialize.Index{
+		Sys:      sys,
+		Sketches: []*serialize.SketchArtifact{{Seed: seed, Target: 0, Horizon: horizon, Theta: theta, Set: sketchSnap}},
+		Walks:    []*serialize.WalkArtifact{{Seed: seed, Target: 0, Horizon: horizon, Lambda: lambda, Set: walkSnap}},
+		RRs:      []*serialize.RRArtifact{{Seed: seed, Target: 0, Sets: rrSnap}},
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := serialize.ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System: identical shapes, names, vectors (bit-exact), and edges.
+	if got.Sys.N() != idx.Sys.N() || got.Sys.R() != idx.Sys.R() {
+		t.Fatalf("system shape %dx%d, want %dx%d", got.Sys.N(), got.Sys.R(), idx.Sys.N(), idx.Sys.R())
+	}
+	for q := 0; q < idx.Sys.R(); q++ {
+		a, b := idx.Sys.Candidate(q), got.Sys.Candidate(q)
+		if a.Name != b.Name {
+			t.Fatalf("candidate %d name %q vs %q", q, a.Name, b.Name)
+		}
+		if !reflect.DeepEqual(a.Init, b.Init) || !reflect.DeepEqual(a.Stub, b.Stub) {
+			t.Fatalf("candidate %d vectors differ after round trip", q)
+		}
+	}
+	if !reflect.DeepEqual(idx.Sys.Candidate(0).G.Edges(), got.Sys.Candidate(0).G.Edges()) {
+		t.Fatal("graph edges differ after round trip")
+	}
+	// Artifacts: parameters and snapshots bit-exact.
+	if len(got.Sketches) != 1 || len(got.Walks) != 1 || len(got.RRs) != 1 {
+		t.Fatalf("artifact counts %d/%d/%d, want 1/1/1", len(got.Sketches), len(got.Walks), len(got.RRs))
+	}
+	if !reflect.DeepEqual(idx.Sketches[0], got.Sketches[0]) {
+		t.Error("sketch artifact differs after round trip")
+	}
+	if !reflect.DeepEqual(idx.Walks[0], got.Walks[0]) {
+		t.Error("walk artifact differs after round trip")
+	}
+	if !reflect.DeepEqual(idx.RRs[0], got.RRs[0]) {
+		t.Error("rr artifact differs after round trip")
+	}
+	// Restored artifacts must be live: FromSnapshot accepts them.
+	if _, err := walks.FromSnapshot(got.Sys.Candidate(0).G, got.Sketches[0].Set); err != nil {
+		t.Errorf("restoring sketch set: %v", err)
+	}
+	if _, err := im.FromSnapshot(got.Sys.Candidate(0).G, got.RRs[0].Sets, sampling.Stream{Seed: got.RRs[0].Seed, ID: 701}, 0); err != nil {
+		t.Errorf("restoring rr collection: %v", err)
+	}
+}
+
+func TestIndexChecksumDetectsCorruption(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte somewhere in the middle of the payload.
+	data[len(data)/2] ^= 0x40
+	if _, err := serialize.ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for corrupted index payload")
+	}
+}
+
+func TestIndexRejectsWrongVersion(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len("OVMIDX")] = 99 // version field follows the magic
+	if _, err := serialize.ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for unsupported format version")
+	}
+}
+
+func TestIndexRejectsTruncation(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, len("OVMIDX") + 2, len(data) / 3, len(data) - 1} {
+		if _, err := serialize.ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("expected error for index truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestWriteSystemRejectsNaNInf(t *testing.T) {
+	sys := nanSystem(t, math.NaN())
+	if err := serialize.WriteSystem(&bytes.Buffer{}, sys); err == nil {
+		t.Error("expected WriteSystem to reject NaN opinion")
+	}
+	sys = nanSystem(t, math.Inf(1))
+	if err := serialize.WriteSystem(&bytes.Buffer{}, sys); err == nil {
+		t.Error("expected WriteSystem to reject Inf opinion")
+	}
+	if err := serialize.WriteIndex(&bytes.Buffer{}, &serialize.Index{Sys: sys}); err == nil {
+		t.Error("expected WriteIndex to reject Inf opinion")
+	}
+}
+
+// nanSystem builds a valid system, then smuggles a non-finite value into an
+// opinion vector (bypassing NewSystem validation, as an in-place mutation
+// after construction would).
+func nanSystem(t *testing.T, bad float64) *opinion.System {
+	t.Helper()
+	d, err := datasets.YelpLike(datasets.Options{N: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Sys.Candidate(1).Init[7] = bad
+	return d.Sys
+}
+
+// FuzzReadIndex feeds arbitrary bytes to the binary index parser: it must
+// either return a valid index or an error — never panic or hang.
+func FuzzReadIndex(f *testing.F) {
+	idx := buildTestIndex(f)
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len("OVMIDX")+4])
+	f.Add([]byte("OVMIDX"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/3] ^= 0xff
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := serialize.ReadIndex(bytes.NewReader(data))
+		if err == nil && got.Sys == nil {
+			t.Fatal("ReadIndex returned nil system without error")
+		}
+	})
+}

@@ -32,8 +32,13 @@ import (
 
 const magic = "ovm-system v1"
 
-// WriteSystem serializes a system to w.
+// WriteSystem serializes a system to w. NaN and Inf opinion or
+// stubbornness values are rejected: they would round-trip through the text
+// format and poison every downstream estimate on reload.
 func WriteSystem(w io.Writer, s *opinion.System) error {
+	if err := checkSystemFinite(s); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, magic); err != nil {
 		return err

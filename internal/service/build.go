@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+
+	"ovm/internal/core"
+	"ovm/internal/im"
+	"ovm/internal/opinion"
+	"ovm/internal/rwalk"
+	"ovm/internal/sampling"
+	"ovm/internal/serialize"
+	"ovm/internal/sketch"
+	"ovm/internal/voting"
+)
+
+// BuildOptions selects which artifacts an index precomputes. Every
+// artifact is tied to (Target, Horizon, Seed): a query reuses an artifact
+// only when those parameters match, which is exactly the condition under
+// which reuse is byte-identical to recomputation.
+type BuildOptions struct {
+	// Target is the campaigning candidate the artifacts serve.
+	Target int
+	// Horizon is the timestamp t the walks are generated for.
+	Horizon int
+	// Seed is the root random seed, matching the request-level Seed.
+	Seed int64
+	// SketchTheta precomputes an RS sketch set with θ walks (0 = skip).
+	SketchTheta int
+	// IncludeWalks precomputes the RW method's cumulative-score walk set
+	// (Theorem 10's per-node λ under the default rwalk configuration).
+	IncludeWalks bool
+	// RRSets precomputes that many reverse-reachable sets per model in
+	// RRModels for the IC/LT baselines (0 = skip).
+	RRSets int
+	// RRModels lists the diffusion models to precompute RR sets for;
+	// empty with RRSets > 0 means both IC and LT.
+	RRModels []im.Model
+	// Parallelism caps the engine worker pool during the build (0 =
+	// GOMAXPROCS). It never changes the produced artifacts.
+	Parallelism int
+}
+
+// BuildIndex precomputes the serving artifacts for sys. The generation
+// uses the same substream families as the live methods (sketch.GenerateSet,
+// rwalk.GenerateSet, IMM's RR stream), so an artifact loaded later is
+// bit-identical to what a from-scratch query would generate.
+func BuildIndex(sys *opinion.System, o BuildOptions) (*serialize.Index, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("service: nil system")
+	}
+	if o.Target < 0 || o.Target >= sys.R() {
+		return nil, fmt.Errorf("service: target %d out of range [0,%d)", o.Target, sys.R())
+	}
+	if o.Horizon < 0 {
+		return nil, fmt.Errorf("service: horizon must be >= 0, got %d", o.Horizon)
+	}
+	if o.SketchTheta < 0 || o.RRSets < 0 {
+		return nil, fmt.Errorf("service: sketch theta and rr counts must be >= 0")
+	}
+	idx := &serialize.Index{Sys: sys}
+	// The generators only read Sys/Target/Horizon from the problem; K and
+	// Score exist to satisfy the shared Problem shape.
+	prob := &core.Problem{Sys: sys, Target: o.Target, Horizon: o.Horizon, K: 1, Score: voting.Cumulative{}}
+	if o.SketchTheta > 0 {
+		set, err := sketch.GenerateSet(prob, o.SketchTheta, o.Seed, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := set.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		idx.Sketches = append(idx.Sketches, &serialize.SketchArtifact{
+			Seed: o.Seed, Target: o.Target, Horizon: o.Horizon, Theta: o.SketchTheta, Set: snap,
+		})
+	}
+	if o.IncludeWalks {
+		lambda, err := rwalk.CumulativeLambda(rwalk.Config{})
+		if err != nil {
+			return nil, err
+		}
+		plan := make([]int32, sys.N())
+		for v := range plan {
+			plan[v] = int32(lambda)
+		}
+		set, err := rwalk.GenerateSet(prob, plan, o.Seed, o.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := set.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		idx.Walks = append(idx.Walks, &serialize.WalkArtifact{
+			Seed: o.Seed, Target: o.Target, Horizon: o.Horizon, Lambda: lambda, Set: snap,
+		})
+	}
+	if o.RRSets > 0 {
+		models := o.RRModels
+		if len(models) == 0 {
+			models = []im.Model{im.IC, im.LT}
+		}
+		g := sys.Candidate(o.Target).G
+		for _, model := range models {
+			col := im.NewRRCollection(g, model, sampling.Stream{Seed: o.Seed, ID: 701}, o.Parallelism)
+			col.Add(o.RRSets)
+			snap, err := col.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			idx.RRs = append(idx.RRs, &serialize.RRArtifact{Seed: o.Seed, Target: o.Target, Sets: snap})
+		}
+	}
+	return idx, nil
+}

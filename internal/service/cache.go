@@ -1,0 +1,161 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used response cache keyed by
+// canonicalized request strings. Values are treated as immutable by
+// convention: callers must not mutate what they Get.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Evictions returns the lifetime eviction count.
+func (c *lruCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Reset drops every entry (eviction count is preserved).
+func (c *lruCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Keys returns the cached keys from most to least recently used (tests).
+func (c *lruCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*lruEntry).key)
+	}
+	return keys
+}
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every caller shares (the classic singleflight
+// shape, local to this package to keep the module dependency-free).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	waiters int
+	val     any
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key at a time: concurrent callers with an in-flight
+// key block and receive the leader's result. shared reports whether this
+// caller piggybacked on another's execution.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		call.waiters++
+		g.mu.Unlock()
+		call.wg.Wait()
+		return call.val, call.err, true
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	// Release waiters and drop the key even if fn panics, so one crashing
+	// computation cannot wedge every future caller of the same key. The
+	// panic is converted into an error shared by leader and waiters alike.
+	defer func() {
+		if r := recover(); r != nil {
+			call.err = fmt.Errorf("service: query panicked: %v", r)
+			val, err = call.val, call.err
+		}
+		call.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	call.val, call.err = fn()
+	return call.val, call.err, false
+}
+
+// waiters reports how many callers are blocked on the in-flight key
+// (deterministic test synchronization).
+func (g *flightGroup) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.calls[key]; ok {
+		return call.waiters
+	}
+	return 0
+}

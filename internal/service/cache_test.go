@@ -1,0 +1,135 @@
+package service
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Refresh a: b becomes the least recently used.
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	if got := c.Evictions(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// The survival checks above touched a, then c, then d — making a the
+	// least recently used again.
+	c.Put("e", 5)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted after the refresh sequence")
+	}
+	if got := []string{"e", "d", "c"}; !reflect.DeepEqual(c.Keys(), got) {
+		t.Errorf("keys = %v, want %v", c.Keys(), got)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: b stays
+	c.Put("c", 3)  // evicts b
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Errorf("Get(a) = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestLRUZeroCapacityNeverStores(t *testing.T) {
+	c := newLRUCache(-1)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache must not store entries")
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const followers = 8
+	var calls atomic.Int32
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, followers+1)
+	run := func(i int, signal bool) {
+		defer wg.Done()
+		v, err, _ := g.Do("k", func() (any, error) {
+			calls.Add(1)
+			if signal {
+				close(leaderIn)
+			}
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("Do: %v", err)
+			return
+		}
+		results[i] = v.(int)
+	}
+	wg.Add(1)
+	go run(0, true)
+	<-leaderIn // the leader is inside fn; everyone else must coalesce
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i, false)
+	}
+	// Release only after every follower is parked on the in-flight call —
+	// otherwise the leader could finish before a follower arrives and the
+	// follower would legitimately start a fresh computation.
+	for g.waiters("k") < followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+	}
+}
+
+func TestFlightGroupPanicReleasesWaiters(t *testing.T) {
+	g := newFlightGroup()
+	_, err, _ := g.Do("k", func() (any, error) { panic("boom") })
+	if err == nil {
+		t.Fatal("expected error from panicking computation")
+	}
+	// The key must be usable again afterwards.
+	v, err, _ := g.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("Do after panic = %v, %v", v, err)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	g := newFlightGroup()
+	want := errors.New("nope")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}

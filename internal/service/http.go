@@ -1,0 +1,110 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; seed lists are the only unbounded
+// field and a million seeds still fit comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /v1/select-seeds      SelectSeedsRequest  → SelectSeedsResponse
+//	POST /v1/evaluate          EvaluateRequest     → EvaluateResponse
+//	POST /v1/wins              EvaluateRequest     → WinsResponse
+//	POST /v1/min-seeds-to-win  MinSeedsRequest     → MinSeedsResponse
+//	GET  /v1/datasets          → {"datasets": [names]}
+//	GET  /healthz              → 200 "ok" once the service is up
+//	GET  /stats                → Stats
+//
+// Errors are returned as {"error": {"code", "message"}} with the status
+// implied by the code (bad_request → 400, not_found → 404, else 500).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/select-seeds", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r, s.SelectSeeds)
+	})
+	mux.HandleFunc("/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r, s.Evaluate)
+	})
+	mux.HandleFunc("/v1/wins", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r, s.Wins)
+	})
+	mux.HandleFunc("/v1/min-seeds-to-win", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r, s.MinSeedsToWin)
+	})
+	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, &Error{Code: CodeBadRequest, Message: "use GET"}, http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, &Error{Code: CodeBadRequest, Message: "use GET"}, http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	})
+	return mux
+}
+
+// handleQuery decodes a JSON body into Req, dispatches, and encodes the
+// response or the typed error.
+func handleQuery[Req any, Resp any](s *Service, w http.ResponseWriter, r *http.Request, fn func(*Req) (Resp, *Error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Code: CodeBadRequest, Message: "use POST with a JSON body"}, http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badRequestf("invalid JSON body: %v", err), 0)
+		return
+	}
+	resp, serr := fn(&req)
+	if serr != nil {
+		writeError(w, serr, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError emits the error envelope; status 0 derives the status from
+// the error code.
+func writeError(w http.ResponseWriter, e *Error, status int) {
+	if status == 0 {
+		switch e.Code {
+		case CodeBadRequest:
+			status = http.StatusBadRequest
+		case CodeNotFound:
+			status = http.StatusNotFound
+		default:
+			status = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": string(e.Code), "message": e.Message},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are already written; log and move on.
+		log.Printf("service: response encode failed: %v", err)
+	}
+}

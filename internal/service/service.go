@@ -1,0 +1,849 @@
+// Package service is the query-serving core behind the ovmd daemon: a
+// registry of named opinion systems with precomputed artifacts (sketch
+// sets, walk sets, RR-set collections), answering select-seeds, evaluate,
+// wins, and min-seeds-to-win queries concurrently on the engine worker
+// pool.
+//
+// Three properties define the serving contract:
+//
+//   - Determinism: every response is bit-identical to the corresponding
+//     direct library call (ovm.SelectSeeds and friends) at any engine
+//     parallelism. Indexed queries reuse persisted artifacts through the
+//     same code paths the library uses (sketch.SelectOnSet,
+//     rwalk.SelectOnSet, im.IMMCached), so load-not-recompute never changes
+//     an answer.
+//   - Caching: responses are memoized in an LRU cache keyed by the
+//     canonicalized request. The engine parallelism is deliberately
+//     excluded from the key — results do not depend on it.
+//   - Coalescing: identical concurrent queries collapse into one
+//     computation (singleflight); the followers share the leader's result.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ovm/internal/baselines"
+	"ovm/internal/core"
+	"ovm/internal/im"
+	"ovm/internal/opinion"
+	"ovm/internal/rwalk"
+	"ovm/internal/sampling"
+	"ovm/internal/serialize"
+	"ovm/internal/sketch"
+	"ovm/internal/voting"
+	"ovm/internal/walks"
+)
+
+// ErrorCode classifies a service failure for transport mapping.
+type ErrorCode string
+
+// The error taxonomy exposed over HTTP.
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeNotFound   ErrorCode = "not_found"
+	CodeInternal   ErrorCode = "internal"
+)
+
+// Error is a typed service error; the HTTP layer maps Code to a status.
+type Error struct {
+	Code    ErrorCode
+	Message string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func badRequestf(format string, args ...any) *Error {
+	return &Error{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) *Error {
+	return &Error{Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+}
+
+func internalErr(err error) *Error {
+	return &Error{Code: CodeInternal, Message: err.Error()}
+}
+
+// asError folds an arbitrary error into the taxonomy: library validation
+// errors become bad requests only when they already are *Error; everything
+// else is internal.
+func asError(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return internalErr(err)
+}
+
+// Config tunes a Service.
+type Config struct {
+	// CacheSize caps the LRU response cache (entries; default 1024,
+	// negative disables caching).
+	CacheSize int
+	// Parallelism is the engine worker knob applied to queries that do not
+	// pin their own: 0 means GOMAXPROCS, 1 forces serial execution.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// Service is a concurrent query server over registered datasets.
+type Service struct {
+	cfg    Config
+	mu     sync.RWMutex
+	ds     map[string]*Dataset
+	cache  *lruCache
+	flight *flightGroup
+	start  time.Time
+
+	requests     atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	computations atomic.Int64
+	errorCount   atomic.Int64
+	inflight     atomic.Int64
+}
+
+// New creates an empty service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		ds:     make(map[string]*Dataset),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		start:  time.Now(),
+	}
+}
+
+// Dataset is one registered opinion system plus its restored artifacts.
+type Dataset struct {
+	name     string
+	sys      *opinion.System
+	sketches []*sketchArtifact
+	walkSets []*walkArtifact
+	rrs      []*rrArtifact
+
+	compMu sync.RWMutex
+	comp   map[compKey][][]float64
+}
+
+type compKey struct{ target, horizon int }
+
+type sketchArtifact struct {
+	seed    int64
+	target  int
+	horizon int
+	theta   int
+	set     *walks.Set // pristine; queries run on clones
+}
+
+type walkArtifact struct {
+	seed    int64
+	target  int
+	horizon int
+	lambda  int
+	set     *walks.Set // pristine; queries run on clones
+}
+
+type rrArtifact struct {
+	seed   int64
+	target int
+	col    *im.RRCollection // index prebuilt; used read-only as a cache
+}
+
+// AddDataset registers sys under name with no precomputed artifacts.
+func (s *Service) AddDataset(name string, sys *opinion.System) error {
+	return s.add(name, &serialize.Index{Sys: sys})
+}
+
+// AddIndex registers a loaded index under name, restoring every artifact
+// into live, query-ready form (walk sets with fresh truncation state, RR
+// collections with the inverted index prebuilt for lock-free reads).
+func (s *Service) AddIndex(name string, idx *serialize.Index) error {
+	return s.add(name, idx)
+}
+
+func (s *Service) add(name string, idx *serialize.Index) error {
+	if name == "" {
+		return badRequestf("dataset name must not be empty")
+	}
+	if err := idx.Validate(); err != nil {
+		return badRequestf("invalid index: %v", err)
+	}
+	ds := &Dataset{
+		name: name,
+		sys:  idx.Sys,
+		comp: make(map[compKey][][]float64),
+	}
+	for i, a := range idx.Sketches {
+		set, err := walks.FromSnapshot(idx.Sys.Candidate(a.Target).G, a.Set)
+		if err != nil {
+			return badRequestf("sketch artifact %d: %v", i, err)
+		}
+		if set.NumWalks() != a.Theta {
+			return badRequestf("sketch artifact %d stores %d walks, want theta=%d", i, set.NumWalks(), a.Theta)
+		}
+		ds.sketches = append(ds.sketches, &sketchArtifact{
+			seed: a.Seed, target: a.Target, horizon: a.Horizon, theta: a.Theta, set: set,
+		})
+	}
+	for i, a := range idx.Walks {
+		set, err := walks.FromSnapshot(idx.Sys.Candidate(a.Target).G, a.Set)
+		if err != nil {
+			return badRequestf("walk artifact %d: %v", i, err)
+		}
+		if set.NumWalks() != a.Lambda*idx.Sys.N() {
+			return badRequestf("walk artifact %d stores %d walks, want lambda×n=%d", i, set.NumWalks(), a.Lambda*idx.Sys.N())
+		}
+		ds.walkSets = append(ds.walkSets, &walkArtifact{
+			seed: a.Seed, target: a.Target, horizon: a.Horizon, lambda: a.Lambda, set: set,
+		})
+	}
+	for i, a := range idx.RRs {
+		col, err := im.FromSnapshot(idx.Sys.Candidate(a.Target).G, a.Sets, sampling.Stream{Seed: a.Seed, ID: 701}, s.cfg.Parallelism)
+		if err != nil {
+			return badRequestf("rr artifact %d: %v", i, err)
+		}
+		col.EnsureIndex()
+		ds.rrs = append(ds.rrs, &rrArtifact{seed: a.Seed, target: a.Target, col: col})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ds[name]; dup {
+		return badRequestf("dataset %q already registered", name)
+	}
+	s.ds[name] = ds
+	return nil
+}
+
+// Datasets lists the registered dataset names, sorted.
+func (s *Service) Datasets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.ds))
+	for name := range s.ds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetCache drops every cached response (benchmarks and tests).
+func (s *Service) ResetCache() { s.cache.Reset() }
+
+func (s *Service) dataset(name string) (*Dataset, *Error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.ds[name]
+	if !ok {
+		// Collect names inline: calling Datasets() here would re-enter the
+		// RLock and deadlock against a queued writer.
+		names := make([]string, 0, len(s.ds))
+		for n := range s.ds {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, notFoundf("unknown dataset %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	return ds, nil
+}
+
+// competitors memoizes core.CompetitorOpinions per (target, horizon): the
+// competitor rows never depend on the target's seeds, so every query
+// against the same instance shares one exact diffusion. The value is
+// deterministic, so a racing double-computation is harmless.
+func (ds *Dataset) competitors(target, horizon, parallelism int) [][]float64 {
+	key := compKey{target, horizon}
+	ds.compMu.RLock()
+	B, ok := ds.comp[key]
+	ds.compMu.RUnlock()
+	if ok {
+		return B
+	}
+	B = core.CompetitorOpinions(ds.sys, target, horizon, parallelism)
+	ds.compMu.Lock()
+	if prev, ok := ds.comp[key]; ok {
+		B = prev
+	} else {
+		ds.comp[key] = B
+	}
+	ds.compMu.Unlock()
+	return B
+}
+
+func (ds *Dataset) sketchFor(target, horizon, theta int, seed int64) *sketchArtifact {
+	for _, a := range ds.sketches {
+		if a.target == target && a.horizon == horizon && a.theta == theta && a.seed == seed {
+			return a
+		}
+	}
+	return nil
+}
+
+// defaultSketchTheta reports the θ of the artifact covering (target,
+// horizon, seed), so requests may omit theta and still hit the index.
+func (ds *Dataset) defaultSketchTheta(target, horizon int, seed int64) int {
+	for _, a := range ds.sketches {
+		if a.target == target && a.horizon == horizon && a.seed == seed {
+			return a.theta
+		}
+	}
+	return 0
+}
+
+func (ds *Dataset) walksFor(target, horizon, lambda int, seed int64) *walkArtifact {
+	for _, a := range ds.walkSets {
+		if a.target == target && a.horizon == horizon && a.lambda == lambda && a.seed == seed {
+			return a
+		}
+	}
+	return nil
+}
+
+func (ds *Dataset) rrFor(model im.Model, target int, seed int64) *im.RRCollection {
+	for _, a := range ds.rrs {
+		if a.target == target && a.seed == seed && a.col.Model() == model {
+			return a.col
+		}
+	}
+	return nil
+}
+
+// ScoreSpec is the wire form of a voting score.
+type ScoreSpec struct {
+	// Name is one of cumulative, plurality, p-approval, positional,
+	// copeland, borda.
+	Name string `json:"name"`
+	// P parameterizes p-approval and positional.
+	P int `json:"p,omitempty"`
+	// Omega holds the positional weights ω[1..p] (positional only).
+	Omega []float64 `json:"omega,omitempty"`
+}
+
+// build validates the spec against a system with r candidates.
+func (sp ScoreSpec) build(r int) (voting.Score, *Error) {
+	var sc voting.Score
+	switch sp.Name {
+	case "cumulative":
+		sc = voting.Cumulative{}
+	case "plurality":
+		sc = voting.Plurality{}
+	case "p-approval":
+		sc = voting.PApproval{P: sp.P}
+	case "positional":
+		sc = voting.Positional{P: sp.P, Omega: sp.Omega}
+	case "copeland":
+		sc = voting.Copeland{}
+	case "borda":
+		sc = voting.BordaAsPositional(r)
+	default:
+		return nil, badRequestf("unknown score %q (want cumulative, plurality, p-approval, positional, copeland, or borda)", sp.Name)
+	}
+	if v, ok := sc.(interface{ Validate(r int) error }); ok {
+		if err := v.Validate(r); err != nil {
+			return nil, badRequestf("invalid score: %v", err)
+		}
+	}
+	return sc, nil
+}
+
+// canonical renders the spec into the cache key with full float precision.
+func (sp ScoreSpec) canonical() string {
+	var sb strings.Builder
+	sb.WriteString(sp.Name)
+	if sp.P != 0 {
+		fmt.Fprintf(&sb, "/p=%d", sp.P)
+	}
+	for _, w := range sp.Omega {
+		sb.WriteByte('/')
+		sb.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// SelectSeedsRequest asks for a size-K seed set.
+type SelectSeedsRequest struct {
+	Dataset string    `json:"dataset"`
+	Method  string    `json:"method"` // DM, RW, RS, IC, LT, GED-T, PR, RWR, DC
+	Score   ScoreSpec `json:"score"`
+	K       int       `json:"k"`
+	Horizon int       `json:"horizon"`
+	Target  int       `json:"target"`
+	Seed    int64     `json:"seed,omitempty"`
+	// Theta pins the RS sketch count; 0 uses the matching index artifact's
+	// θ when one exists, falling back to the heuristic search.
+	Theta int `json:"theta,omitempty"`
+	// Parallelism overrides the service-wide engine worker knob for this
+	// query (0 = service default). It never changes the response.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// SelectSeedsResponse reports the selected seeds and their exact score.
+type SelectSeedsResponse struct {
+	Seeds      []int32 `json:"seeds"`
+	ExactValue float64 `json:"exactValue"`
+	Method     string  `json:"method"`
+	// FromIndex reports whether a precomputed artifact served the query.
+	FromIndex bool `json:"fromIndex"`
+	// Cached reports whether the response came from the LRU cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// EvaluateRequest asks for the exact score of a seed set.
+type EvaluateRequest struct {
+	Dataset     string    `json:"dataset"`
+	Score       ScoreSpec `json:"score"`
+	Horizon     int       `json:"horizon"`
+	Target      int       `json:"target"`
+	Seeds       []int32   `json:"seeds"`
+	Parallelism int       `json:"parallelism,omitempty"`
+}
+
+// EvaluateResponse reports an exact score.
+type EvaluateResponse struct {
+	Value     float64 `json:"value"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// WinsResponse reports the FJ-Vote-Win predicate for a seed set.
+type WinsResponse struct {
+	Wins      bool    `json:"wins"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// MinSeedsRequest asks for the smallest winning seed set (Problem 2).
+type MinSeedsRequest struct {
+	Dataset     string    `json:"dataset"`
+	Method      string    `json:"method"` // DM, RW, RS
+	Score       ScoreSpec `json:"score"`
+	Horizon     int       `json:"horizon"`
+	Target      int       `json:"target"`
+	Seed        int64     `json:"seed,omitempty"`
+	Theta       int       `json:"theta,omitempty"`
+	Parallelism int       `json:"parallelism,omitempty"`
+}
+
+// MinSeedsResponse reports the minimum winning seed set; CanWin is false
+// when no seed set makes the target the strict winner.
+type MinSeedsResponse struct {
+	CanWin    bool    `json:"canWin"`
+	K         int     `json:"k"`
+	Seeds     []int32 `json:"seeds"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// validCommon checks the fields shared by every query shape.
+func (s *Service) validCommon(ds *Dataset, target, horizon, parallelism int) *Error {
+	if target < 0 || target >= ds.sys.R() {
+		return badRequestf("target %d out of range [0,%d)", target, ds.sys.R())
+	}
+	if horizon < 0 {
+		return badRequestf("horizon must be >= 0, got %d", horizon)
+	}
+	if parallelism < 0 {
+		return badRequestf("parallelism must be >= 0, got %d", parallelism)
+	}
+	return nil
+}
+
+func (s *Service) workers(reqParallelism int) int {
+	if reqParallelism > 0 {
+		return reqParallelism
+	}
+	return s.cfg.Parallelism
+}
+
+// cachedQuery is the shared memoize-coalesce-compute skeleton. finish
+// stamps per-delivery fields (Cached, ElapsedMs) onto a copy of the shared
+// response value.
+func (s *Service) cachedQuery(key string, compute func() (any, error)) (any, bool, *Error) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return v, true, nil
+	}
+	s.cacheMisses.Add(1)
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		s.computations.Add(1)
+		v, err := compute()
+		if err == nil {
+			s.cache.Put(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.errorCount.Add(1)
+		return nil, false, asError(err)
+	}
+	return v, shared, nil
+}
+
+func seedsKey(seeds []int32) string {
+	sorted := append([]int32(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sb strings.Builder
+	for i, v := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// SelectSeeds answers a select-seeds query, preferring precomputed index
+// artifacts when the request parameters match one.
+func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *Error) {
+	start := time.Now()
+	ds, serr := s.dataset(req.Dataset)
+	if serr != nil {
+		return nil, serr
+	}
+	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism); serr != nil {
+		return nil, serr
+	}
+	if req.K < 1 || req.K > ds.sys.N() {
+		return nil, badRequestf("need 1 <= k <= %d, got k=%d", ds.sys.N(), req.K)
+	}
+	if req.Theta < 0 {
+		return nil, badRequestf("theta must be >= 0, got %d", req.Theta)
+	}
+	score, serr := req.Score.build(ds.sys.R())
+	if serr != nil {
+		return nil, serr
+	}
+	method := req.Method
+	known := false
+	for _, m := range []string{"DM", "RW", "RS", "IC", "LT", "GED-T", "PR", "RWR", "DC"} {
+		if method == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, badRequestf("unknown method %q", method)
+	}
+	// Resolve θ before keying the cache so an explicit θ and an omitted one
+	// that resolves to the same artifact share an entry.
+	theta := req.Theta
+	if method == "RS" && theta == 0 {
+		theta = ds.defaultSketchTheta(req.Target, req.Horizon, req.Seed)
+	}
+	key := fmt.Sprintf("select|%s|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
+		req.Dataset, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
+	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+		return s.computeSelect(ds, req, score, theta, s.workers(req.Parallelism))
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	resp := *v.(*SelectSeedsResponse)
+	resp.Cached = cached
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return &resp, nil
+}
+
+func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voting.Score, theta, par int) (*SelectSeedsResponse, error) {
+	prob := &core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: req.K, Score: score}
+	var seeds []int32
+	var err error
+	fromIndex := false
+	switch req.Method {
+	case "DM":
+		seeds, _, err = core.SelectSeedsDM(prob, par)
+	case "RW":
+		lambda, lamErr := rwalk.CumulativeLambda(rwalk.Config{})
+		if lamErr != nil {
+			return nil, lamErr
+		}
+		art := ds.walksFor(req.Target, req.Horizon, lambda, req.Seed)
+		if _, cumulative := score.(voting.Cumulative); cumulative && art != nil {
+			comp := ds.competitors(req.Target, req.Horizon, par)
+			var res *rwalk.Result
+			if res, err = rwalk.SelectOnSet(prob, art.set.Clone(), comp, par); err == nil {
+				seeds = res.Seeds
+				fromIndex = true
+			}
+		} else {
+			var res *rwalk.Result
+			if res, err = rwalk.Select(prob, rwalk.Config{Seed: req.Seed, Parallelism: par}); err == nil {
+				seeds = res.Seeds
+			}
+		}
+	case "RS":
+		switch art := ds.sketchFor(req.Target, req.Horizon, theta, req.Seed); {
+		case theta > 0 && art != nil:
+			comp := ds.competitors(req.Target, req.Horizon, par)
+			var res *sketch.Result
+			if res, err = sketch.SelectOnSet(prob, art.set.Clone(), theta, comp, par); err == nil {
+				seeds = res.Seeds
+				fromIndex = true
+			}
+		default:
+			var res *sketch.Result
+			if res, err = sketch.Select(prob, sketch.Config{FixedTheta: theta, Seed: req.Seed, Parallelism: par}); err == nil {
+				seeds = res.Seeds
+			}
+		}
+	default: // the baselines
+		cfg := baselines.Config{Parallelism: par}
+		cfg.IMM.Seed = req.Seed
+		model, isIM := im.IC, false
+		switch req.Method {
+		case "IC":
+			model, isIM = im.IC, true
+		case "LT":
+			model, isIM = im.LT, true
+		}
+		if isIM {
+			if col := ds.rrFor(model, req.Target, req.Seed); col != nil {
+				cfg.RRCache = col
+				fromIndex = true
+			}
+		}
+		seeds, err = baselines.Select(baselines.Method(req.Method), prob, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	exact, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, seeds, par)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectSeedsResponse{
+		Seeds:      seeds,
+		ExactValue: exact,
+		Method:     req.Method,
+		FromIndex:  fromIndex,
+	}, nil
+}
+
+// Evaluate answers an exact-score query.
+func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
+	start := time.Now()
+	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.Seeds)
+	if serr != nil {
+		return nil, serr
+	}
+	key := fmt.Sprintf("eval|%s|%s|t=%d|q=%d|seeds=%s",
+		req.Dataset, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
+	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+		val, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
+		if err != nil {
+			return nil, err
+		}
+		return &EvaluateResponse{Value: val}, nil
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	resp := *v.(*EvaluateResponse)
+	resp.Cached = cached
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return &resp, nil
+}
+
+// Wins answers the FJ-Vote-Win predicate for a seed set.
+func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
+	start := time.Now()
+	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.Seeds)
+	if serr != nil {
+		return nil, serr
+	}
+	key := fmt.Sprintf("wins|%s|%s|t=%d|q=%d|seeds=%s",
+		req.Dataset, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
+	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+		ok, err := core.Wins(ds.sys, req.Target, req.Horizon, score, req.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		return &WinsResponse{Wins: ok}, nil
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	resp := *v.(*WinsResponse)
+	resp.Cached = cached
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return &resp, nil
+}
+
+func (s *Service) evalCommon(dataset string, spec ScoreSpec, target, horizon, parallelism int, seeds []int32) (*Dataset, voting.Score, *Error) {
+	ds, serr := s.dataset(dataset)
+	if serr != nil {
+		return nil, nil, serr
+	}
+	if serr := s.validCommon(ds, target, horizon, parallelism); serr != nil {
+		return nil, nil, serr
+	}
+	for i, v := range seeds {
+		if v < 0 || int(v) >= ds.sys.N() {
+			return nil, nil, badRequestf("seeds[%d]=%d out of range [0,%d)", i, v, ds.sys.N())
+		}
+	}
+	score, serr := spec.build(ds.sys.R())
+	if serr != nil {
+		return nil, nil, serr
+	}
+	return ds, score, nil
+}
+
+// MinSeedsToWin answers a Problem-2 query: the smallest seed set with which
+// the target strictly wins.
+func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error) {
+	start := time.Now()
+	ds, serr := s.dataset(req.Dataset)
+	if serr != nil {
+		return nil, serr
+	}
+	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism); serr != nil {
+		return nil, serr
+	}
+	if req.Theta < 0 {
+		return nil, badRequestf("theta must be >= 0, got %d", req.Theta)
+	}
+	score, serr := req.Score.build(ds.sys.R())
+	if serr != nil {
+		return nil, serr
+	}
+	if req.Method != "DM" && req.Method != "RW" && req.Method != "RS" {
+		return nil, badRequestf("min-seeds-to-win supports DM, RW, RS; got %q", req.Method)
+	}
+	key := fmt.Sprintf("minwin|%s|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
+		req.Dataset, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
+	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+		par := s.workers(req.Parallelism)
+		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score}
+		var sel core.SeedSelector
+		switch req.Method {
+		case "DM":
+			sel = core.DMSelector(ds.sys, req.Target, req.Horizon, score, par)
+		case "RW":
+			sel = rwalk.Selector(base, rwalk.Config{Seed: req.Seed, Parallelism: par})
+		case "RS":
+			sel = sketch.Selector(base, sketch.Config{FixedTheta: req.Theta, Seed: req.Seed, Parallelism: par})
+		}
+		seeds, err := core.MinSeedsToWin(ds.sys, req.Target, req.Horizon, score, sel)
+		if err == core.ErrCannotWin {
+			return &MinSeedsResponse{CanWin: false}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &MinSeedsResponse{CanWin: true, K: len(seeds), Seeds: seeds}, nil
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	resp := *v.(*MinSeedsResponse)
+	resp.Cached = cached
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return &resp, nil
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	UptimeSeconds  float64        `json:"uptimeSeconds"`
+	Requests       int64          `json:"requests"`
+	CacheHits      int64          `json:"cacheHits"`
+	CacheMisses    int64          `json:"cacheMisses"`
+	CacheHitRate   float64        `json:"cacheHitRate"`
+	CacheEntries   int            `json:"cacheEntries"`
+	CacheCapacity  int            `json:"cacheCapacity"`
+	CacheEvictions int64          `json:"cacheEvictions"`
+	Coalesced      int64          `json:"coalesced"`
+	Computations   int64          `json:"computations"`
+	Errors         int64          `json:"errors"`
+	Inflight       int64          `json:"inflight"`
+	Datasets       []DatasetStats `json:"datasets"`
+}
+
+// DatasetStats describes one registered dataset and its index footprint.
+type DatasetStats struct {
+	Name            string `json:"name"`
+	Nodes           int    `json:"nodes"`
+	Edges           int    `json:"edges"`
+	Candidates      int    `json:"candidates"`
+	SketchArtifacts int    `json:"sketchArtifacts"`
+	WalkArtifacts   int    `json:"walkArtifacts"`
+	RRArtifacts     int    `json:"rrArtifacts"`
+	IndexBytes      int64  `json:"indexBytes"`
+}
+
+// StatsSnapshot assembles the /stats payload.
+func (s *Service) StatsSnapshot() Stats {
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	st := Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.requests.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheHitRate:   hitRate,
+		CacheEntries:   s.cache.Len(),
+		CacheCapacity:  s.cfg.CacheSize,
+		CacheEvictions: s.cache.Evictions(),
+		Coalesced:      s.coalesced.Load(),
+		Computations:   s.computations.Load(),
+		Errors:         s.errorCount.Load(),
+		Inflight:       s.inflight.Load(),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.ds))
+	for name := range s.ds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := s.ds[name]
+		d := DatasetStats{
+			Name:            name,
+			Nodes:           ds.sys.N(),
+			Edges:           ds.sys.Candidate(0).G.M(),
+			Candidates:      ds.sys.R(),
+			SketchArtifacts: len(ds.sketches),
+			WalkArtifacts:   len(ds.walkSets),
+			RRArtifacts:     len(ds.rrs),
+		}
+		for _, a := range ds.sketches {
+			d.IndexBytes += a.set.BytesUsed()
+		}
+		for _, a := range ds.walkSets {
+			d.IndexBytes += a.set.BytesUsed()
+		}
+		for _, a := range ds.rrs {
+			d.IndexBytes += a.col.BytesUsed()
+		}
+		st.Datasets = append(st.Datasets, d)
+	}
+	return st
+}
+
+// Computations reports how many queries were actually computed (tests use
+// it to prove singleflight coalescing).
+func (s *Service) Computations() int64 { return s.computations.Load() }

@@ -38,6 +38,11 @@ type Config struct {
 	ConvergeTol float64
 	// MaxTheta caps the sketch count (default 1<<21).
 	MaxTheta int
+	// FixedTheta, when positive, bypasses both the Theorem-13 count and the
+	// heuristic doubling search: Select runs Algorithm 5 with exactly this
+	// sketch count. Serving systems use it to pin θ to a precomputed sketch
+	// artifact so queries reuse the stored walks bit-identically.
+	FixedTheta int
 	// Seed drives all randomness.
 	Seed int64
 	// Parallelism caps the engine worker pool for sketch generation and the
@@ -78,6 +83,9 @@ func (c Config) validate() error {
 	if c.MaxTheta < c.InitialTheta {
 		return fmt.Errorf("sketch: max theta %d below initial theta %d", c.MaxTheta, c.InitialTheta)
 	}
+	if c.FixedTheta < 0 {
+		return fmt.Errorf("sketch: fixed theta must be >= 0, got %d", c.FixedTheta)
+	}
 	return nil
 }
 
@@ -100,6 +108,9 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.FixedTheta > 0 {
+		return SelectWithTheta(p, cfg.FixedTheta, cfg.Seed, cfg.Parallelism)
+	}
 	if _, ok := p.Score.(voting.Cumulative); ok {
 		return selectCumulative(p, cfg)
 	}
@@ -117,6 +128,19 @@ func SelectWithTheta(p *core.Problem, theta int, seed int64, parallelism int) (*
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	set, err := GenerateSet(p, theta, seed, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return SelectOnSet(p, set, theta, comp, parallelism)
+}
+
+// GenerateSet creates the θ-sketch walk set of Algorithm 5 for the
+// problem's target and horizon, using the same substream family as
+// SelectWithTheta — the set a serving index persists so queries can skip
+// regeneration. The returned set is pristine (no seeds applied).
+func GenerateSet(p *core.Problem, theta int, seed int64, parallelism int) (*walks.Set, error) {
 	if theta < 1 {
 		return nil, fmt.Errorf("sketch: theta must be >= 1, got %d", theta)
 	}
@@ -125,11 +149,24 @@ func SelectWithTheta(p *core.Problem, theta int, seed int64, parallelism int) (*
 	if err != nil {
 		return nil, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
-	set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: seed, ID: 211}, parallelism)
-	if err != nil {
+	return walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: seed, ID: 211}, parallelism)
+}
+
+// SelectOnSet runs the greedy selection of Algorithm 5 over a pre-generated
+// sketch set (freshly generated, or a Clone of a loaded artifact). The set
+// is mutated by truncation; callers serving concurrent queries must pass a
+// private clone. comp may carry precomputed competitor opinions for the
+// problem's (target, horizon); nil computes them here. Given a set produced
+// by GenerateSet with matching parameters, the result is byte-identical to
+// SelectWithTheta.
+func SelectOnSet(p *core.Problem, set *walks.Set, theta int, comp [][]float64, parallelism int) (*Result, error) {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if comp == nil {
+		comp = core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	}
+	cand := p.Sys.Candidate(p.Target)
 	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta), parallelism)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,37 @@
+package ovm
+
+import (
+	"io"
+
+	"ovm/internal/serialize"
+	"ovm/internal/service"
+)
+
+// Index bundles an opinion system with precomputed query-serving artifacts
+// (sketch sets, walk sets, RR-set collections). Build one with BuildIndex,
+// persist it with WriteIndex, and load it at daemon startup with ReadIndex
+// — queries whose parameters match an artifact reuse it and return results
+// bit-identical to from-scratch computation.
+type Index = serialize.Index
+
+// IndexBuildOptions selects which artifacts BuildIndex precomputes and the
+// (target, horizon, seed) they are tied to.
+type IndexBuildOptions = service.BuildOptions
+
+// IndexFormatVersion is the binary on-disk format version written by
+// WriteIndex and required by ReadIndex.
+const IndexFormatVersion = serialize.IndexFormatVersion
+
+// BuildIndex precomputes serving artifacts for sys using the same
+// deterministic substream families the live selection methods consume, so
+// artifact reuse never changes an answer.
+func BuildIndex(sys *System, o IndexBuildOptions) (*Index, error) {
+	return service.BuildIndex(sys, o)
+}
+
+// WriteIndex persists an index in the versioned binary format (with a
+// trailing checksum); see the README for the layout.
+func WriteIndex(w io.Writer, idx *Index) error { return serialize.WriteIndex(w, idx) }
+
+// ReadIndex loads and validates an index written by WriteIndex.
+func ReadIndex(r io.Reader) (*Index, error) { return serialize.ReadIndex(r) }

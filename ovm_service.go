@@ -1,0 +1,38 @@
+package ovm
+
+import "ovm/internal/service"
+
+// The serving surface of the ovmd daemon, re-exported so external clients
+// and embedders can host (or talk to) a query service without reaching
+// into internal packages: NewQueryService + AddIndex/AddDataset builds the
+// server side, Handler() exposes the HTTP API, and the request/response
+// types double as the JSON wire schema.
+type (
+	// QueryService is the concurrent query server behind ovmd: a dataset
+	// registry with an LRU response cache and singleflight coalescing.
+	QueryService = service.Service
+	// QueryServiceConfig tunes cache capacity and default parallelism.
+	QueryServiceConfig = service.Config
+	// ScoreSpec is the wire form of a voting score.
+	ScoreSpec = service.ScoreSpec
+	// SelectSeedsRequest asks for a size-K seed set.
+	SelectSeedsRequest = service.SelectSeedsRequest
+	// SelectSeedsResponse reports seeds, exact score, and cache/index provenance.
+	SelectSeedsResponse = service.SelectSeedsResponse
+	// EvaluateRequest asks for the exact score (or win predicate) of a seed set.
+	EvaluateRequest = service.EvaluateRequest
+	// EvaluateResponse reports an exact score.
+	EvaluateResponse = service.EvaluateResponse
+	// WinsResponse reports the FJ-Vote-Win predicate.
+	WinsResponse = service.WinsResponse
+	// MinSeedsRequest asks for the smallest winning seed set.
+	MinSeedsRequest = service.MinSeedsRequest
+	// MinSeedsResponse reports the smallest winning seed set, if any.
+	MinSeedsResponse = service.MinSeedsResponse
+	// ServiceStats is the /stats payload.
+	ServiceStats = service.Stats
+)
+
+// NewQueryService creates an empty query service; register systems with
+// AddDataset or precomputed indexes with AddIndex, then serve Handler().
+func NewQueryService(cfg QueryServiceConfig) *QueryService { return service.New(cfg) }

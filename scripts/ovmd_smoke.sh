@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the ovmd daemon, run by CI:
+#   1. synthesize a tiny dataset and persist it as a .system file;
+#   2. ovmd -build-index precomputes the serving artifacts;
+#   3. the daemon starts from the index (load, not recompute);
+#   4. /healthz answers, a select-seeds query over HTTP returns exactly the
+#      seeds the direct CLI (ovm -theta) computes, and a repeat of the same
+#      query is served from the cache;
+#   5. SIGTERM drains the daemon gracefully (exit code 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+port=18472
+base="http://127.0.0.1:${port}"
+
+cleanup() {
+  [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/ovm" ./cmd/ovm
+go build -o "$workdir/ovmgen" ./cmd/ovmgen
+go build -o "$workdir/ovmd" ./cmd/ovmd
+
+echo "== synthesizing dataset + building index"
+"$workdir/ovmgen" -dataset yelp-like -n 300 -seed 7 -out "$workdir/smoke" -system
+"$workdir/ovmd" -build-index -load "$workdir/smoke.system" -out "$workdir/smoke.ovmidx" \
+  -theta 2048 -t 10 -target 0 -seed 7 -rr 300
+
+echo "== computing expected seeds with the direct CLI"
+direct_out=$("$workdir/ovm" -load "$workdir/smoke.system" -method RS -score plurality \
+  -k 5 -t 10 -target 0 -seed 7 -theta 2048)
+expected=$(sed -n 's/^seeds ([0-9]* total): \[\([0-9 ]*\)\].*/\1/p' <<<"$direct_out")
+[[ -n "$expected" ]] || { echo "FAIL: could not parse direct CLI seeds"; exit 1; }
+echo "   expected seeds: $expected"
+
+echo "== starting daemon"
+"$workdir/ovmd" -listen "127.0.0.1:${port}" -index "$workdir/smoke.ovmidx" \
+  >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "$base/healthz" | grep -q ok || { echo "FAIL: /healthz"; cat "$workdir/daemon.log"; exit 1; }
+echo "   /healthz ok"
+
+request='{"dataset":"default","method":"RS","score":{"name":"plurality"},"k":5,"horizon":10,"target":0,"seed":7,"theta":2048}'
+resp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+echo "   response: $resp"
+got=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$resp" | tr ',' ' ')
+[[ "$got" == "$expected" ]] || { echo "FAIL: daemon seeds ($got) != direct CLI seeds ($expected)"; exit 1; }
+grep -q '"fromIndex":true' <<<"$resp" || { echo "FAIL: query did not use the loaded index"; exit 1; }
+echo "   seeds match the direct CLI and came from the index"
+
+resp2=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+grep -q '"cached":true' <<<"$resp2" || { echo "FAIL: repeat query was not cached"; exit 1; }
+echo "   repeat query served from cache"
+
+curl -sf "$base/stats" | grep -q '"cacheHits":1' || { echo "FAIL: /stats cache hit count"; exit 1; }
+echo "   /stats ok"
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+code=0
+wait "$daemon_pid" || code=$?
+daemon_pid=""
+[[ $code -eq 0 ]] || { echo "FAIL: daemon exited with $code"; cat "$workdir/daemon.log"; exit 1; }
+grep -q "ovmd stopped" "$workdir/daemon.log" || { echo "FAIL: no clean shutdown log"; cat "$workdir/daemon.log"; exit 1; }
+echo "PASS: ovmd smoke test"

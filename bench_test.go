@@ -9,8 +9,10 @@ package ovm_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"ovm/internal/datasets"
+	"ovm/internal/dynamic"
 	"ovm/internal/experiments"
 	"ovm/internal/service"
 )
@@ -177,6 +179,108 @@ func BenchmarkServiceQuery(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if resp := query(b); !resp.Cached {
 				b.Fatal("warm query must be served from the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalUpdate measures the dynamic-update path on the
+// 12k-node sweep graph: applying a small mutation batch to a service with a
+// fully populated index (sketches + RW walks + RR sets) via incremental
+// repair, against rebuilding the same index from scratch on the mutated
+// system. The incremental sub-benchmark reports speedup_x (one reference
+// full build divided by the mean repair time) and invalidated_% (the share
+// of sampled artifacts a batch actually regenerates) — the two numbers the
+// live-update design is about.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	const (
+		horizon = 10
+		theta   = 1 << 14
+		seed    = int64(42)
+		rrSets  = 4096
+	)
+	d, err := datasets.TwitterDistancingLike(datasets.Options{N: 12000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildOpts := service.BuildOptions{
+		Target:       d.DefaultTarget,
+		Horizon:      horizon,
+		Seed:         seed,
+		SketchTheta:  theta,
+		IncludeWalks: true,
+		RRSets:       rrSets,
+	}
+	idx, err := service.BuildIndex(d.Sys, buildOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := service.New(service.Config{})
+	if err := svc.AddIndex("sweep", idx); err != nil {
+		b.Fatal(err)
+	}
+	n := int32(d.Sys.N())
+	batchFor := func(i int) dynamic.Batch {
+		base := int32(i*97) % (n - 600)
+		return dynamic.Batch{
+			{Kind: dynamic.OpAddEdge, From: base, To: base + 13, W: 1},
+			{Kind: dynamic.OpAddEdge, From: base + 500, To: base + 7, W: 0.5},
+			{Kind: dynamic.OpSetWeight, From: base + 1, To: base + 2, W: 2},
+			{Kind: dynamic.OpSetOpinion, Cand: d.DefaultTarget, Node: base + 3, Value: 0.9},
+			{Kind: dynamic.OpSetStubbornness, Cand: d.DefaultTarget, Node: base + 4, Value: 0.5},
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		// One reference rebuild-and-restore, untimed, for the speedup
+		// metric (same work as an iteration of the full-rebuild run).
+		refStart := time.Now()
+		refIdx, err := service.BuildIndex(d.Sys, buildOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refSvc := service.New(service.Config{})
+		if err := refSvc.AddIndex("sweep", refIdx); err != nil {
+			b.Fatal(err)
+		}
+		refBuild := time.Since(refStart)
+		var invalidated, total int
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			resp, serr := svc.ApplyUpdates(&service.UpdateRequest{Dataset: "sweep", Ops: batchFor(i)})
+			if serr != nil {
+				b.Fatal(serr)
+			}
+			invalidated += resp.WalksInvalidated + resp.RRSetsInvalidated
+			total += resp.WalksTotal + resp.RRSetsTotal
+		}
+		elapsed := time.Since(start)
+		if total > 0 {
+			b.ReportMetric(100*float64(invalidated)/float64(total), "invalidated_%")
+		}
+		if elapsed > 0 {
+			b.ReportMetric(refBuild.Seconds()/(elapsed.Seconds()/float64(b.N)), "speedup_x")
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		// The alternative a daemon without internal/dynamic has: rebuild
+		// the index from scratch on the mutated system AND restore it into
+		// servable form (what AddIndex does) — ApplyUpdates delivers the
+		// latter, so the baseline must too.
+		sys := d.Sys
+		for i := 0; i < b.N; i++ {
+			mutated, _, err := dynamic.ApplySystem(sys, batchFor(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys = mutated
+			rebuilt, err := service.BuildIndex(sys, buildOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fresh := service.New(service.Config{})
+			if err := fresh.AddIndex("sweep", rebuilt); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -17,6 +17,8 @@ import (
 
 	"ovm"
 	"ovm/internal/cliutil"
+	"ovm/internal/core"
+	"ovm/internal/dynamic"
 	"ovm/internal/serialize"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes the result")
 		win     = flag.Bool("win", false, "solve FJ-Vote-Win (minimum seeds to win) instead of FJ-Vote")
 		load    = flag.String("load", "", "load a .system file (written by ovmgen -system) instead of synthesizing a dataset")
+		updates = flag.String("updates", "", "JSONL mutation file replayed onto the system before querying (each line one batch: an op object or an array of ops)")
 		listAll = flag.Bool("list", false, "list datasets and exit")
 	)
 	flag.Parse()
@@ -84,8 +87,23 @@ func main() {
 	if *target >= 0 {
 		tgt = *target
 	}
-	if tgt < 0 || tgt >= sys.R() {
-		fatal(fmt.Errorf("target %d out of range [0,%d)", tgt, sys.R()))
+	cliutil.CheckArg("ovm", core.ValidateTargetHorizon(tgt, *horizon, sys.R()))
+	if *updates != "" {
+		f, err := os.Open(*updates)
+		if err != nil {
+			fatal(err)
+		}
+		batches, err := dynamic.ReadBatches(f)
+		_ = f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		var touched int
+		sys, touched, err = dynamic.ReplaySystem(sys, batches)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d update batches from %s (%d nodes touched)\n", len(batches), *updates, touched)
 	}
 	sc, err := parseScore(*score, *pVal, *omegaP)
 	if err != nil {

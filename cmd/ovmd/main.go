@@ -1,9 +1,17 @@
 // Command ovmd is the opinion-maximization query daemon: it loads an
 // opinion system once, restores (or builds) precomputed walk/sketch/RR-set
-// indexes, and serves select-seeds, evaluate, wins, and min-seeds-to-win
-// queries over HTTP/JSON — concurrently, with an LRU response cache and
-// singleflight coalescing, and with every answer bit-identical to the
-// direct library call at any parallelism.
+// indexes, and serves select-seeds, evaluate, wins, min-seeds-to-win, and
+// dynamic-update queries over HTTP/JSON — concurrently, with an LRU
+// response cache and singleflight coalescing, and with every answer
+// bit-identical to the direct library call at any parallelism.
+//
+// Live updates: POST /v1/datasets/{name}/updates applies a mutation batch
+// (edge insert/delete/re-weight, opinion/stubbornness drift); the loaded
+// artifacts are incrementally repaired (byte-identical to a full rebuild of
+// the mutated graph) and the dataset epoch bumps by one. When serving from
+// an -index file, every applied batch is appended to the file's update log
+// (OVMIDX format v2) with an atomic rewrite, so a restarted daemon replays
+// to the same epoch and the same bytes.
 //
 // Build an index once:
 //
@@ -30,12 +38,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"ovm"
 	"ovm/internal/cliutil"
+	"ovm/internal/core"
+	"ovm/internal/dynamic"
 	"ovm/internal/serialize"
 	"ovm/internal/service"
 )
@@ -52,6 +63,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed (index build; also the dataset synthesis seed)")
 		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes any response")
 		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
+		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log reaches this many batches, bounding file size and restart replay cost (0 = never compact)")
 
 		build  = flag.Bool("build-index", false, "build an index file and exit instead of serving")
 		out    = flag.String("out", "index.ovmidx", "index output path for -build-index")
@@ -67,6 +79,7 @@ func main() {
 	checkFlag(*mu > 0, "-mu must be > 0, got %v", *mu)
 	checkFlag(*par >= 0, "-parallel must be >= 0, got %d", *par)
 	checkFlag(*cache >= 0, "-cache must be >= 0, got %d", *cache)
+	checkFlag(*compact >= 0, "-compact-log must be >= 0, got %d", *compact)
 	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
 	checkFlag(*rr >= 0, "-rr must be >= 0, got %d", *rr)
 	checkFlag(*tBuild >= 0, "-t must be >= 0, got %d", *tBuild)
@@ -76,13 +89,14 @@ func main() {
 		buildIndex(*load, *dataset, *n, *mu, *seed, *out, *theta, *walks, *rr, *tBuild, *target, *par)
 		return
 	}
-	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache)
+	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache, *compact)
 }
 
 // buildIndex implements ovmd -build-index: load or synthesize a system,
 // precompute the artifacts, and write the versioned binary index.
 func buildIndex(load, dataset string, n int, mu float64, seed int64, out string, theta int, walks bool, rr, horizon, target, par int) {
 	sys := loadSystem(load, dataset, n, mu, seed)
+	cliutil.CheckArg("ovmd", core.ValidateTargetHorizon(target, horizon, sys.R()))
 	start := time.Now()
 	idx, err := service.BuildIndex(sys, service.BuildOptions{
 		Target:       target,
@@ -112,38 +126,74 @@ func buildIndex(load, dataset string, n int, mu float64, seed int64, out string,
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (format v%d): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, %d bytes, built in %s\n",
-		out, serialize.IndexFormatVersion, sys.N(), sys.R(),
+		out, idx.FormatVersion(), sys.N(), sys.R(),
 		len(idx.Sketches), len(idx.Walks), len(idx.RRs), info.Size(),
 		time.Since(start).Round(time.Millisecond))
 }
 
 // serve implements the daemon mode: register the dataset (index preferred,
 // so startup is load-not-recompute), then run the HTTP server until
-// SIGINT/SIGTERM triggers a graceful drain.
-func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache int) {
-	svc := service.New(service.Config{CacheSize: cache, Parallelism: par})
-	switch {
-	case index != "":
+// SIGINT/SIGTERM triggers a graceful drain. With -index, applied update
+// batches are persisted into the file's OVMIDX v2 update log before they
+// become visible, so the serving epoch survives restarts.
+func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache, compact int) {
+	cfg := service.Config{CacheSize: cache, Parallelism: par}
+	var idx *serialize.Index
+	var svc *service.Service
+	if index != "" {
 		f, err := os.Open(index)
 		if err != nil {
 			fatal(err)
 		}
-		idx, err := serialize.ReadIndex(f)
+		idx, err = serialize.ReadIndex(f)
 		_ = f.Close()
 		if err != nil {
 			fatal(err)
 		}
+		// Persistence trade-off: the update log lives inside the
+		// CRC-covered OVMIDX container, so each batch rewrites the whole
+		// file — O(index size) per update, durable and self-contained.
+		// -compact-log bounds the file (and restart replay); the retained
+		// base index aliases the served artifacts' storage until their
+		// first repair, so it is the write-back source, not a second copy.
+		cfg.OnUpdate = func(ds string, batch dynamic.Batch, epoch int64) error {
+			// Compact before appending: once the log is long, rebase the
+			// stored artifacts onto the current (pre-swap) dataset state —
+			// BaseEpoch carries the version forward — so the file, the
+			// rewrite cost, and the restart replay cost all stay bounded.
+			if compact > 0 && len(idx.Updates) >= compact {
+				if exported, serr := svc.ExportIndex(ds); serr != nil {
+					log.Printf("update-log compaction failed (%s); keeping the existing log", serr.Message)
+				} else {
+					idx = exported
+					log.Printf("compacted update log: artifacts rebased at epoch %d", exported.BaseEpoch)
+				}
+			}
+			idx.Updates = append(idx.Updates, batch)
+			if err := writeIndexAtomic(index, idx); err != nil {
+				// Roll the in-memory log back so a later retry does not
+				// persist this batch twice.
+				idx.Updates = idx.Updates[:len(idx.Updates)-1]
+				return err
+			}
+			log.Printf("persisted update batch (epoch %d, %d ops) to %s", epoch, len(batch), index)
+			return nil
+		}
+	}
+	svc = service.New(cfg)
+	switch {
+	case idx != nil:
 		if err := svc.AddIndex(name, idx); err != nil {
 			fatal(err)
 		}
-		log.Printf("loaded index %s: n=%d r=%d, %d sketch + %d walk + %d rr artifacts (no recomputation)",
-			index, idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs))
+		log.Printf("loaded index %s (format v%d): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, replayed %d update batches (no recomputation)",
+			index, idx.FormatVersion(), idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs), len(idx.Updates))
 	default:
 		sys := loadSystem(load, dataset, n, mu, seed)
 		if err := svc.AddDataset(name, sys); err != nil {
 			fatal(err)
 		}
-		log.Printf("registered dataset %q without precomputed artifacts (n=%d r=%d); queries compute from scratch",
+		log.Printf("registered dataset %q without precomputed artifacts (n=%d r=%d); queries compute from scratch and updates are not persisted",
 			name, sys.N(), sys.R())
 	}
 
@@ -195,6 +245,49 @@ func loadSystem(load, dataset string, n int, mu float64, seed int64) *ovm.System
 		fatal(fmt.Errorf("pass -index, -load, or -dataset"))
 		return nil
 	}
+}
+
+// writeIndexAtomic rewrites the index file via a temp file + fsync +
+// rename (+ directory fsync), so a crash — even a power loss — leaves
+// either the old complete file or the new complete file, with the original
+// permissions preserved.
+func writeIndexAtomic(path string, idx *serialize.Index) error {
+	mode := os.FileMode(0o644)
+	if info, err := os.Stat(path); err == nil {
+		mode = info.Mode().Perm()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := serialize.WriteIndex(tmp, idx); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	// Make the rename itself durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
 }
 
 func checkFlag(ok bool, format string, args ...any) {

@@ -9,6 +9,14 @@
 // issuing the three campaign queries over the wire, re-issuing one to show
 // the response cache, and checking /stats. Every seed set returned by the
 // daemon is bit-identical to the direct ovm.SelectSeeds call.
+//
+// The market then goes live: three "days" of mutations (viewers drifting
+// toward rival platforms, new follow edges) are POSTed to the running
+// daemon via /v1/datasets/{name}/updates. Each batch bumps the dataset
+// epoch, incrementally repairs the sketch index (only invalidated walks
+// regenerate), and the current market winner is tracked flipping over time
+// — with the post-update answers still byte-identical to a direct library
+// call on the mutated system.
 package main
 
 import (
@@ -126,11 +134,101 @@ func main() {
 	fmt.Printf("daemon stats: %d requests, %d computed, cache hit rate %.0f%%\n",
 		stats.Requests, stats.Computations, 100*stats.CacheHitRate)
 
+	// ------------------------------------------------------------------
+	// The market goes live: viewers churn, follows appear, and the daemon
+	// absorbs it all through POST /v1/datasets/streaming/updates — no
+	// rebuild, no restart, monotonic epochs.
+	// ------------------------------------------------------------------
+	fmt.Printf("\n-- live market: three days of churn --\n")
+	fmt.Printf("day 0 (epoch 0): winner by plurality is %s\n",
+		platforms[marketWinner(base, len(platforms), horizon)])
+
+	var applied []ovm.UpdateBatch
+	for day := 1; day <= 3; day++ {
+		rival := day % len(platforms) // today's surging platform
+		batch := churnBatch(n, day, rival)
+		upd := postUpdates(base, "streaming", batch)
+		applied = append(applied, batch)
+		win := marketWinner(base, len(platforms), horizon)
+		fmt.Printf("day %d (epoch %d): %4d ops, %d nodes touched, %d/%d sketch walks regenerated (%.1f%%) → winner %s\n",
+			day, upd.Epoch, len(batch), upd.NodesTouched, upd.WalksInvalidated, upd.WalksTotal,
+			100*float64(upd.WalksInvalidated)/float64(upd.WalksTotal), platforms[win])
+	}
+
+	// The campaign re-plans on the mutated market: the repaired sketch
+	// index still serves (fromIndex), at the new epoch, and the answer is
+	// byte-identical to a direct library call on the same mutated system.
+	postMutation := postSelect(base, &ovm.SelectSeedsRequest{
+		Dataset: "streaming", Method: "RS", Score: ovm.ScoreSpec{Name: "plurality"},
+		K: k, Horizon: horizon, Target: target, Seed: seed, Theta: theta,
+	})
+	fmt.Printf("\nre-planned campaign at epoch %d: fromIndex=%v, %.1fms, overlap with day-0 seeds %.0f%%\n",
+		postMutation.Epoch, postMutation.FromIndex, postMutation.ElapsedMs, overlapPct(postMutation.Seeds, pluralitySeeds))
+
+	mutatedSys, _, err := ovm.ReplayUpdates(sys, applied)
+	if err != nil {
+		log.Fatal(err)
+	}
+	directMut, err := ovm.SelectSeeds(&ovm.Problem{
+		Sys: mutatedSys, Target: target, Horizon: horizon, K: k, Score: ovm.Plurality(),
+	}, ovm.MethodRS, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon (incremental repair) == direct library on mutated graph: %v\n",
+		equalSeeds(directMut.Seeds, postMutation.Seeds) && directMut.ExactValue == postMutation.ExactValue)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// churnBatch synthesizes one day of market churn: a block of viewers drifts
+// hard toward the rival platform (opinion + stubbornness), and a handful of
+// new follow edges route influence into the drifted block.
+func churnBatch(n, day, rival int) ovm.UpdateBatch {
+	var batch ovm.UpdateBatch
+	lo := (day * 700) % n
+	for i := 0; i < 400; i++ {
+		v := int32((lo + i) % n)
+		batch = append(batch,
+			ovm.UpdateOp{Kind: ovm.OpSetOpinion, Cand: rival, Node: v, Value: 0.99},
+			ovm.UpdateOp{Kind: ovm.OpSetStubbornness, Cand: rival, Node: v, Value: 0.9},
+		)
+	}
+	for i := 0; i < 10; i++ {
+		from := int32((lo + i) % n)
+		to := int32((lo + 400 + 31*i) % n)
+		if from != to {
+			batch = append(batch, ovm.UpdateOp{Kind: ovm.OpAddEdge, From: from, To: to, W: 1})
+		}
+	}
+	return batch
+}
+
+// marketWinner asks the daemon for every platform's seedless plurality
+// score and returns the argmax — the platform currently winning the vote.
+func marketWinner(base string, platforms, horizon int) int {
+	best, bestScore := 0, -1.0
+	for q := 0; q < platforms; q++ {
+		var resp ovm.EvaluateResponse
+		postJSON(base+"/v1/evaluate", &ovm.EvaluateRequest{
+			Dataset: "streaming", Score: ovm.ScoreSpec{Name: "plurality"},
+			Horizon: horizon, Target: q,
+		}, &resp)
+		if resp.Value > bestScore {
+			best, bestScore = q, resp.Value
+		}
+	}
+	return best
+}
+
+func postUpdates(base, dataset string, batch ovm.UpdateBatch) *ovm.ApplyUpdatesResponse {
+	var resp ovm.ApplyUpdatesResponse
+	postJSON(base+"/v1/datasets/"+dataset+"/updates", &ovm.ApplyUpdatesRequest{Ops: batch}, &resp)
+	return &resp
 }
 
 // buildWorld synthesizes the streaming market: a preferential-attachment
@@ -182,11 +280,19 @@ func buildWorld(n int, seed int64, platforms []string) *ovm.System {
 }
 
 func postSelect(base string, req *ovm.SelectSeedsRequest) *ovm.SelectSeedsResponse {
+	var resp ovm.SelectSeedsResponse
+	postJSON(base+"/v1/select-seeds", req, &resp)
+	return &resp
+}
+
+// postJSON posts a JSON request body and decodes the JSON response into
+// out, failing loudly on any transport or application error.
+func postJSON(url string, req, out any) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpResp, err := http.Post(base+"/v1/select-seeds", "application/json", bytes.NewReader(body))
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,13 +300,11 @@ func postSelect(base string, req *ovm.SelectSeedsRequest) *ovm.SelectSeedsRespon
 	if httpResp.StatusCode != http.StatusOK {
 		var e map[string]any
 		_ = json.NewDecoder(httpResp.Body).Decode(&e)
-		log.Fatalf("select-seeds: HTTP %d: %v", httpResp.StatusCode, e)
+		log.Fatalf("%s: HTTP %d: %v", url, httpResp.StatusCode, e)
 	}
-	var resp ovm.SelectSeedsResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
 		log.Fatal(err)
 	}
-	return &resp
 }
 
 func getJSON(url string, v any) {

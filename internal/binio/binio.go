@@ -35,6 +35,9 @@ func WriteU64(w io.Writer, v uint64) error {
 // WriteI64 writes one little-endian int64 (two's complement).
 func WriteI64(w io.Writer, v int64) error { return WriteU64(w, uint64(v)) }
 
+// WriteF64 writes one little-endian float64 (IEEE-754 bits).
+func WriteF64(w io.Writer, v float64) error { return WriteU64(w, math.Float64bits(v)) }
+
 // WriteI32s writes the raw little-endian payload of xs (no length prefix).
 func WriteI32s(w io.Writer, xs []int32) error {
 	var b [4]byte
@@ -81,6 +84,12 @@ func ReadU64(r io.Reader) (uint64, error) {
 func ReadI64(r io.Reader) (int64, error) {
 	v, err := ReadU64(r)
 	return int64(v), err
+}
+
+// ReadF64 reads one little-endian float64.
+func ReadF64(r io.Reader) (float64, error) {
+	v, err := ReadU64(r)
+	return math.Float64frombits(v), err
 }
 
 // ReadI32s reads exactly n little-endian int32 values, allocating in

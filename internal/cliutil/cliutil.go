@@ -25,3 +25,16 @@ func Fatal(prog string, err error) {
 	fmt.Fprintln(os.Stderr, prog+":", err)
 	os.Exit(1)
 }
+
+// CheckArg exits 2 with usage when a post-parse argument check fails (for
+// bounds that depend on loaded state, e.g. core.ValidateTargetHorizon
+// against the loaded system's candidate count) — the same convention
+// CheckFlag applies to parse-time bounds.
+func CheckArg(prog string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, prog+":", err)
+	flag.Usage()
+	os.Exit(2)
+}

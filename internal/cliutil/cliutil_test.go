@@ -1,0 +1,9 @@
+package cliutil
+
+import "testing"
+
+func TestCheckArgNilIsNoop(t *testing.T) {
+	// CheckArg with nil must return (non-nil exits the process, which the
+	// CLI smoke script covers end-to-end).
+	CheckArg("test", nil)
+}

@@ -18,16 +18,29 @@ type Problem struct {
 	Score   voting.Score
 }
 
+// ValidateTargetHorizon is the shared bounds check for the two parameters
+// every entry point accepts: the target candidate index must lie in [0, r)
+// and the time horizon must be non-negative. The HTTP service maps a
+// violation to a typed bad_request; commands route it through
+// cliutil.CheckArg for the usage-and-exit-2 convention — so both surfaces
+// reject exactly the same inputs.
+func ValidateTargetHorizon(target, horizon, r int) error {
+	if target < 0 || target >= r {
+		return fmt.Errorf("target %d out of range [0,%d)", target, r)
+	}
+	if horizon < 0 {
+		return fmt.Errorf("horizon must be >= 0, got %d", horizon)
+	}
+	return nil
+}
+
 // Validate checks the instance is well-formed.
 func (p *Problem) Validate() error {
 	if p.Sys == nil {
 		return fmt.Errorf("core: nil system")
 	}
-	if p.Target < 0 || p.Target >= p.Sys.R() {
-		return fmt.Errorf("core: target %d out of range [0,%d)", p.Target, p.Sys.R())
-	}
-	if p.Horizon < 0 {
-		return fmt.Errorf("core: negative horizon %d", p.Horizon)
+	if err := ValidateTargetHorizon(p.Target, p.Horizon, p.Sys.R()); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if p.K < 1 || p.K > p.Sys.N() {
 		return fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", p.K, p.Sys.N())

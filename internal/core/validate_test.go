@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// TestValidateTargetHorizon is the table-driven contract for the bounds
+// shared by every entry point: the CLI routes violations through
+// cliutil.CheckArg (exit 2 + usage), the HTTP service maps the same bounds
+// to a typed bad_request.
+func TestValidateTargetHorizon(t *testing.T) {
+	cases := []struct {
+		name               string
+		target, horizon, r int
+		wantErr            bool
+	}{
+		{"ok min", 0, 0, 2, false},
+		{"ok mid", 1, 20, 3, false},
+		{"ok max target", 4, 5, 5, false},
+		{"target negative", -1, 0, 2, true},
+		{"target == r", 2, 0, 2, true},
+		{"target above r", 7, 0, 2, true},
+		{"horizon negative", 0, -1, 2, true},
+		{"both invalid", -3, -3, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateTargetHorizon(tc.target, tc.horizon, tc.r)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateTargetHorizon(%d,%d,%d) err = %v, wantErr %v",
+					tc.target, tc.horizon, tc.r, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DeltaOp names one kind of edge mutation applied by ApplyDeltas.
+type DeltaOp uint8
+
+const (
+	// DeltaAdd inserts the edge from → to with raw weight W, summing with
+	// the edge's current weight when it already exists.
+	DeltaAdd DeltaOp = iota
+	// DeltaSet sets the edge's raw weight to W, inserting the edge when it
+	// does not exist yet.
+	DeltaSet
+	// DeltaRemove deletes the edge; removing a missing edge is an error so
+	// replayed update logs fail loudly instead of silently diverging.
+	DeltaRemove
+)
+
+// Delta is one edge mutation. W is ignored by DeltaRemove.
+type Delta struct {
+	Op       DeltaOp
+	From, To int32
+	W        float64
+}
+
+// ApplyDeltas applies a batch of edge mutations to a column-stochastic
+// graph and returns a new CSR graph plus the sorted set of changed nodes —
+// the destinations whose in-neighborhoods (sources or weights) differ from
+// g's. The receiver is not modified.
+//
+// Mutations are interpreted against the current (normalized) weights of the
+// destination column: the column's weights act as the raw measure, the
+// batch's ops are applied in order, and the column is renormalized to sum
+// to 1. A column whose ops touch it is always renormalized (and therefore
+// always reported as changed); a column left with no in-edges receives a
+// weight-1 self-loop, mirroring ColumnStochastic. Untouched columns are
+// copied verbatim, so their weights stay bit-identical — the property that
+// lets sampled artifacts over unchanged regions survive an update without
+// regeneration.
+func (g *Graph) ApplyDeltas(deltas []Delta) (*Graph, []int32, error) {
+	n := int32(g.n)
+	if !g.columnStochastic {
+		if v := g.CheckColumnStochastic(1e-6); v >= 0 {
+			return nil, nil, fmt.Errorf("graph: delta-apply needs a column-stochastic graph; in-weights of node %d do not sum to 1", v)
+		}
+	}
+	byCol := make(map[int32][]Delta)
+	for i, d := range deltas {
+		if d.From < 0 || d.From >= n || d.To < 0 || d.To >= n {
+			return nil, nil, fmt.Errorf("graph: delta %d edge (%d,%d) out of range [0,%d)", i, d.From, d.To, n)
+		}
+		switch d.Op {
+		case DeltaAdd, DeltaSet:
+			if math.IsNaN(d.W) || math.IsInf(d.W, 0) || d.W <= 0 {
+				return nil, nil, fmt.Errorf("graph: delta %d weight %v on edge (%d,%d) must be positive and finite", i, d.W, d.From, d.To)
+			}
+		case DeltaRemove:
+		default:
+			return nil, nil, fmt.Errorf("graph: delta %d has unknown op %d", i, d.Op)
+		}
+		byCol[d.To] = append(byCol[d.To], d)
+	}
+	changed := make([]int32, 0, len(byCol))
+	for v := range byCol {
+		changed = append(changed, v)
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+
+	type inEdge struct {
+		src int32
+		w   float64
+	}
+	newCols := make(map[int32][]inEdge, len(changed))
+	for _, v := range changed {
+		src, w := g.InNeighbors(v)
+		col := make([]inEdge, len(src))
+		for i := range src {
+			col[i] = inEdge{src[i], w[i]}
+		}
+		for _, d := range byCol[v] {
+			at := -1
+			for i := range col {
+				if col[i].src == d.From {
+					at = i
+					break
+				}
+			}
+			switch d.Op {
+			case DeltaAdd:
+				if at >= 0 {
+					col[at].w += d.W
+				} else {
+					col = append(col, inEdge{d.From, d.W})
+				}
+			case DeltaSet:
+				if at >= 0 {
+					col[at].w = d.W
+				} else {
+					col = append(col, inEdge{d.From, d.W})
+				}
+			case DeltaRemove:
+				if at < 0 {
+					return nil, nil, fmt.Errorf("graph: cannot remove missing edge (%d,%d)", d.From, d.To)
+				}
+				col = append(col[:at], col[at+1:]...)
+			}
+		}
+		if len(col) == 0 {
+			col = []inEdge{{v, 1}}
+		} else {
+			sum := 0.0
+			for i := range col {
+				sum += col[i].w
+			}
+			if math.IsNaN(sum) || math.IsInf(sum, 0) || sum <= 0 {
+				return nil, nil, fmt.Errorf("graph: in-weights of node %d sum to %v after deltas", v, sum)
+			}
+			for i := range col {
+				col[i].w /= sum
+			}
+		}
+		sort.Slice(col, func(i, j int) bool { return col[i].src < col[j].src })
+		newCols[v] = col
+	}
+
+	// Assemble the in-CSR: changed columns from newCols, the rest copied
+	// verbatim from g.
+	total := int64(0)
+	degs := make([]int32, g.n)
+	for v := int32(0); v < n; v++ {
+		if col, ok := newCols[v]; ok {
+			degs[v] = int32(len(col))
+		} else {
+			degs[v] = g.inStart[v+1] - g.inStart[v]
+		}
+		total += int64(degs[v])
+	}
+	if total > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("graph: delta-apply would produce %d edges, exceeding storage limits", total)
+	}
+	ng := &Graph{n: g.n, columnStochastic: true}
+	ng.inStart = make([]int32, g.n+1)
+	for v := int32(0); v < n; v++ {
+		ng.inStart[v+1] = ng.inStart[v] + degs[v]
+	}
+	m := int(total)
+	ng.inSrc = make([]int32, m)
+	ng.inW = make([]float64, m)
+	for v := int32(0); v < n; v++ {
+		pos := ng.inStart[v]
+		if col, ok := newCols[v]; ok {
+			for _, e := range col {
+				ng.inSrc[pos] = e.src
+				ng.inW[pos] = e.w
+				pos++
+			}
+		} else {
+			lo, hi := g.inStart[v], g.inStart[v+1]
+			copy(ng.inSrc[ng.inStart[v]:], g.inSrc[lo:hi])
+			copy(ng.inW[ng.inStart[v]:], g.inW[lo:hi])
+		}
+	}
+
+	// Derive the out-CSR by a stable counting sort on source. Scanning
+	// destinations in ascending order keeps each source's out-edges sorted
+	// by destination — the same (From, To) order Builder.Build produces.
+	ng.outStart = make([]int32, g.n+1)
+	for _, src := range ng.inSrc {
+		ng.outStart[src+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		ng.outStart[v+1] += ng.outStart[v]
+	}
+	ng.outDst = make([]int32, m)
+	ng.outW = make([]float64, m)
+	next := make([]int32, g.n)
+	copy(next, ng.outStart[:g.n])
+	for v := int32(0); v < n; v++ {
+		for i := ng.inStart[v]; i < ng.inStart[v+1]; i++ {
+			src := ng.inSrc[i]
+			pos := next[src]
+			next[src]++
+			ng.outDst[pos] = v
+			ng.outW[pos] = ng.inW[i]
+		}
+	}
+	return ng, changed, nil
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomStochastic builds a column-stochastic random graph for delta tests.
+func randomStochastic(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	edges, err := Gnp(n, 4.0/float64(n), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromEdgesColumnStochastic(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyDeltasUnchangedColumnsBitIdentical(t *testing.T) {
+	g := randomStochastic(t, 60, 1)
+	deltas := []Delta{
+		{Op: DeltaAdd, From: 3, To: 7, W: 0.5},
+		{Op: DeltaSet, From: 1, To: 9, W: 2},
+	}
+	ng, changed, err := g.ApplyDeltas(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{7, 9}; len(changed) != 2 || changed[0] != want[0] || changed[1] != want[1] {
+		t.Fatalf("changed = %v, want %v", changed, want)
+	}
+	if !ng.IsColumnStochastic() {
+		t.Fatal("result must be column-stochastic")
+	}
+	isChanged := map[int32]bool{7: true, 9: true}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if isChanged[v] {
+			continue
+		}
+		os, ow := g.InNeighbors(v)
+		ns, nw := ng.InNeighbors(v)
+		if len(os) != len(ns) {
+			t.Fatalf("node %d in-degree changed %d → %d", v, len(os), len(ns))
+		}
+		for i := range os {
+			if os[i] != ns[i] || math.Float64bits(ow[i]) != math.Float64bits(nw[i]) {
+				t.Fatalf("node %d in-edge %d changed: (%d,%v) → (%d,%v)", v, i, os[i], ow[i], ns[i], nw[i])
+			}
+		}
+	}
+	if v := ng.CheckColumnStochastic(1e-9); v >= 0 {
+		t.Fatalf("node %d not normalized after delta", v)
+	}
+}
+
+func TestApplyDeltasSemantics(t *testing.T) {
+	// 3 nodes; node 2 has in-edges from 0 (0.25) and 2 (0.75).
+	g, err := FromEdgesColumnStochastic(3, []Edge{
+		{0, 2, 1}, {2, 2, 3}, {0, 1, 1}, {1, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add 1→2 with raw weight 1: raw column {0.25, 0.75, 1} → sum 2.
+	ng, _, err := g.ApplyDeltas([]Delta{{Op: DeltaAdd, From: 1, To: 2, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, w := ng.InNeighbors(2)
+	if len(src) != 3 || src[0] != 0 || src[1] != 1 || src[2] != 2 {
+		t.Fatalf("in-neighbors of 2 = %v, want [0 1 2]", src)
+	}
+	for i, want := range []float64{0.125, 0.5, 0.375} {
+		if math.Abs(w[i]-want) > 1e-12 {
+			t.Fatalf("weight[%d] = %v, want %v", i, w[i], want)
+		}
+	}
+	// Removing the only in-edge of node 1 yields a self-loop.
+	ng2, changed, err := g.ApplyDeltas([]Delta{{Op: DeltaRemove, From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != 1 {
+		t.Fatalf("changed = %v, want [1]", changed)
+	}
+	src, w = ng2.InNeighbors(1)
+	if len(src) != 1 || src[0] != 1 || w[0] != 1 {
+		t.Fatalf("emptied column must get a self-loop, got src=%v w=%v", src, w)
+	}
+}
+
+func TestApplyDeltasOutCSRConsistent(t *testing.T) {
+	g := randomStochastic(t, 40, 2)
+	ng, _, err := g.ApplyDeltas([]Delta{
+		{Op: DeltaAdd, From: 0, To: 5, W: 1},
+		{Op: DeltaAdd, From: 39, To: 5, W: 0.5},
+		{Op: DeltaSet, From: 2, To: 11, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The out-CSR must describe the same edge multiset as the in-CSR, in
+	// (From, To) order — rebuild from the edge list and compare.
+	rebuilt, err := FromEdges(ng.N(), ng.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.M() != ng.M() {
+		t.Fatalf("edge counts differ: %d vs %d", rebuilt.M(), ng.M())
+	}
+	for v := int32(0); v < int32(ng.N()); v++ {
+		as, aw := ng.InNeighbors(v)
+		bs, bw := rebuilt.InNeighbors(v)
+		if len(as) != len(bs) {
+			t.Fatalf("node %d: in-degrees differ", v)
+		}
+		for i := range as {
+			if as[i] != bs[i] || aw[i] != bw[i] {
+				t.Fatalf("node %d in-edge %d differs from rebuilt graph", v, i)
+			}
+		}
+	}
+}
+
+func TestApplyDeltasErrors(t *testing.T) {
+	g := randomStochastic(t, 10, 3)
+	cases := []struct {
+		name  string
+		delta Delta
+	}{
+		{"from out of range", Delta{Op: DeltaAdd, From: -1, To: 0, W: 1}},
+		{"to out of range", Delta{Op: DeltaAdd, From: 0, To: 10, W: 1}},
+		{"zero weight", Delta{Op: DeltaAdd, From: 0, To: 1, W: 0}},
+		{"negative weight", Delta{Op: DeltaSet, From: 0, To: 1, W: -2}},
+		{"nan weight", Delta{Op: DeltaSet, From: 0, To: 1, W: math.NaN()}},
+		{"inf weight", Delta{Op: DeltaAdd, From: 0, To: 1, W: math.Inf(1)}},
+		{"remove missing edge", Delta{Op: DeltaRemove, From: 7, To: 3}},
+		{"unknown op", Delta{Op: DeltaOp(99), From: 0, To: 1, W: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// "remove missing edge" needs the edge to actually be missing.
+			if tc.name == "remove missing edge" {
+				found := false
+				g.InEdges(3, func(src int32, _ float64) {
+					if src == 7 {
+						found = true
+					}
+				})
+				if found {
+					t.Skip("edge 7→3 exists in this fixture")
+				}
+			}
+			if _, _, err := g.ApplyDeltas([]Delta{tc.delta}); err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -31,8 +32,16 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// maxTextNodes caps the node count a text header may declare: the builder
+// allocates O(n) up front, so an adversarial header must error instead of
+// attempting a multi-gigabyte allocation. (The binary format has the
+// analogous maxBinaryNodes; text files are experiment-scale.)
+const maxTextNodes = 1 << 24
+
 // ReadEdgeList parses the format produced by WriteEdgeList. Lines that are
-// empty or start with '#' are skipped.
+// empty or start with '#' are skipped. Malformed input — bad header, short
+// or non-numeric edge lines, out-of-range endpoints, negative weights, an
+// edge-count mismatch — always returns an error, never panics.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -60,6 +69,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if n <= 0 {
 				return nil, fmt.Errorf("graph: node count must be positive, got %d", n)
 			}
+			if n > maxTextNodes {
+				return nil, fmt.Errorf("graph: node count %d exceeds text-format limit %d", n, maxTextNodes)
+			}
+			if m < 0 {
+				return nil, fmt.Errorf("graph: edge count must be non-negative, got %d", m)
+			}
 			b = NewBuilder(n)
 			header = true
 			continue
@@ -78,6 +93,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		w, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad weight %q: %w", fields[2], err)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: non-finite weight %q", fields[2])
 		}
 		if err := b.AddEdge(int32(from), int32(to), w); err != nil {
 			return nil, err

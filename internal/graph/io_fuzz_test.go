@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList mirrors serialize's FuzzReadIndex for the text graph
+// format: arbitrary input must either parse into a structurally valid
+// graph that round-trips through WriteEdgeList, or return an error — it
+// must never panic or over-allocate on adversarial headers.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("2 1\n0 1 0.5\n")
+	f.Add("4 5\n0 2 0.25\n1 2 0.25\n2 2 0.5\n2 3 0.5\n3 3 0.5\n")
+	f.Add("# comment\n\n3 2\n0 1 1\n1 0 1e-3\n")
+	f.Add("1 0\n")
+	f.Add("not a header\n")
+	f.Add("2\n")                  // short header
+	f.Add("2 2\n0 1 1\n")         // header promises more edges
+	f.Add("2 1\n0 1\n")           // short edge line
+	f.Add("2 1\n0 9 1\n")         // endpoint out of range
+	f.Add("2 1\n0 1 -1\n")        // negative weight
+	f.Add("2 1\n0 1 NaN\n")       // non-finite weight
+	f.Add("2 1\nx y z\n")         // non-numeric fields
+	f.Add("999999999999 0\n")     // huge node count
+	f.Add("100000000 0\n")        // over the text-format cap
+	f.Add("-5 0\n")               // negative node count
+	f.Add("2 -1\n")               // negative edge count
+	f.Add("2 1\n0 1 0.5 extra\n") // too many fields
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadEdgeList(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed graphs must be structurally sound and round-trip exactly.
+		if g.N() <= 0 || g.N() > maxTextNodes {
+			t.Fatalf("accepted graph with n=%d", g.N())
+		}
+		for _, e := range g.Edges() {
+			if e.From < 0 || int(e.From) >= g.N() || e.To < 0 || int(e.To) >= g.N() || e.W < 0 {
+				t.Fatalf("accepted out-of-range edge %+v", e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round-trip changed shape: n %d→%d, m %d→%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+	})
+}

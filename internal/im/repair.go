@@ -1,0 +1,106 @@
+package im
+
+import (
+	"fmt"
+
+	"ovm/internal/engine"
+	"ovm/internal/graph"
+)
+
+// RRRepairStats reports how much of an RR collection an incremental repair
+// had to resample.
+type RRRepairStats struct {
+	Sets            int
+	SetsInvalidated int
+}
+
+// Repair incrementally rebuilds the collection over a mutated graph,
+// producing exactly the collection a from-scratch NewRRCollection + Add on
+// the mutated graph would hold — byte-identical — while only resampling the
+// sets that could have diverged.
+//
+// touched marks the nodes whose in-neighborhoods (sources or weights)
+// changed. RR sampling reads the in-edge lists of the set's member nodes
+// only (every processed node is a member), so a set whose members are all
+// untouched replays identical random draws on the mutated graph; it is
+// copied verbatim. Every other set i is resampled from its original
+// substream str.At(i). The draw cursor and stream carry over, so subsequent
+// Add calls continue the same global index sequence.
+func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RRRepairStats, error) {
+	var stats RRRepairStats
+	if c.NumSets() != c.drawn {
+		return nil, stats, fmt.Errorf("im: collection stores %d sets but drew %d", c.NumSets(), c.drawn)
+	}
+	n := g.N()
+	if c.g.N() != n {
+		return nil, stats, fmt.Errorf("im: repair graph has %d nodes, collection was sampled over %d", n, c.g.N())
+	}
+	if len(touched) != n {
+		return nil, stats, fmt.Errorf("im: touched mask has %d entries, want %d", len(touched), n)
+	}
+	numSets := c.drawn
+	stats.Sets = numSets
+
+	invalid := make([]bool, numSets)
+	_ = engine.ForEachChunk(c.parallelism, numSets, 64, 256, func(_, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for p := c.off[i]; p < c.off[i+1] && !invalid[i]; p++ {
+				if touched[c.nodes[p]] {
+					invalid[i] = true
+				}
+			}
+		}
+		return nil
+	})
+	for _, bad := range invalid {
+		if bad {
+			stats.SetsInvalidated++
+		}
+	}
+
+	nc := NewRRCollection(g, c.model, c.str, c.parallelism)
+	if w := engine.Workers(c.parallelism); len(nc.scratchVisited) < w {
+		nc.scratchVisited = make([][]bool, w)
+		nc.scratchQueue = make([][]int32, w)
+	}
+	numShards := engine.NumShards(numSets, 64, 256)
+	shards, err := engine.Map(c.parallelism, numShards, func(worker, sh int) (rrShard, error) {
+		lo, hi := engine.ShardRange(numSets, numShards, sh)
+		out := rrShard{lens: make([]int32, 0, hi-lo)}
+		if nc.scratchVisited[worker] == nil {
+			nc.scratchVisited[worker] = make([]bool, n)
+		}
+		visited := nc.scratchVisited[worker]
+		queue := nc.scratchQueue[worker]
+		for i := lo; i < hi; i++ {
+			if !invalid[i] {
+				out.nodes = append(out.nodes, c.nodes[c.off[i]:c.off[i+1]]...)
+				out.lens = append(out.lens, c.off[i+1]-c.off[i])
+				continue
+			}
+			rng := c.str.At(uint64(i))
+			root := int32(rng.Intn(n))
+			start := len(out.nodes)
+			switch c.model {
+			case IC:
+				out.nodes, queue = sampleIC(g, root, rng, out.nodes, visited, queue)
+			case LT:
+				out.nodes = sampleLT(g, root, rng, out.nodes, visited)
+			}
+			out.lens = append(out.lens, int32(len(out.nodes)-start))
+		}
+		nc.scratchQueue[worker] = queue
+		return out, nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, sh := range shards {
+		for _, l := range sh.lens {
+			nc.off = append(nc.off, nc.off[len(nc.off)-1]+l)
+		}
+		nc.nodes = append(nc.nodes, sh.nodes...)
+	}
+	nc.drawn = numSets
+	return nc, stats, nil
+}

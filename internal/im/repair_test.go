@@ -1,0 +1,87 @@
+package im_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/im"
+	"ovm/internal/sampling"
+)
+
+func TestRRRepairMatchesFullResample(t *testing.T) {
+	const n, count = 150, 2000
+	r := rand.New(rand.NewSource(4))
+	edges, err := graph.Gnp(n, 5.0/float64(n), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdgesColumnStochastic(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, changed, err := g.ApplyDeltas([]graph.Delta{
+		{Op: graph.DeltaAdd, From: 2, To: 40, W: 1},
+		{Op: graph.DeltaSet, From: 40, To: 3, W: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := make([]bool, n)
+	for _, v := range changed {
+		touched[v] = true
+	}
+	for _, model := range []im.Model{im.IC, im.LT} {
+		str := sampling.Stream{Seed: 3, ID: 701}
+		c := im.NewRRCollection(g, model, str, 0)
+		c.Add(count)
+		repaired, stats, err := c.Repair(ng, touched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := im.NewRRCollection(ng, model, str, 0)
+		fresh.Add(count)
+		rs, err := repaired.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fresh.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rs, fs) {
+			t.Fatalf("model %v: repaired collection differs from full resample", model)
+		}
+		if stats.SetsInvalidated == 0 || stats.SetsInvalidated == stats.Sets {
+			t.Fatalf("model %v: expected partial invalidation, got %d of %d sets", model, stats.SetsInvalidated, stats.Sets)
+		}
+		// The draw cursor carries over: continuing to Add after a repair
+		// must equal continuing after a full resample.
+		repaired.Add(100)
+		fresh.Add(100)
+		rs, err = repaired.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err = fresh.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rs, fs) {
+			t.Fatalf("model %v: post-repair Add diverged from post-resample Add", model)
+		}
+	}
+}
+
+func TestRRRepairRejectsMismatchedMask(t *testing.T) {
+	g, err := graph.FromEdgesColumnStochastic(3, []graph.Edge{{From: 0, To: 1, W: 1}, {From: 1, To: 0, W: 1}, {From: 2, To: 2, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := im.NewRRCollection(g, im.IC, sampling.Stream{Seed: 1, ID: 701}, 1)
+	c.Add(10)
+	if _, _, err := c.Repair(g, make([]bool, 2)); err == nil {
+		t.Fatal("short touched mask must fail")
+	}
+}

@@ -129,6 +129,22 @@ func GenerateSet(p *core.Problem, plan []int32, seed int64, parallelism int) (*w
 	return walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: seed, ID: 101}, parallelism)
 }
 
+// RepairSet incrementally rebuilds a pristine RW walk set after a graph
+// mutation. p must describe the MUTATED system; old is the set generated
+// (with GenerateSet and the same seed) over the pre-mutation graph; touched
+// marks the nodes whose in-neighborhoods or stubbornness changed. The
+// returned set is byte-identical to GenerateSet on the mutated system with
+// the same plan, but only the invalidated owners are regenerated (from
+// their original substreams in the seed's family).
+func RepairSet(p *core.Problem, old *walks.Set, touched []bool, seed int64, parallelism int) (*walks.Set, walks.RepairStats, error) {
+	cand := p.Sys.Candidate(p.Target)
+	sampler, err := graph.NewInEdgeSampler(cand.G)
+	if err != nil {
+		return nil, walks.RepairStats{}, err
+	}
+	return walks.Repair(old, sampler, cand.Stub, touched, sampling.Stream{Seed: seed, ID: 101}, parallelism)
+}
+
 // SelectOnSet runs the greedy selection of Algorithm 4 over a pre-generated
 // walk set (freshly generated, or a Clone of a loaded artifact). The set is
 // mutated by truncation; callers serving concurrent queries must pass a

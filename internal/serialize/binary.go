@@ -17,10 +17,22 @@
 //	          walk snapshot}
 //	rrsets:   u32 count, each {i64 seed, u32 target, u32 model,
 //	          u64 memberLen, members, u64 offLen, offsets}
+//	updates:  (format v2 only) u64 base epoch, u32 batch count, each batch
+//	          {u32 op count, each op {u8 kind, i32 from, i32 to, f64 w,
+//	          u32 candidate, i32 node, f64 value}}
 //	u32 CRC-32 (IEEE) of every preceding byte
 //
 // A walk snapshot is {u32 horizon, u64 nodesLen, nodes, u64 offLen, offs,
 // u64 ownerLen, owners, owner offsets (ownerLen+1)}.
+//
+// Format v2 appends the dynamic-update section: the base epoch the stored
+// artifacts already embody (non-zero after a log compaction rebased them)
+// plus the batches applied since. WriteIndex emits v1 when the section is
+// empty (so update-free indexes stay byte-compatible with the original
+// format) and v2 otherwise; ReadIndex accepts both. A loader starts the
+// dataset at the base epoch and replays the log over the base artifacts via
+// incremental repair, which reproduces the exact epoch the writer was
+// serving.
 package serialize
 
 import (
@@ -33,35 +45,63 @@ import (
 	"math"
 
 	"ovm/internal/binio"
+	"ovm/internal/dynamic"
 	"ovm/internal/graph"
 	"ovm/internal/im"
 	"ovm/internal/opinion"
 	"ovm/internal/walks"
 )
 
-// IndexFormatVersion is the on-disk version written by WriteIndex and the
-// only version ReadIndex accepts. Bump it on any layout change.
-const IndexFormatVersion = 1
+// IndexFormatVersion is the newest on-disk format version: what WriteIndex
+// emits for an index carrying an update log. ReadIndex accepts every
+// version in [IndexFormatV1, IndexFormatVersion].
+const IndexFormatVersion = IndexFormatV2
+
+// The format history: v1 has no update-log section; v2 appends one.
+const (
+	IndexFormatV1 = 1
+	IndexFormatV2 = 2
+)
 
 const indexMagic = "OVMIDX"
 
 // Sanity caps for declared counts, so corrupted headers error out instead
 // of triggering huge allocations.
 const (
-	maxArtifacts   = 1 << 16
-	maxElements    = 1 << 31
-	maxNameLen     = 1 << 16
-	maxCandidates  = 1 << 16
-	indexTrailerSz = 4
+	maxArtifacts     = 1 << 16
+	maxElements      = 1 << 31
+	maxNameLen       = 1 << 16
+	maxCandidates    = 1 << 16
+	maxUpdateBatches = 1 << 20
+	maxBatchOps      = 1 << 20
+	indexTrailerSz   = 4
 )
 
 // Index bundles an opinion system with its precomputed query-serving
-// artifacts. Artifact slices may be empty; Sys is mandatory.
+// artifacts. Artifact slices may be empty; Sys is mandatory. Updates is the
+// dynamic-update log: batches applied (in order) to the dataset after the
+// artifacts were generated — loaders replay them via incremental repair to
+// reach the writer's epoch. BaseEpoch is the epoch the stored artifacts
+// already embody: 0 for a freshly built index, non-zero after a log
+// compaction rebased the artifacts onto the live dataset state; the
+// restored dataset's epoch is BaseEpoch + len(Updates).
 type Index struct {
-	Sys      *opinion.System
-	Sketches []*SketchArtifact
-	Walks    []*WalkArtifact
-	RRs      []*RRArtifact
+	Sys       *opinion.System
+	Sketches  []*SketchArtifact
+	Walks     []*WalkArtifact
+	RRs       []*RRArtifact
+	BaseEpoch int64
+	Updates   []dynamic.Batch
+}
+
+// FormatVersion reports the on-disk version WriteIndex would emit for this
+// index: v1 while the update section is empty, v2 once it carries batches
+// or a non-zero base epoch.
+func (idx *Index) FormatVersion() int {
+	if len(idx.Updates) > 0 || idx.BaseEpoch > 0 {
+		return IndexFormatV2
+	}
+	return IndexFormatV1
 }
 
 // SketchArtifact is a sampled reverse-walk sketch set (the RS method's
@@ -131,6 +171,14 @@ func (idx *Index) Validate() error {
 			return fmt.Errorf("serialize: rr artifact %d targets candidate %d of %d", i, a.Target, idx.Sys.R())
 		}
 	}
+	if idx.BaseEpoch < 0 {
+		return fmt.Errorf("serialize: negative base epoch %d", idx.BaseEpoch)
+	}
+	for i, b := range idx.Updates {
+		if err := b.Validate(idx.Sys.N(), idx.Sys.R()); err != nil {
+			return fmt.Errorf("serialize: update batch %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -143,12 +191,13 @@ func WriteIndex(w io.Writer, idx *Index) error {
 	if err := checkSystemFinite(idx.Sys); err != nil {
 		return err
 	}
+	version := idx.FormatVersion()
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return err
 	}
-	if err := binio.WriteU32(bw, IndexFormatVersion); err != nil {
+	if err := binio.WriteU32(bw, uint32(version)); err != nil {
 		return err
 	}
 	if err := writeBinarySystem(bw, idx.Sys); err != nil {
@@ -206,6 +255,14 @@ func WriteIndex(w io.Writer, idx *Index) error {
 			return err
 		}
 	}
+	if version >= IndexFormatV2 {
+		if err := binio.WriteU64(bw, uint64(idx.BaseEpoch)); err != nil {
+			return err
+		}
+		if err := writeUpdateLog(bw, idx.Updates); err != nil {
+			return err
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -234,8 +291,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serialize: index header: %w", err)
 	}
-	if version != IndexFormatVersion {
-		return nil, fmt.Errorf("serialize: index format version %d unsupported (want %d)", version, IndexFormatVersion)
+	if version < IndexFormatV1 || version > IndexFormatVersion {
+		return nil, fmt.Errorf("serialize: index format version %d unsupported (want %d..%d)", version, IndexFormatV1, IndexFormatVersion)
 	}
 	sys, err := readBinarySystem(cr)
 	if err != nil {
@@ -309,6 +366,19 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("serialize: rr artifact %d offsets: %w", i, err)
 		}
 		idx.RRs = append(idx.RRs, a)
+	}
+	if version >= IndexFormatV2 {
+		base, err := binio.ReadU64(cr)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: base epoch: %w", err)
+		}
+		if base > math.MaxInt64 {
+			return nil, fmt.Errorf("serialize: base epoch %d overflows", base)
+		}
+		idx.BaseEpoch = int64(base)
+		if idx.Updates, err = readUpdateLog(cr); err != nil {
+			return nil, err
+		}
 	}
 	var tail [indexTrailerSz]byte
 	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
@@ -492,4 +562,116 @@ func binReadI32s(r io.Reader) ([]int32, error) {
 		return nil, err
 	}
 	return binio.ReadI32s(r, count)
+}
+
+// The fixed one-byte codes of the dynamic op kinds in the v2 update-log
+// section. Codes are append-only: never renumber a released code.
+var opKindCodes = map[dynamic.OpKind]uint8{
+	dynamic.OpAddEdge:         1,
+	dynamic.OpRemoveEdge:      2,
+	dynamic.OpSetWeight:       3,
+	dynamic.OpSetOpinion:      4,
+	dynamic.OpSetStubbornness: 5,
+}
+
+var opKindByCode = func() map[uint8]dynamic.OpKind {
+	m := make(map[uint8]dynamic.OpKind, len(opKindCodes))
+	for k, c := range opKindCodes {
+		m[c] = k
+	}
+	return m
+}()
+
+// writeUpdateLog serializes the dynamic-update batches of the v2 section.
+func writeUpdateLog(w *bufio.Writer, batches []dynamic.Batch) error {
+	if len(batches) > maxUpdateBatches {
+		return fmt.Errorf("serialize: %d update batches exceed format limit %d", len(batches), maxUpdateBatches)
+	}
+	if err := binio.WriteU32(w, uint32(len(batches))); err != nil {
+		return err
+	}
+	for bi, b := range batches {
+		if len(b) > maxBatchOps {
+			return fmt.Errorf("serialize: update batch %d has %d ops, exceeding format limit %d", bi, len(b), maxBatchOps)
+		}
+		if err := binio.WriteU32(w, uint32(len(b))); err != nil {
+			return err
+		}
+		for _, op := range b {
+			code, ok := opKindCodes[op.Kind]
+			if !ok {
+				return fmt.Errorf("serialize: update batch %d has unknown op kind %q", bi, op.Kind)
+			}
+			if err := w.WriteByte(code); err != nil {
+				return err
+			}
+			if err := binio.WriteI32s(w, []int32{op.From, op.To}); err != nil {
+				return err
+			}
+			if err := binio.WriteF64(w, op.W); err != nil {
+				return err
+			}
+			if err := binio.WriteU32(w, uint32(op.Cand)); err != nil {
+				return err
+			}
+			if err := binio.WriteI32s(w, []int32{op.Node}); err != nil {
+				return err
+			}
+			if err := binio.WriteF64(w, op.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readUpdateLog parses the v2 update-log section.
+func readUpdateLog(r io.Reader) ([]dynamic.Batch, error) {
+	numBatches, err := binReadCount(r, maxUpdateBatches)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: update batch count: %w", err)
+	}
+	var batches []dynamic.Batch
+	for bi := 0; bi < numBatches; bi++ {
+		numOps, err := binReadCount(r, maxBatchOps)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: update batch %d op count: %w", bi, err)
+		}
+		b := make(dynamic.Batch, 0, numOps)
+		for oi := 0; oi < numOps; oi++ {
+			var kindBuf [1]byte
+			if _, err := io.ReadFull(r, kindBuf[:]); err != nil {
+				return nil, fmt.Errorf("serialize: update batch %d op %d: %w", bi, oi, err)
+			}
+			kind, ok := opKindByCode[kindBuf[0]]
+			if !ok {
+				return nil, fmt.Errorf("serialize: update batch %d op %d has unknown kind code %d", bi, oi, kindBuf[0])
+			}
+			op := dynamic.Op{Kind: kind}
+			edge, err := binio.ReadI32s(r, 2)
+			if err != nil {
+				return nil, err
+			}
+			op.From, op.To = edge[0], edge[1]
+			if op.W, err = binio.ReadF64(r); err != nil {
+				return nil, err
+			}
+			cand, err := binio.ReadU32(r)
+			if err != nil {
+				return nil, err
+			}
+			op.Cand = int(cand)
+			node, err := binio.ReadI32s(r, 1)
+			if err != nil {
+				return nil, err
+			}
+			op.Node = node[0]
+			if op.Value, err = binio.ReadF64(r); err != nil {
+				return nil, err
+			}
+			b = append(b, op)
+		}
+		batches = append(batches, b)
+	}
+	return batches, nil
 }

@@ -13,13 +13,14 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the daemon's HTTP mux:
 //
-//	POST /v1/select-seeds      SelectSeedsRequest  → SelectSeedsResponse
-//	POST /v1/evaluate          EvaluateRequest     → EvaluateResponse
-//	POST /v1/wins              EvaluateRequest     → WinsResponse
-//	POST /v1/min-seeds-to-win  MinSeedsRequest     → MinSeedsResponse
-//	GET  /v1/datasets          → {"datasets": [names]}
-//	GET  /healthz              → 200 "ok" once the service is up
-//	GET  /stats                → Stats
+//	POST /v1/select-seeds             SelectSeedsRequest → SelectSeedsResponse
+//	POST /v1/evaluate                 EvaluateRequest    → EvaluateResponse
+//	POST /v1/wins                     EvaluateRequest    → WinsResponse
+//	POST /v1/min-seeds-to-win         MinSeedsRequest    → MinSeedsResponse
+//	POST /v1/datasets/{name}/updates  UpdateRequest body → UpdateResponse
+//	GET  /v1/datasets                 → {"datasets": [names]}
+//	GET  /healthz                     → 200 "ok" once the service is up
+//	GET  /stats                       → Stats
 //
 // Errors are returned as {"error": {"code", "message"}} with the status
 // implied by the code (bad_request → 400, not_found → 404, else 500).
@@ -36,6 +37,13 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/min-seeds-to-win", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(s, w, r, s.MinSeedsToWin)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/updates", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		handleQuery(s, w, r, func(req *UpdateRequest) (*UpdateResponse, *Error) {
+			req.Dataset = name // the path segment is authoritative
+			return s.ApplyUpdates(req)
+		})
 	})
 	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -30,6 +30,7 @@ import (
 
 	"ovm/internal/baselines"
 	"ovm/internal/core"
+	"ovm/internal/dynamic"
 	"ovm/internal/im"
 	"ovm/internal/opinion"
 	"ovm/internal/rwalk"
@@ -88,6 +89,10 @@ type Config struct {
 	// Parallelism is the engine worker knob applied to queries that do not
 	// pin their own: 0 means GOMAXPROCS, 1 forces serial execution.
 	Parallelism int
+	// OnUpdate, when set, persists an applied update batch before the
+	// post-update dataset becomes visible (ovmd appends it to the index
+	// file's update log). An error aborts the update without swapping.
+	OnUpdate func(dataset string, batch dynamic.Batch, epoch int64) error
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +111,10 @@ type Service struct {
 	flight *flightGroup
 	start  time.Time
 
+	// updMu serializes ApplyUpdates calls so every epoch derives from its
+	// predecessor (no lost updates); queries never take it.
+	updMu sync.Mutex
+
 	requests     atomic.Int64
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
@@ -113,6 +122,7 @@ type Service struct {
 	computations atomic.Int64
 	errorCount   atomic.Int64
 	inflight     atomic.Int64
+	updates      atomic.Int64
 }
 
 // New creates an empty service.
@@ -128,9 +138,13 @@ func New(cfg Config) *Service {
 }
 
 // Dataset is one registered opinion system plus its restored artifacts.
+// Datasets are immutable snapshots (apart from the competitor memo):
+// ApplyUpdates builds a successor and swaps the registry pointer, so
+// in-flight queries keep a consistent view.
 type Dataset struct {
 	name     string
 	sys      *opinion.System
+	epoch    int64 // bumped once per applied update batch
 	sketches []*sketchArtifact
 	walkSets []*walkArtifact
 	rrs      []*rrArtifact
@@ -183,9 +197,10 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		return badRequestf("invalid index: %v", err)
 	}
 	ds := &Dataset{
-		name: name,
-		sys:  idx.Sys,
-		comp: make(map[compKey][][]float64),
+		name:  name,
+		sys:   idx.Sys,
+		epoch: idx.BaseEpoch,
+		comp:  make(map[compKey][][]float64),
 	}
 	for i, a := range idx.Sketches {
 		set, err := walks.FromSnapshot(idx.Sys.Candidate(a.Target).G, a.Set)
@@ -218,6 +233,16 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		}
 		col.EnsureIndex()
 		ds.rrs = append(ds.rrs, &rrArtifact{seed: a.Seed, target: a.Target, col: col})
+	}
+	// Replay the index's update log through the same incremental-repair
+	// path live updates use: the restarted daemon lands on exactly the
+	// epoch (and bytes) the writer was serving.
+	for i, b := range idx.Updates {
+		next, _, serr := s.repairDataset(ds, b)
+		if serr != nil {
+			return badRequestf("replaying update batch %d: %s", i, serr.Message)
+		}
+		ds = next
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -397,6 +422,8 @@ type SelectSeedsResponse struct {
 	Method     string  `json:"method"`
 	// FromIndex reports whether a precomputed artifact served the query.
 	FromIndex bool `json:"fromIndex"`
+	// Epoch is the dataset version the answer was computed at.
+	Epoch int64 `json:"epoch"`
 	// Cached reports whether the response came from the LRU cache.
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsedMs"`
@@ -415,6 +442,7 @@ type EvaluateRequest struct {
 // EvaluateResponse reports an exact score.
 type EvaluateResponse struct {
 	Value     float64 `json:"value"`
+	Epoch     int64   `json:"epoch"`
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsedMs"`
 }
@@ -422,6 +450,7 @@ type EvaluateResponse struct {
 // WinsResponse reports the FJ-Vote-Win predicate for a seed set.
 type WinsResponse struct {
 	Wins      bool    `json:"wins"`
+	Epoch     int64   `json:"epoch"`
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsedMs"`
 }
@@ -444,17 +473,18 @@ type MinSeedsResponse struct {
 	CanWin    bool    `json:"canWin"`
 	K         int     `json:"k"`
 	Seeds     []int32 `json:"seeds"`
+	Epoch     int64   `json:"epoch"`
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsedMs"`
 }
 
-// validCommon checks the fields shared by every query shape.
+// validCommon checks the fields shared by every query shape. The target /
+// horizon bounds are the same core.ValidateTargetHorizon the commands
+// apply, so HTTP and CLI entry points reject exactly the same inputs (here
+// as a typed bad_request, there as exit 2 + usage).
 func (s *Service) validCommon(ds *Dataset, target, horizon, parallelism int) *Error {
-	if target < 0 || target >= ds.sys.R() {
-		return badRequestf("target %d out of range [0,%d)", target, ds.sys.R())
-	}
-	if horizon < 0 {
-		return badRequestf("horizon must be >= 0, got %d", horizon)
+	if err := core.ValidateTargetHorizon(target, horizon, ds.sys.R()); err != nil {
+		return badRequestf("%v", err)
 	}
 	if parallelism < 0 {
 		return badRequestf("parallelism must be >= 0, got %d", parallelism)
@@ -550,8 +580,11 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	if method == "RS" && theta == 0 {
 		theta = ds.defaultSketchTheta(req.Target, req.Horizon, req.Seed)
 	}
-	key := fmt.Sprintf("select|%s|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
-		req.Dataset, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
+	// The epoch scopes cache entries per dataset version: an update bumps
+	// it, making every pre-update entry unreachable (it then ages out of
+	// the LRU) without a global cache flush.
+	key := fmt.Sprintf("select|%s|e=%d|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
+		req.Dataset, ds.epoch, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
 	v, cached, serr := s.cachedQuery(key, func() (any, error) {
 		return s.computeSelect(ds, req, score, theta, s.workers(req.Parallelism))
 	})
@@ -636,6 +669,7 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 		ExactValue: exact,
 		Method:     req.Method,
 		FromIndex:  fromIndex,
+		Epoch:      ds.epoch,
 	}, nil
 }
 
@@ -646,14 +680,14 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	if serr != nil {
 		return nil, serr
 	}
-	key := fmt.Sprintf("eval|%s|%s|t=%d|q=%d|seeds=%s",
-		req.Dataset, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
+	key := fmt.Sprintf("eval|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
+		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
 	v, cached, serr := s.cachedQuery(key, func() (any, error) {
 		val, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
 		if err != nil {
 			return nil, err
 		}
-		return &EvaluateResponse{Value: val}, nil
+		return &EvaluateResponse{Value: val, Epoch: ds.epoch}, nil
 	})
 	if serr != nil {
 		return nil, serr
@@ -671,14 +705,14 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 	if serr != nil {
 		return nil, serr
 	}
-	key := fmt.Sprintf("wins|%s|%s|t=%d|q=%d|seeds=%s",
-		req.Dataset, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
+	key := fmt.Sprintf("wins|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
+		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
 	v, cached, serr := s.cachedQuery(key, func() (any, error) {
 		ok, err := core.Wins(ds.sys, req.Target, req.Horizon, score, req.Seeds)
 		if err != nil {
 			return nil, err
 		}
-		return &WinsResponse{Wins: ok}, nil
+		return &WinsResponse{Wins: ok, Epoch: ds.epoch}, nil
 	})
 	if serr != nil {
 		return nil, serr
@@ -730,8 +764,8 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 	if req.Method != "DM" && req.Method != "RW" && req.Method != "RS" {
 		return nil, badRequestf("min-seeds-to-win supports DM, RW, RS; got %q", req.Method)
 	}
-	key := fmt.Sprintf("minwin|%s|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
-		req.Dataset, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
+	key := fmt.Sprintf("minwin|%s|e=%d|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
+		req.Dataset, ds.epoch, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
 	v, cached, serr := s.cachedQuery(key, func() (any, error) {
 		par := s.workers(req.Parallelism)
 		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score}
@@ -746,12 +780,12 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 		}
 		seeds, err := core.MinSeedsToWin(ds.sys, req.Target, req.Horizon, score, sel)
 		if err == core.ErrCannotWin {
-			return &MinSeedsResponse{CanWin: false}, nil
+			return &MinSeedsResponse{CanWin: false, Epoch: ds.epoch}, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		return &MinSeedsResponse{CanWin: true, K: len(seeds), Seeds: seeds}, nil
+		return &MinSeedsResponse{CanWin: true, K: len(seeds), Seeds: seeds, Epoch: ds.epoch}, nil
 	})
 	if serr != nil {
 		return nil, serr
@@ -776,12 +810,14 @@ type Stats struct {
 	Computations   int64          `json:"computations"`
 	Errors         int64          `json:"errors"`
 	Inflight       int64          `json:"inflight"`
+	Updates        int64          `json:"updates"`
 	Datasets       []DatasetStats `json:"datasets"`
 }
 
 // DatasetStats describes one registered dataset and its index footprint.
 type DatasetStats struct {
 	Name            string `json:"name"`
+	Epoch           int64  `json:"epoch"`
 	Nodes           int    `json:"nodes"`
 	Edges           int    `json:"edges"`
 	Candidates      int    `json:"candidates"`
@@ -811,6 +847,7 @@ func (s *Service) StatsSnapshot() Stats {
 		Computations:   s.computations.Load(),
 		Errors:         s.errorCount.Load(),
 		Inflight:       s.inflight.Load(),
+		Updates:        s.updates.Load(),
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -823,6 +860,7 @@ func (s *Service) StatsSnapshot() Stats {
 		ds := s.ds[name]
 		d := DatasetStats{
 			Name:            name,
+			Epoch:           ds.epoch,
 			Nodes:           ds.sys.N(),
 			Edges:           ds.sys.Candidate(0).G.M(),
 			Candidates:      ds.sys.R(),

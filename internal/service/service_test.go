@@ -365,6 +365,68 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// TestBoundsValidationAcrossEndpoints drives the shared target/horizon
+// bounds (cliutil.ValidateTargetHorizon) through every query shape: each
+// violation must come back as a typed bad_request regardless of endpoint.
+func TestBoundsValidationAcrossEndpoints(t *testing.T) {
+	sys, idx := testWorld(t)
+	svc := newTestService(t, idx)
+	bounds := []struct {
+		name            string
+		target, horizon int
+	}{
+		{"negative target", -1, tdHorizon},
+		{"target at r", sys.R(), tdHorizon},
+		{"target above r", sys.R() + 99, tdHorizon},
+		{"negative horizon", 0, -1},
+	}
+	endpoints := []struct {
+		name string
+		call func(target, horizon int) *service.Error
+	}{
+		{"select-seeds", func(target, horizon int) *service.Error {
+			req := selectReq("RS", "plurality", tdTheta)
+			req.Target, req.Horizon = target, horizon
+			_, serr := svc.SelectSeeds(req)
+			return serr
+		}},
+		{"evaluate", func(target, horizon int) *service.Error {
+			_, serr := svc.Evaluate(&service.EvaluateRequest{
+				Dataset: "world", Score: service.ScoreSpec{Name: "plurality"},
+				Target: target, Horizon: horizon,
+			})
+			return serr
+		}},
+		{"wins", func(target, horizon int) *service.Error {
+			_, serr := svc.Wins(&service.EvaluateRequest{
+				Dataset: "world", Score: service.ScoreSpec{Name: "plurality"},
+				Target: target, Horizon: horizon,
+			})
+			return serr
+		}},
+		{"min-seeds-to-win", func(target, horizon int) *service.Error {
+			_, serr := svc.MinSeedsToWin(&service.MinSeedsRequest{
+				Dataset: "world", Method: "DM", Score: service.ScoreSpec{Name: "plurality"},
+				Target: target, Horizon: horizon,
+			})
+			return serr
+		}},
+	}
+	for _, ep := range endpoints {
+		for _, tc := range bounds {
+			t.Run(ep.name+"/"+tc.name, func(t *testing.T) {
+				serr := ep.call(tc.target, tc.horizon)
+				if serr == nil {
+					t.Fatal("expected a validation error")
+				}
+				if serr.Code != service.CodeBadRequest {
+					t.Errorf("code = %s, want %s (%s)", serr.Code, service.CodeBadRequest, serr.Message)
+				}
+			})
+		}
+	}
+}
+
 // TestHTTPEndpoints exercises the transport: JSON handling, typed error
 // mapping, health, stats, and dataset listing.
 func TestHTTPEndpoints(t *testing.T) {

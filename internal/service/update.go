@@ -1,0 +1,177 @@
+package service
+
+import (
+	"time"
+
+	"ovm/internal/core"
+	"ovm/internal/dynamic"
+	"ovm/internal/rwalk"
+	"ovm/internal/serialize"
+	"ovm/internal/sketch"
+	"ovm/internal/voting"
+)
+
+// UpdateRequest applies one atomic mutation batch to a dataset.
+type UpdateRequest struct {
+	Dataset string `json:"dataset"`
+	// Ops is the batch: edge inserts/deletes/re-weights and internal
+	// opinion / stubbornness updates, applied together and renormalized
+	// once per touched destination.
+	Ops dynamic.Batch `json:"ops"`
+}
+
+// UpdateResponse reports the post-update dataset version and how much of
+// the precomputed index the incremental repair had to regenerate.
+type UpdateResponse struct {
+	// Epoch is the dataset version after this batch; every query response
+	// carries the epoch it was computed at.
+	Epoch int64 `json:"epoch"`
+	// NodesTouched counts the distinct nodes named by the batch's change
+	// set (mutated in-neighborhoods, stubbornness, or opinions).
+	NodesTouched int `json:"nodesTouched"`
+	// WalksInvalidated / WalksTotal cover the sketch and RW walk
+	// artifacts; RRSetsInvalidated / RRSetsTotal cover the RR collections.
+	WalksInvalidated  int     `json:"walksInvalidated"`
+	WalksTotal        int     `json:"walksTotal"`
+	RRSetsInvalidated int     `json:"rrSetsInvalidated"`
+	RRSetsTotal       int     `json:"rrSetsTotal"`
+	ElapsedMs         float64 `json:"elapsedMs"`
+}
+
+// ApplyUpdates applies one mutation batch to a registered dataset: the
+// system is delta-applied and every precomputed artifact is incrementally
+// repaired (regenerating only invalidated samples, each from its original
+// substream), so post-update answers are byte-identical to a full rebuild
+// of the mutated system at the same seed.
+//
+// The swap is atomic and versioned: in-flight queries finish on the
+// pre-update dataset (and report its epoch); queries arriving after the
+// swap see the new epoch. Response-cache entries are scoped per (dataset,
+// epoch) — the epoch is part of every cache key — so stale answers can
+// never be served after an update. Concurrent ApplyUpdates calls are
+// serialized; each successful batch bumps the epoch by exactly one. When a
+// persistence hook is configured (Config.OnUpdate), the batch is persisted
+// before the swap, so a crash never leaves the daemon ahead of its log.
+func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
+	start := time.Now()
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	ds, serr := s.dataset(req.Dataset)
+	if serr != nil {
+		return nil, serr
+	}
+	next, resp, serr := s.repairDataset(ds, req.Ops)
+	if serr != nil {
+		s.errorCount.Add(1)
+		return nil, serr
+	}
+	if s.cfg.OnUpdate != nil {
+		if err := s.cfg.OnUpdate(req.Dataset, req.Ops, next.epoch); err != nil {
+			s.errorCount.Add(1)
+			return nil, internalErr(err)
+		}
+	}
+	s.mu.Lock()
+	s.ds[req.Dataset] = next
+	s.mu.Unlock()
+	s.updates.Add(1)
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// ExportIndex snapshots a dataset's current state — the mutated system and
+// its incrementally repaired artifacts — as a self-contained index with an
+// empty update log and BaseEpoch set to the dataset's epoch. Reloading the
+// export resumes at the same epoch with the same bytes; ovmd uses it to
+// compact a grown update log (rebase artifacts, drop the replay cost).
+func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
+	ds, serr := s.dataset(name)
+	if serr != nil {
+		return nil, serr
+	}
+	idx := &serialize.Index{Sys: ds.sys, BaseEpoch: ds.epoch}
+	for _, a := range ds.sketches {
+		snap, err := a.set.Snapshot()
+		if err != nil {
+			return nil, internalErr(err)
+		}
+		idx.Sketches = append(idx.Sketches, &serialize.SketchArtifact{
+			Seed: a.seed, Target: a.target, Horizon: a.horizon, Theta: a.theta, Set: snap,
+		})
+	}
+	for _, a := range ds.walkSets {
+		snap, err := a.set.Snapshot()
+		if err != nil {
+			return nil, internalErr(err)
+		}
+		idx.Walks = append(idx.Walks, &serialize.WalkArtifact{
+			Seed: a.seed, Target: a.target, Horizon: a.horizon, Lambda: a.lambda, Set: snap,
+		})
+	}
+	for _, a := range ds.rrs {
+		snap, err := a.col.Snapshot()
+		if err != nil {
+			return nil, internalErr(err)
+		}
+		idx.RRs = append(idx.RRs, &serialize.RRArtifact{Seed: a.seed, Target: a.target, Sets: snap})
+	}
+	return idx, nil
+}
+
+// repairDataset applies one batch to a dataset snapshot and incrementally
+// repairs every artifact, returning the next (immutable) dataset version.
+// It holds no service locks: callers pass an immutable snapshot, so repair
+// work runs concurrently with query traffic.
+func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch) (*Dataset, *UpdateResponse, *Error) {
+	newSys, cs, err := dynamic.ApplySystem(ds.sys, batch)
+	if err != nil {
+		// Everything ApplySystem rejects is caused by the request content
+		// (schema violations, out-of-range ids, removing missing edges).
+		return nil, nil, badRequestf("%v", err)
+	}
+	par := s.cfg.Parallelism
+	n := newSys.N()
+	next := &Dataset{
+		name:  ds.name,
+		sys:   newSys,
+		epoch: ds.epoch + 1,
+		comp:  make(map[compKey][][]float64),
+	}
+	resp := &UpdateResponse{Epoch: next.epoch, NodesTouched: cs.NumTouched()}
+	for _, a := range ds.sketches {
+		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}}
+		set, st, err := sketch.RepairSet(prob, a.set, cs.WalkMask(n, a.target), a.seed, par)
+		if err != nil {
+			return nil, nil, internalErr(err)
+		}
+		resp.WalksInvalidated += st.WalksInvalidated
+		resp.WalksTotal += st.Walks
+		next.sketches = append(next.sketches, &sketchArtifact{
+			seed: a.seed, target: a.target, horizon: a.horizon, theta: a.theta, set: set,
+		})
+	}
+	for _, a := range ds.walkSets {
+		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}}
+		set, st, err := rwalk.RepairSet(prob, a.set, cs.WalkMask(n, a.target), a.seed, par)
+		if err != nil {
+			return nil, nil, internalErr(err)
+		}
+		resp.WalksInvalidated += st.WalksInvalidated
+		resp.WalksTotal += st.Walks
+		next.walkSets = append(next.walkSets, &walkArtifact{
+			seed: a.seed, target: a.target, horizon: a.horizon, lambda: a.lambda, set: set,
+		})
+	}
+	edgeMask := cs.EdgeMask(n)
+	for _, a := range ds.rrs {
+		col, st, err := a.col.Repair(newSys.Candidate(a.target).G, edgeMask)
+		if err != nil {
+			return nil, nil, internalErr(err)
+		}
+		col.EnsureIndex()
+		resp.RRSetsInvalidated += st.SetsInvalidated
+		resp.RRSetsTotal += st.Sets
+		next.rrs = append(next.rrs, &rrArtifact{seed: a.seed, target: a.target, col: col})
+	}
+	return next, resp, nil
+}

@@ -1,0 +1,117 @@
+package walks
+
+import (
+	"fmt"
+
+	"ovm/internal/engine"
+	"ovm/internal/graph"
+	"ovm/internal/sampling"
+)
+
+// RepairStats reports how much of a walk set an incremental repair had to
+// regenerate.
+type RepairStats struct {
+	// Owners / Walks are the set's totals.
+	Owners, Walks int
+	// OwnersInvalidated / WalksInvalidated count the regenerated portion.
+	OwnersInvalidated, WalksInvalidated int
+}
+
+// Repair incrementally rebuilds a pristine walk set after a graph mutation,
+// producing the set a full regeneration on the mutated graph would produce —
+// byte-identical — while only regenerating the owners whose walks could have
+// diverged.
+//
+// touched marks the mutated nodes: every node whose in-neighborhood
+// (sources or weights) or stubbornness changed. An owner is invalidated
+// when any node of any of its stored walks is touched; its walks are then
+// regenerated on the mutated graph from the owner's original substream
+// str.Sub(walkStream).At(owner) — the same stream a from-scratch Generate /
+// GenerateSampled consumes. Walks of untouched owners replay the identical
+// random draws on the mutated graph (every node they visit kept its
+// stubbornness and in-edge distribution bit-identical), so copying them
+// verbatim equals regenerating them.
+//
+// s and stub must describe the MUTATED graph; str must be the stream the
+// set was originally generated with. The owner grouping (and for sketch
+// sets, the sampled start multiset) depends only on (str, n), so it is
+// preserved as-is.
+func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, str sampling.Stream, parallelism int) (*Set, RepairStats, error) {
+	var stats RepairStats
+	g := s.Graph()
+	n := g.N()
+	if len(old.seeds) > 0 {
+		return nil, stats, fmt.Errorf("walks: cannot repair a set with %d seeds applied", len(old.seeds))
+	}
+	if old.g.N() != n {
+		return nil, stats, fmt.Errorf("walks: repair graph has %d nodes, set was generated over %d", n, old.g.N())
+	}
+	if len(stub) != n {
+		return nil, stats, fmt.Errorf("walks: stub has %d entries, want %d", len(stub), n)
+	}
+	if len(touched) != n {
+		return nil, stats, fmt.Errorf("walks: touched mask has %d entries, want %d", len(touched), n)
+	}
+	owners := old.ownerNodes
+	horizon := old.horizon
+	stats.Owners = len(owners)
+	stats.Walks = old.NumWalks()
+
+	// Phase 1: invalidation scan — an owner is dirty iff any stored walk of
+	// its group visits a touched node.
+	invalid := make([]bool, len(owners))
+	_ = engine.ForEachChunk(parallelism, len(owners), 64, 256, func(_, _, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			first, last := old.ownerOff[i], old.ownerOff[i+1]
+			for p := old.off[first]; p < old.off[last] && !invalid[i]; p++ {
+				if touched[old.nodes[p]] {
+					invalid[i] = true
+				}
+			}
+		}
+		return nil
+	})
+	for i := range invalid {
+		if invalid[i] {
+			stats.OwnersInvalidated++
+			stats.WalksInvalidated += int(old.ownerOff[i+1] - old.ownerOff[i])
+		}
+	}
+
+	// Phase 2: selective regeneration, sharded exactly like generateGrouped
+	// so the flat layout matches a full rebuild.
+	set := &Set{
+		g:          g,
+		horizon:    horizon,
+		ownerNodes: owners,
+		ownerOff:   old.ownerOff,
+		off:        make([]int32, 1, old.NumWalks()+1),
+		end:        make([]int32, 0, old.NumWalks()),
+		inSeed:     make([]bool, n),
+	}
+	walkStr := str.Sub(walkStream)
+	numShards := engine.NumShards(len(owners), 64, 256)
+	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (walkShard, error) {
+		lo, hi := engine.ShardRange(len(owners), numShards, sh)
+		var out walkShard
+		out.lens = make([]int32, 0, int(old.ownerOff[hi]-old.ownerOff[lo]))
+		for i := lo; i < hi; i++ {
+			first, last := old.ownerOff[i], old.ownerOff[i+1]
+			if invalid[i] {
+				v := owners[i]
+				out = appendOwnerWalks(s, stub, horizon, v, last-first, walkStr.At(uint64(v)), out)
+				continue
+			}
+			out.nodes = append(out.nodes, old.nodes[old.off[first]:old.off[last]]...)
+			for w := first; w < last; w++ {
+				out.lens = append(out.lens, old.off[w+1]-old.off[w])
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	set.foldShards(shards)
+	return set, stats, nil
+}

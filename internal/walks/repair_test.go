@@ -1,0 +1,164 @@
+package walks_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/sampling"
+	"ovm/internal/walks"
+)
+
+// repairWorld builds a random column-stochastic graph with per-node
+// stubbornness, applies a small mutation batch, and returns both versions
+// plus the touched-node mask (edge destinations and the stub-changed node).
+func repairWorld(t *testing.T, n int, seed int64) (g, ng *graph.Graph, stub, stub2 []float64, touched []bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	edges, err := graph.Gnp(n, 5.0/float64(n), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.FromEdgesColumnStochastic(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub = make([]float64, n)
+	for v := range stub {
+		stub[v] = 0.1 + 0.8*r.Float64()
+	}
+	deltas := []graph.Delta{
+		{Op: graph.DeltaAdd, From: 3, To: 17, W: 1},
+		{Op: graph.DeltaAdd, From: int32(n - 1), To: 4, W: 0.7},
+		{Op: graph.DeltaSet, From: 17, To: 30, W: 2},
+	}
+	var changed []int32
+	ng, changed, err = g.ApplyDeltas(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub2 = append([]float64(nil), stub...)
+	stub2[11] = 0.95
+	touched = make([]bool, n)
+	for _, v := range changed {
+		touched[v] = true
+	}
+	touched[11] = true
+	return g, ng, stub, stub2, touched
+}
+
+func snap(t *testing.T, set *walks.Set) *walks.Snapshot {
+	t.Helper()
+	s, err := set.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRepairMatchesFullRegeneration(t *testing.T) {
+	const n, horizon = 200, 12
+	g, ng, stub, stub2, touched := repairWorld(t, n, 7)
+	smp, err := graph.NewInEdgeSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp2, err := graph.NewInEdgeSampler(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := sampling.Stream{Seed: 9, ID: 101}
+	plan := make([]int32, n)
+	for v := range plan {
+		plan[v] = 8
+	}
+	old, err := walks.Generate(smp, stub, horizon, plan, str, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := walks.Generate(smp2, stub2, horizon, plan, str, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		repaired, stats, err := walks.Repair(old, smp2, stub2, touched, str, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap(t, repaired), snap(t, fresh)) {
+			t.Fatalf("P=%d: repaired set differs from full regeneration", par)
+		}
+		if stats.OwnersInvalidated == 0 || stats.OwnersInvalidated == stats.Owners {
+			t.Fatalf("P=%d: expected partial invalidation, got %d of %d owners", par, stats.OwnersInvalidated, stats.Owners)
+		}
+		if stats.Walks != old.NumWalks() {
+			t.Fatalf("P=%d: stats cover %d walks, want %d", par, stats.Walks, old.NumWalks())
+		}
+	}
+}
+
+func TestRepairSampledMatchesFullRegeneration(t *testing.T) {
+	const n, horizon, theta = 200, 10, 4000
+	g, ng, stub, stub2, touched := repairWorld(t, n, 8)
+	smp, err := graph.NewInEdgeSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp2, err := graph.NewInEdgeSampler(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := sampling.Stream{Seed: 21, ID: 211}
+	old, err := walks.GenerateSampled(smp, stub, horizon, theta, str, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := walks.GenerateSampled(smp2, stub2, horizon, theta, str, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, stats, err := walks.Repair(old, smp2, stub2, touched, str, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap(t, repaired), snap(t, fresh)) {
+		t.Fatal("repaired sketch set differs from full regeneration")
+	}
+	if stats.WalksInvalidated == 0 || stats.WalksInvalidated == stats.Walks {
+		t.Fatalf("expected partial invalidation, got %d of %d walks", stats.WalksInvalidated, stats.Walks)
+	}
+}
+
+func TestRepairRejectsSeededAndMismatchedInputs(t *testing.T) {
+	const n = 50
+	g, ng, stub, stub2, touched := repairWorld(t, n, 9)
+	smp, err := graph.NewInEdgeSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp2, err := graph.NewInEdgeSampler(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := sampling.Stream{Seed: 1, ID: 101}
+	plan := make([]int32, n)
+	for v := range plan {
+		plan[v] = 2
+	}
+	set, err := walks.Generate(smp, stub, 6, plan, str, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := set.Clone()
+	seeded.AddSeed(0, 1)
+	if _, _, err := walks.Repair(seeded, smp2, stub2, touched, str, 1); err == nil {
+		t.Fatal("repair of a seeded set must fail")
+	}
+	if _, _, err := walks.Repair(set, smp2, stub2[:n-1], touched, str, 1); err == nil {
+		t.Fatal("repair with short stub must fail")
+	}
+	if _, _, err := walks.Repair(set, smp2, stub2, touched[:n-1], str, 1); err == nil {
+		t.Fatal("repair with short touched mask must fail")
+	}
+}

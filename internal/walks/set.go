@@ -118,6 +118,49 @@ func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int,
 	return generateGrouped(s, stub, horizon, owners, counts, theta, str, parallelism)
 }
 
+// walkShard is one shard's locally-buffered generation output: concatenated
+// walk sequences plus per-walk lengths, in walk order.
+type walkShard struct {
+	nodes []int32
+	lens  []int32
+}
+
+// appendOwnerWalks generates count walks starting at v, drawing every random
+// number from rng (the owner's private substream), and appends the node
+// sequences and per-walk lengths to the shard buffers. This loop is THE
+// definition of an owner's walks: Generate, GenerateSampled, and Repair all
+// route through it, which is what makes selective regeneration byte-identical
+// to full regeneration.
+func appendOwnerWalks(s *graph.InEdgeSampler, stub []float64, horizon int, v int32, count int32, rng sampling.Source, out walkShard) walkShard {
+	for j := int32(0); j < count; j++ {
+		startLen := len(out.nodes)
+		out.nodes = append(out.nodes, v)
+		cur := v
+		for step := 0; step < horizon; step++ {
+			if rng.Float64() < stub[cur] {
+				break
+			}
+			cur = s.Sample(cur, rng)
+			out.nodes = append(out.nodes, cur)
+		}
+		out.lens = append(out.lens, int32(len(out.nodes)-startLen))
+	}
+	return out
+}
+
+// foldShards concatenates per-shard outputs into the set's flat arrays in
+// ascending shard order, deriving walk offsets and pristine end pointers.
+func (set *Set) foldShards(shards []walkShard) {
+	for _, sh := range shards {
+		for _, l := range sh.lens {
+			pos := set.off[len(set.off)-1]
+			set.end = append(set.end, pos+l-1)
+			set.off = append(set.off, pos+l)
+		}
+		set.nodes = append(set.nodes, sh.nodes...)
+	}
+}
+
 // generateGrouped runs the sharded walk generation common to Generate and
 // GenerateSampled: owners (ascending, with per-owner walk counts) are cut
 // into contiguous shards, each shard generates its owners' walks into local
@@ -139,47 +182,23 @@ func generateGrouped(s *graph.InEdgeSampler, stub []float64, horizon int, owners
 	}
 	walkStr := str.Sub(walkStream)
 
-	type shardOut struct {
-		nodes []int32 // concatenated walk sequences of this shard
-		lens  []int32 // per-walk lengths, in walk order
-	}
 	numShards := engine.NumShards(len(owners), 64, 256)
-	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (shardOut, error) {
+	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (walkShard, error) {
 		lo, hi := engine.ShardRange(len(owners), numShards, sh)
-		var out shardOut
+		var out walkShard
 		walkCount := int(set.ownerOff[hi] - set.ownerOff[lo])
 		out.lens = make([]int32, 0, walkCount)
 		out.nodes = make([]int32, 0, walkCount*(horizon+1)/2+1)
 		for i := lo; i < hi; i++ {
 			v := owners[i]
-			rng := walkStr.At(uint64(v))
-			for j := int32(0); j < counts[i]; j++ {
-				startLen := len(out.nodes)
-				out.nodes = append(out.nodes, v)
-				cur := v
-				for step := 0; step < horizon; step++ {
-					if rng.Float64() < stub[cur] {
-						break
-					}
-					cur = s.Sample(cur, rng)
-					out.nodes = append(out.nodes, cur)
-				}
-				out.lens = append(out.lens, int32(len(out.nodes)-startLen))
-			}
+			out = appendOwnerWalks(s, stub, horizon, v, counts[i], walkStr.At(uint64(v)), out)
 		}
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, sh := range shards {
-		for _, l := range sh.lens {
-			pos := set.off[len(set.off)-1]
-			set.end = append(set.end, pos+l-1)
-			set.off = append(set.off, pos+l)
-		}
-		set.nodes = append(set.nodes, sh.nodes...)
-	}
+	set.foldShards(shards)
 	return set, nil
 }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Record the benchmark trajectory: run the smoke benchmarks and dump the
+# parsed results to BENCH_<sha>.json, one file per commit, so the repo's
+# perf history accumulates and regressions are diffable.
+#
+#   ./scripts/bench_record.sh            # sha from git HEAD
+#   ./scripts/bench_record.sh <sha>      # explicit sha (CI passes GITHUB_SHA)
+#
+# Knobs: BENCH_RE (benchmark regex), BENCHTIME (go -benchtime, default 1x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sha="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
+out="BENCH_${sha}.json"
+bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkServiceQuery|BenchmarkIncrementalUpdate}"
+benchtime="${BENCHTIME:-1x}"
+
+raw=$(go test -bench "$bench_re" -benchtime "$benchtime" -run '^$' .)
+
+{
+  printf '{\n'
+  printf '  "sha": "%s",\n' "$sha"
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "results": [\n'
+  awk '
+    /^Benchmark/ {
+      if (seen) printf ",\n"
+      seen = 1
+      printf "    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2
+      first = 1
+      for (i = 3; i < NF; i += 2) {
+        if (!first) printf ","
+        first = 0
+        printf "\"%s\":%s", $(i+1), $i
+      }
+      printf "}}"
+    }
+    END { if (seen) printf "\n" }
+  ' <<<"$raw"
+  printf '  ]\n'
+  printf '}\n'
+} >"$out"
+
+echo "wrote $out:"
+cat "$out"

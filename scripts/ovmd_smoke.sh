@@ -6,7 +6,11 @@
 #   4. /healthz answers, a select-seeds query over HTTP returns exactly the
 #      seeds the direct CLI (ovm -theta) computes, and a repeat of the same
 #      query is served from the cache;
-#   5. SIGTERM drains the daemon gracefully (exit code 0).
+#   5. a dynamic-update batch POSTed to /v1/datasets/default/updates bumps
+#      the epoch, the post-update HTTP seeds equal a fresh CLI run on the
+#      mutated graph (ovm -updates), and the index file is rewritten as
+#      OVMIDX v2 with the persisted update log;
+#   6. SIGTERM drains the daemon gracefully (exit code 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +67,35 @@ echo "   repeat query served from cache"
 
 curl -sf "$base/stats" | grep -q '"cacheHits":1' || { echo "FAIL: /stats cache hit count"; exit 1; }
 echo "   /stats ok"
+
+echo "== applying a dynamic-update batch"
+ops='[{"op":"add_edge","from":1,"to":2,"w":1},{"op":"add_edge","from":299,"to":5,"w":0.5},{"op":"set_weight","from":10,"to":11,"w":2},{"op":"set_opinion","candidate":0,"node":7,"value":0.9},{"op":"set_stubbornness","candidate":0,"node":8,"value":0.2}]'
+printf '%s\n' "$ops" >"$workdir/updates.jsonl"
+upd=$(curl -sf -X POST "$base/v1/datasets/default/updates" -H 'Content-Type: application/json' \
+  -d "{\"ops\":$ops}")
+echo "   update response: $upd"
+grep -q '"epoch":1' <<<"$upd" || { echo "FAIL: update did not bump the epoch to 1"; exit 1; }
+echo "   epoch bumped to 1"
+
+echo "== computing expected post-update seeds with the CLI on the mutated graph"
+mut_out=$("$workdir/ovm" -load "$workdir/smoke.system" -updates "$workdir/updates.jsonl" \
+  -method RS -score plurality -k 5 -t 10 -target 0 -seed 7 -theta 2048)
+mut_expected=$(sed -n 's/^seeds ([0-9]* total): \[\([0-9 ]*\)\].*/\1/p' <<<"$mut_out")
+[[ -n "$mut_expected" ]] || { echo "FAIL: could not parse mutated-CLI seeds"; exit 1; }
+echo "   expected post-update seeds: $mut_expected"
+
+resp3=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+got3=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$resp3" | tr ',' ' ')
+[[ "$got3" == "$mut_expected" ]] || { echo "FAIL: post-update daemon seeds ($got3) != mutated-CLI seeds ($mut_expected)"; exit 1; }
+grep -q '"epoch":1' <<<"$resp3" || { echo "FAIL: post-update response epoch"; exit 1; }
+grep -q '"cached":false' <<<"$resp3" || { echo "FAIL: post-update query served stale cache entry"; exit 1; }
+grep -q '"fromIndex":true' <<<"$resp3" || { echo "FAIL: post-update query did not use the repaired index"; exit 1; }
+echo "   post-update seeds match a fresh CLI run on the mutated graph (repaired index, epoch 1)"
+
+version_bytes=$(head -c 10 "$workdir/smoke.ovmidx" | od -An -tu1 | tr -s ' ' | sed 's/^ //;s/ $//')
+[[ "$version_bytes" == "79 86 77 73 68 88 2 0 0 0" ]] \
+  || { echo "FAIL: index file was not rewritten as OVMIDX v2 (header bytes: $version_bytes)"; exit 1; }
+echo "   index file persisted as OVMIDX v2 (update log appended)"
 
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"

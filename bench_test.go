@@ -11,10 +11,14 @@ import (
 	"testing"
 	"time"
 
+	"ovm/internal/core"
 	"ovm/internal/datasets"
 	"ovm/internal/dynamic"
 	"ovm/internal/experiments"
+	"ovm/internal/rwalk"
 	"ovm/internal/service"
+	"ovm/internal/voting"
+	"ovm/internal/walks"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -182,6 +186,110 @@ func BenchmarkServiceQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSelection measures the per-round cost of the greedy selection
+// loop on the 12k-node sweep graph for all five voting scores, incremental
+// postings-index path (timed) against the retained full-scan reference
+// (one untimed run per score, reported as the speedup_x baseline). Each
+// sub-benchmark also self-checks the determinism contract — the incremental
+// path at parallelism 1/4/0 must produce bit-identical seeds and gains to
+// the full scan — and reports determinism_ok=1 only when it holds, so the
+// recorded BENCH_<sha>.json carries both the speedup and the equivalence
+// evidence (CI fails if either metric is missing).
+func BenchmarkSelection(b *testing.B) {
+	const (
+		horizon = 10
+		seed    = int64(42)
+		k       = 50
+		lambda  = 25
+	)
+	d, err := datasets.TwitterDistancingLike(datasets.Options{N: 12000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &core.Problem{Sys: d.Sys, Target: d.DefaultTarget, Horizon: horizon, K: k, Score: voting.Cumulative{}}
+	n := d.Sys.N()
+	plan := make([]int32, n)
+	for i := range plan {
+		plan[i] = lambda
+	}
+	base, err := rwalk.GenerateSet(prob, plan, seed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.EnsureIndex() // clones share the index; its build cost is not part of a round
+	comp := core.CompetitorOpinions(d.Sys, d.DefaultTarget, horizon, 0)
+	init := d.Sys.Candidate(d.DefaultTarget).Init
+	newEst := func(b *testing.B, par int) *walks.Estimator {
+		b.Helper()
+		est, err := walks.NewEstimator(base.Clone(), d.DefaultTarget, init, comp, walks.UniformOwnerWeights(base), par)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+	scores := []voting.Score{
+		voting.Cumulative{},
+		voting.Plurality{},
+		voting.PApproval{P: 2},
+		voting.Positional{P: 2, Omega: []float64{1, 0.5}},
+		voting.Copeland{},
+	}
+	for _, score := range scores {
+		b.Run(score.Name(), func(b *testing.B) {
+			// One untimed full-scan reference run: the old per-round cost and
+			// the ground truth for the determinism self-check.
+			ref := newEst(b, 0)
+			ref.UseFullScan(true)
+			refStart := time.Now()
+			refRes, err := ref.SelectGreedy(k, score)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refDur := time.Since(refStart)
+			mustMatch := func(res *core.GreedyResult, par int) {
+				b.Helper()
+				for i := range refRes.Seeds {
+					if refRes.Seeds[i] != res.Seeds[i] || refRes.Gains[i] != res.Gains[i] {
+						b.Fatalf("P=%d round %d: (seed, gain) = (%d, %v), full-scan reference (%d, %v)",
+							par, i, res.Seeds[i], res.Gains[i], refRes.Seeds[i], refRes.Gains[i])
+					}
+				}
+				if refRes.Value != res.Value {
+					b.Fatalf("P=%d: value %v, full-scan reference %v", par, res.Value, refRes.Value)
+				}
+			}
+			for _, par := range []int{1, 4} {
+				res, err := newEst(b, par).SelectGreedy(k, score)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mustMatch(res, par)
+			}
+			b.ResetTimer()
+			var newDur time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				est := newEst(b, 0)
+				b.StartTimer()
+				start := time.Now()
+				res, err := est.SelectGreedy(k, score)
+				newDur += time.Since(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				mustMatch(res, 0)
+				b.StartTimer()
+			}
+			perRound := float64(newDur.Nanoseconds()) / float64(b.N) / k
+			b.ReportMetric(perRound, "ns/round")
+			b.ReportMetric(float64(refDur.Nanoseconds())/k, "ns/round_fullscan")
+			b.ReportMetric(float64(refDur.Nanoseconds())/(float64(newDur.Nanoseconds())/float64(b.N)), "speedup_x")
+			b.ReportMetric(1, "determinism_ok")
+		})
+	}
 }
 
 // BenchmarkIncrementalUpdate measures the dynamic-update path on the

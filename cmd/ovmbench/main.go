@@ -10,12 +10,20 @@
 //	ovmbench -all -quick
 //	ovmbench -exp parallel-scaling            # sweep engine worker counts
 //	ovmbench -all -parallel 1                 # force serial hot paths
+//	ovmbench -exp fig17 -cpuprofile cpu.pprof # profile a hot path
+//	ovmbench -exp fig17 -memprofile mem.pprof # heap profile at exit
+//
+// Profiles are standard pprof files: inspect them with
+// `go tool pprof cpu.pprof` (top, list <func>, web). Perf PRs should attach
+// profiles recorded this way as evidence.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ovm/internal/cliutil"
@@ -23,14 +31,20 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list)")
-		all      = flag.Bool("all", false, "run every experiment in paper order")
-		quick    = flag.Bool("quick", false, "smoke-test sizes")
-		scale    = flag.Float64("scale", 1, "node-count multiplier")
-		seed     = flag.Int64("seed", 42, "random seed")
-		parallel = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); results are identical, only wall times change")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id (see -list)")
+		all        = flag.Bool("all", false, "run every experiment in paper order")
+		quick      = flag.Bool("quick", false, "smoke-test sizes")
+		scale      = flag.Float64("scale", 1, "node-count multiplier")
+		seed       = flag.Int64("seed", 42, "random seed")
+		parallel   = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); results are identical, only wall times change")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -41,33 +55,71 @@ func main() {
 		for _, id := range experiments.Order {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ovmbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ovmbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ovmbench: -cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ovmbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ovmbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	params := experiments.Params{Quick: *quick, Scale: *scale, Seed: *seed, Parallelism: *parallel}
-	run := func(id string) {
+	runOne := func(id string) bool {
 		r, ok := experiments.Registry[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ovmbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
+			return false
 		}
 		start := time.Now()
 		if err := r(os.Stdout, params); err != nil {
 			fmt.Fprintf(os.Stderr, "ovmbench: %s failed: %v\n", id, err)
-			os.Exit(1)
+			return false
 		}
 		fmt.Printf("[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+		return true
 	}
 	switch {
 	case *all:
 		for _, id := range experiments.Order {
-			run(id)
+			if !runOne(id) {
+				return 1
+			}
 		}
 	case *exp != "":
-		run(*exp)
+		if !runOne(*exp) {
+			return 1
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "ovmbench: pass -exp <id>, -all, or -list")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func checkFlag(ok bool, format string, args ...any) {

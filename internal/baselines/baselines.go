@@ -10,7 +10,7 @@ package baselines
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ovm/internal/core"
 	"ovm/internal/graph"
@@ -224,11 +224,14 @@ func TopK(scores []float64, k int) []int32 {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
+	slices.SortFunc(idx, func(a, b int32) int {
+		switch {
+		case scores[a] > scores[b]:
+			return -1
+		case scores[a] < scores[b]:
+			return 1
 		}
-		return idx[a] < idx[b]
+		return int(a) - int(b)
 	})
 	if k > len(idx) {
 		k = len(idx)

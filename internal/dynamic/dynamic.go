@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"ovm/internal/graph"
 	"ovm/internal/opinion"
@@ -227,7 +227,7 @@ func ApplySystem(sys *opinion.System, b Batch) (*opinion.System, *ChangeSet, err
 		for v := range uniq {
 			nodes = append(nodes, v)
 		}
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		slices.Sort(nodes)
 		return nodes
 	}
 	applyEdits := func(vec []float64, edits []vecEdit) []float64 {

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"ovm/internal/baselines"
@@ -213,6 +213,6 @@ func header(w io.Writer, title string) {
 // sortedCopy returns a sorted copy of xs.
 func sortedCopy(xs []int32) []int32 {
 	out := append([]int32(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates edges and assembles an immutable Graph.
@@ -106,11 +106,11 @@ func mergeParallel(edges []Edge) []Edge {
 	}
 	es := make([]Edge, len(edges))
 	copy(es, edges)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].From != es[j].From {
-			return es[i].From < es[j].From
+	slices.SortFunc(es, func(a, b Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		return es[i].To < es[j].To
+		return int(a.To) - int(b.To)
 	})
 	out := es[:1]
 	for _, e := range es[1:] {

@@ -3,7 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // DeltaOp names one kind of edge mutation applied by ApplyDeltas.
@@ -69,7 +69,7 @@ func (g *Graph) ApplyDeltas(deltas []Delta) (*Graph, []int32, error) {
 	for v := range byCol {
 		changed = append(changed, v)
 	}
-	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	slices.Sort(changed)
 
 	type inEdge struct {
 		src int32
@@ -124,7 +124,7 @@ func (g *Graph) ApplyDeltas(deltas []Delta) (*Graph, []int32, error) {
 				col[i].w /= sum
 			}
 		}
-		sort.Slice(col, func(i, j int) bool { return col[i].src < col[j].src })
+		slices.SortFunc(col, func(a, b inEdge) int { return int(a.src) - int(b.src) })
 		newCols[v] = col
 	}
 

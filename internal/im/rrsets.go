@@ -3,6 +3,7 @@ package im
 import (
 	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/postings"
 	"ovm/internal/sampling"
 )
 
@@ -179,25 +180,11 @@ func (c *RRCollection) buildIndex() {
 	if c.indexed == c.NumSets() {
 		return
 	}
-	n := c.g.N()
-	counts := make([]int32, n+1)
-	for _, v := range c.nodes {
-		counts[v+1]++
-	}
-	for v := 0; v < n; v++ {
-		counts[v+1] += counts[v]
-	}
-	c.idxOff = counts
-	c.idxNodes = make([]int32, len(c.nodes))
-	cursor := make([]int32, n)
-	copy(cursor, c.idxOff[:n])
-	for s := 0; s < c.NumSets(); s++ {
-		for i := c.off[s]; i < c.off[s+1]; i++ {
-			v := c.nodes[i]
-			c.idxNodes[cursor[v]] = int32(s)
-			cursor[v]++
-		}
-	}
+	// RR-set members are already distinct within a set (the samplers dedup
+	// via the visited mask), so no first-occurrence pass is needed.
+	csr := postings.Build(c.g.N(), c.off, c.nodes, false)
+	c.idxOff = csr.Off
+	c.idxNodes = csr.Item
 	c.indexed = c.NumSets()
 }
 

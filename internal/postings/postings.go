@@ -1,0 +1,79 @@
+// Package postings builds member → item inverted indexes (CSR postings
+// lists) over flat item → member layouts with one counting-sort pass: count
+// occurrences per member, prefix-sum into offsets, then fill in item order
+// so every member's postings come out sorted by item id for free.
+//
+// It is the shared indexing substrate of the selection engines: im uses it
+// for the node → RR-set index behind GreedyCover, walks uses it (with
+// first-occurrence dedup) for the node → walk index behind incremental
+// greedy truncation.
+package postings
+
+// CSR is a member → item inverted index in compressed sparse row form:
+// member v's postings are Item[Off[v]:Off[v+1]], ascending by item id.
+// When built with first-occurrence dedup, Pos[p] is the posting's occurrence
+// position relative to its item's start (the member's first offset within
+// that item) — relative so a posting stays valid when items before its item
+// grow or shrink; otherwise Pos is nil and every occurrence has a posting.
+type CSR struct {
+	Off  []int32
+	Item []int32
+	Pos  []int32
+}
+
+// Build inverts a flat layout of numItems = len(off)-1 items, where item i
+// holds members[off[i]:off[i+1]], into a member → item CSR over the member
+// universe [0, n). With dedupFirst, a member occurring several times inside
+// one item yields a single posting carrying its first occurrence's absolute
+// position; without, every occurrence yields a posting and Pos is nil.
+func Build(n int, off, members []int32, dedupFirst bool) CSR {
+	numItems := len(off) - 1
+	counts := make([]int32, n+1)
+	var stamp []int32 // per-member item marker: i+1 in the count pass, -(i+1) in the fill pass
+	if dedupFirst {
+		stamp = make([]int32, n)
+		for i := 0; i < numItems; i++ {
+			m := int32(i + 1)
+			for j := off[i]; j < off[i+1]; j++ {
+				v := members[j]
+				if stamp[v] == m {
+					continue
+				}
+				stamp[v] = m
+				counts[v+1]++
+			}
+		}
+	} else {
+		for _, v := range members {
+			counts[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	csr := CSR{Off: counts, Item: make([]int32, counts[n])}
+	if dedupFirst {
+		csr.Pos = make([]int32, counts[n])
+	}
+	cursor := make([]int32, n)
+	copy(cursor, counts[:n])
+	for i := 0; i < numItems; i++ {
+		m := int32(-(i + 1))
+		for j := off[i]; j < off[i+1]; j++ {
+			v := members[j]
+			if dedupFirst {
+				if stamp[v] == m {
+					continue
+				}
+				stamp[v] = m
+			}
+			p := cursor[v]
+			cursor[v]++
+			csr.Item[p] = int32(i)
+			if csr.Pos != nil {
+				csr.Pos[p] = j - off[i]
+			}
+		}
+	}
+	return csr
+}

@@ -21,6 +21,7 @@ package service
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -210,6 +211,10 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		if set.NumWalks() != a.Theta {
 			return badRequestf("sketch artifact %d stores %d walks, want theta=%d", i, set.NumWalks(), a.Theta)
 		}
+		// Index once at load time: every per-query Clone shares the postings
+		// index, so indexed queries ride the incremental greedy path without
+		// paying a per-query index build.
+		set.EnsureIndex()
 		ds.sketches = append(ds.sketches, &sketchArtifact{
 			seed: a.Seed, target: a.Target, horizon: a.Horizon, theta: a.Theta, set: set,
 		})
@@ -222,6 +227,7 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		if set.NumWalks() != a.Lambda*idx.Sys.N() {
 			return badRequestf("walk artifact %d stores %d walks, want lambda×n=%d", i, set.NumWalks(), a.Lambda*idx.Sys.N())
 		}
+		set.EnsureIndex()
 		ds.walkSets = append(ds.walkSets, &walkArtifact{
 			seed: a.Seed, target: a.Target, horizon: a.Horizon, lambda: a.Lambda, set: set,
 		})
@@ -531,7 +537,7 @@ func (s *Service) cachedQuery(key string, compute func() (any, error)) (any, boo
 
 func seedsKey(seeds []int32) string {
 	sorted := append([]int32(nil), seeds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var sb strings.Builder
 	for i, v := range sorted {
 		if i > 0 {

@@ -14,11 +14,15 @@
 // truncated estimate remains unbiased, so the same walk set serves every
 // round of the greedy algorithm.
 //
-// The package stores walks in flat arrays grouped by start node ("owner"),
-// maintains per-owner opinion estimates, and implements the one-scan
-// marginal-gain computation that gives Algorithm 4 its O(k·t·Σλ_v) seed
-// selection cost — including the rank-based extensions needed by the
-// plurality family and the Copeland score.
+// The package stores walks in flat arrays grouped by start node ("owner")
+// plus a node → walk postings index (EnsureIndex), maintains per-owner
+// opinion estimates, and implements incremental greedy selection: a seed
+// truncates only the walks in its postings, and marginal gains are cached
+// and re-derived only along the affected walks, so a selection round costs
+// O(elements on the chosen seed's walks) instead of the full O(t·Σλ_v)
+// rescan — including the rank-based extensions needed by the plurality
+// family and the Copeland score. The pre-index full-scan loop is retained
+// behind Estimator.UseFullScan as the equivalence reference.
 //
 // Generation, truncation, estimate refresh, and the gain scans all run on
 // the internal/engine worker pool. Each owner draws from its own

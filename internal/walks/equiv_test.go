@@ -1,0 +1,285 @@
+package walks_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/opinion"
+	"ovm/internal/sampling"
+	"ovm/internal/voting"
+	"ovm/internal/walks"
+)
+
+// equivWorld builds a random multi-candidate system plus a walk-set factory
+// (RW-style per-node plans or RS-style sampled sketches) so identical
+// copies can be re-created for side-by-side selection runs.
+type equivWorld struct {
+	n       int
+	horizon int
+	target  int
+	init    []float64
+	comp    [][]float64
+	makeSet func() *walks.Set
+	weights func(*walks.Set) []float64
+}
+
+func newEquivWorld(t *testing.T, seed int64, n int, sketch bool) *equivWorld {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), r.Float64()+0.05)
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCand := 2 + r.Intn(2)
+	inits := make([][]float64, rCand)
+	stubs := make([][]float64, rCand)
+	for q := 0; q < rCand; q++ {
+		inits[q] = make([]float64, n)
+		stubs[q] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			inits[q][v] = r.Float64()
+			stubs[q][v] = 0.05 + 0.9*r.Float64()
+		}
+	}
+	horizon := 3 + r.Intn(4)
+	cands := make([]*opinion.Candidate, rCand)
+	for q := 0; q < rCand; q++ {
+		cands[q] = &opinion.Candidate{Name: string(rune('a' + q)), G: g, Init: inits[q], Stub: stubs[q]}
+	}
+	sys, err := opinion.NewSystem(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := make([][]float64, rCand)
+	for q := 1; q < rCand; q++ {
+		comp[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
+	}
+	w := &equivWorld{n: n, horizon: horizon, target: 0, init: inits[0], comp: comp}
+	smp, err := graph.NewInEdgeSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sketch {
+		theta := 4 * n
+		w.makeSet = func() *walks.Set {
+			set, err := walks.GenerateSampled(smp, stubs[0], horizon, theta, sampling.Stream{Seed: seed, ID: 88}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return set
+		}
+		w.weights = func(set *walks.Set) []float64 { return walks.SketchOwnerWeights(set, theta) }
+	} else {
+		plan := make([]int32, n)
+		for i := range plan {
+			plan[i] = 20
+		}
+		w.makeSet = func() *walks.Set {
+			set, err := walks.Generate(smp, stubs[0], horizon, plan, sampling.Stream{Seed: seed, ID: 77}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return set
+		}
+		w.weights = func(set *walks.Set) []float64 { return walks.UniformOwnerWeights(set) }
+	}
+	return w
+}
+
+func (w *equivWorld) estimator(t *testing.T, parallelism int) *walks.Estimator {
+	t.Helper()
+	set := w.makeSet()
+	est, err := walks.NewEstimator(set, w.target, w.init, w.comp, w.weights(set), parallelism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+var equivScores = []voting.Score{
+	voting.Cumulative{},
+	voting.Plurality{},
+	voting.PApproval{P: 2},
+	voting.Positional{P: 2, Omega: []float64{1, 0.5}},
+	voting.Copeland{},
+}
+
+// requireSameRun asserts bit-identical selection output: seeds, per-round
+// gains, final estimated value, and the post-selection estimated score of
+// every score kind (the estimates and ± counters feed future queries too).
+func requireSameRun(t *testing.T, label string, ref, got *walks.Estimator,
+	refSeeds, gotSeeds []int32, refGains, gotGains []float64, refValue, gotValue float64) {
+	t.Helper()
+	if len(refSeeds) != len(gotSeeds) {
+		t.Fatalf("%s: seed count %d != %d", label, len(gotSeeds), len(refSeeds))
+	}
+	for i := range refSeeds {
+		if refSeeds[i] != gotSeeds[i] {
+			t.Fatalf("%s: seed[%d] = %d, reference %d", label, i, gotSeeds[i], refSeeds[i])
+		}
+		if refGains[i] != gotGains[i] {
+			t.Fatalf("%s: gain[%d] = %v, reference %v (not bit-identical)", label, i, gotGains[i], refGains[i])
+		}
+	}
+	if refValue != gotValue {
+		t.Fatalf("%s: value %v, reference %v", label, gotValue, refValue)
+	}
+	for _, sc := range equivScores {
+		rv, err := ref.EstimatedScore(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, err := got.EstimatedScore(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rv != gv {
+			t.Fatalf("%s: post-selection %s score %v, reference %v", label, sc.Name(), gv, rv)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullScan is the tentpole equivalence gate: for
+// every score kind, both owner-weight schemes (RW uniform, RS sketch), and
+// parallelism 1/4/0, the incremental postings-index selection must produce
+// bit-identical seeds, gains, and scores to the retained full-scan
+// reference.
+func TestIncrementalMatchesFullScan(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		for _, sketch := range []bool{false, true} {
+			world := newEquivWorld(t, seed, 40, sketch)
+			for _, score := range equivScores {
+				ref := world.estimator(t, 1)
+				ref.UseFullScan(true)
+				refRes, err := ref.SelectGreedy(8, score)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 4, 0} {
+					est := world.estimator(t, par)
+					res, err := est.SelectGreedy(8, score)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := score.Name()
+					if sketch {
+						label += "/sketch"
+					}
+					requireSameRun(t, label, ref, est,
+						refRes.Seeds, res.Seeds, refRes.Gains, res.Gains, refRes.Value, res.Value)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalCachesAcrossRuns exercises the cross-run cache reuse the
+// γ* pilot heuristic depends on (repeated SelectGreedy calls on one
+// estimator), including switching score kinds between runs, against a
+// reference that replays the same call sequence through the full scan.
+func TestIncrementalCachesAcrossRuns(t *testing.T) {
+	sequences := [][]voting.Score{
+		{voting.Cumulative{}, voting.Cumulative{}, voting.Cumulative{}},
+		{voting.Cumulative{}, voting.Plurality{}, voting.Copeland{}},
+		{voting.Plurality{}, voting.PApproval{P: 2}, voting.Cumulative{}},
+	}
+	for _, seq := range sequences {
+		world := newEquivWorld(t, 7, 30, false)
+		ref := world.estimator(t, 1)
+		ref.UseFullScan(true)
+		est := world.estimator(t, 4)
+		for step, score := range seq {
+			refRes, err := ref.SelectGreedy(2, score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := est.SelectGreedy(2, score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, score.Name(), ref, est,
+				refRes.Seeds, res.Seeds, refRes.Gains, res.Gains, refRes.Value, res.Value)
+			_ = step
+		}
+	}
+}
+
+// TestFullScanModeFlip flips one estimator between reference and indexed
+// mode across SelectGreedy runs: reference rounds skip the incremental
+// bookkeeping entirely, so the indexed rounds that follow must detect the
+// stale state and resynchronize before reusing any cache.
+func TestFullScanModeFlip(t *testing.T) {
+	for _, score := range []voting.Score{voting.Cumulative{}, voting.Plurality{}, voting.Copeland{}} {
+		world := newEquivWorld(t, 23, 30, false)
+		ref := world.estimator(t, 1)
+		ref.UseFullScan(true)
+		flip := world.estimator(t, 1)
+		for step := 0; step < 4; step++ {
+			flip.UseFullScan(step%2 == 0) // full-scan, indexed, full-scan, indexed
+			refRes, err := ref.SelectGreedy(2, score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := flip.SelectGreedy(2, score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, score.Name(), ref, flip,
+				refRes.Seeds, res.Seeds, refRes.Gains, res.Gains, refRes.Value, res.Value)
+		}
+	}
+}
+
+// TestIndexedAddSeedMatchesScan pins the Set-level contract: index-backed
+// truncation must leave every walk's end pointer exactly where the sharded
+// full scan leaves it, seed after seed, including re-truncations of already
+// dead walks and no-op re-adds.
+func TestIndexedAddSeedMatchesScan(t *testing.T) {
+	world := newEquivWorld(t, 11, 35, false)
+	plain := world.makeSet()
+	indexed := world.makeSet()
+	indexed.EnsureIndex()
+	if !indexed.HasIndex() || plain.HasIndex() {
+		t.Fatal("index setup: want exactly one indexed set")
+	}
+	r := rand.New(rand.NewSource(5))
+	for step := 0; step < 12; step++ {
+		u := int32(r.Intn(world.n))
+		plain.AddSeed(u, 1)
+		indexed.AddSeed(u, 1)
+		if plain.NumWalks() != indexed.NumWalks() {
+			t.Fatal("walk counts diverged")
+		}
+		for w := 0; w < plain.NumWalks(); w++ {
+			a, b := plain.WalkNodes(w), indexed.WalkNodes(w)
+			if len(a) != len(b) {
+				t.Fatalf("step %d seed %d: walk %d truncated to %d nodes, scan reference %d", step, u, w, len(b), len(a))
+			}
+		}
+	}
+	if len(plain.Seeds()) != len(indexed.Seeds()) {
+		t.Fatal("seed lists diverged")
+	}
+}
+
+// TestBytesUsedCountsIndex pins the BytesUsed fix: building the postings
+// index and applying seeds must both be visible in the reported footprint.
+func TestBytesUsedCountsIndex(t *testing.T) {
+	world := newEquivWorld(t, 13, 20, false)
+	set := world.makeSet()
+	base := set.BytesUsed()
+	set.EnsureIndex()
+	withIdx := set.BytesUsed()
+	if withIdx <= base {
+		t.Fatalf("BytesUsed ignores the postings index: %d <= %d", withIdx, base)
+	}
+	set.AddSeed(3, 1)
+	if set.BytesUsed() <= withIdx {
+		t.Fatalf("BytesUsed ignores the seeds slice: %d <= %d", set.BytesUsed(), withIdx)
+	}
+}

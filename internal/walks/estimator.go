@@ -53,6 +53,44 @@ type Estimator struct {
 	plus, minus []float64
 	cpPlus      [][]float64 // per-worker scratch copies of plus
 	cpMinus     [][]float64 // per-worker scratch copies of minus
+
+	// Incremental-selection state (the postings-index fast path). A walk is
+	// "live" while its remaining headroom rem = 1 − Y(w) is positive; the
+	// first seed landing on its active prefix pins Y(w) to 1 forever, so
+	// live walks never change and dead walks never contribute. share/addVal
+	// cache the per-walk gain contributions (weight·rem/λ and rem/λ), valid
+	// while the walk is live.
+	fullScan  bool      // retained full-scan reference path (equivalence tests)
+	incrStale bool      // incremental state skipped while in fullScan mode
+	live      []bool    // rem > 0, maintained across AddSeed
+	share     []float64 // cumulative gain share of a live walk
+	addVal    []float64 // rank-based estimate delta of a live walk
+
+	changedOwners []int32 // scratch: owners with a newly-dead walk this round
+	ownerMark     []bool  // len NumOwners, dedup for changedOwners
+
+	// Cumulative gain cache: gains recomputed only for nodes on walks that
+	// died (cumDirty), everything else keeps its bit-identical cached value.
+	cumGain  []float64
+	cumCand  []int32
+	cumDirty []int32
+	cumMark  []bool
+	cumReady bool
+
+	// Rank-based entry cache: per-candidate (owner, estimate-delta) lists —
+	// the aggregated form of the old pass-A/B entry arrays — patched only
+	// for nodes touched by the newly-dead walks or by a changed owner's
+	// surviving walks. rankAll forces a full gain re-evaluation (start of a
+	// SelectGreedy run, and every Copeland round: the ± counters are global
+	// inputs to every candidate's gain).
+	entOwner  [][]int32
+	entDelta  [][]float64
+	entCand   []int32
+	rankGain  []float64
+	rankDirty []int32
+	rankMark  []bool
+	entReady  bool
+	rankAll   bool
 }
 
 // NewEstimator assembles an estimator. comp must hold the exact horizon-t
@@ -112,8 +150,26 @@ func NewEstimator(set *Set, target int, b0 []float64, comp [][]float64, weight [
 		maxByMem = 64
 	}
 	e.scanShards = engine.NumShards(set.NumWalks(), 2048, maxByMem)
+	set.EnsureIndex()
 	e.Refresh()
 	return e, nil
+}
+
+// UseFullScan toggles the retained full-scan reference implementation of
+// the selection loop — the pre-index behavior, faithfully: seeds truncate
+// via the sharded element scan (not the postings index), estimates are
+// fully refreshed every round, and no incremental bookkeeping runs. Both
+// paths produce bit-identical seeds, gains, and scores — the flag exists so
+// equivalence tests and benchmarks can compare them; the incremental state
+// is resynchronized automatically when the indexed path next runs.
+func (e *Estimator) UseFullScan(on bool) { e.fullScan = on }
+
+// resyncIfStale rebuilds the incremental state if reference-mode rounds
+// skipped its maintenance. Called on entry to every indexed operation.
+func (e *Estimator) resyncIfStale() {
+	if e.incrStale {
+		e.syncIncremental()
+	}
 }
 
 // SetParallelism pins the worker count for all subsequent scans: 0 means
@@ -177,9 +233,31 @@ func SketchOwnerWeights(set *Set, theta int) []float64 {
 }
 
 // Refresh recomputes all per-owner estimates (and Copeland pairwise counts)
-// from the current truncation state. Called automatically after AddSeed.
+// from the current truncation state, and resynchronizes the incremental
+// selection state with the set — call it after mutating the set directly
+// (Estimator.AddSeed maintains everything itself).
 func (e *Estimator) Refresh() {
 	e.set.EstimatePerOwner(e.b0, e.est, e.parallelism)
+	e.recountPairwise()
+	if e.fullScan {
+		// Reference mode pays exactly the old per-round cost: skip the
+		// incremental resync (the caches are rebuilt lazily if the indexed
+		// path runs later) but still invalidate them — they no longer match
+		// the set's truncation state.
+		e.invalidateIncrementalCaches()
+		e.incrStale = true
+		return
+	}
+	e.syncIncremental()
+	e.incrStale = false
+}
+
+// recountPairwise refolds the weighted Copeland win/loss counters over all
+// owners in ascending owner order. The fold order is the floating-point
+// contract: the counters must match a from-scratch recompute bit-for-bit,
+// so even the incremental path refolds them (at O(owners·candidates), far
+// below any walk scan) instead of applying ± deltas.
+func (e *Estimator) recountPairwise() {
 	for x := range e.comp {
 		e.plus[x], e.minus[x] = 0, 0
 	}
@@ -220,10 +298,26 @@ func (e *Estimator) EstimateOf(v int32) (float64, bool) {
 	return 0, false
 }
 
-// AddSeed applies a seed and refreshes the estimates.
+// AddSeed applies a seed and refreshes the estimates. On the indexed path
+// this is incremental: only the walks containing u are truncated, only the
+// owners of newly-dead walks have their estimates recomputed, and the gain
+// caches are dirtied along the affected walks — with results bit-identical
+// to the full-scan truncation + full refresh it replaces. In reference mode
+// the seed is applied exactly as before the index existed: sharded scan
+// truncation plus a full refresh.
 func (e *Estimator) AddSeed(u int32) {
-	e.set.AddSeed(u, e.parallelism)
-	e.Refresh()
+	if e.fullScan || e.set.idx == nil {
+		set := e.set
+		if !set.inSeed[u] {
+			set.inSeed[u] = true
+			set.seeds = append(set.seeds, u)
+			set.truncateScan(u, e.parallelism)
+		}
+		e.Refresh()
+		return
+	}
+	e.resyncIfStale()
+	e.addSeedIncremental(u)
 }
 
 // rankOf returns β for the target at owner-node v given target estimate b:

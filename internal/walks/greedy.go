@@ -35,11 +35,16 @@ func classifyScore(score voting.Score) (scoreKind, voting.Positional, error) {
 }
 
 // SelectGreedy runs the walk-based greedy seed selection (the selection
-// loops of Algorithm 4 and Algorithm 5): k rounds, each computing the
-// estimated marginal gain of every candidate node in one sharded scan over
-// the active walk prefixes, then truncating the walks at the chosen seed.
-// Picks are parallelism-invariant: shard geometry and merge order are fixed
-// and ties break to the lowest node id.
+// loops of Algorithm 4 and Algorithm 5): k rounds, each finding the
+// candidate with the best estimated marginal gain and truncating the walks
+// at the chosen seed. On an indexed set (the default — NewEstimator builds
+// the postings index) rounds are incremental: gains are cached and only the
+// parts invalidated by the previous seed's walks are recomputed, so a round
+// costs O(elements on the walks the seed touches) instead of a full rescan.
+// UseFullScan(true) runs the retained full-scan reference instead; both
+// paths produce bit-identical seeds, gains, and scores. Picks are
+// parallelism-invariant: shard geometry and merge order are fixed and ties
+// break to the lowest node id.
 func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult, error) {
 	n := e.set.Graph().N()
 	if k < 1 || k > n {
@@ -54,21 +59,40 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 	if err != nil {
 		return nil, err
 	}
+	indexed := !e.fullScan && e.set.idx != nil
+	if indexed {
+		e.resyncIfStale()
+	}
+	// Entry lists survive across SelectGreedy runs (they are score-
+	// independent) but cached gains do not: force one full re-evaluation.
+	e.rankAll = true
 	for round := 0; round < k; round++ {
 		var best int32
 		var bestGain float64
 		switch kind {
 		case kindCumulative:
-			best, bestGain = e.bestCumulative()
+			if indexed {
+				best, bestGain = e.bestCumulativeIndexed()
+			} else {
+				best, bestGain = e.bestCumulative()
+			}
 		case kindPositional:
-			best, bestGain = e.bestRankBased(func(_ int, i int32, delta float64) float64 {
-				v := e.set.ownerNodes[i]
-				oldC := positionalContrib(e, v, e.est[i], pos.P, pos.Omega)
-				newC := positionalContrib(e, v, e.est[i]+delta, pos.P, pos.Omega)
-				return e.weight[i] * (newC - oldC)
-			}, nil)
+			if indexed {
+				best, bestGain = e.bestRankIndexed(pos, false, curScore)
+			} else {
+				best, bestGain = e.bestRankBased(func(_ int, i int32, delta float64) float64 {
+					v := e.set.ownerNodes[i]
+					oldC := positionalContrib(e, v, e.est[i], pos.P, pos.Omega)
+					newC := positionalContrib(e, v, e.est[i]+delta, pos.P, pos.Omega)
+					return e.weight[i] * (newC - oldC)
+				}, nil)
+			}
 		case kindCopeland:
-			best, bestGain = e.bestCopeland(curScore)
+			if indexed {
+				best, bestGain = e.bestRankIndexed(voting.Positional{}, true, curScore)
+			} else {
+				best, bestGain = e.bestCopeland(curScore)
+			}
 		}
 		res.Evaluations++
 		if best < 0 {

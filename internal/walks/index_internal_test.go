@@ -1,0 +1,84 @@
+package walks
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ovm/internal/graph"
+	"ovm/internal/postings"
+	"ovm/internal/sampling"
+)
+
+// TestRepairIndexMatchesRebuild pins the splice-patch contract: the index a
+// Repair derives by patching only the regenerated owners' postings must be
+// structurally identical to a from-scratch counting-sort build over the
+// repaired storage — for empty, sparse, and dense touched masks.
+func TestRepairIndexMatchesRebuild(t *testing.T) {
+	const n = 60
+	r := rand.New(rand.NewSource(21))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		_ = b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), r.Float64()+0.05)
+	}
+	g, err := b.BuildColumnStochastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := graph.NewInEdgeSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := make([]float64, n)
+	for v := range stub {
+		stub[v] = 0.1 + 0.8*r.Float64()
+	}
+	plan := make([]int32, n)
+	for i := range plan {
+		plan[i] = int32(3 + r.Intn(5))
+	}
+	str := sampling.Stream{Seed: 33, ID: 77}
+	old, err := Generate(smp, stub, 6, plan, str, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.EnsureIndex()
+
+	// A "mutation" that flips some stubbornness values forces those owners'
+	// walks to regenerate with different lengths, shifting the flat layout.
+	masks := map[string]func(v int) bool{
+		"none":   func(int) bool { return false },
+		"sparse": func(v int) bool { return v%17 == 3 },
+		"dense":  func(v int) bool { return v%2 == 0 },
+	}
+	for name, hit := range masks {
+		touched := make([]bool, n)
+		newStub := append([]float64(nil), stub...)
+		for v := 0; v < n; v++ {
+			if hit(v) {
+				touched[v] = true
+				newStub[v] = 0.1 + 0.8*r.Float64()
+			}
+		}
+		repaired, _, err := Repair(old, smp, newStub, touched, str, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repaired.idx == nil {
+			t.Fatalf("%s: repair dropped the index", name)
+		}
+		fresh := postings.Build(n, repaired.off, repaired.nodes, true)
+		if !reflect.DeepEqual(repaired.idx.off, fresh.Off) {
+			t.Fatalf("%s: patched index offsets differ from rebuild", name)
+		}
+		if !reflect.DeepEqual(repaired.idx.walk, fresh.Item) {
+			t.Fatalf("%s: patched index walk ids differ from rebuild", name)
+		}
+		if !reflect.DeepEqual(repaired.idx.pos, fresh.Pos) {
+			t.Fatalf("%s: patched index positions differ from rebuild", name)
+		}
+		if name == "none" && &repaired.idx.walk[0] != &old.idx.walk[0] {
+			t.Fatal("none: an untouched repair should share the old index storage")
+		}
+	}
+}

@@ -109,9 +109,10 @@ func FromSnapshot(g *graph.Graph, s *Snapshot) (*Set, error) {
 }
 
 // Clone returns an independent Set sharing the immutable walk storage
-// (node sequences, offsets, owner grouping) but with private truncation
-// state, so concurrent queries can each run their own greedy selection over
-// one loaded artifact without copying the walks themselves.
+// (node sequences, offsets, owner grouping — and the postings index, which
+// is derived purely from that storage) but with private truncation state,
+// so concurrent queries can each run their own greedy selection over one
+// loaded artifact without copying the walks themselves.
 func (set *Set) Clone() *Set {
 	c := &Set{
 		g:          set.g,
@@ -122,6 +123,7 @@ func (set *Set) Clone() *Set {
 		ownerNodes: set.ownerNodes,
 		ownerOff:   set.ownerOff,
 		inSeed:     make([]bool, len(set.inSeed)),
+		idx:        set.idx,
 	}
 	copy(c.end, set.end)
 	copy(c.inSeed, set.inSeed)

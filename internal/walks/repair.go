@@ -113,5 +113,13 @@ func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, st
 		return nil, stats, err
 	}
 	set.foldShards(shards)
+	// An indexed set stays indexed through repair: kept owners' postings
+	// are copied verbatim (walk ids and walk-relative positions are stable)
+	// and only the regenerated owners' postings are re-derived and spliced
+	// in — identical to rebuilding the index from scratch, without the full
+	// counting sort.
+	if old.idx != nil {
+		set.idx = repairIndex(old, set, invalid, parallelism)
+	}
 	return set, stats, nil
 }

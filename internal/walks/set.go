@@ -3,7 +3,7 @@ package walks
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ovm/internal/engine"
 	"ovm/internal/graph"
@@ -26,6 +26,8 @@ type Set struct {
 
 	inSeed []bool // seed markers (len n)
 	seeds  []int32
+
+	idx *walkIndex // node → walk postings (nil until EnsureIndex; shared by Clones)
 }
 
 // Substream family offsets within a walk-generation Stream: walks for owner
@@ -66,7 +68,14 @@ func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32,
 	if est := int64(totalWalks) * int64(horizon+1); est > math.MaxInt32 {
 		return nil, fmt.Errorf("walks: plan requires up to %d walk elements, exceeding storage limits", est)
 	}
-	var owners, counts []int32
+	numOwners := 0
+	for _, c := range plan {
+		if c != 0 {
+			numOwners++
+		}
+	}
+	owners := make([]int32, 0, numOwners)
+	counts := make([]int32, 0, numOwners)
 	for v := int32(0); v < int32(n); v++ {
 		if plan[v] == 0 {
 			continue
@@ -103,8 +112,15 @@ func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int,
 	for i := range starts {
 		starts[i] = int32(rng.Intn(n))
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	var owners, counts []int32
+	slices.Sort(starts)
+	distinct := 0
+	for i, v := range starts {
+		if i == 0 || starts[i-1] != v {
+			distinct++
+		}
+	}
+	owners := make([]int32, 0, distinct)
+	counts := make([]int32, 0, distinct)
 	for i := 0; i < theta; {
 		v := starts[i]
 		c := int32(0)
@@ -239,16 +255,29 @@ func (set *Set) WalkValue(w int, b0 []float64) float64 {
 }
 
 // AddSeed marks u as a seed and truncates every walk at its first
-// occurrence of u (Post-Generation Truncation, §V-B). Cost: one pass over
-// all remaining walk elements, sharded over the worker pool (each walk's
-// truncation point is independent of every other walk's, so the result is
-// identical for any parallelism).
+// occurrence of u (Post-Generation Truncation, §V-B). With a postings index
+// (EnsureIndex) only the walks actually containing u are visited — cost
+// proportional to u's postings instead of every walk element; without one it
+// falls back to the full scan, sharded over the worker pool. Both paths
+// yield identical end pointers at any parallelism.
 func (set *Set) AddSeed(u int32, parallelism int) {
 	if set.inSeed[u] {
 		return
 	}
 	set.inSeed[u] = true
 	set.seeds = append(set.seeds, u)
+	if set.idx != nil {
+		set.truncateIndexed(u, nil)
+		return
+	}
+	set.truncateScan(u, parallelism)
+}
+
+// truncateScan is the index-free truncation: one sharded pass over all
+// remaining walk elements. Retained as the reference path (and the
+// fallback for sets without an index); end pointers match truncateIndexed
+// exactly.
+func (set *Set) truncateScan(u int32, parallelism int) {
 	_ = engine.ForEachChunk(parallelism, len(set.end), 4096, 256, func(_, _, lo, hi int) error {
 		for w := lo; w < hi; w++ {
 			for i := set.off[w]; i <= set.end[w]; i++ {
@@ -303,8 +332,14 @@ func (set *Set) EstimatePerOwner(b0 []float64, out []float64, parallelism int) {
 }
 
 // BytesUsed approximates the walk storage footprint, for the memory study
-// (Fig 17).
+// (Fig 17): the flat walk arrays, owner grouping, seed state, and — when
+// built — the node → walk postings index.
 func (set *Set) BytesUsed() int64 {
-	return int64(len(set.nodes))*4 + int64(len(set.off))*4 + int64(len(set.end))*4 +
-		int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4 + int64(len(set.inSeed))
+	b := int64(len(set.nodes))*4 + int64(len(set.off))*4 + int64(len(set.end))*4 +
+		int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4 + int64(len(set.inSeed)) +
+		int64(len(set.seeds))*4
+	if set.idx != nil {
+		b += set.idx.bytes()
+	}
+	return b
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Gate on the recorded bench trajectory: the BENCH_<sha>.json produced by
+# bench_record.sh must contain BenchmarkSelection results carrying both the
+# old-vs-new speedup metric and the determinism self-check. A refactor that
+# silently drops the selection benchmark (or its equivalence evidence) fails
+# CI here instead of eroding the perf history.
+#
+#   ./scripts/check_bench.sh BENCH_<sha>.json
+set -euo pipefail
+
+f="${1:?usage: check_bench.sh BENCH_<sha>.json}"
+if [[ ! -s "$f" ]]; then
+  echo "check_bench: $f is missing or empty" >&2
+  exit 1
+fi
+for metric in speedup_x determinism_ok; do
+  if ! grep -q "BenchmarkSelection.*\"${metric}\"" "$f"; then
+    echo "check_bench: $f has no BenchmarkSelection result with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok"

@@ -7,7 +7,10 @@ package ovm_test
 // `go run ./cmd/ovmbench -all`).
 
 import (
+	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -15,7 +18,9 @@ import (
 	"ovm/internal/datasets"
 	"ovm/internal/dynamic"
 	"ovm/internal/experiments"
+	"ovm/internal/postings"
 	"ovm/internal/rwalk"
+	"ovm/internal/serialize"
 	"ovm/internal/service"
 	"ovm/internal/voting"
 	"ovm/internal/walks"
@@ -339,18 +344,27 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		}
 	}
 	b.Run("incremental", func(b *testing.B) {
-		// One reference rebuild-and-restore, untimed, for the speedup
-		// metric (same work as an iteration of the full-rebuild run).
-		refStart := time.Now()
-		refIdx, err := service.BuildIndex(d.Sys, buildOpts)
-		if err != nil {
-			b.Fatal(err)
+		// The speedup reference: the same rebuild-and-restore work an
+		// iteration of the full-rebuild sub-benchmark performs, best of 3
+		// runs so a one-off GC pause cannot skew the ratio. Both sides of
+		// the ratio are reported as their own metrics (rebuild_restore_ns,
+		// repair_ns), so speedup_x is verifiable from the record:
+		// speedup_x = rebuild_restore_ns / repair_ns.
+		var refBuild time.Duration
+		for r := 0; r < 3; r++ {
+			refStart := time.Now()
+			refIdx, err := service.BuildIndex(d.Sys, buildOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refSvc := service.New(service.Config{})
+			if err := refSvc.AddIndex("sweep", refIdx); err != nil {
+				b.Fatal(err)
+			}
+			if dur := time.Since(refStart); refBuild == 0 || dur < refBuild {
+				refBuild = dur
+			}
 		}
-		refSvc := service.New(service.Config{})
-		if err := refSvc.AddIndex("sweep", refIdx); err != nil {
-			b.Fatal(err)
-		}
-		refBuild := time.Since(refStart)
 		var invalidated, total int
 		b.ResetTimer()
 		start := time.Now()
@@ -367,7 +381,10 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 			b.ReportMetric(100*float64(invalidated)/float64(total), "invalidated_%")
 		}
 		if elapsed > 0 {
-			b.ReportMetric(refBuild.Seconds()/(elapsed.Seconds()/float64(b.N)), "speedup_x")
+			repairNs := float64(elapsed.Nanoseconds()) / float64(b.N)
+			b.ReportMetric(repairNs, "repair_ns")
+			b.ReportMetric(float64(refBuild.Nanoseconds()), "rebuild_restore_ns")
+			b.ReportMetric(float64(refBuild.Nanoseconds())/repairNs, "speedup_x")
 		}
 	})
 	b.Run("full-rebuild", func(b *testing.B) {
@@ -391,5 +408,150 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkIndexLoad measures the daemon startup load path on the 12k-node
+// sweep graph with a fully populated index (sketches + RW walks + RR sets):
+// the v2 stream decode onto the heap against the v3 zero-copy mmap open.
+// v3-mmap reports the ratio as load_speedup_x (against an untimed best-of-2
+// v2 reference), the byte-footprint split of the registered dataset
+// (index_bytes on disk, mapped_bytes aliasing the file, heap_bytes
+// resident), and the raw-vs-varint postings size ratio
+// (postings_compression_x). The v2-heap run reports its own index_bytes /
+// heap_bytes for the same dataset, so the trajectory records both layouts.
+func BenchmarkIndexLoad(b *testing.B) {
+	const (
+		horizon = 10
+		theta   = 1 << 14
+		seed    = int64(42)
+		rrSets  = 4096
+	)
+	d, err := datasets.TwitterDistancingLike(datasets.Options{N: 12000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := service.BuildIndex(d.Sys, service.BuildOptions{
+		Target:       d.DefaultTarget,
+		Horizon:      horizon,
+		Seed:         seed,
+		SketchTheta:  theta,
+		IncludeWalks: true,
+		RRSets:       rrSets,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	v2Path := filepath.Join(dir, "index.v2.ovmidx")
+	v3Path := filepath.Join(dir, "index.v3.ovmidx")
+	var buf bytes.Buffer
+	if err := serialize.WriteIndex(&buf, idx); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(v2Path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	v2Bytes := int64(buf.Len())
+	buf.Reset()
+	if err := serialize.WriteIndexV3(&buf, idx, serialize.V3Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(v3Path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	v3Bytes := int64(buf.Len())
+	buf = bytes.Buffer{}
+
+	// Postings compression: the raw CSR index arrays (what v2-era loads
+	// rebuild in memory, and what V3Options.RawPostings would store) versus
+	// the delta+varint blocks v3 stores by default.
+	var rawPostings, compactPostings int64
+	countIndex := func(off, item, pos []int32) {
+		raw := postings.CSR{Off: off, Item: item, Pos: pos}
+		rawPostings += int64(len(off)+len(item)+len(pos)) * 4
+		compactPostings += postings.FromCSR(raw, postings.DefaultBlockSize).Bytes()
+	}
+	for _, a := range idx.Sketches {
+		countIndex(a.Index.Off, a.Index.Walk, a.Index.Pos)
+	}
+	for _, a := range idx.Walks {
+		countIndex(a.Index.Off, a.Index.Walk, a.Index.Pos)
+	}
+	for _, a := range idx.RRs {
+		countIndex(a.Index.Off, a.Index.Item, nil)
+	}
+
+	v2Load := func() *serialize.Index {
+		data, err := os.ReadFile(v2Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded, err := serialize.ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return loaded
+	}
+	// datasetBytes registers a loaded index once (outside the timed loop)
+	// and returns the serving-footprint split.
+	datasetBytes := func(loaded *serialize.Index) (mapped, heap int64) {
+		svc := service.New(service.Config{})
+		if err := svc.AddIndex("sweep", loaded); err != nil {
+			b.Fatal(err)
+		}
+		ds := svc.StatsSnapshot().Datasets[0]
+		return ds.MappedBytes, ds.HeapBytes
+	}
+
+	b.Run("v2-heap", func(b *testing.B) {
+		var loaded *serialize.Index
+		for i := 0; i < b.N; i++ {
+			loaded = v2Load()
+		}
+		b.StopTimer()
+		mapped, heap := datasetBytes(loaded)
+		b.ReportMetric(float64(v2Bytes), "index_bytes")
+		b.ReportMetric(float64(mapped), "mapped_bytes")
+		b.ReportMetric(float64(heap), "heap_bytes")
+	})
+	b.Run("v3-mmap", func(b *testing.B) {
+		// Untimed v2 reference, best of 2, for the load speedup ratio.
+		var v2Ref time.Duration
+		for r := 0; r < 2; r++ {
+			start := time.Now()
+			v2Load()
+			if dur := time.Since(start); v2Ref == 0 || dur < v2Ref {
+				v2Ref = dur
+			}
+		}
+		var mi *serialize.MappedIndex
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if mi != nil {
+				mi.Close()
+			}
+			var err error
+			if mi, err = serialize.OpenMapped(v3Path); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		if !mi.Mapped() {
+			b.Fatal("v3 load fell back to the heap; the zero-copy path was not measured")
+		}
+		mapped, heap := datasetBytes(mi.Index)
+		defer mi.Close()
+		if mapped == 0 {
+			b.Fatal("mapped dataset reports zero mapped bytes")
+		}
+		b.ReportMetric(float64(v3Bytes), "index_bytes")
+		b.ReportMetric(float64(mapped), "mapped_bytes")
+		b.ReportMetric(float64(heap), "heap_bytes")
+		b.ReportMetric(float64(v2Ref.Nanoseconds()), "v2_heap_ns")
+		b.ReportMetric(float64(v2Ref.Nanoseconds())/(float64(elapsed.Nanoseconds())/float64(b.N)), "load_speedup_x")
+		b.ReportMetric(float64(rawPostings)/float64(compactPostings), "postings_compression_x")
 	})
 }

@@ -10,8 +10,11 @@
 // artifacts are incrementally repaired (byte-identical to a full rebuild of
 // the mutated graph) and the dataset epoch bumps by one. When serving from
 // an -index file, every applied batch is appended to the file's update log
-// (OVMIDX format v2) with an atomic rewrite, so a restarted daemon replays
-// to the same epoch and the same bytes.
+// (persisted in OVMIDX format v3) with an atomic rewrite, so a restarted
+// daemon replays to the same epoch and the same bytes. Serving a v3 index
+// defaults to a zero-copy mmap load (-mmap=false forces the heap path);
+// a pre-existing v1/v2 file is readable and is rewritten as v3 on its
+// first persisted update.
 //
 // Build an index once:
 //
@@ -62,6 +65,7 @@ func main() {
 		mu      = flag.Float64("mu", 10, "edge-weight decay constant µ for -dataset")
 		seed    = flag.Int64("seed", 1, "random seed (index build; also the dataset synthesis seed)")
 		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes any response")
+		mmap    = flag.Bool("mmap", true, "serve a v3 -index zero-copy from an mmap'd region (v1/v2 files and -mmap=false load to the heap); never changes any response")
 		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
 		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log reaches this many batches, bounding file size and restart replay cost (0 = never compact)")
 
@@ -89,7 +93,7 @@ func main() {
 		buildIndex(*load, *dataset, *n, *mu, *seed, *out, *theta, *walks, *rr, *tBuild, *target, *par)
 		return
 	}
-	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache, *compact)
+	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache, *compact, *mmap)
 }
 
 // buildIndex implements ovmd -build-index: load or synthesize a system,
@@ -114,7 +118,7 @@ func buildIndex(load, dataset string, n int, mu float64, seed int64, out string,
 	if err != nil {
 		fatal(err)
 	}
-	if err := serialize.WriteIndex(f, idx); err != nil {
+	if err := serialize.WriteIndexV3(f, idx, serialize.V3Options{}); err != nil {
 		_ = f.Close()
 		fatal(err)
 	}
@@ -126,7 +130,7 @@ func buildIndex(load, dataset string, n int, mu float64, seed int64, out string,
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (format v%d): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, %d bytes, built in %s\n",
-		out, idx.FormatVersion(), sys.N(), sys.R(),
+		out, serialize.IndexFormatV3, sys.N(), sys.R(),
 		len(idx.Sketches), len(idx.Walks), len(idx.RRs), info.Size(),
 		time.Since(start).Round(time.Millisecond))
 }
@@ -134,21 +138,36 @@ func buildIndex(load, dataset string, n int, mu float64, seed int64, out string,
 // serve implements the daemon mode: register the dataset (index preferred,
 // so startup is load-not-recompute), then run the HTTP server until
 // SIGINT/SIGTERM triggers a graceful drain. With -index, applied update
-// batches are persisted into the file's OVMIDX v2 update log before they
+// batches are persisted into the file's OVMIDX v3 update log before they
 // become visible, so the serving epoch survives restarts.
-func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache, compact int) {
+func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache, compact int, mmap bool) {
 	cfg := service.Config{CacheSize: cache, Parallelism: par}
 	var idx *serialize.Index
+	var mi *serialize.MappedIndex
 	var svc *service.Service
 	if index != "" {
-		f, err := os.Open(index)
-		if err != nil {
-			fatal(err)
-		}
-		idx, err = serialize.ReadIndex(f)
-		_ = f.Close()
-		if err != nil {
-			fatal(err)
+		if mmap {
+			// Zero-copy load: a v3 file is mmap'd and its arrays aliased in
+			// place (v1/v2 fall back to heap decode inside OpenMapped). The
+			// mapping stays open for the process lifetime — served artifacts
+			// alias it until their first repair copy-on-writes them — so it
+			// is deliberately never closed.
+			var err error
+			if mi, err = serialize.OpenMapped(index); err != nil {
+				fatal(err)
+			}
+			idx = mi.Index
+		} else {
+			f, err := os.Open(index)
+			if err != nil {
+				fatal(err)
+			}
+			var err2 error
+			idx, err2 = serialize.ReadIndex(f)
+			_ = f.Close()
+			if err2 != nil {
+				fatal(err2)
+			}
 		}
 		// Persistence trade-off: the update log lives inside the
 		// CRC-covered OVMIDX container, so each batch rewrites the whole
@@ -186,8 +205,12 @@ func serve(listen, name, index, load, dataset string, n int, mu float64, seed in
 		if err := svc.AddIndex(name, idx); err != nil {
 			fatal(err)
 		}
-		log.Printf("loaded index %s (format v%d): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, replayed %d update batches (no recomputation)",
-			index, idx.FormatVersion(), idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs), len(idx.Updates))
+		mode := "heap"
+		if mi != nil && mi.Mapped() {
+			mode = fmt.Sprintf("mmap, %d bytes zero-copy", mi.MappedBytes())
+		}
+		log.Printf("loaded index %s (%s): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, replayed %d update batches (no recomputation)",
+			index, mode, idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs), len(idx.Updates))
 	default:
 		sys := loadSystem(load, dataset, n, mu, seed)
 		if err := svc.AddDataset(name, sys); err != nil {
@@ -265,7 +288,7 @@ func writeIndexAtomic(path string, idx *serialize.Index) error {
 		_ = os.Remove(tmp.Name())
 		return err
 	}
-	if err := serialize.WriteIndex(tmp, idx); err != nil {
+	if err := serialize.WriteIndexV3(tmp, idx, serialize.V3Options{}); err != nil {
 		return cleanup(err)
 	}
 	if err := tmp.Chmod(mode); err != nil {

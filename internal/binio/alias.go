@@ -1,0 +1,132 @@
+package binio
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian. The v3 index layout is little-endian on disk, so on LE
+// hosts typed slices can alias file bytes directly; BE hosts (none of the
+// supported targets today, but the check keeps the code honest) must take
+// the decode path.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// CanAlias reports whether a typed slice of elemSize-byte elements may be
+// aliased directly over b: the host is little-endian, the pointer is
+// elemSize-aligned, and the length is a whole number of elements.
+func CanAlias(b []byte, elemSize int) bool {
+	if !hostLittleEndian || len(b)%elemSize != 0 {
+		return false
+	}
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%uintptr(elemSize) == 0
+}
+
+// AliasI32s views b as a little-endian []int32 without copying when
+// possible; otherwise it decodes into a fresh slice. copied reports which
+// happened — an aliased result is only valid while b's backing memory is.
+func AliasI32s(b []byte) (xs []int32, copied bool) {
+	n := len(b) / 4
+	if CanAlias(b, 4) {
+		if n == 0 {
+			return nil, false
+		}
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), false
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, true
+}
+
+// AliasI64s views b as a little-endian []int64 without copying when
+// possible; otherwise it decodes into a fresh slice.
+func AliasI64s(b []byte) (xs []int64, copied bool) {
+	n := len(b) / 8
+	if CanAlias(b, 8) {
+		if n == 0 {
+			return nil, false
+		}
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n), false
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, true
+}
+
+// AliasF64s views b as a little-endian []float64 without copying when
+// possible; otherwise it decodes into a fresh slice.
+func AliasF64s(b []byte) (xs []float64, copied bool) {
+	n := len(b) / 8
+	if CanAlias(b, 8) {
+		if n == 0 {
+			return nil, false
+		}
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), false
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, true
+}
+
+// I32sBytes views xs as its little-endian byte payload without copying
+// when the host is little-endian; otherwise it encodes into a fresh
+// buffer. The zero-copy path lets the v3 writer stream large arrays
+// straight from their heap form.
+func I32sBytes(xs []int32) []byte {
+	if hostLittleEndian {
+		if len(xs) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), 4*len(xs))
+	}
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+// I64sBytes views xs as its little-endian byte payload without copying
+// when the host is little-endian; otherwise it encodes into a fresh buffer.
+func I64sBytes(xs []int64) []byte {
+	if hostLittleEndian {
+		if len(xs) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), 8*len(xs))
+	}
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// F64sBytes views xs as its little-endian byte payload without copying
+// when the host is little-endian; otherwise it encodes into a fresh buffer.
+func F64sBytes(xs []float64) []byte {
+	if hostLittleEndian {
+		if len(xs) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), 8*len(xs))
+	}
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

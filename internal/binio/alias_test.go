@@ -1,0 +1,110 @@
+package binio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestAliasRoundTripI32s(t *testing.T) {
+	want := []int32{0, 1, -1, 1 << 30, -(1 << 30), 42}
+	b := I32sBytes(want)
+	got, copied := AliasI32s(b)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if copied && hostLittleEndian {
+		t.Error("LE host took the copy path for an aligned buffer")
+	}
+}
+
+func TestAliasRoundTripI64s(t *testing.T) {
+	want := []int64{0, 1, -1, math.MaxInt64, math.MinInt64}
+	got, _ := AliasI64s(I64sBytes(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAliasRoundTripF64s(t *testing.T) {
+	want := []float64{0, 1.5, -2.25, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	got, _ := AliasF64s(F64sBytes(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The on-disk contract is little-endian regardless of host: the byte forms
+// must match encoding/binary's LE encoding exactly.
+func TestBytesAreLittleEndian(t *testing.T) {
+	xs := []int32{1, -2, 0x01020304}
+	want := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(want[4*i:], uint32(x))
+	}
+	if got := I32sBytes(xs); !bytes.Equal(got, want) {
+		t.Fatalf("I32sBytes = % x, want % x", got, want)
+	}
+
+	fs := []float64{1.5, -3.25}
+	wantF := make([]byte, 8*len(fs))
+	for i, x := range fs {
+		binary.LittleEndian.PutUint64(wantF[8*i:], math.Float64bits(x))
+	}
+	if got := F64sBytes(fs); !bytes.Equal(got, wantF) {
+		t.Fatalf("F64sBytes = % x, want % x", got, wantF)
+	}
+}
+
+// A misaligned view of a buffer must fall back to decoding, and the
+// decoded values must still be correct.
+func TestAliasMisalignedDecodes(t *testing.T) {
+	want := []int32{7, -8, 9}
+	// An []int64 backing is 8-aligned, so the +1 view is misaligned for
+	// every element size (a raw []byte make carries no such guarantee).
+	backing := I64sBytes(make([]int64, len(want)))
+	view := backing[1 : 1+4*len(want)]
+	copy(view, I32sBytes(want))
+	if hostLittleEndian && CanAlias(view, 4) {
+		t.Fatal("CanAlias accepted a misaligned buffer")
+	}
+	got, copied := AliasI32s(view)
+	if hostLittleEndian && !copied {
+		t.Error("misaligned buffer did not take the copy path")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAliasRejectsRaggedLength(t *testing.T) {
+	if CanAlias(make([]byte, 7), 4) {
+		t.Error("CanAlias accepted a length that is not a whole number of elements")
+	}
+	got, _ := AliasI32s(make([]byte, 6))
+	if len(got) != 1 {
+		t.Errorf("AliasI32s of 6 bytes yielded %d elements, want 1 (trailing bytes dropped)", len(got))
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if b := I32sBytes(nil); len(b) != 0 {
+		t.Errorf("I32sBytes(nil) = %d bytes", len(b))
+	}
+	xs, copied := AliasF64s(nil)
+	if len(xs) != 0 || copied {
+		t.Errorf("AliasF64s(nil) = %v, copied=%v", xs, copied)
+	}
+}

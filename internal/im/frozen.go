@@ -1,0 +1,105 @@
+package im
+
+import (
+	"fmt"
+
+	"ovm/internal/postings"
+)
+
+// IndexSnapshot is the portable form of the node → RR-set inverted index,
+// in either backing: raw CSR arrays or the compact delta+varint form. The
+// v3 index format persists it next to the set storage so a loaded
+// collection skips the counting-sort rebuild; with Mapped set, the slices
+// alias the read-only file region.
+type IndexSnapshot struct {
+	Off, Item []int32 // raw backing (nil when Compact is set)
+
+	Compact *postings.Compact // compact backing (nil when raw)
+
+	Mapped bool
+}
+
+// IndexSnapshot captures the collection's inverted index, or nil if the
+// index is not current (never built, or invalidated by a later Add).
+func (c *RRCollection) IndexSnapshot() *IndexSnapshot {
+	if c.indexed != c.NumSets() {
+		return nil
+	}
+	return &IndexSnapshot{Off: c.idxOff, Item: c.idxNodes, Compact: c.idxCompact, Mapped: c.idxMapped}
+}
+
+// AdoptIndex installs a stored inverted index instead of rebuilding it with
+// EnsureIndex. The index is verified exactly equal to what buildIndex would
+// produce, by a single merge pass over the set storage: set members are
+// distinct within a set and postings ascend by set id, so node v's expected
+// postings are precisely the ascending sets containing v — each (set,
+// member) pair must match the member's next unconsumed posting, and every
+// posting must be consumed. O(members + postings); a corrupted or
+// incomplete index is rejected before it can influence GreedyCover.
+func (c *RRCollection) AdoptIndex(is *IndexSnapshot) error {
+	n := c.g.N()
+	numSets := c.NumSets()
+	if is.Compact != nil {
+		cp := is.Compact
+		if len(cp.Off) != n+1 {
+			return fmt.Errorf("im: index covers %d nodes, want %d", len(cp.Off)-1, n)
+		}
+		if cp.HasPos {
+			return fmt.Errorf("im: RR index must not carry positions")
+		}
+		if err := cp.Validate(numSets, 0); err != nil {
+			return fmt.Errorf("im: %w", err)
+		}
+		cursors := make([]postings.Iterator, n)
+		for v := 0; v < n; v++ {
+			cursors[v] = cp.Iter(int32(v))
+		}
+		for i := 0; i < numSets; i++ {
+			for _, v := range c.Set(i) {
+				sid, _, ok := cursors[v].Next()
+				if !ok || sid != int32(i) {
+					return fmt.Errorf("im: index postings of node %d disagree with set %d", v, i)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if _, _, ok := cursors[v].Next(); ok {
+				return fmt.Errorf("im: index lists node %d in a set that does not contain it", v)
+			}
+		}
+		c.idxCompact, c.idxMapped = cp, is.Mapped
+		c.idxOff, c.idxNodes = nil, nil
+		c.indexed = numSets
+		return nil
+	}
+	if len(is.Off) != n+1 || is.Off[0] != 0 {
+		return fmt.Errorf("im: index offsets cover %d nodes, want %d", len(is.Off)-1, n)
+	}
+	for v := 0; v < n; v++ {
+		if is.Off[v+1] < is.Off[v] {
+			return fmt.Errorf("im: index offsets not monotone at node %d", v)
+		}
+	}
+	if int(is.Off[n]) != len(is.Item) {
+		return fmt.Errorf("im: index has %d postings, offsets say %d", len(is.Item), is.Off[n])
+	}
+	cursor := append([]int32(nil), is.Off[:n]...)
+	for i := 0; i < numSets; i++ {
+		for _, v := range c.Set(i) {
+			p := cursor[v]
+			if p >= is.Off[v+1] || is.Item[p] != int32(i) {
+				return fmt.Errorf("im: index postings of node %d disagree with set %d", v, i)
+			}
+			cursor[v] = p + 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		if cursor[v] != is.Off[v+1] {
+			return fmt.Errorf("im: index lists node %d in a set that does not contain it", v)
+		}
+	}
+	c.idxOff, c.idxNodes = is.Off, is.Item
+	c.idxCompact, c.idxMapped = nil, is.Mapped
+	c.indexed = numSets
+	return nil
+}

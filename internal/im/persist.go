@@ -17,6 +17,11 @@ type Snapshot struct {
 	Model Model
 	Nodes []int32 // concatenated set members
 	Off   []int32 // len numSets+1
+
+	// Mapped marks the slices as aliasing a read-only mapped region (set
+	// by the v3 zero-copy loader). Safe because the restored collection
+	// caps the slices: growth always reallocates to heap.
+	Mapped bool
 }
 
 // Snapshot captures the collection's sampled sets. It requires that every
@@ -26,7 +31,7 @@ func (c *RRCollection) Snapshot() (*Snapshot, error) {
 	if c.NumSets() != c.drawn {
 		return nil, fmt.Errorf("im: collection stores %d sets but drew %d", c.NumSets(), c.drawn)
 	}
-	return &Snapshot{Model: c.model, Nodes: c.nodes, Off: c.off}, nil
+	return &Snapshot{Model: c.model, Nodes: c.nodes, Off: c.off, Mapped: c.storageMapped}, nil
 }
 
 // FromSnapshot reconstructs a collection over g with the draw cursor
@@ -59,10 +64,11 @@ func FromSnapshot(g *graph.Graph, s *Snapshot, str sampling.Stream, parallelism 
 	}
 	c := NewRRCollection(g, s.Model, str, parallelism)
 	// Cap the adopted slices so a later Add cannot write into snapshot
-	// backing storage shared with other collections.
+	// backing storage shared with other collections (or a mapped region).
 	c.nodes = s.Nodes[:len(s.Nodes):len(s.Nodes)]
 	c.off = s.Off[:len(s.Off):len(s.Off)]
 	c.drawn = numSets
+	c.storageMapped = s.Mapped
 	return c, nil
 }
 
@@ -70,8 +76,40 @@ func FromSnapshot(g *graph.Graph, s *Snapshot, str sampling.Stream, parallelism 
 func (c *RRCollection) Model() Model { return c.model }
 
 // BytesUsed approximates the RR-set storage footprint.
-func (c *RRCollection) BytesUsed() int64 {
-	return int64(len(c.nodes))*4 + int64(len(c.off))*4 + int64(len(c.idxNodes))*4 + int64(len(c.idxOff))*4
+func (c *RRCollection) BytesUsed() int64 { return c.MappedBytes() + c.HeapBytes() }
+
+func (c *RRCollection) setBytes() int64 { return int64(len(c.nodes))*4 + int64(len(c.off))*4 }
+
+func (c *RRCollection) indexBytes() int64 {
+	if c.idxCompact != nil {
+		return c.idxCompact.Bytes()
+	}
+	return int64(len(c.idxNodes))*4 + int64(len(c.idxOff))*4
+}
+
+// MappedBytes reports how much of the footprint aliases a read-only
+// mapped region (0 for a heap-backed collection).
+func (c *RRCollection) MappedBytes() int64 {
+	b := int64(0)
+	if c.storageMapped {
+		b += c.setBytes()
+	}
+	if c.idxMapped {
+		b += c.indexBytes()
+	}
+	return b
+}
+
+// HeapBytes reports the heap-resident remainder of the footprint.
+func (c *RRCollection) HeapBytes() int64 {
+	b := int64(0)
+	if !c.storageMapped {
+		b += c.setBytes()
+	}
+	if !c.idxMapped {
+		b += c.indexBytes()
+	}
+	return b
 }
 
 // EnsureIndex builds the node → set inverted index now. Call it once after

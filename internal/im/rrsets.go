@@ -25,10 +25,19 @@ type RRCollection struct {
 	nodes []int32 // concatenated set members
 	off   []int32 // len numSets+1
 
-	// Inverted index, rebuilt lazily by buildIndex.
-	idxNodes []int32 // concatenated set ids per node
-	idxOff   []int32 // len n+1
-	indexed  int     // number of sets included in the index
+	// storageMapped records that nodes/off alias a read-only mapped region.
+	// Add and AddCached stay safe because the adopted slices are
+	// capacity-capped: append always reallocates to heap.
+	storageMapped bool
+
+	// Inverted index, rebuilt lazily by buildIndex — either raw CSR arrays
+	// or an adopted compact (delta+varint) backing; both enumerate a node's
+	// covering sets in ascending set order.
+	idxNodes   []int32 // concatenated set ids per node
+	idxOff     []int32 // len n+1
+	idxCompact *postings.Compact
+	idxMapped  bool // index backing aliases a read-only mapped region
+	indexed    int  // number of sets included in the index
 
 	// Per-worker sampling scratch, reused across Add calls.
 	scratchVisited [][]bool
@@ -185,7 +194,26 @@ func (c *RRCollection) buildIndex() {
 	csr := postings.Build(c.g.N(), c.off, c.nodes, false)
 	c.idxOff = csr.Off
 	c.idxNodes = csr.Item
+	c.idxCompact, c.idxMapped = nil, false
 	c.indexed = c.NumSets()
+}
+
+// forEachCoveringSet visits the RR sets containing v in ascending set
+// order, whichever index backing is installed.
+func (c *RRCollection) forEachCoveringSet(v int32, fn func(sid int32)) {
+	if c.idxCompact != nil {
+		it := c.idxCompact.Iter(v)
+		for {
+			sid, _, ok := it.Next()
+			if !ok {
+				return
+			}
+			fn(sid)
+		}
+	}
+	for _, sid := range c.idxNodes[c.idxOff[v]:c.idxOff[v+1]] {
+		fn(sid)
+	}
 }
 
 // GreedyCover selects k nodes greedily maximizing the number of covered RR
@@ -203,7 +231,11 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 	}
 	degree := make([]int32, n)
 	for v := 0; v < n; v++ {
-		degree[v] = c.idxOff[v+1] - c.idxOff[v]
+		if c.idxCompact != nil {
+			degree[v] = c.idxCompact.Count(int32(v))
+		} else {
+			degree[v] = c.idxOff[v+1] - c.idxOff[v]
+		}
 	}
 	coveredSet := make([]bool, numSets)
 	seeds := make([]int32, 0, k)
@@ -220,9 +252,9 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 		}
 		seeds = append(seeds, best)
 		degree[best] = -1 // never re-pick
-		for _, sid := range c.idxNodes[c.idxOff[best]:c.idxOff[best+1]] {
+		c.forEachCoveringSet(best, func(sid int32) {
 			if coveredSet[sid] {
-				continue
+				return
 			}
 			coveredSet[sid] = true
 			coveredCount++
@@ -231,7 +263,7 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 					degree[u]--
 				}
 			}
-		}
+		})
 	}
 	return seeds, float64(coveredCount) / float64(numSets)
 }

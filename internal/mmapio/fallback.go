@@ -1,0 +1,18 @@
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback slurps the file into a heap buffer when mapping is
+// unavailable or refused. The buffer is 8-byte aligned in practice (Go's
+// allocator aligns large []byte allocations), but callers that alias wider
+// types over it must still verify alignment themselves.
+func readFallback(f *os.File, size int) (*Region, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return &Region{data: buf, mapped: false}, nil
+}

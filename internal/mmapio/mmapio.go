@@ -1,0 +1,62 @@
+// Package mmapio maps whole files read-only into memory so the index
+// loader (internal/serialize) can alias typed slices over file bytes with
+// zero deserialization. On platforms without mmap support the package
+// degrades to reading the file into a heap buffer — callers see the same
+// []byte either way, only Mapped() and the page-cache sharing change.
+package mmapio
+
+import (
+	"fmt"
+	"os"
+)
+
+// Region is a read-only view of a file's contents. When Mapped reports
+// true the bytes alias kernel page-cache pages and writing to them faults;
+// treat Data as immutable in both modes.
+type Region struct {
+	data   []byte
+	mapped bool
+}
+
+// Data returns the file contents. The slice is only valid until Close.
+func (r *Region) Data() []byte { return r.data }
+
+// Mapped reports whether Data aliases an mmap'd region (true) or a heap
+// copy (false, the fallback path).
+func (r *Region) Mapped() bool { return r.mapped }
+
+// Len returns the number of bytes in the region.
+func (r *Region) Len() int { return len(r.data) }
+
+// Open maps the file at path read-only. An empty file yields an empty
+// non-mapped region (mmap of length 0 is an error on Linux).
+func Open(path string) (*Region, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Region{data: nil, mapped: false}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s is too large to map (%d bytes)", path, size)
+	}
+	return openFile(f, int(size))
+}
+
+// Close releases the mapping (or drops the fallback buffer). The Region
+// and any slices aliased over it must not be used afterwards.
+func (r *Region) Close() error {
+	data, mapped := r.data, r.mapped
+	r.data, r.mapped = nil, false
+	if !mapped || data == nil {
+		return nil
+	}
+	return unmap(data)
+}

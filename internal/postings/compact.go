@@ -1,0 +1,332 @@
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultBlockSize is the number of postings per varint block. 128 keeps
+// a block within two cache lines for typical deltas while making the skip
+// table (one i64 per block) negligible next to the payload.
+const DefaultBlockSize = 128
+
+// Compact is a delta+varint-compressed postings index, equivalent to a
+// CSR built with ascending distinct items per member (which is what both
+// walk and RR indexes produce). Member v's postings are encoded in
+// fixed-size blocks of at most BlockSize entries; a block never spans two
+// members. The first item of a block is an absolute uvarint, later items
+// are uvarint deltas from their predecessor, and when HasPos is set each
+// item varint is followed by its pos uvarint. BlockOff byte offsets give
+// O(log blocks) seek without decoding preceding blocks.
+//
+// Compact is immutable after construction and safe for concurrent readers;
+// all four slices may alias a read-only mapped region.
+type Compact struct {
+	// Off is the n+1 postings-count prefix sum: member v holds
+	// Off[v+1]-Off[v] postings.
+	Off []int32
+	// FirstBlock is the n+1 block-count prefix sum: member v's blocks are
+	// [FirstBlock[v], FirstBlock[v+1]).
+	FirstBlock []int32
+	// BlockOff maps block index to its byte offset in Data; the extra
+	// final entry is len(Data).
+	BlockOff []int64
+	// Data is the varint payload.
+	Data []byte
+	// HasPos records whether each item carries an interleaved pos varint.
+	HasPos bool
+	// BlockSize is the encoding's entries-per-block bound.
+	BlockSize int32
+}
+
+// FromCSR compresses a CSR whose postings are strictly ascending per
+// member (distinct items) into blocked delta+varint form. blockSize <= 0
+// selects DefaultBlockSize. Panics if a member's postings are not strictly
+// ascending — both producers in this repo guarantee it.
+func FromCSR(c CSR, blockSize int) *Compact {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	n := len(c.Off) - 1
+	out := &Compact{
+		Off:        c.Off,
+		FirstBlock: make([]int32, n+1),
+		HasPos:     c.Pos != nil,
+		BlockSize:  int32(blockSize),
+	}
+	totalBlocks := 0
+	for v := 0; v < n; v++ {
+		cnt := int(c.Off[v+1] - c.Off[v])
+		totalBlocks += (cnt + blockSize - 1) / blockSize
+		out.FirstBlock[v+1] = int32(totalBlocks)
+	}
+	out.BlockOff = make([]int64, totalBlocks+1)
+	var buf [binary.MaxVarintLen64]byte
+	data := make([]byte, 0, len(c.Item)) // deltas usually beat 4 bytes/entry
+	block := 0
+	for v := 0; v < n; v++ {
+		lo, hi := int(c.Off[v]), int(c.Off[v+1])
+		for p := lo; p < hi; p++ {
+			inBlock := (p - lo) % blockSize
+			if inBlock == 0 {
+				out.BlockOff[block] = int64(len(data))
+				block++
+				data = append(data, buf[:binary.PutUvarint(buf[:], uint64(c.Item[p]))]...)
+			} else {
+				delta := c.Item[p] - c.Item[p-1]
+				if delta <= 0 {
+					panic(fmt.Sprintf("postings: member %d items not strictly ascending at %d", v, p))
+				}
+				data = append(data, buf[:binary.PutUvarint(buf[:], uint64(delta))]...)
+			}
+			if out.HasPos {
+				data = append(data, buf[:binary.PutUvarint(buf[:], uint64(c.Pos[p]))]...)
+			}
+		}
+	}
+	out.BlockOff[totalBlocks] = int64(len(data))
+	out.Data = data
+	return out
+}
+
+// ToCSR decodes back to the raw CSR form. The result owns fresh heap
+// slices except Off, which is shared (it is identical in both forms).
+func (c *Compact) ToCSR() CSR {
+	n := len(c.Off) - 1
+	total := int(c.Off[n])
+	out := CSR{Off: c.Off, Item: make([]int32, 0, total)}
+	if c.HasPos {
+		out.Pos = make([]int32, 0, total)
+	}
+	for v := 0; v < n; v++ {
+		it := c.Iter(int32(v))
+		for {
+			item, pos, ok := it.Next()
+			if !ok {
+				break
+			}
+			out.Item = append(out.Item, item)
+			if c.HasPos {
+				out.Pos = append(out.Pos, pos)
+			}
+		}
+	}
+	return out
+}
+
+// Count returns member v's postings count.
+func (c *Compact) Count(v int32) int32 { return c.Off[v+1] - c.Off[v] }
+
+// NumMembers returns the member universe size n.
+func (c *Compact) NumMembers() int { return len(c.Off) - 1 }
+
+// Bytes returns the total storage footprint in bytes.
+func (c *Compact) Bytes() int64 {
+	return int64(4*len(c.Off)) + int64(4*len(c.FirstBlock)) + int64(8*len(c.BlockOff)) + int64(len(c.Data))
+}
+
+// Iterator walks one member's postings in ascending item order. It is a
+// value type with no heap state, so hot paths can create one per member
+// with zero allocation; a Compact validated once supports any number of
+// concurrent iterators.
+type Iterator struct {
+	data      []byte
+	cur       int   // byte cursor into data
+	remain    int32 // postings not yet returned
+	inBlock   int32 // entries left in the current block (0 = at a block start)
+	prev      int32 // last item returned
+	hasPos    bool
+	blockSize int32
+}
+
+// Iter positions an iterator at the start of member v's postings.
+func (c *Compact) Iter(v int32) Iterator {
+	return Iterator{
+		data:      c.Data,
+		cur:       int(c.BlockOff[c.FirstBlock[v]]),
+		remain:    c.Off[v+1] - c.Off[v],
+		hasPos:    c.HasPos,
+		blockSize: c.BlockSize,
+	}
+}
+
+// Next returns the next posting. pos is 0 when the index carries no
+// positions. ok is false when the member's postings are exhausted.
+func (it *Iterator) Next() (item, pos int32, ok bool) {
+	if it.remain == 0 {
+		return 0, 0, false
+	}
+	if it.inBlock == 0 {
+		it.inBlock = it.remain
+		if it.inBlock > it.blockSize {
+			it.inBlock = it.blockSize
+		}
+		item = int32(it.uvarint())
+	} else {
+		item = it.prev + int32(it.uvarint())
+	}
+	it.prev = item
+	it.inBlock--
+	it.remain--
+	if it.hasPos {
+		pos = int32(it.uvarint())
+	}
+	return item, pos, true
+}
+
+// uvarint decodes one uvarint at the cursor. Bounds are enforced by the
+// slice; Validate guarantees a well-formed stream so this never trips on
+// adopted data.
+func (it *Iterator) uvarint() uint64 {
+	var x uint64
+	var s uint
+	for {
+		b := it.data[it.cur]
+		it.cur++
+		if b < 0x80 {
+			return x | uint64(b)<<s
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// Seek returns an iterator positioned at member v's first posting with
+// item >= target, using the block skip table: binary-search the last block
+// whose first item <= target, then scan at most one block.
+func (c *Compact) Seek(v, target int32) Iterator {
+	lo, hi := c.FirstBlock[v], c.FirstBlock[v+1]
+	if lo == hi {
+		return Iterator{data: c.Data, hasPos: c.HasPos, blockSize: c.BlockSize}
+	}
+	// Find the last block b in [lo,hi) with firstItem(b) <= target.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		first, _ := binary.Uvarint(c.Data[c.BlockOff[mid]:])
+		if int32(first) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	cnt := c.Off[v+1] - c.Off[v]
+	skipped := (lo - c.FirstBlock[v]) * c.BlockSize
+	it := Iterator{
+		data:      c.Data,
+		cur:       int(c.BlockOff[lo]),
+		remain:    cnt - skipped,
+		hasPos:    c.HasPos,
+		blockSize: c.BlockSize,
+	}
+	for it.remain > 0 {
+		save := it
+		item, _, _ := it.Next()
+		if item >= target {
+			return save
+		}
+	}
+	return it
+}
+
+// Validate checks structural integrity so that iteration over adopted
+// (possibly file-backed) storage can never read out of bounds or loop:
+// prefix sums monotone and consistent, block offsets ascending and
+// in-bounds, every varint well-formed, items strictly ascending within a
+// member and within [0, numItems), pos within [0, maxPos] when present,
+// and the payload exactly consumed. O(total postings).
+func (c *Compact) Validate(numItems int, maxPos int32) error {
+	n := len(c.Off) - 1
+	if n < 0 {
+		return fmt.Errorf("postings: empty Off")
+	}
+	if len(c.FirstBlock) != n+1 {
+		return fmt.Errorf("postings: FirstBlock length %d != %d", len(c.FirstBlock), n+1)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("postings: block size %d", c.BlockSize)
+	}
+	if c.Off[0] != 0 || c.FirstBlock[0] != 0 {
+		return fmt.Errorf("postings: prefix sums must start at 0")
+	}
+	blocks := len(c.BlockOff) - 1
+	if blocks < 0 {
+		return fmt.Errorf("postings: empty BlockOff")
+	}
+	if int(c.FirstBlock[n]) != blocks {
+		return fmt.Errorf("postings: %d blocks indexed, table has %d", c.FirstBlock[n], blocks)
+	}
+	bs := int(c.BlockSize)
+	for v := 0; v < n; v++ {
+		cnt := int(c.Off[v+1]) - int(c.Off[v])
+		if cnt < 0 {
+			return fmt.Errorf("postings: Off not monotone at %d", v)
+		}
+		want := (cnt + bs - 1) / bs
+		if int(c.FirstBlock[v+1])-int(c.FirstBlock[v]) != want {
+			return fmt.Errorf("postings: member %d has %d blocks, want %d", v, c.FirstBlock[v+1]-c.FirstBlock[v], want)
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		if c.BlockOff[b] < 0 || c.BlockOff[b] > c.BlockOff[b+1] {
+			return fmt.Errorf("postings: block offsets not monotone at %d", b)
+		}
+	}
+	if c.BlockOff[blocks] != int64(len(c.Data)) {
+		return fmt.Errorf("postings: final block offset %d != payload %d", c.BlockOff[blocks], len(c.Data))
+	}
+	// Full decode pass with explicit bounds, mirroring Iterator.
+	cur := 0
+	read := func() (uint64, error) {
+		x, k := binary.Uvarint(c.Data[cur:])
+		if k <= 0 {
+			return 0, fmt.Errorf("postings: malformed varint at byte %d", cur)
+		}
+		cur += k
+		return x, nil
+	}
+	block := 0
+	for v := 0; v < n; v++ {
+		cnt := int(c.Off[v+1]) - int(c.Off[v])
+		prev := int32(-1)
+		for i := 0; i < cnt; i++ {
+			var item int64
+			if i%bs == 0 {
+				if int64(cur) != c.BlockOff[block] {
+					return fmt.Errorf("postings: member %d block %d starts at %d, table says %d", v, block, cur, c.BlockOff[block])
+				}
+				block++
+				abs, err := read()
+				if err != nil {
+					return err
+				}
+				item = int64(abs)
+			} else {
+				d, err := read()
+				if err != nil {
+					return err
+				}
+				if d == 0 {
+					return fmt.Errorf("postings: member %d zero delta", v)
+				}
+				item = int64(prev) + int64(d)
+			}
+			if item <= int64(prev) || item >= int64(numItems) {
+				return fmt.Errorf("postings: member %d item %d out of range (prev %d, numItems %d)", v, item, prev, numItems)
+			}
+			prev = int32(item)
+			if c.HasPos {
+				p, err := read()
+				if err != nil {
+					return err
+				}
+				if p > uint64(maxPos) {
+					return fmt.Errorf("postings: member %d pos %d exceeds %d", v, p, maxPos)
+				}
+			}
+		}
+	}
+	if cur != len(c.Data) {
+		return fmt.Errorf("postings: %d trailing payload bytes", len(c.Data)-cur)
+	}
+	return nil
+}

@@ -52,15 +52,18 @@ import (
 	"ovm/internal/walks"
 )
 
-// IndexFormatVersion is the newest on-disk format version: what WriteIndex
-// emits for an index carrying an update log. ReadIndex accepts every
-// version in [IndexFormatV1, IndexFormatVersion].
-const IndexFormatVersion = IndexFormatV2
+// IndexFormatVersion is the newest on-disk format version. ReadIndex
+// accepts every version in [IndexFormatV1, IndexFormatVersion]; the
+// stream writer WriteIndex emits v1/v2, the section-table writer
+// WriteIndexV3 emits v3.
+const IndexFormatVersion = IndexFormatV3
 
-// The format history: v1 has no update-log section; v2 appends one.
+// The format history: v1 has no update-log section; v2 appends one; v3 is
+// the mmap-friendly section-table layout (see v3.go).
 const (
 	IndexFormatV1 = 1
 	IndexFormatV2 = 2
+	IndexFormatV3 = 3
 )
 
 const indexMagic = "OVMIDX"
@@ -113,6 +116,11 @@ type SketchArtifact struct {
 	Horizon int
 	Theta   int
 	Set     *walks.Snapshot
+
+	// Index optionally carries the node → walk postings index so loaders
+	// skip the rebuild. Persisted by the v3 format only; WriteIndex (v1/v2)
+	// ignores it.
+	Index *walks.IndexSnapshot
 }
 
 // WalkArtifact is a per-node walk set generated with the RW method's
@@ -124,6 +132,9 @@ type WalkArtifact struct {
 	Horizon int
 	Lambda  int
 	Set     *walks.Snapshot
+
+	// Index optionally carries the node → walk postings index (v3 only).
+	Index *walks.IndexSnapshot
 }
 
 // RRArtifact is a reverse-reachable set collection for one diffusion model,
@@ -133,6 +144,9 @@ type RRArtifact struct {
 	Seed   int64
 	Target int
 	Sets   *im.Snapshot
+
+	// Index optionally carries the node → RR-set inverted index (v3 only).
+	Index *im.IndexSnapshot
 }
 
 // Validate checks the index invariants that do not require replaying
@@ -293,6 +307,24 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	if version < IndexFormatV1 || version > IndexFormatVersion {
 		return nil, fmt.Errorf("serialize: index format version %d unsupported (want %d..%d)", version, IndexFormatV1, IndexFormatVersion)
+	}
+	if version == IndexFormatV3 {
+		// The section-table layout is parsed from a contiguous buffer (its
+		// offsets are absolute); slurp the remainder and rebuild the full
+		// image. Streamed v3 reads always land on the heap — the zero-copy
+		// path is OpenMapped.
+		rest, err := io.ReadAll(cr.r)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: v3 index: %w", err)
+		}
+		data := make([]byte, 0, len(indexMagic)+4+len(rest))
+		data = append(data, indexMagic...)
+		var vb [4]byte
+		binary.LittleEndian.PutUint32(vb[:], version)
+		data = append(data, vb[:]...)
+		data = append(data, rest...)
+		idx, _, err := parseV3(data, false)
+		return idx, err
 	}
 	sys, err := readBinarySystem(cr)
 	if err != nil {
@@ -582,8 +614,17 @@ var opKindByCode = func() map[uint8]dynamic.OpKind {
 	return m
 }()
 
-// writeUpdateLog serializes the dynamic-update batches of the v2 section.
-func writeUpdateLog(w *bufio.Writer, batches []dynamic.Batch) error {
+// byteWriter is the sink the section writers need: bufio.Writer (v2) and
+// bytes.Buffer (the v3 manifest) both satisfy it, and neither can fail
+// mid-write in practice.
+type byteWriter interface {
+	io.Writer
+	io.ByteWriter
+}
+
+// writeUpdateLog serializes the dynamic-update batches of the v2 section
+// (also embedded verbatim in the v3 manifest).
+func writeUpdateLog(w byteWriter, batches []dynamic.Batch) error {
 	if len(batches) > maxUpdateBatches {
 		return fmt.Errorf("serialize: %d update batches exceed format limit %d", len(batches), maxUpdateBatches)
 	}

@@ -202,6 +202,22 @@ func FuzzReadIndex(f *testing.F) {
 	mutated := append([]byte(nil), valid...)
 	mutated[len(mutated)/3] ^= 0xff
 	f.Add(mutated)
+	// v3 section-table seeds: pristine, truncated mid-table, truncated
+	// mid-payload, and bit-flipped in the table and in a payload.
+	var v3buf bytes.Buffer
+	if err := serialize.WriteIndexV3(&v3buf, idx, serialize.V3Options{}); err != nil {
+		f.Fatal(err)
+	}
+	v3 := v3buf.Bytes()
+	f.Add(v3)
+	f.Add(v3[:30])
+	f.Add(v3[:len(v3)/2])
+	v3mut := append([]byte(nil), v3...)
+	v3mut[26] ^= 0x04 // section table entry
+	f.Add(v3mut)
+	v3mut2 := append([]byte(nil), v3...)
+	v3mut2[len(v3mut2)-9] ^= 0x80 // payload byte
+	f.Add(v3mut2)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := serialize.ReadIndex(bytes.NewReader(data))
 		if err == nil && got.Sys == nil {

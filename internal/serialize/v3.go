@@ -1,0 +1,836 @@
+// Index format v3: the mmap-friendly section-table layout.
+//
+// v1/v2 interleave metadata and array payloads in one stream, so loading
+// means decoding every byte into fresh heap slices. v3 separates the two:
+// a small stream-encoded manifest carries the metadata and refers to the
+// bulk arrays by section number, and every array section is stored as its
+// exact little-endian memory image at an 8-byte-aligned offset — so a
+// loader can mmap the file and alias []int32/[]int64/[]float64 slices
+// straight over the region with zero deserialization. Mutable per-process
+// state (truncation pointers, seeds, gain caches, the update log) is never
+// mapped: it lives in the manifest or is rebuilt on load.
+//
+// Layout (all integers little-endian):
+//
+//	off  0: magic "OVMIDX"
+//	off  6: u32 version (3)
+//	off 10: u16 zero pad
+//	off 12: u32 section count S
+//	off 16: u32 CRC-32 (IEEE) of the section table bytes
+//	off 20: u32 zero pad
+//	off 24: section table, S × 24-byte entries
+//	        {u64 offset, u64 length, u32 kind, u32 CRC-32 of the payload}
+//	then:   section payloads, each at an 8-byte-aligned offset, ascending,
+//	        zero padding between
+//
+// Section kinds: 1 = manifest (exactly one, section 0), 2 = i32 array,
+// 3 = f64 array, 4 = raw bytes, 5 = i64 array. The manifest references
+// data sections by table index (0 = absent — unambiguous because 0 is the
+// manifest itself). The table is validated before any payload is touched:
+// aligned, in-bounds, non-overlapping, known kinds, element-size multiple
+// — so a reader over a mapped region never faults, and every payload CRC
+// is verified eagerly before parsing.
+//
+// Postings indexes (node → walk, node → RR set) are persisted next to
+// their artifacts, either as raw CSR arrays (mode 1) or in the compact
+// delta+varint block form of internal/postings (mode 2, the default —
+// 2–4× smaller). Loaders adopt them after an exact-equality merge check
+// against the artifact storage instead of rebuilding.
+package serialize
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"ovm/internal/binio"
+	"ovm/internal/graph"
+	"ovm/internal/im"
+	"ovm/internal/mmapio"
+	"ovm/internal/opinion"
+	"ovm/internal/postings"
+	"ovm/internal/walks"
+)
+
+const (
+	v3HeaderSize  = 24
+	v3EntrySize   = 24
+	v3MaxSections = 1 << 20
+
+	v3KindManifest = 1
+	v3KindI32      = 2
+	v3KindF64      = 3
+	v3KindBytes    = 4
+	v3KindI64      = 5
+
+	v3PostingsNone    = 0
+	v3PostingsRaw     = 1
+	v3PostingsCompact = 2
+)
+
+// V3Options tunes WriteIndexV3.
+type V3Options struct {
+	// RawPostings stores postings indexes as raw CSR arrays instead of the
+	// compact delta+varint form. Raw sections are larger but alias directly
+	// on load with no per-posting decode.
+	RawPostings bool
+}
+
+func v3align(off int64) int64 { return (off + 7) &^ 7 }
+
+// v3elemSize returns the element width a section kind's length must be a
+// multiple of.
+func v3elemSize(kind uint32) int64 {
+	switch kind {
+	case v3KindI32:
+		return 4
+	case v3KindF64, v3KindI64:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// --- writer ---
+
+type v3section struct {
+	kind    uint32
+	payload []byte
+}
+
+type v3writer struct {
+	sections []v3section
+}
+
+func (w *v3writer) add(kind uint32, payload []byte) uint32 {
+	w.sections = append(w.sections, v3section{kind: kind, payload: payload})
+	return uint32(len(w.sections) - 1)
+}
+
+func (w *v3writer) addI32(xs []int32) uint32   { return w.add(v3KindI32, binio.I32sBytes(xs)) }
+func (w *v3writer) addI64(xs []int64) uint32   { return w.add(v3KindI64, binio.I64sBytes(xs)) }
+func (w *v3writer) addF64(xs []float64) uint32 { return w.add(v3KindF64, binio.F64sBytes(xs)) }
+
+// writePostingsRef emits a postings reference into the manifest: the raw
+// CSR arrays or the compact blocked form, converting between them as the
+// options demand. snapshotCompact/snapshotRaw describe what the caller
+// holds; exactly one is non-nil (or both nil for "no index stored").
+func (w *v3writer) writePostingsRef(m *bytes.Buffer, raw *postings.CSR, compact *postings.Compact, wantRaw bool) {
+	if raw == nil && compact == nil {
+		m.WriteByte(v3PostingsNone)
+		return
+	}
+	if wantRaw {
+		if raw == nil {
+			csr := compact.ToCSR()
+			raw = &csr
+		}
+		m.WriteByte(v3PostingsRaw)
+		refOff := w.addI32(raw.Off)
+		refItem := w.addI32(raw.Item)
+		refPos := uint32(0)
+		if raw.Pos != nil {
+			refPos = w.addI32(raw.Pos)
+		}
+		mustU32(m, refOff, refItem, refPos)
+		return
+	}
+	if compact == nil {
+		compact = postings.FromCSR(*raw, postings.DefaultBlockSize)
+	}
+	m.WriteByte(v3PostingsCompact)
+	mustU32(m, uint32(compact.BlockSize))
+	hasPos := byte(0)
+	if compact.HasPos {
+		hasPos = 1
+	}
+	m.WriteByte(hasPos)
+	mustU32(m, w.addI32(compact.Off), w.addI32(compact.FirstBlock), w.add(v3KindI64, binio.I64sBytes(compact.BlockOff)), w.add(v3KindBytes, compact.Data))
+}
+
+// mustU32 writes little-endian u32s to a bytes.Buffer (which cannot fail).
+func mustU32(m *bytes.Buffer, vs ...uint32) {
+	for _, v := range vs {
+		_ = binio.WriteU32(m, v)
+	}
+}
+
+// walkIndexForms splits a walks index snapshot into the writer's raw /
+// compact handles.
+func walkIndexForms(is *walks.IndexSnapshot) (*postings.CSR, *postings.Compact) {
+	if is == nil {
+		return nil, nil
+	}
+	if is.Compact != nil {
+		return nil, is.Compact
+	}
+	return &postings.CSR{Off: is.Off, Item: is.Walk, Pos: is.Pos}, nil
+}
+
+func rrIndexForms(is *im.IndexSnapshot) (*postings.CSR, *postings.Compact) {
+	if is == nil {
+		return nil, nil
+	}
+	if is.Compact != nil {
+		return nil, is.Compact
+	}
+	return &postings.CSR{Off: is.Off, Item: is.Item}, nil
+}
+
+// writeWalkSetRef emits a walk snapshot's manifest entry, adding its
+// arrays (and postings index, if any) as sections.
+func (w *v3writer) writeWalkSetRef(m *bytes.Buffer, s *walks.Snapshot, idx *walks.IndexSnapshot, opts V3Options) {
+	mustU32(m, uint32(s.Horizon))
+	mustU32(m, w.addI32(s.Nodes), w.addI32(s.Off), w.addI32(s.OwnerNodes), w.addI32(s.OwnerOff))
+	raw, compact := walkIndexForms(idx)
+	w.writePostingsRef(m, raw, compact, opts.RawPostings)
+}
+
+// WriteIndexV3 serializes idx in the v3 section-table layout. Arrays are
+// written as their exact little-endian memory images (zero-copy on
+// little-endian hosts), so WriteIndexV3 + OpenMapped round-trips every
+// artifact bit-identically. Postings indexes attached to artifacts are
+// persisted (compact by default); nil indexes are simply absent and
+// loaders rebuild them.
+func WriteIndexV3(w io.Writer, idx *Index, opts V3Options) error {
+	if err := idx.Validate(); err != nil {
+		return err
+	}
+	if err := checkSystemFinite(idx.Sys); err != nil {
+		return err
+	}
+	vw := &v3writer{sections: make([]v3section, 1)} // [0] reserved for the manifest
+	var m bytes.Buffer
+
+	// Graph.
+	a := idx.Sys.Candidate(0).G.Arrays()
+	mustU32(&m, uint32(a.N))
+	cs := byte(0)
+	if a.ColumnStochastic {
+		cs = 1
+	}
+	m.WriteByte(cs)
+	mustU32(&m, vw.addI32(a.InStart), vw.addI32(a.InSrc), vw.addF64(a.InW))
+	mustU32(&m, vw.addI32(a.OutStart), vw.addI32(a.OutDst), vw.addF64(a.OutW))
+
+	// Candidates.
+	mustU32(&m, uint32(idx.Sys.R()))
+	for q := 0; q < idx.Sys.R(); q++ {
+		c := idx.Sys.Candidate(q)
+		name := []byte(c.Name)
+		if len(name) > maxNameLen {
+			return fmt.Errorf("serialize: candidate %d name too long (%d bytes)", q, len(name))
+		}
+		mustU32(&m, uint32(len(name)))
+		m.Write(name)
+		mustU32(&m, vw.addF64(c.Init), vw.addF64(c.Stub))
+	}
+
+	// Artifacts.
+	mustU32(&m, uint32(len(idx.Sketches)))
+	for _, art := range idx.Sketches {
+		_ = binio.WriteI64(&m, art.Seed)
+		mustU32(&m, uint32(art.Target), uint32(art.Horizon), uint32(art.Theta))
+		vw.writeWalkSetRef(&m, art.Set, art.Index, opts)
+	}
+	mustU32(&m, uint32(len(idx.Walks)))
+	for _, art := range idx.Walks {
+		_ = binio.WriteI64(&m, art.Seed)
+		mustU32(&m, uint32(art.Target), uint32(art.Horizon), uint32(art.Lambda))
+		vw.writeWalkSetRef(&m, art.Set, art.Index, opts)
+	}
+	mustU32(&m, uint32(len(idx.RRs)))
+	for _, art := range idx.RRs {
+		_ = binio.WriteI64(&m, art.Seed)
+		mustU32(&m, uint32(art.Target), uint32(art.Sets.Model))
+		mustU32(&m, vw.addI32(art.Sets.Nodes), vw.addI32(art.Sets.Off))
+		raw, compact := rrIndexForms(art.Index)
+		vw.writePostingsRef(&m, raw, compact, opts.RawPostings)
+	}
+
+	// Mutable state: base epoch + update log stay in the manifest.
+	_ = binio.WriteU64(&m, uint64(idx.BaseEpoch))
+	if err := writeUpdateLog(&m, idx.Updates); err != nil {
+		return err
+	}
+	vw.sections[0] = v3section{kind: v3KindManifest, payload: m.Bytes()}
+
+	// Layout: header, table, then payloads at ascending 8-aligned offsets.
+	numSections := len(vw.sections)
+	if numSections > v3MaxSections {
+		return fmt.Errorf("serialize: %d sections exceed format limit %d", numSections, v3MaxSections)
+	}
+	table := make([]byte, numSections*v3EntrySize)
+	cur := v3align(int64(v3HeaderSize + numSections*v3EntrySize))
+	for i, s := range vw.sections {
+		e := table[i*v3EntrySize:]
+		binary.LittleEndian.PutUint64(e[0:], uint64(cur))
+		binary.LittleEndian.PutUint64(e[8:], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(e[16:], s.kind)
+		binary.LittleEndian.PutUint32(e[20:], crc32.ChecksumIEEE(s.payload))
+		cur = v3align(cur + int64(len(s.payload)))
+	}
+
+	var header [v3HeaderSize]byte
+	copy(header[:], indexMagic)
+	binary.LittleEndian.PutUint32(header[6:], IndexFormatV3)
+	binary.LittleEndian.PutUint32(header[12:], uint32(numSections))
+	binary.LittleEndian.PutUint32(header[16:], crc32.ChecksumIEEE(table))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(table); err != nil {
+		return err
+	}
+	var pad [8]byte
+	written := int64(v3HeaderSize + len(table))
+	for _, s := range vw.sections {
+		if aligned := v3align(written); aligned > written {
+			if _, err := w.Write(pad[:aligned-written]); err != nil {
+				return err
+			}
+			written = aligned
+		}
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+		written += int64(len(s.payload))
+	}
+	return nil
+}
+
+// --- reader ---
+
+type v3entry struct {
+	off, length int64
+	kind        uint32
+	crc         uint32
+}
+
+// v3parser resolves manifest section references over the validated file
+// image, tracking how many payload bytes were aliased in place (versus
+// decoded to heap) for the mapped/heap accounting.
+type v3parser struct {
+	data    []byte
+	entries []v3entry
+	mapped  bool
+	aliased int64
+}
+
+func (p *v3parser) payload(ref, kind uint32, what string) ([]byte, error) {
+	if ref == 0 || int(ref) >= len(p.entries) {
+		return nil, fmt.Errorf("serialize: v3 %s: section ref %d out of range", what, ref)
+	}
+	e := p.entries[ref]
+	if e.kind != kind {
+		return nil, fmt.Errorf("serialize: v3 %s: section %d has kind %d, want %d", what, ref, e.kind, kind)
+	}
+	return p.data[e.off : e.off+e.length], nil
+}
+
+func (p *v3parser) i32s(ref uint32, what string) ([]int32, bool, error) {
+	b, err := p.payload(ref, v3KindI32, what)
+	if err != nil {
+		return nil, false, err
+	}
+	xs, copied := binio.AliasI32s(b)
+	if !copied {
+		p.aliased += int64(len(b))
+	}
+	return xs, !copied, nil
+}
+
+func (p *v3parser) i64s(ref uint32, what string) ([]int64, bool, error) {
+	b, err := p.payload(ref, v3KindI64, what)
+	if err != nil {
+		return nil, false, err
+	}
+	xs, copied := binio.AliasI64s(b)
+	if !copied {
+		p.aliased += int64(len(b))
+	}
+	return xs, !copied, nil
+}
+
+func (p *v3parser) f64s(ref uint32, what string) ([]float64, bool, error) {
+	b, err := p.payload(ref, v3KindF64, what)
+	if err != nil {
+		return nil, false, err
+	}
+	xs, copied := binio.AliasF64s(b)
+	if !copied {
+		p.aliased += int64(len(b))
+	}
+	return xs, !copied, nil
+}
+
+func (p *v3parser) bytesSection(ref uint32, what string) ([]byte, error) {
+	b, err := p.payload(ref, v3KindBytes, what)
+	if err != nil {
+		return nil, err
+	}
+	p.aliased += int64(len(b))
+	return b, nil
+}
+
+// readPostingsRef parses a postings reference from the manifest stream.
+// wantPos states whether this index must carry positions (walk indexes do,
+// RR indexes must not).
+func (p *v3parser) readPostingsRef(r io.Reader, wantPos bool, what string) (raw *postings.CSR, compact *postings.Compact, mapped bool, err error) {
+	var mode [1]byte
+	if _, err := io.ReadFull(r, mode[:]); err != nil {
+		return nil, nil, false, fmt.Errorf("serialize: v3 %s postings mode: %w", what, err)
+	}
+	switch mode[0] {
+	case v3PostingsNone:
+		return nil, nil, false, nil
+	case v3PostingsRaw:
+		var refs [3]uint32
+		for i := range refs {
+			if refs[i], err = binio.ReadU32(r); err != nil {
+				return nil, nil, false, err
+			}
+		}
+		csr := &postings.CSR{}
+		a1, a2, a3 := true, true, true
+		if csr.Off, a1, err = p.i32s(refs[0], what+" postings off"); err != nil {
+			return nil, nil, false, err
+		}
+		if csr.Item, a2, err = p.i32s(refs[1], what+" postings items"); err != nil {
+			return nil, nil, false, err
+		}
+		if wantPos {
+			if refs[2] == 0 {
+				return nil, nil, false, fmt.Errorf("serialize: v3 %s postings lack positions", what)
+			}
+			if csr.Pos, a3, err = p.i32s(refs[2], what+" postings pos"); err != nil {
+				return nil, nil, false, err
+			}
+		} else if refs[2] != 0 {
+			return nil, nil, false, fmt.Errorf("serialize: v3 %s postings carry unexpected positions", what)
+		}
+		return csr, nil, p.mapped && a1 && a2 && a3, nil
+	case v3PostingsCompact:
+		blockSize, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if blockSize == 0 || blockSize > math.MaxInt32 {
+			return nil, nil, false, fmt.Errorf("serialize: v3 %s postings block size %d", what, blockSize)
+		}
+		var hasPos [1]byte
+		if _, err := io.ReadFull(r, hasPos[:]); err != nil {
+			return nil, nil, false, err
+		}
+		if hasPos[0] > 1 {
+			return nil, nil, false, fmt.Errorf("serialize: v3 %s postings hasPos flag %d", what, hasPos[0])
+		}
+		if (hasPos[0] == 1) != wantPos {
+			return nil, nil, false, fmt.Errorf("serialize: v3 %s postings positions mismatch (hasPos=%d)", what, hasPos[0])
+		}
+		var refs [4]uint32
+		for i := range refs {
+			if refs[i], err = binio.ReadU32(r); err != nil {
+				return nil, nil, false, err
+			}
+		}
+		cp := &postings.Compact{HasPos: hasPos[0] == 1, BlockSize: int32(blockSize)}
+		a1, a2, a3 := true, true, true
+		if cp.Off, a1, err = p.i32s(refs[0], what+" postings off"); err != nil {
+			return nil, nil, false, err
+		}
+		if cp.FirstBlock, a2, err = p.i32s(refs[1], what+" postings blocks"); err != nil {
+			return nil, nil, false, err
+		}
+		if cp.BlockOff, a3, err = p.i64s(refs[2], what+" postings block offsets"); err != nil {
+			return nil, nil, false, err
+		}
+		if cp.Data, err = p.bytesSection(refs[3], what+" postings data"); err != nil {
+			return nil, nil, false, err
+		}
+		return nil, cp, p.mapped && a1 && a2 && a3, nil
+	default:
+		return nil, nil, false, fmt.Errorf("serialize: v3 %s postings mode %d unknown", what, mode[0])
+	}
+}
+
+func (p *v3parser) readWalkSetRef(r io.Reader, what string) (*walks.Snapshot, *walks.IndexSnapshot, error) {
+	horizon, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var refs [4]uint32
+	for i := range refs {
+		if refs[i], err = binio.ReadU32(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	s := &walks.Snapshot{Horizon: int(horizon)}
+	a1, a2, a3, a4 := true, true, true, true
+	if s.Nodes, a1, err = p.i32s(refs[0], what+" nodes"); err != nil {
+		return nil, nil, err
+	}
+	if s.Off, a2, err = p.i32s(refs[1], what+" offsets"); err != nil {
+		return nil, nil, err
+	}
+	if s.OwnerNodes, a3, err = p.i32s(refs[2], what+" owners"); err != nil {
+		return nil, nil, err
+	}
+	if s.OwnerOff, a4, err = p.i32s(refs[3], what+" owner offsets"); err != nil {
+		return nil, nil, err
+	}
+	s.Mapped = p.mapped && a1 && a2 && a3 && a4
+	raw, compact, idxMapped, err := p.readPostingsRef(r, true, what+" index")
+	if err != nil {
+		return nil, nil, err
+	}
+	var is *walks.IndexSnapshot
+	if raw != nil {
+		is = &walks.IndexSnapshot{Off: raw.Off, Walk: raw.Item, Pos: raw.Pos, Mapped: idxMapped}
+	} else if compact != nil {
+		is = &walks.IndexSnapshot{Compact: compact, Mapped: idxMapped}
+	}
+	return s, is, nil
+}
+
+// parseV3 validates the section table of a complete v3 file image and
+// decodes the manifest, aliasing array sections over data wherever
+// alignment and endianness allow. With mapped set, the produced snapshots
+// are flagged as frozen storage. Returns the index and the number of
+// payload bytes consumed zero-copy.
+func parseV3(data []byte, mapped bool) (*Index, int64, error) {
+	if len(data) < v3HeaderSize {
+		return nil, 0, fmt.Errorf("serialize: v3 index truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(indexMagic)]) != indexMagic {
+		return nil, 0, fmt.Errorf("serialize: bad index magic %q", data[:len(indexMagic)])
+	}
+	if v := binary.LittleEndian.Uint32(data[6:]); v != IndexFormatV3 {
+		return nil, 0, fmt.Errorf("serialize: v3 parser got version %d", v)
+	}
+	if binary.LittleEndian.Uint16(data[10:]) != 0 || binary.LittleEndian.Uint32(data[20:]) != 0 {
+		return nil, 0, fmt.Errorf("serialize: v3 header padding not zero")
+	}
+	numSections := binary.LittleEndian.Uint32(data[12:])
+	if numSections == 0 || numSections > v3MaxSections {
+		return nil, 0, fmt.Errorf("serialize: v3 section count %d outside (0,%d]", numSections, v3MaxSections)
+	}
+	tableEnd := int64(v3HeaderSize) + int64(numSections)*v3EntrySize
+	if tableEnd > int64(len(data)) {
+		return nil, 0, fmt.Errorf("serialize: v3 section table exceeds file (%d > %d)", tableEnd, len(data))
+	}
+	table := data[v3HeaderSize:tableEnd]
+	if got, want := crc32.ChecksumIEEE(table), binary.LittleEndian.Uint32(data[16:]); got != want {
+		return nil, 0, fmt.Errorf("serialize: v3 section table checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	entries := make([]v3entry, numSections)
+	prevEnd := v3align(tableEnd)
+	for i := range entries {
+		e := table[i*v3EntrySize:]
+		off := binary.LittleEndian.Uint64(e[0:])
+		length := binary.LittleEndian.Uint64(e[8:])
+		kind := binary.LittleEndian.Uint32(e[16:])
+		if off > math.MaxInt64 || length > math.MaxInt64 {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d offset/length overflow", i)
+		}
+		ent := v3entry{off: int64(off), length: int64(length), kind: kind, crc: binary.LittleEndian.Uint32(e[20:])}
+		if ent.off%8 != 0 {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d offset %d not 8-aligned", i, ent.off)
+		}
+		if ent.off < prevEnd {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d at %d overlaps previous end %d", i, ent.off, prevEnd)
+		}
+		if ent.length > int64(len(data))-ent.off {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d spans past end of file", i)
+		}
+		switch kind {
+		case v3KindManifest, v3KindI32, v3KindF64, v3KindBytes, v3KindI64:
+		default:
+			return nil, 0, fmt.Errorf("serialize: v3 section %d has unknown kind %d", i, kind)
+		}
+		if sz := v3elemSize(kind); ent.length%sz != 0 {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d length %d not a multiple of %d", i, ent.length, sz)
+		}
+		if ent.length/4 > maxElements {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d exceeds element limit", i)
+		}
+		if got := crc32.ChecksumIEEE(data[ent.off : ent.off+ent.length]); got != ent.crc {
+			return nil, 0, fmt.Errorf("serialize: v3 section %d checksum mismatch (table %08x, computed %08x)", i, ent.crc, got)
+		}
+		prevEnd = ent.off + ent.length
+		entries[i] = ent
+	}
+	if entries[0].kind != v3KindManifest {
+		return nil, 0, fmt.Errorf("serialize: v3 section 0 has kind %d, want manifest", entries[0].kind)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].kind == v3KindManifest {
+			return nil, 0, fmt.Errorf("serialize: v3 has a second manifest at section %d", i)
+		}
+	}
+
+	p := &v3parser{data: data, entries: entries, mapped: mapped}
+	m := bytes.NewReader(data[entries[0].off : entries[0].off+entries[0].length])
+
+	// Graph.
+	nU32, err := binio.ReadU32(m)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 manifest graph: %w", err)
+	}
+	var csb [1]byte
+	if _, err := io.ReadFull(m, csb[:]); err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 manifest graph: %w", err)
+	}
+	if csb[0] > 1 {
+		return nil, 0, fmt.Errorf("serialize: v3 columnStochastic flag %d", csb[0])
+	}
+	var grefs [6]uint32
+	for i := range grefs {
+		if grefs[i], err = binio.ReadU32(m); err != nil {
+			return nil, 0, err
+		}
+	}
+	ga := graph.CSRArrays{N: int(nU32), ColumnStochastic: csb[0] == 1}
+	if ga.InStart, _, err = p.i32s(grefs[0], "graph in-offsets"); err != nil {
+		return nil, 0, err
+	}
+	if ga.InSrc, _, err = p.i32s(grefs[1], "graph in-edges"); err != nil {
+		return nil, 0, err
+	}
+	if ga.InW, _, err = p.f64s(grefs[2], "graph in-weights"); err != nil {
+		return nil, 0, err
+	}
+	if ga.OutStart, _, err = p.i32s(grefs[3], "graph out-offsets"); err != nil {
+		return nil, 0, err
+	}
+	if ga.OutDst, _, err = p.i32s(grefs[4], "graph out-edges"); err != nil {
+		return nil, 0, err
+	}
+	if ga.OutW, _, err = p.f64s(grefs[5], "graph out-weights"); err != nil {
+		return nil, 0, err
+	}
+	g, err := graph.NewFromCSR(ga)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
+
+	// Candidates.
+	rCand, err := binReadCount(m, maxCandidates)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 candidate count: %w", err)
+	}
+	if rCand < 2 {
+		return nil, 0, fmt.Errorf("serialize: need at least 2 candidates, got %d", rCand)
+	}
+	cands := make([]*opinion.Candidate, rCand)
+	for q := range cands {
+		nameLen, err := binReadCount(m, maxNameLen)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serialize: v3 candidate %d name length: %w", q, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(m, name); err != nil {
+			return nil, 0, fmt.Errorf("serialize: v3 candidate %d name: %w", q, err)
+		}
+		var refs [2]uint32
+		for i := range refs {
+			if refs[i], err = binio.ReadU32(m); err != nil {
+				return nil, 0, err
+			}
+		}
+		c := &opinion.Candidate{Name: string(name), G: g}
+		if c.Init, _, err = p.f64s(refs[0], "candidate init"); err != nil {
+			return nil, 0, err
+		}
+		if c.Stub, _, err = p.f64s(refs[1], "candidate stub"); err != nil {
+			return nil, 0, err
+		}
+		if len(c.Init) != n || len(c.Stub) != n {
+			return nil, 0, fmt.Errorf("serialize: v3 candidate %d vectors have %d/%d entries, want %d", q, len(c.Init), len(c.Stub), n)
+		}
+		cands[q] = c
+	}
+	sys, err := opinion.NewSystem(cands)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := &Index{Sys: sys}
+
+	// Artifacts.
+	numSketches, err := binReadCount(m, maxArtifacts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 sketch artifact count: %w", err)
+	}
+	for i := 0; i < numSketches; i++ {
+		a := &SketchArtifact{}
+		if a.Seed, err = binio.ReadI64(m); err != nil {
+			return nil, 0, err
+		}
+		var fields [3]uint32
+		for j := range fields {
+			if fields[j], err = binio.ReadU32(m); err != nil {
+				return nil, 0, err
+			}
+		}
+		a.Target, a.Horizon, a.Theta = int(fields[0]), int(fields[1]), int(fields[2])
+		if a.Set, a.Index, err = p.readWalkSetRef(m, fmt.Sprintf("sketch artifact %d", i)); err != nil {
+			return nil, 0, err
+		}
+		idx.Sketches = append(idx.Sketches, a)
+	}
+	numWalks, err := binReadCount(m, maxArtifacts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 walk artifact count: %w", err)
+	}
+	for i := 0; i < numWalks; i++ {
+		a := &WalkArtifact{}
+		if a.Seed, err = binio.ReadI64(m); err != nil {
+			return nil, 0, err
+		}
+		var fields [3]uint32
+		for j := range fields {
+			if fields[j], err = binio.ReadU32(m); err != nil {
+				return nil, 0, err
+			}
+		}
+		a.Target, a.Horizon, a.Lambda = int(fields[0]), int(fields[1]), int(fields[2])
+		if a.Set, a.Index, err = p.readWalkSetRef(m, fmt.Sprintf("walk artifact %d", i)); err != nil {
+			return nil, 0, err
+		}
+		idx.Walks = append(idx.Walks, a)
+	}
+	numRRs, err := binReadCount(m, maxArtifacts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 rr artifact count: %w", err)
+	}
+	for i := 0; i < numRRs; i++ {
+		a := &RRArtifact{Sets: &im.Snapshot{}}
+		if a.Seed, err = binio.ReadI64(m); err != nil {
+			return nil, 0, err
+		}
+		var target, model uint32
+		if target, err = binio.ReadU32(m); err != nil {
+			return nil, 0, err
+		}
+		if model, err = binio.ReadU32(m); err != nil {
+			return nil, 0, err
+		}
+		a.Target = int(target)
+		a.Sets.Model = im.Model(model)
+		var refs [2]uint32
+		for j := range refs {
+			if refs[j], err = binio.ReadU32(m); err != nil {
+				return nil, 0, err
+			}
+		}
+		what := fmt.Sprintf("rr artifact %d", i)
+		a1, a2 := true, true
+		if a.Sets.Nodes, a1, err = p.i32s(refs[0], what+" members"); err != nil {
+			return nil, 0, err
+		}
+		if a.Sets.Off, a2, err = p.i32s(refs[1], what+" offsets"); err != nil {
+			return nil, 0, err
+		}
+		a.Sets.Mapped = mapped && a1 && a2
+		raw, compact, idxMapped, err := p.readPostingsRef(m, false, what+" index")
+		if err != nil {
+			return nil, 0, err
+		}
+		if raw != nil {
+			a.Index = &im.IndexSnapshot{Off: raw.Off, Item: raw.Item, Mapped: idxMapped}
+		} else if compact != nil {
+			a.Index = &im.IndexSnapshot{Compact: compact, Mapped: idxMapped}
+		}
+		idx.RRs = append(idx.RRs, a)
+	}
+
+	base, err := binio.ReadU64(m)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serialize: v3 base epoch: %w", err)
+	}
+	if base > math.MaxInt64 {
+		return nil, 0, fmt.Errorf("serialize: v3 base epoch %d overflows", base)
+	}
+	idx.BaseEpoch = int64(base)
+	if idx.Updates, err = readUpdateLog(m); err != nil {
+		return nil, 0, err
+	}
+	if m.Len() != 0 {
+		return nil, 0, fmt.Errorf("serialize: v3 manifest has %d trailing bytes", m.Len())
+	}
+	if err := idx.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return idx, p.aliased, nil
+}
+
+// MappedIndex is an Index whose bulk arrays may alias an open file
+// mapping. Keep it (and the mapping) alive for as long as any dataset
+// built from the Index is in use; Close only after the serving layer has
+// dropped every reference.
+type MappedIndex struct {
+	Index *Index
+
+	region      *mmapio.Region
+	mappedBytes int64
+}
+
+// Mapped reports whether any part of the index aliases an mmap'd region.
+func (mi *MappedIndex) Mapped() bool { return mi.region != nil && mi.region.Mapped() }
+
+// MappedBytes returns how many payload bytes are consumed zero-copy from
+// the mapping (0 when the load fell back to the heap).
+func (mi *MappedIndex) MappedBytes() int64 {
+	if !mi.Mapped() {
+		return 0
+	}
+	return mi.mappedBytes
+}
+
+// Close releases the mapping. The Index and everything built from it must
+// not be used afterwards.
+func (mi *MappedIndex) Close() error {
+	if mi.region == nil {
+		return nil
+	}
+	r := mi.region
+	mi.region = nil
+	return r.Close()
+}
+
+// OpenMapped loads an index file with the zero-copy path when possible: a
+// v3 file is mmap'd and its array sections aliased in place; v1/v2 files
+// (and platforms without mmap) fall back to the heap decode of ReadIndex.
+// The caller owns the returned MappedIndex and must Close it after the
+// last use of the Index.
+func OpenMapped(path string) (*MappedIndex, error) {
+	region, err := mmapio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data := region.Data()
+	version := uint32(0)
+	if len(data) >= len(indexMagic)+4 && string(data[:len(indexMagic)]) == indexMagic {
+		version = binary.LittleEndian.Uint32(data[len(indexMagic):])
+	}
+	if version != IndexFormatV3 || !region.Mapped() {
+		// Heap path: stream-decode (v1/v2) or parse the slurped image (v3
+		// on a no-mmap platform); nothing references the region afterwards.
+		idx, rerr := ReadIndex(bytes.NewReader(data))
+		_ = region.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		return &MappedIndex{Index: idx}, nil
+	}
+	idx, aliased, err := parseV3(data, true)
+	if err != nil {
+		_ = region.Close()
+		return nil, err
+	}
+	return &MappedIndex{Index: idx, region: region, mappedBytes: aliased}, nil
+}

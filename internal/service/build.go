@@ -70,8 +70,12 @@ func BuildIndex(sys *opinion.System, o BuildOptions) (*serialize.Index, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Persist the postings index too (v3 stores it next to the walks),
+		// so loaders adopt it instead of re-running the counting sort.
+		set.EnsureIndex()
 		idx.Sketches = append(idx.Sketches, &serialize.SketchArtifact{
 			Seed: o.Seed, Target: o.Target, Horizon: o.Horizon, Theta: o.SketchTheta, Set: snap,
+			Index: set.IndexSnapshot(),
 		})
 	}
 	if o.IncludeWalks {
@@ -91,8 +95,10 @@ func BuildIndex(sys *opinion.System, o BuildOptions) (*serialize.Index, error) {
 		if err != nil {
 			return nil, err
 		}
+		set.EnsureIndex()
 		idx.Walks = append(idx.Walks, &serialize.WalkArtifact{
 			Seed: o.Seed, Target: o.Target, Horizon: o.Horizon, Lambda: lambda, Set: snap,
+			Index: set.IndexSnapshot(),
 		})
 	}
 	if o.RRSets > 0 {
@@ -108,7 +114,10 @@ func BuildIndex(sys *opinion.System, o BuildOptions) (*serialize.Index, error) {
 			if err != nil {
 				return nil, err
 			}
-			idx.RRs = append(idx.RRs, &serialize.RRArtifact{Seed: o.Seed, Target: o.Target, Sets: snap})
+			col.EnsureIndex()
+			idx.RRs = append(idx.RRs, &serialize.RRArtifact{
+				Seed: o.Seed, Target: o.Target, Sets: snap, Index: col.IndexSnapshot(),
+			})
 		}
 	}
 	return idx, nil

@@ -213,8 +213,12 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		}
 		// Index once at load time: every per-query Clone shares the postings
 		// index, so indexed queries ride the incremental greedy path without
-		// paying a per-query index build.
-		set.EnsureIndex()
+		// paying a per-query index build. A v3 file carries the index; adopt
+		// it (verified against storage) instead of rebuilding, falling back
+		// to the rebuild if verification rejects it.
+		if a.Index == nil || set.AdoptIndex(a.Index) != nil {
+			set.EnsureIndex()
+		}
 		ds.sketches = append(ds.sketches, &sketchArtifact{
 			seed: a.Seed, target: a.Target, horizon: a.Horizon, theta: a.Theta, set: set,
 		})
@@ -227,7 +231,9 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		if set.NumWalks() != a.Lambda*idx.Sys.N() {
 			return badRequestf("walk artifact %d stores %d walks, want lambda×n=%d", i, set.NumWalks(), a.Lambda*idx.Sys.N())
 		}
-		set.EnsureIndex()
+		if a.Index == nil || set.AdoptIndex(a.Index) != nil {
+			set.EnsureIndex()
+		}
 		ds.walkSets = append(ds.walkSets, &walkArtifact{
 			seed: a.Seed, target: a.Target, horizon: a.Horizon, lambda: a.Lambda, set: set,
 		})
@@ -237,7 +243,9 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		if err != nil {
 			return badRequestf("rr artifact %d: %v", i, err)
 		}
-		col.EnsureIndex()
+		if a.Index == nil || col.AdoptIndex(a.Index) != nil {
+			col.EnsureIndex()
+		}
 		ds.rrs = append(ds.rrs, &rrArtifact{seed: a.Seed, target: a.Target, col: col})
 	}
 	// Replay the index's update log through the same incremental-repair
@@ -830,7 +838,12 @@ type DatasetStats struct {
 	SketchArtifacts int    `json:"sketchArtifacts"`
 	WalkArtifacts   int    `json:"walkArtifacts"`
 	RRArtifacts     int    `json:"rrArtifacts"`
-	IndexBytes      int64  `json:"indexBytes"`
+	// IndexBytes = MappedBytes + HeapBytes: the artifact footprint, split
+	// into bytes aliasing a read-only file mapping (shared, evictable page
+	// cache) and bytes resident on the Go heap.
+	IndexBytes  int64 `json:"indexBytes"`
+	MappedBytes int64 `json:"mappedBytes"`
+	HeapBytes   int64 `json:"heapBytes"`
 }
 
 // StatsSnapshot assembles the /stats payload.
@@ -875,14 +888,18 @@ func (s *Service) StatsSnapshot() Stats {
 			RRArtifacts:     len(ds.rrs),
 		}
 		for _, a := range ds.sketches {
-			d.IndexBytes += a.set.BytesUsed()
+			d.MappedBytes += a.set.MappedBytes()
+			d.HeapBytes += a.set.HeapBytes()
 		}
 		for _, a := range ds.walkSets {
-			d.IndexBytes += a.set.BytesUsed()
+			d.MappedBytes += a.set.MappedBytes()
+			d.HeapBytes += a.set.HeapBytes()
 		}
 		for _, a := range ds.rrs {
-			d.IndexBytes += a.col.BytesUsed()
+			d.MappedBytes += a.col.MappedBytes()
+			d.HeapBytes += a.col.HeapBytes()
 		}
+		d.IndexBytes = d.MappedBytes + d.HeapBytes
 		st.Datasets = append(st.Datasets, d)
 	}
 	return st

@@ -97,6 +97,7 @@ func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
 		}
 		idx.Sketches = append(idx.Sketches, &serialize.SketchArtifact{
 			Seed: a.seed, Target: a.target, Horizon: a.horizon, Theta: a.theta, Set: snap,
+			Index: a.set.IndexSnapshot(),
 		})
 	}
 	for _, a := range ds.walkSets {
@@ -106,6 +107,7 @@ func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
 		}
 		idx.Walks = append(idx.Walks, &serialize.WalkArtifact{
 			Seed: a.seed, Target: a.target, Horizon: a.horizon, Lambda: a.lambda, Set: snap,
+			Index: a.set.IndexSnapshot(),
 		})
 	}
 	for _, a := range ds.rrs {
@@ -113,7 +115,9 @@ func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
 		if err != nil {
 			return nil, internalErr(err)
 		}
-		idx.RRs = append(idx.RRs, &serialize.RRArtifact{Seed: a.seed, Target: a.target, Sets: snap})
+		idx.RRs = append(idx.RRs, &serialize.RRArtifact{
+			Seed: a.seed, Target: a.target, Sets: snap, Index: a.col.IndexSnapshot(),
+		})
 	}
 	return idx, nil
 }

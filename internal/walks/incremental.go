@@ -177,6 +177,9 @@ func (e *Estimator) addSeedIncremental(u int32) {
 func (e *Estimator) cumGainOf(u int32) float64 {
 	set := e.set
 	idx := set.idx
+	if idx.compact != nil {
+		return e.cumGainOfCompact(u)
+	}
 	lo, hi := idx.off[u], idx.off[u+1]
 	if e.scanShards <= 1 {
 		g := 0.0
@@ -203,6 +206,53 @@ func (e *Estimator) cumGainOf(u int32) float64 {
 			_, shardHi = engine.ShardRange(numWalks, e.scanShards, s)
 		}
 		if e.live[w] && set.off[w]+idx.pos[p] <= set.end[w] {
+			partial += e.share[w]
+		}
+	}
+	if partial != 0 {
+		g += partial
+	}
+	return g
+}
+
+// cumGainOfCompact is cumGainOf over the compact postings backing. The
+// iterator yields postings in exactly the raw arrays' order, and the shard
+// fold replicates the raw path's grouping, so the float result is
+// bit-identical. The iterator is a stack value — no shared decode state,
+// safe under the concurrent gain scans.
+func (e *Estimator) cumGainOfCompact(u int32) float64 {
+	set := e.set
+	it := set.idx.compact.Iter(u)
+	if e.scanShards <= 1 {
+		g := 0.0
+		for {
+			w, rel, ok := it.Next()
+			if !ok {
+				return g
+			}
+			if e.live[w] && set.off[w]+rel <= set.end[w] {
+				g += e.share[w]
+			}
+		}
+	}
+	numWalks := set.NumWalks()
+	g, partial := 0.0, 0.0
+	s := 0
+	_, shardHi := engine.ShardRange(numWalks, e.scanShards, 0)
+	for {
+		w, rel, ok := it.Next()
+		if !ok {
+			break
+		}
+		for int(w) >= shardHi {
+			if partial != 0 {
+				g += partial
+				partial = 0
+			}
+			s++
+			_, shardHi = engine.ShardRange(numWalks, e.scanShards, s)
+		}
+		if e.live[w] && set.off[w]+rel <= set.end[w] {
 			partial += e.share[w]
 		}
 	}
@@ -284,20 +334,42 @@ func (e *Estimator) rebuildEntries(u int32) {
 	eo, ed := e.entOwner[u][:0], e.entDelta[u][:0]
 	cur := int32(-1)
 	var delta float64
-	for p := idx.off[u]; p < idx.off[u+1]; p++ {
-		w := idx.walk[p]
-		if !e.live[w] || set.off[w]+idx.pos[p] > set.end[w] {
-			continue
-		}
-		i := e.walkOwnerIdx[w]
-		if i != cur {
-			if cur >= 0 {
-				eo = append(eo, cur)
-				ed = append(ed, delta)
+	if idx.compact != nil {
+		it := idx.compact.Iter(u)
+		for {
+			w, rel, ok := it.Next()
+			if !ok {
+				break
 			}
-			cur, delta = i, 0
+			if !e.live[w] || set.off[w]+rel > set.end[w] {
+				continue
+			}
+			i := e.walkOwnerIdx[w]
+			if i != cur {
+				if cur >= 0 {
+					eo = append(eo, cur)
+					ed = append(ed, delta)
+				}
+				cur, delta = i, 0
+			}
+			delta += e.addVal[w]
 		}
-		delta += e.addVal[w]
+	} else {
+		for p := idx.off[u]; p < idx.off[u+1]; p++ {
+			w := idx.walk[p]
+			if !e.live[w] || set.off[w]+idx.pos[p] > set.end[w] {
+				continue
+			}
+			i := e.walkOwnerIdx[w]
+			if i != cur {
+				if cur >= 0 {
+					eo = append(eo, cur)
+					ed = append(ed, delta)
+				}
+				cur, delta = i, 0
+			}
+			delta += e.addVal[w]
+		}
 	}
 	if cur >= 0 {
 		eo = append(eo, cur)

@@ -15,15 +15,43 @@ import (
 // walk-relative (absolute = Set.off[w] + pos), so postings of untouched
 // walks survive a Repair unchanged even when regenerated walks elsewhere
 // shift the flat storage.
+//
+// The index has two interchangeable backings: raw CSR arrays (off/walk/pos,
+// built by EnsureIndex) or a delta+varint compact form (adopted from a v3
+// index file, possibly aliasing a read-only mapped region). Every consumer
+// branches on the backing; both yield identical postings in identical
+// order, so the choice is invisible in results.
 type walkIndex struct {
 	off  []int32 // len n+1: node v's postings are walk/pos[off[v]:off[v+1]]
 	walk []int32 // walk ids, ascending per node
 	pos  []int32 // first-occurrence offset from the walk's start
+
+	compact *postings.Compact // alternative backing; off/walk/pos nil when set
+	mapped  bool              // storage aliases a read-only mapped region
 }
 
 // bytes reports the index storage footprint.
 func (idx *walkIndex) bytes() int64 {
+	if idx.compact != nil {
+		return idx.compact.Bytes()
+	}
 	return int64(len(idx.off))*4 + int64(len(idx.walk))*4 + int64(len(idx.pos))*4
+}
+
+// materialized returns a raw-CSR view of the index, decompressing the
+// compact backing to fresh heap arrays if needed. Repair uses it: patching
+// works on raw arrays, which also satisfies the copy-on-write contract —
+// a repaired index never aliases the mapped file.
+func (idx *walkIndex) materialized() *walkIndex {
+	if idx.compact == nil {
+		return idx
+	}
+	csr := idx.compact.ToCSR()
+	off := csr.Off
+	if idx.mapped {
+		off = append([]int32(nil), off...) // ToCSR shares Off with the mapping
+	}
+	return &walkIndex{off: off, walk: csr.Item, pos: csr.Pos}
 }
 
 // EnsureIndex builds the node → walk postings index if the set does not
@@ -65,6 +93,7 @@ func repairIndex(old, set *Set, invalid []bool, parallelism int) *walkIndex {
 		// immutable index can simply be shared.
 		return oldIdx
 	}
+	oldIdx = oldIdx.materialized()
 	n := set.g.N()
 	invalidWalk := make([]bool, set.NumWalks())
 	for i, bad := range invalid {
@@ -183,6 +212,22 @@ func repairIndex(old, set *Set, invalid []bool, parallelism int) *walkIndex {
 // truncation's.
 func (set *Set) truncateIndexed(u int32, onHit func(w, oldEnd int32)) {
 	idx := set.idx
+	if idx.compact != nil {
+		it := idx.compact.Iter(u)
+		for {
+			w, rel, ok := it.Next()
+			if !ok {
+				return
+			}
+			if pos := set.off[w] + rel; pos <= set.end[w] {
+				old := set.end[w]
+				set.end[w] = pos
+				if onHit != nil {
+					onHit(w, old)
+				}
+			}
+		}
+	}
 	for p := idx.off[u]; p < idx.off[u+1]; p++ {
 		w := idx.walk[p]
 		if pos := set.off[w] + idx.pos[p]; pos <= set.end[w] {

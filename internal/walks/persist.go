@@ -22,6 +22,11 @@ type Snapshot struct {
 	Off        []int32 // len numWalks+1
 	OwnerNodes []int32 // distinct start nodes, ascending
 	OwnerOff   []int32 // CSR into walk ids per owner
+
+	// Mapped marks the slices as aliasing a read-only mapped region (set
+	// by the v3 zero-copy loader). The restored Set treats them as frozen
+	// storage; mutation paths copy-on-write instead of writing in place.
+	Mapped bool
 }
 
 // Snapshot captures the set's pristine state. It fails if seeds have been
@@ -37,6 +42,7 @@ func (set *Set) Snapshot() (*Snapshot, error) {
 		Off:        set.off,
 		OwnerNodes: set.ownerNodes,
 		OwnerOff:   set.ownerOff,
+		Mapped:     set.storageMapped,
 	}, nil
 }
 
@@ -93,14 +99,15 @@ func FromSnapshot(g *graph.Graph, s *Snapshot) (*Set, error) {
 		}
 	}
 	set := &Set{
-		g:          g,
-		horizon:    s.Horizon,
-		nodes:      s.Nodes,
-		off:        s.Off,
-		end:        make([]int32, numWalks),
-		ownerNodes: s.OwnerNodes,
-		ownerOff:   s.OwnerOff,
-		inSeed:     make([]bool, n),
+		g:             g,
+		horizon:       s.Horizon,
+		nodes:         s.Nodes,
+		off:           s.Off,
+		end:           make([]int32, numWalks),
+		ownerNodes:    s.OwnerNodes,
+		ownerOff:      s.OwnerOff,
+		inSeed:        make([]bool, n),
+		storageMapped: s.Mapped,
 	}
 	for w := 0; w < numWalks; w++ {
 		set.end[w] = s.Off[w+1] - 1
@@ -115,15 +122,16 @@ func FromSnapshot(g *graph.Graph, s *Snapshot) (*Set, error) {
 // loaded artifact without copying the walks themselves.
 func (set *Set) Clone() *Set {
 	c := &Set{
-		g:          set.g,
-		horizon:    set.horizon,
-		nodes:      set.nodes,
-		off:        set.off,
-		end:        make([]int32, len(set.end)),
-		ownerNodes: set.ownerNodes,
-		ownerOff:   set.ownerOff,
-		inSeed:     make([]bool, len(set.inSeed)),
-		idx:        set.idx,
+		g:             set.g,
+		horizon:       set.horizon,
+		nodes:         set.nodes,
+		off:           set.off,
+		end:           make([]int32, len(set.end)),
+		ownerNodes:    set.ownerNodes,
+		ownerOff:      set.ownerOff,
+		inSeed:        make([]bool, len(set.inSeed)),
+		idx:           set.idx,
+		storageMapped: set.storageMapped,
 	}
 	copy(c.end, set.end)
 	copy(c.inSeed, set.inSeed)

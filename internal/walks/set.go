@@ -28,6 +28,13 @@ type Set struct {
 	seeds  []int32
 
 	idx *walkIndex // node → walk postings (nil until EnsureIndex; shared by Clones)
+
+	// storageMapped records that the immutable arrays (nodes, off,
+	// ownerNodes, ownerOff) alias a read-only mapped region. Mutable state
+	// (end, inSeed, seeds) is always heap-allocated, and every mutation
+	// path (AddSeed, Repair) writes only to heap state or to fresh arrays,
+	// so a mapped Set behaves identically to a heap one.
+	storageMapped bool
 }
 
 // Substream family offsets within a walk-generation Stream: walks for owner
@@ -334,11 +341,38 @@ func (set *Set) EstimatePerOwner(b0 []float64, out []float64, parallelism int) {
 // BytesUsed approximates the walk storage footprint, for the memory study
 // (Fig 17): the flat walk arrays, owner grouping, seed state, and — when
 // built — the node → walk postings index.
-func (set *Set) BytesUsed() int64 {
-	b := int64(len(set.nodes))*4 + int64(len(set.off))*4 + int64(len(set.end))*4 +
-		int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4 + int64(len(set.inSeed)) +
-		int64(len(set.seeds))*4
-	if set.idx != nil {
+func (set *Set) BytesUsed() int64 { return set.MappedBytes() + set.HeapBytes() }
+
+// mutableBytes is the per-process mutable state: truncation pointers, seed
+// markers, and the seed list — always heap-allocated, even for a mapped set.
+func (set *Set) mutableBytes() int64 {
+	return int64(len(set.end))*4 + int64(len(set.inSeed)) + int64(len(set.seeds))*4
+}
+
+// MappedBytes reports how much of the footprint aliases a read-only mapped
+// region (0 for a heap-backed set). The walk storage and the postings index
+// are accounted separately: a mapped set can still carry a heap-built index
+// and vice versa.
+func (set *Set) MappedBytes() int64 {
+	b := int64(0)
+	if set.storageMapped {
+		b = int64(len(set.nodes))*4 + int64(len(set.off))*4 +
+			int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4
+	}
+	if set.idx != nil && set.idx.mapped {
+		b += set.idx.bytes()
+	}
+	return b
+}
+
+// HeapBytes reports the heap-resident remainder of the footprint.
+func (set *Set) HeapBytes() int64 {
+	b := set.mutableBytes()
+	if !set.storageMapped {
+		b += int64(len(set.nodes))*4 + int64(len(set.off))*4 +
+			int64(len(set.ownerNodes))*4 + int64(len(set.ownerOff))*4
+	}
+	if set.idx != nil && !set.idx.mapped {
 		b += set.idx.bytes()
 	}
 	return b

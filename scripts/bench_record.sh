@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 sha="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
 out="BENCH_${sha}.json"
-bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate}"
+bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad}"
 benchtime="${BENCHTIME:-1x}"
 
 raw=$(go test -bench "$bench_re" -benchtime "$benchtime" -run '^$' .)

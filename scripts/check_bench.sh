@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Gate on the recorded bench trajectory: the BENCH_<sha>.json produced by
-# bench_record.sh must contain BenchmarkSelection results carrying both the
-# old-vs-new speedup metric and the determinism self-check. A refactor that
-# silently drops the selection benchmark (or its equivalence evidence) fails
-# CI here instead of eroding the perf history.
+# bench_record.sh must contain (a) BenchmarkSelection results carrying both
+# the old-vs-new speedup metric and the determinism self-check, and (b)
+# BenchmarkIndexLoad results carrying the index byte-footprint split
+# (index_bytes on disk, mapped_bytes zero-copy, heap_bytes resident). A
+# refactor that silently drops either benchmark (or its evidence metrics)
+# fails CI here instead of eroding the perf history.
 #
 #   ./scripts/check_bench.sh BENCH_<sha>.json
 set -euo pipefail
@@ -19,4 +21,14 @@ for metric in speedup_x determinism_ok; do
     exit 1
   fi
 done
-echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok"
+for metric in index_bytes mapped_bytes heap_bytes; do
+  if ! grep -q "BenchmarkIndexLoad.*\"${metric}\"" "$f"; then
+    echo "check_bench: $f has no BenchmarkIndexLoad result with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+if ! grep -q 'BenchmarkIndexLoad/v3-mmap.*"load_speedup_x"' "$f"; then
+  echo "check_bench: $f has no BenchmarkIndexLoad/v3-mmap result with the load_speedup_x metric" >&2
+  exit 1
+fi
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok and BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x"

@@ -2,15 +2,19 @@
 # End-to-end smoke test for the ovmd daemon, run by CI:
 #   1. synthesize a tiny dataset and persist it as a .system file;
 #   2. ovmd -build-index precomputes the serving artifacts;
-#   3. the daemon starts from the index (load, not recompute);
+#   3. the daemon starts from the index (load, not recompute) with the
+#      default zero-copy mmap path;
 #   4. /healthz answers, a select-seeds query over HTTP returns exactly the
 #      seeds the direct CLI (ovm -theta) computes, and a repeat of the same
 #      query is served from the cache;
-#   5. a dynamic-update batch POSTed to /v1/datasets/default/updates bumps
+#   5. a second daemon serving the same index with -mmap=false answers the
+#      same query with a byte-identical HTTP body (modulo the elapsed-time
+#      field) — the mapped/heap equivalence contract, end to end;
+#   6. a dynamic-update batch POSTed to /v1/datasets/default/updates bumps
 #      the epoch, the post-update HTTP seeds equal a fresh CLI run on the
 #      mutated graph (ovm -updates), and the index file is rewritten as
-#      OVMIDX v2 with the persisted update log;
-#   6. SIGTERM drains the daemon gracefully (exit code 0).
+#      OVMIDX v3 with the persisted update log;
+#   7. SIGTERM drains the daemon gracefully (exit code 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +24,7 @@ base="http://127.0.0.1:${port}"
 
 cleanup() {
   [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
+  [[ -n "${heap_pid:-}" ]] && kill "$heap_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -65,6 +70,30 @@ resp2=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/j
 grep -q '"cached":true' <<<"$resp2" || { echo "FAIL: repeat query was not cached"; exit 1; }
 echo "   repeat query served from cache"
 
+echo "== mapped vs heap serving equivalence"
+grep -q "bytes zero-copy" "$workdir/daemon.log" \
+  || { echo "FAIL: default daemon did not mmap the v3 index"; cat "$workdir/daemon.log"; exit 1; }
+heap_port=18473
+heap_base="http://127.0.0.1:${heap_port}"
+"$workdir/ovmd" -listen "127.0.0.1:${heap_port}" -index "$workdir/smoke.ovmidx" -mmap=false \
+  >"$workdir/daemon_heap.log" 2>&1 &
+heap_pid=$!
+for _ in $(seq 1 50); do
+  if curl -sf "$heap_base/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+grep -q "(heap)" "$workdir/daemon_heap.log" \
+  || { echo "FAIL: -mmap=false daemon did not load to the heap"; cat "$workdir/daemon_heap.log"; exit 1; }
+heap_resp=$(curl -sf -X POST "$heap_base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+# Only the elapsed-time stamp may differ between the two bodies.
+strip_elapsed() { sed -E 's/"elapsedMs":[0-9.eE+-]+//'; }
+[[ "$(strip_elapsed <<<"$resp")" == "$(strip_elapsed <<<"$heap_resp")" ]] \
+  || { echo "FAIL: mapped response differs from heap response:"; echo "  mmap: $resp"; echo "  heap: $heap_resp"; exit 1; }
+kill -TERM "$heap_pid"
+wait "$heap_pid" || true
+heap_pid=""
+echo "   -mmap and -mmap=false daemons answer byte-identically"
+
 curl -sf "$base/stats" | grep -q '"cacheHits":1' || { echo "FAIL: /stats cache hit count"; exit 1; }
 echo "   /stats ok"
 
@@ -93,9 +122,9 @@ grep -q '"fromIndex":true' <<<"$resp3" || { echo "FAIL: post-update query did no
 echo "   post-update seeds match a fresh CLI run on the mutated graph (repaired index, epoch 1)"
 
 version_bytes=$(head -c 10 "$workdir/smoke.ovmidx" | od -An -tu1 | tr -s ' ' | sed 's/^ //;s/ $//')
-[[ "$version_bytes" == "79 86 77 73 68 88 2 0 0 0" ]] \
-  || { echo "FAIL: index file was not rewritten as OVMIDX v2 (header bytes: $version_bytes)"; exit 1; }
-echo "   index file persisted as OVMIDX v2 (update log appended)"
+[[ "$version_bytes" == "79 86 77 73 68 88 3 0 0 0" ]] \
+  || { echo "FAIL: index file was not rewritten as OVMIDX v3 (header bytes: $version_bytes)"; exit 1; }
+echo "   index file persisted as OVMIDX v3 (update log appended)"
 
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"

@@ -16,6 +16,13 @@
 // a pre-existing v1/v2 file is readable and is rewritten as v3 on its
 // first persisted update.
 //
+// Observability: GET /metrics is a dependency-free Prometheus text
+// exposition (request/stage latency histograms, cache counters,
+// per-dataset epoch and index-footprint gauges); GET /debug/slow-queries
+// dumps the slow-query ring with per-stage timings; -pprof mounts
+// net/http/pprof under /debug/pprof/. Logging is leveled and structured
+// (-log-level, -log-format json).
+//
 // Build an index once:
 //
 //	ovmgen -dataset yelp-like -n 5000 -system -out world
@@ -37,12 +44,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +58,7 @@ import (
 	"ovm/internal/cliutil"
 	"ovm/internal/core"
 	"ovm/internal/dynamic"
+	"ovm/internal/obs"
 	"ovm/internal/serialize"
 	"ovm/internal/service"
 )
@@ -68,6 +77,12 @@ func main() {
 		mmap    = flag.Bool("mmap", true, "serve a v3 -index zero-copy from an mmap'd region (v1/v2 files and -mmap=false load to the heap); never changes any response")
 		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
 		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log reaches this many batches, bounding file size and restart replay cost (0 = never compact)")
+
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (queries log at debug)")
+		logFormat = flag.String("log-format", "text", "log line format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux")
+		slowLog   = flag.Int("slow-log", 32, "slow-query ring capacity served on /debug/slow-queries (0 disables)")
+		slowThr   = flag.Duration("slow-threshold", 0, "minimum duration a request must take to enter the slow-query log (0 = retain the most recent requests)")
 
 		build  = flag.Bool("build-index", false, "build an index file and exit instead of serving")
 		out    = flag.String("out", "index.ovmidx", "index output path for -build-index")
@@ -88,12 +103,22 @@ func main() {
 	checkFlag(*rr >= 0, "-rr must be >= 0, got %d", *rr)
 	checkFlag(*tBuild >= 0, "-t must be >= 0, got %d", *tBuild)
 	checkFlag(*target >= 0, "-target must be >= 0, got %d", *target)
+	checkFlag(*slowLog >= 0, "-slow-log must be >= 0, got %d", *slowLog)
+	checkFlag(*slowThr >= 0, "-slow-threshold must be >= 0, got %v", *slowThr)
+	checkFlag(*logFormat == "text" || *logFormat == "json", "-log-format must be text or json, got %q", *logFormat)
+	level, err := obs.ParseLevel(*logLevel)
+	checkFlag(err == nil, "-log-level: %v", err)
 
 	if *build {
 		buildIndex(*load, *dataset, *n, *mu, *seed, *out, *theta, *walks, *rr, *tBuild, *target, *par)
 		return
 	}
-	serve(*listen, *name, *index, *load, *dataset, *n, *mu, *seed, *par, *cache, *compact, *mmap)
+	serve(serveOpts{
+		listen: *listen, name: *name, index: *index, load: *load, dataset: *dataset,
+		n: *n, mu: *mu, seed: *seed, par: *par, cache: *cache, compact: *compact,
+		mmap: *mmap, pprof: *pprofOn, slowLog: *slowLog, slowThreshold: *slowThr,
+		logger: obs.NewLogger(os.Stderr, level, *logFormat == "json"),
+	})
 }
 
 // buildIndex implements ovmd -build-index: load or synthesize a system,
@@ -135,30 +160,58 @@ func buildIndex(load, dataset string, n int, mu float64, seed int64, out string,
 		time.Since(start).Round(time.Millisecond))
 }
 
+// serveOpts carries the daemon-mode flag values.
+type serveOpts struct {
+	listen, name, index, load, dataset string
+	n                                  int
+	mu                                 float64
+	seed                               int64
+	par, cache, compact                int
+	mmap, pprof                        bool
+	slowLog                            int
+	slowThreshold                      time.Duration
+	logger                             *obs.Logger
+}
+
 // serve implements the daemon mode: register the dataset (index preferred,
 // so startup is load-not-recompute), then run the HTTP server until
 // SIGINT/SIGTERM triggers a graceful drain. With -index, applied update
 // batches are persisted into the file's OVMIDX v3 update log before they
 // become visible, so the serving epoch survives restarts.
-func serve(listen, name, index, load, dataset string, n int, mu float64, seed int64, par, cache, compact int, mmap bool) {
-	cfg := service.Config{CacheSize: cache, Parallelism: par}
+func serve(o serveOpts) {
+	logger := o.logger
+	cfg := service.Config{
+		CacheSize:          o.cache,
+		Parallelism:        o.par,
+		Logger:             logger,
+		SlowQueryLog:       o.slowLog,
+		SlowQueryThreshold: o.slowThreshold,
+	}
+	if o.slowLog == 0 {
+		cfg.SlowQueryLog = -1 // 0 means "disabled" on the flag, "default" in Config
+	}
 	var idx *serialize.Index
 	var mi *serialize.MappedIndex
 	var svc *service.Service
-	if index != "" {
-		if mmap {
+	// logDepth mirrors len(idx.Updates) for /stats and /metrics. OnUpdate
+	// reassigns idx under the service's update lock while stats readers run
+	// concurrently, so the depth crosses goroutines through an atomic
+	// rather than by reading idx.Updates directly.
+	var logDepth atomic.Int64
+	if o.index != "" {
+		if o.mmap {
 			// Zero-copy load: a v3 file is mmap'd and its arrays aliased in
 			// place (v1/v2 fall back to heap decode inside OpenMapped). The
 			// mapping stays open for the process lifetime — served artifacts
 			// alias it until their first repair copy-on-writes them — so it
 			// is deliberately never closed.
 			var err error
-			if mi, err = serialize.OpenMapped(index); err != nil {
+			if mi, err = serialize.OpenMapped(o.index); err != nil {
 				fatal(err)
 			}
 			idx = mi.Index
 		} else {
-			f, err := os.Open(index)
+			f, err := os.Open(o.index)
 			if err != nil {
 				fatal(err)
 			}
@@ -169,6 +222,8 @@ func serve(listen, name, index, load, dataset string, n int, mu float64, seed in
 				fatal(err2)
 			}
 		}
+		logDepth.Store(int64(len(idx.Updates)))
+		cfg.UpdateLogDepth = func(string) int { return int(logDepth.Load()) }
 		// Persistence trade-off: the update log lives inside the
 		// CRC-covered OVMIDX container, so each batch rewrites the whole
 		// file — O(index size) per update, durable and self-contained.
@@ -180,58 +235,78 @@ func serve(listen, name, index, load, dataset string, n int, mu float64, seed in
 			// stored artifacts onto the current (pre-swap) dataset state —
 			// BaseEpoch carries the version forward — so the file, the
 			// rewrite cost, and the restart replay cost all stay bounded.
-			if compact > 0 && len(idx.Updates) >= compact {
+			if o.compact > 0 && len(idx.Updates) >= o.compact {
 				if exported, serr := svc.ExportIndex(ds); serr != nil {
-					log.Printf("update-log compaction failed (%s); keeping the existing log", serr.Message)
+					logger.Warn("update-log compaction failed; keeping the existing log", obs.F("err", serr.Message))
 				} else {
 					idx = exported
-					log.Printf("compacted update log: artifacts rebased at epoch %d", exported.BaseEpoch)
+					logger.Info("compacted update log: artifacts rebased", obs.F("epoch", exported.BaseEpoch))
 				}
 			}
 			idx.Updates = append(idx.Updates, batch)
-			if err := writeIndexAtomic(index, idx); err != nil {
+			if err := writeIndexAtomic(o.index, idx); err != nil {
 				// Roll the in-memory log back so a later retry does not
 				// persist this batch twice.
 				idx.Updates = idx.Updates[:len(idx.Updates)-1]
 				return err
 			}
-			log.Printf("persisted update batch (epoch %d, %d ops) to %s", epoch, len(batch), index)
+			logDepth.Store(int64(len(idx.Updates)))
+			logger.Info("persisted update batch",
+				obs.F("epoch", epoch), obs.F("ops", len(batch)),
+				obs.F("logDepth", len(idx.Updates)), obs.F("path", o.index))
 			return nil
 		}
 	}
 	svc = service.New(cfg)
 	switch {
 	case idx != nil:
-		if err := svc.AddIndex(name, idx); err != nil {
+		if err := svc.AddIndex(o.name, idx); err != nil {
 			fatal(err)
 		}
 		mode := "heap"
-		if mi != nil && mi.Mapped() {
-			mode = fmt.Sprintf("mmap, %d bytes zero-copy", mi.MappedBytes())
+		fields := []obs.Field{
+			obs.F("path", o.index),
+			obs.F("n", idx.Sys.N()), obs.F("r", idx.Sys.R()),
+			obs.F("sketches", len(idx.Sketches)), obs.F("walks", len(idx.Walks)), obs.F("rrs", len(idx.RRs)),
+			obs.F("replayed", len(idx.Updates)),
 		}
-		log.Printf("loaded index %s (%s): n=%d r=%d, %d sketch + %d walk + %d rr artifacts, replayed %d update batches (no recomputation)",
-			index, mode, idx.Sys.N(), idx.Sys.R(), len(idx.Sketches), len(idx.Walks), len(idx.RRs), len(idx.Updates))
+		if mi != nil && mi.Mapped() {
+			mode = "mmap"
+			fields = append(fields, obs.F("zeroCopy", fmt.Sprintf("%d bytes zero-copy", mi.MappedBytes())))
+		}
+		logger.Info("loaded index (no recomputation)", append([]obs.Field{obs.F("mode", mode)}, fields...)...)
 	default:
-		sys := loadSystem(load, dataset, n, mu, seed)
-		if err := svc.AddDataset(name, sys); err != nil {
+		sys := loadSystem(o.load, o.dataset, o.n, o.mu, o.seed)
+		if err := svc.AddDataset(o.name, sys); err != nil {
 			fatal(err)
 		}
-		log.Printf("registered dataset %q without precomputed artifacts (n=%d r=%d); queries compute from scratch and updates are not persisted",
-			name, sys.N(), sys.R())
+		logger.Info("registered dataset without precomputed artifacts; queries compute from scratch and updates are not persisted",
+			obs.F("dataset", o.name), obs.F("n", sys.N()), obs.F("r", sys.R()))
 	}
 
-	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if o.pprof {
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
+	srv := &http.Server{Addr: o.listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ovmd serving dataset %q on %s", name, listen)
+	logger.Info("ovmd serving", obs.F("dataset", o.name), obs.F("listen", o.listen), obs.F("pprof", o.pprof))
 	select {
 	case err := <-errCh:
 		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining in-flight queries)")
+	logger.Info("shutting down (draining in-flight queries)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -240,7 +315,7 @@ func serve(listen, name, index, load, dataset string, n int, mu float64, seed in
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	log.Printf("ovmd stopped")
+	logger.Info("ovmd stopped")
 }
 
 // loadSystem resolves the three system sources: a .system file, a named

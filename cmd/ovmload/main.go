@@ -1,0 +1,433 @@
+// Command ovmload is a closed-loop load generator for a live ovmd: N
+// workers drive the query endpoints (optionally paced to a QPS target,
+// optionally alongside a concurrent mutation stream), aggregate latencies
+// in the same lock-free histograms the daemon uses, and report achieved
+// QPS with p50/p95/p99/max percentiles.
+//
+// Typical runs against the serving benchmark graph:
+//
+//	ovmload -addr http://localhost:8080 -duration 10s -workers 8            # warm: fixed query mix, cache-served
+//	ovmload -addr http://localhost:8080 -endpoint evaluate -distinct        # cold: unique seed sets, every request computes
+//	ovmload -addr http://localhost:8080 -mutate-every 250ms                 # warm queries + concurrent update batches
+//
+// With -json the report is a single line in the bench-trajectory result
+// shape ({"name","iterations","metrics":{...}}) that scripts/bench_record.sh
+// folds into BENCH_<sha>.json. With -verify-metrics the daemon's
+// /metrics request-histogram counts are checked against the requests
+// ovmload actually sent (requires ovmload to be the daemon's only
+// client).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ovm/internal/cliutil"
+	"ovm/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the ovmd daemon")
+		dataset  = flag.String("dataset", "default", "dataset name registered on the daemon")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
+		qps      = flag.Float64("qps", 0, "target aggregate QPS (0 = unthrottled: every worker issues back-to-back)")
+		endpoint = flag.String("endpoint", "mix", "query endpoint: select-seeds, evaluate, wins, or mix")
+		scores   = flag.String("scores", "plurality,cumulative,p-approval,borda,copeland", "comma-separated score mix (p-approval uses p=2)")
+		k        = flag.Int("k", 10, "seed-set size for select-seeds / evaluate / wins")
+		horizon  = flag.Int("t", 10, "time horizon (match the served index)")
+		target   = flag.Int("target", 0, "target candidate (match the served index)")
+		seed     = flag.Int64("seed", 42, "RNG seed for request generation (also the request seed field)")
+		theta    = flag.Int("theta", 0, "RS sketch count for select-seeds (0 = the index artifact's θ)")
+		distinct = flag.Bool("distinct", false, "generate a unique random seed set per evaluate/wins request (defeats the response cache: cold-path load)")
+		mutEvery = flag.Duration("mutate-every", 0, "post a one-op update batch at this interval while querying (0 = no mutation stream)")
+		jsonOut  = flag.Bool("json", false, "emit the report as one bench-trajectory JSON line on stdout")
+		name     = flag.String("bench-name", "ovmload", "result name used with -json")
+		verify   = flag.Bool("verify-metrics", false, "check the daemon /metrics request-histogram count delta equals the requests sent (ovmload must be the only client)")
+	)
+	flag.Parse()
+	checkFlag(*duration > 0, "-duration must be > 0, got %v", *duration)
+	checkFlag(*workers > 0, "-workers must be > 0, got %d", *workers)
+	checkFlag(*qps >= 0, "-qps must be >= 0, got %v", *qps)
+	checkFlag(*k > 0, "-k must be > 0, got %d", *k)
+	checkFlag(*horizon >= 0, "-t must be >= 0, got %d", *horizon)
+	checkFlag(*target >= 0, "-target must be >= 0, got %d", *target)
+	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
+	checkFlag(*mutEvery >= 0, "-mutate-every must be >= 0, got %v", *mutEvery)
+	switch *endpoint {
+	case "select-seeds", "evaluate", "wins", "mix":
+	default:
+		checkFlag(false, "-endpoint must be select-seeds, evaluate, wins, or mix, got %q", *endpoint)
+	}
+	scoreList := parseScores(*scores)
+	checkFlag(len(scoreList) > 0, "-scores must name at least one score")
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	n := datasetNodes(client, *addr, *dataset)
+	checkFlag(*k < n, "-k %d must be < the dataset's %d nodes", *k, n)
+
+	var before float64
+	if *verify {
+		before = requestHistogramCount(client, *addr)
+	}
+
+	g := &loadgen{
+		client: client, addr: *addr, dataset: *dataset,
+		endpoint: *endpoint, scores: scoreList,
+		k: *k, horizon: *horizon, target: *target, seed: *seed, theta: *theta,
+		n: n, distinct: *distinct,
+	}
+	// The warm fixture: one fixed seed set shared by every worker, so
+	// non-distinct evaluate/wins traffic collapses onto cached entries.
+	g.fixedSeeds = randomSeedSet(rand.New(rand.NewSource(*seed)), *k, n)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	var mutations atomic.Int64
+	if *mutEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.mutate(ctx, *mutEvery, &mutations)
+		}()
+	}
+	// Global pacing: a token channel refilled at the QPS target. Workers
+	// stay closed-loop (next request only after the last returns); the
+	// bucket only slows them down.
+	var tokens chan struct{}
+	if *qps > 0 {
+		tokens = make(chan struct{}, *workers)
+		interval := time.Duration(float64(time.Second) / *qps)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // workers saturated: drop the token, not the pace
+					}
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.worker(ctx, w, tokens)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := g.hist.Snapshot()
+	sent := snap.Count + g.errors.Load()
+	if *verify {
+		after := requestHistogramCount(client, *addr)
+		if delta := after - before; delta != float64(sent) {
+			fatal(fmt.Errorf("metrics mismatch: daemon request histogram grew by %.0f, ovmload sent %d requests (is another client running?)", delta, sent))
+		}
+		fmt.Fprintf(os.Stderr, "ovmload: verified /metrics histogram delta == %d requests sent\n", sent)
+	}
+
+	achieved := float64(snap.Count) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr,
+		"ovmload: %s %d workers %v: %d ok, %d errors, %d mutations, %.1f qps, p50=%s p95=%s p99=%s max=%s\n",
+		*endpoint, *workers, elapsed.Round(time.Millisecond),
+		snap.Count, g.errors.Load(), mutations.Load(), achieved,
+		time.Duration(snap.Quantile(0.50)), time.Duration(snap.Quantile(0.95)),
+		time.Duration(snap.Quantile(0.99)), time.Duration(snap.MaxNs))
+	if *jsonOut {
+		// The field order matches the bench-trajectory entries
+		// bench_record.sh parses out of `go test -bench` output.
+		report := struct {
+			Name       string `json:"name"`
+			Iterations int64  `json:"iterations"`
+			Metrics    struct {
+				ServingQPS float64 `json:"serving_qps"`
+				P50Ns      int64   `json:"p50_ns"`
+				P95Ns      int64   `json:"p95_ns"`
+				P99Ns      int64   `json:"p99_ns"`
+				MaxNs      int64   `json:"max_ns"`
+				MeanNs     int64   `json:"mean_ns"`
+				Errors     int64   `json:"errors"`
+				Mutations  int64   `json:"mutations"`
+				Workers    int     `json:"workers"`
+				DurationS  float64 `json:"duration_s"`
+			} `json:"metrics"`
+		}{Name: *name, Iterations: snap.Count}
+		m := &report.Metrics
+		m.ServingQPS = round1(achieved)
+		m.P50Ns = snap.Quantile(0.50)
+		m.P95Ns = snap.Quantile(0.95)
+		m.P99Ns = snap.Quantile(0.99)
+		m.MaxNs = snap.MaxNs
+		m.MeanNs = int64(snap.Mean())
+		m.Errors = g.errors.Load()
+		m.Mutations = mutations.Load()
+		m.Workers = *workers
+		m.DurationS = round1(elapsed.Seconds())
+		if err := json.NewEncoder(os.Stdout).Encode(report); err != nil {
+			fatal(err)
+		}
+	}
+	if g.errors.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadgen is the shared request-generation state; recording is lock-free
+// (obs.Histogram) so workers never serialize on the aggregator.
+type loadgen struct {
+	client     *http.Client
+	addr       string
+	dataset    string
+	endpoint   string
+	scores     []scoreSpec
+	k          int
+	horizon    int
+	target     int
+	seed       int64
+	theta      int
+	n          int
+	distinct   bool
+	fixedSeeds []int32
+
+	hist   obs.Histogram
+	errors atomic.Int64
+}
+
+type scoreSpec struct {
+	Name string `json:"name"`
+	P    int    `json:"p,omitempty"`
+}
+
+func parseScores(csv string) []scoreSpec {
+	var out []scoreSpec
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sp := scoreSpec{Name: name}
+		if name == "p-approval" || name == "positional" {
+			sp.P = 2
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// worker issues requests back-to-back until the context expires, drawing
+// endpoints and scores round-robin from its own offset so the aggregate
+// mix is even without coordination.
+func (g *loadgen) worker(ctx context.Context, w int, tokens <-chan struct{}) {
+	rng := rand.New(rand.NewSource(g.seed + int64(w)*7919))
+	endpoints := []string{g.endpoint}
+	if g.endpoint == "mix" {
+		// Selection is the expensive path; weight it like a real caller
+		// that also re-evaluates and checks the win predicate.
+		endpoints = []string{"select-seeds", "select-seeds", "evaluate", "wins"}
+	}
+	for i := w; ; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if tokens != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tokens:
+			}
+		}
+		ep := endpoints[i%len(endpoints)]
+		sc := g.scores[i%len(g.scores)]
+		var path string
+		var body any
+		switch ep {
+		case "select-seeds":
+			path = "/v1/select-seeds"
+			body = map[string]any{
+				"dataset": g.dataset, "method": "RS", "score": sc,
+				"k": g.k, "horizon": g.horizon, "target": g.target,
+				"seed": g.seed, "theta": g.theta,
+			}
+		case "evaluate", "wins":
+			path = "/v1/" + ep
+			seeds := g.fixedSeeds
+			if g.distinct {
+				seeds = randomSeedSet(rng, g.k, g.n)
+			}
+			body = map[string]any{
+				"dataset": g.dataset, "score": sc,
+				"horizon": g.horizon, "target": g.target, "seeds": seeds,
+			}
+		}
+		// The deadline gates starting a request, not finishing it: in-flight
+		// requests drain to completion so every request sent is also
+		// recorded — on both sides, which is what lets -verify-metrics
+		// demand exact histogram-count equality with the daemon.
+		start := time.Now()
+		err := g.post(path, body)
+		dur := time.Since(start)
+		if err != nil {
+			g.errors.Add(1)
+			fmt.Fprintf(os.Stderr, "ovmload: %s: %v\n", path, err)
+			continue
+		}
+		g.hist.Observe(dur)
+	}
+}
+
+// mutate posts a one-op opinion-drift batch at the given interval — small
+// enough to keep repair cheap, real enough to exercise the full
+// apply/repair/persist/swap pipeline under query load.
+func (g *loadgen) mutate(ctx context.Context, every time.Duration, count *atomic.Int64) {
+	rng := rand.New(rand.NewSource(g.seed ^ 0x5ca1ab1e))
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		body := map[string]any{"ops": []map[string]any{{
+			"op": "set_opinion", "candidate": g.target,
+			"node": rng.Intn(g.n), "value": rng.Float64(),
+		}}}
+		if err := g.post("/v1/datasets/"+g.dataset+"/updates", body); err != nil {
+			g.errors.Add(1)
+			fmt.Fprintf(os.Stderr, "ovmload: update: %v\n", err)
+			continue
+		}
+		count.Add(1)
+	}
+}
+
+// post sends one request to completion — deliberately not tied to the
+// run context, so the drain-at-deadline accounting stays exact (the
+// client -timeout still bounds a hung daemon).
+func (g *loadgen) post(path string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, g.addr+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func randomSeedSet(rng *rand.Rand, k, n int) []int32 {
+	seen := make(map[int32]bool, k)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		v := int32(rng.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// datasetNodes reads the daemon's /stats and returns the node count of
+// the target dataset (the seed-set generator needs the id range).
+func datasetNodes(client *http.Client, addr, dataset string) int {
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		fatal(fmt.Errorf("reading /stats (is ovmd up?): %w", err))
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Datasets []struct {
+			Name  string `json:"name"`
+			Nodes int    `json:"nodes"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(fmt.Errorf("decoding /stats: %w", err))
+	}
+	for _, d := range st.Datasets {
+		if d.Name == dataset {
+			return d.Nodes
+		}
+	}
+	fatal(fmt.Errorf("dataset %q not registered on %s", dataset, addr))
+	return 0
+}
+
+// requestHistogramCount sums the daemon's ovmd_request_duration_seconds
+// _count series across every label set except the update endpoint — the
+// number of query requests the daemon has observed.
+func requestHistogramCount(client *http.Client, addr string) float64 {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		fatal(fmt.Errorf("reading /metrics: %w", err))
+	}
+	defer resp.Body.Close()
+	var total float64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "ovmd_request_duration_seconds_count") ||
+			strings.Contains(line, `endpoint="updates"`) {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad /metrics line %q: %w", line, err))
+		}
+		total += v
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return total
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}
+
+func checkFlag(ok bool, format string, args ...any) {
+	cliutil.CheckFlag("ovmload", ok, format, args...)
+}
+
+func fatal(err error) { cliutil.Fatal("ovmload", err) }

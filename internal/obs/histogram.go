@@ -1,0 +1,273 @@
+// Package obs is the dependency-free observability layer behind the ovmd
+// serving stack: lock-free fixed-bucket latency histograms (log-spaced
+// nanosecond buckets, mergeable snapshots, quantile extraction), a
+// lightweight span tracer with a ring-buffered slow-query log, a
+// hand-rolled Prometheus text-format exposition writer, and a small
+// leveled structured logger. Everything here is allocation-light and safe
+// for concurrent use on the query hot path.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BucketBoundsNs are the histogram bucket upper bounds in nanoseconds:
+// log-spaced on a 1–2.5–5 grid from 250ns to 100s, which keeps every
+// bucket within a 2.5× relative-error band — tight enough for p50/p95/p99
+// extraction across the full range a serving request can span (a ~2µs
+// cache hit to a multi-second cold selection). Durations above the last
+// bound land in a single overflow bucket whose upper edge is the observed
+// maximum.
+var BucketBoundsNs = [...]int64{
+	250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000,
+	1_000_000_000, 2_500_000_000, 5_000_000_000,
+	10_000_000_000, 25_000_000_000, 50_000_000_000,
+	100_000_000_000,
+}
+
+// NumBuckets counts the histogram's counters: one per bound plus the
+// overflow bucket.
+const NumBuckets = len(BucketBoundsNs) + 1
+
+// bucketIndex maps a duration to its bucket: the first bound >= ns, or the
+// overflow bucket past the last bound.
+func bucketIndex(ns int64) int {
+	// Binary search over a 27-entry array: ~5 comparisons, no allocation.
+	return sort.Search(len(BucketBoundsNs), func(i int) bool { return BucketBoundsNs[i] >= ns })
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. Record is
+// wait-free (one atomic add per counter touched); Snapshot reads the
+// counters without a barrier, so a snapshot taken during concurrent
+// recording is approximate across buckets but every counter is itself
+// exact and monotone.
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(d.Nanoseconds()) }
+
+// ObserveNs records one duration in nanoseconds. Negative values clamp to
+// zero.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the current counters into an immutable value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	s.MaxNs = h.maxNs.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Snapshots are plain
+// values: mergeable (Merge is associative and commutative) and safe to
+// pass across goroutines.
+type HistSnapshot struct {
+	Counts [NumBuckets]int64 `json:"counts"`
+	Count  int64             `json:"count"`
+	SumNs  int64             `json:"sumNs"`
+	MaxNs  int64             `json:"maxNs"`
+}
+
+// Merge returns the combination of two snapshots, as if every recorded
+// duration had gone into one histogram.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	m := s
+	for i := range m.Counts {
+		m.Counts[i] += o.Counts[i]
+	}
+	m.Count += o.Count
+	m.SumNs += o.SumNs
+	if o.MaxNs > m.MaxNs {
+		m.MaxNs = o.MaxNs
+	}
+	return m
+}
+
+// Quantile extracts the q-quantile (0 < q <= 1) in nanoseconds by linear
+// interpolation inside the bucket holding the target rank. The overflow
+// bucket interpolates up to the observed maximum. Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := float64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBoundsNs[i-1]
+			}
+			hi := s.MaxNs
+			if i < len(BucketBoundsNs) {
+				hi = BucketBoundsNs[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += float64(c)
+	}
+	return s.MaxNs
+}
+
+// Mean returns the average recorded duration in nanoseconds.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}
+
+// labelSep joins label values into a map key; 0x1f (ASCII unit separator)
+// cannot appear in the label vocabularies we use (endpoint names, dataset
+// names, score names, stage names).
+const labelSep = "\x1f"
+
+// HistogramVec is a set of Histograms keyed by a fixed list of label
+// values (e.g. endpoint × dataset × score). With is lock-free after the
+// first call for a given label combination (read-lock map hit); recording
+// on the returned Histogram is wait-free.
+type HistogramVec struct {
+	// Name and Help feed the Prometheus exposition.
+	Name, Help string
+	LabelNames []string
+
+	mu sync.RWMutex
+	m  map[string]*labeledHist
+}
+
+type labeledHist struct {
+	values []string
+	hist   *Histogram
+}
+
+// NewHistogramVec creates an empty vector with the given exposition
+// metadata and label schema.
+func NewHistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{Name: name, Help: help, LabelNames: labelNames, m: make(map[string]*labeledHist)}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use. The number of values must match the label schema.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.LabelNames) {
+		panic("obs: label value count mismatch")
+	}
+	key := joinLabels(values)
+	v.mu.RLock()
+	lh, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return lh.hist
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if lh, ok := v.m[key]; ok {
+		return lh.hist
+	}
+	lh = &labeledHist{values: append([]string(nil), values...), hist: &Histogram{}}
+	v.m[key] = lh
+	return lh.hist
+}
+
+func joinLabels(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, s := range values {
+		n += len(s)
+	}
+	b := make([]byte, 0, n)
+	for i, s := range values {
+		if i > 0 {
+			b = append(b, labelSep...)
+		}
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// Each calls fn for every labeled series in deterministic (sorted-key)
+// order with a snapshot of its histogram.
+func (v *HistogramVec) Each(fn func(values []string, snap HistSnapshot)) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	series := make(map[string]*labeledHist, len(v.m))
+	for k, lh := range v.m {
+		series[k] = lh
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		lh := series[k]
+		fn(lh.values, lh.hist.Snapshot())
+	}
+}
+
+// MergedBy folds every series down to the value of one label (by index in
+// the label schema), merging the histograms of series that share it. The
+// service uses it for per-endpoint summaries across datasets and scores.
+func (v *HistogramVec) MergedBy(labelIdx int) map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot)
+	v.Each(func(values []string, snap HistSnapshot) {
+		if labelIdx < 0 || labelIdx >= len(values) {
+			return
+		}
+		out[values[labelIdx]] = out[values[labelIdx]].Merge(snap)
+	})
+	return out
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket assignment contract: a value lands
+// in the first bucket whose bound is >= the value, and values past the
+// last bound land in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{250, 0}, // exactly on a bound → that bucket
+		{251, 1}, // just past → next bucket
+		{500, 1},
+		{501, 2},
+		{1_000, 2},
+		{500_001, 11},
+		{1_000_000, 11},
+		{100_000_000_000, len(BucketBoundsNs) - 1}, // last bound
+		{100_000_000_001, len(BucketBoundsNs)},     // overflow
+		{1 << 62, len(BucketBoundsNs)},             // way past
+		{-5, 0},                                    // clamps to zero
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.ObserveNs(c.ns)
+		s := h.Snapshot()
+		for i, cnt := range s.Counts {
+			want := int64(0)
+			if i == c.want {
+				want = 1
+			}
+			if cnt != want {
+				t.Errorf("ObserveNs(%d): bucket %d has count %d, want bucket %d", c.ns, i, cnt, c.want)
+			}
+		}
+	}
+	// Bounds must be strictly increasing or the search breaks silently.
+	for i := 1; i < len(BucketBoundsNs); i++ {
+		if BucketBoundsNs[i] <= BucketBoundsNs[i-1] {
+			t.Fatalf("bucket bounds not strictly increasing at %d: %d <= %d", i, BucketBoundsNs[i], BucketBoundsNs[i-1])
+		}
+	}
+}
+
+// TestQuantileKnownDistributions checks quantile extraction against
+// distributions whose quantiles are known, within the bucket resolution
+// (the 1–2.5–5 grid bounds relative error by 2.5×; uniform-in-bucket
+// interpolation does much better when mass spreads inside buckets).
+func TestQuantileKnownDistributions(t *testing.T) {
+	t.Run("constant", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.ObserveNs(3_000) // inside the (2500, 5000] bucket
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			got := s.Quantile(q)
+			if got < 2_500 || got > 5_000 {
+				t.Errorf("constant 3µs: q%.2f = %dns outside its bucket (2500, 5000]", q, got)
+			}
+		}
+		if s.MaxNs != 3_000 {
+			t.Errorf("MaxNs = %d, want 3000", s.MaxNs)
+		}
+	})
+	t.Run("uniform", func(t *testing.T) {
+		// Uniform over [0, 1ms): true quantile at q is q*1ms. Log buckets
+		// are coarse at the top of the range; allow one bucket of slack.
+		var h Histogram
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200_000; i++ {
+			h.ObserveNs(rng.Int63n(1_000_000))
+		}
+		s := h.Snapshot()
+		for _, c := range []struct {
+			q      float64
+			lo, hi int64
+		}{
+			{0.5, 400_000, 600_000},    // true 500µs, bucket (250µs,500µs]/(500µs,1ms]
+			{0.95, 850_000, 1_000_000}, // true 950µs
+			{0.99, 950_000, 1_000_000}, // true 990µs
+		} {
+			got := s.Quantile(c.q)
+			if got < c.lo || got > c.hi {
+				t.Errorf("uniform[0,1ms): q%.2f = %dns, want within [%d, %d]", c.q, got, c.lo, c.hi)
+			}
+		}
+	})
+	t.Run("bimodal", func(t *testing.T) {
+		// 90% fast (2µs cache hits), 10% slow (40ms computations): p50 must
+		// sit in the fast mode, p99 in the slow mode.
+		var h Histogram
+		for i := 0; i < 900; i++ {
+			h.ObserveNs(2_000)
+		}
+		for i := 0; i < 100; i++ {
+			h.ObserveNs(40_000_000)
+		}
+		s := h.Snapshot()
+		if p50 := s.Quantile(0.5); p50 < 1_000 || p50 > 2_500 {
+			t.Errorf("bimodal p50 = %dns, want in the 2µs mode", p50)
+		}
+		if p99 := s.Quantile(0.99); p99 < 25_000_000 || p99 > 50_000_000 {
+			t.Errorf("bimodal p99 = %dns, want in the 40ms mode", p99)
+		}
+	})
+	t.Run("overflow", func(t *testing.T) {
+		// Beyond the last bound the overflow bucket interpolates up to the
+		// observed max.
+		var h Histogram
+		h.ObserveNs(200_000_000_000)
+		s := h.Snapshot()
+		if got := s.Quantile(1); got < 100_000_000_000 || got > 200_000_000_000 {
+			t.Errorf("overflow q1.0 = %d, want within [last bound, max]", got)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		if got := h.Snapshot().Quantile(0.5); got != 0 {
+			t.Errorf("empty histogram quantile = %d, want 0", got)
+		}
+	})
+}
+
+// TestConcurrentRecord hammers one histogram (and one vec series) from
+// many goroutines; run under -race this proves the lock-free recording
+// claim, and the totals prove no increment is lost.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	vec := NewHistogramVec("test_hist", "help", "worker")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			series := vec.With("shared")
+			for i := 0; i < perWorker; i++ {
+				ns := int64((w*perWorker + i) % 1_000_000)
+				h.ObserveNs(ns)
+				series.ObserveNs(ns)
+				if i%100 == 0 {
+					_ = h.Snapshot().Quantile(0.99) // concurrent reads
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("lost updates: count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if vs := vec.With("shared").Snapshot(); vs.Count != workers*perWorker {
+		t.Fatalf("vec lost updates: count = %d, want %d", vs.Count, workers*perWorker)
+	}
+}
+
+// TestMergeAssociativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) and merging empty is
+// the identity, over randomized snapshots.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randomSnap := func() HistSnapshot {
+		var h Histogram
+		for i, n := 0, rng.Intn(2000); i < n; i++ {
+			h.ObserveNs(rng.Int63n(10_000_000_000))
+		}
+		return h.Snapshot()
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := randomSnap(), randomSnap(), randomSnap()
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		if left != right {
+			t.Fatalf("trial %d: merge is not associative:\n  (a+b)+c = %+v\n  a+(b+c) = %+v", trial, left, right)
+		}
+		if got := a.Merge(HistSnapshot{}); got != a {
+			t.Fatalf("trial %d: merging the empty snapshot changed the value", trial)
+		}
+		if ab, ba := a.Merge(b), b.Merge(a); ab != ba {
+			t.Fatalf("trial %d: merge is not commutative", trial)
+		}
+		if left.Count != a.Count+b.Count+c.Count {
+			t.Fatalf("trial %d: merged count %d != %d", trial, left.Count, a.Count+b.Count+c.Count)
+		}
+	}
+}
+
+// TestMergedBy folds a vec down to one label and checks counts add up.
+func TestMergedBy(t *testing.T) {
+	vec := NewHistogramVec("d", "h", "endpoint", "dataset")
+	vec.With("select-seeds", "a").Observe(2 * time.Millisecond)
+	vec.With("select-seeds", "b").Observe(4 * time.Millisecond)
+	vec.With("evaluate", "a").Observe(8 * time.Millisecond)
+	byEndpoint := vec.MergedBy(0)
+	if got := byEndpoint["select-seeds"].Count; got != 2 {
+		t.Errorf("select-seeds merged count = %d, want 2", got)
+	}
+	if got := byEndpoint["evaluate"].Count; got != 1 {
+		t.Errorf("evaluate merged count = %d, want 1", got)
+	}
+}

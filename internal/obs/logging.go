@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// The severity ladder.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the canonical lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel resolves a level name (debug, info, warn, error).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Field is one structured key/value on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// logOutput serializes writes from every Logger derived from the same
+// root, so lines never interleave.
+type logOutput struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Logger is a small leveled structured logger with a text (logfmt-like)
+// or JSON line format. With derives child loggers carrying bound fields.
+// A nil *Logger is valid and silently discards everything, so library
+// code can log unconditionally.
+type Logger struct {
+	out   *logOutput
+	level Level
+	json  bool
+	base  []Field
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger writes lines at or above level to w, as JSON objects when
+// jsonFormat is set and as "TIME LEVEL msg key=value ..." text otherwise.
+func NewLogger(w io.Writer, level Level, jsonFormat bool) *Logger {
+	return &Logger{out: &logOutput{w: w}, level: level, json: jsonFormat}
+}
+
+// With returns a child logger whose lines carry the extra fields.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.base = append(append([]Field(nil), l.base...), fields...)
+	return &child
+}
+
+// Enabled reports whether lines at the level would be written.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(level Level, msg string, fields []Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	nowFn := l.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	ts := nowFn().UTC().Format("2006-01-02T15:04:05.000Z")
+	var sb strings.Builder
+	if l.json {
+		sb.WriteString(`{"ts":"`)
+		sb.WriteString(ts)
+		sb.WriteString(`","level":"`)
+		sb.WriteString(level.String())
+		sb.WriteString(`","msg":`)
+		sb.Write(jsonValue(msg))
+		for _, f := range l.base {
+			writeJSONField(&sb, f)
+		}
+		for _, f := range fields {
+			writeJSONField(&sb, f)
+		}
+		sb.WriteString("}\n")
+	} else {
+		sb.WriteString(ts)
+		sb.WriteByte(' ')
+		sb.WriteString(strings.ToUpper(level.String()))
+		sb.WriteByte(' ')
+		sb.WriteString(msg)
+		for _, f := range l.base {
+			writeTextField(&sb, f)
+		}
+		for _, f := range fields {
+			writeTextField(&sb, f)
+		}
+		sb.WriteByte('\n')
+	}
+	l.out.mu.Lock()
+	_, _ = io.WriteString(l.out.w, sb.String())
+	l.out.mu.Unlock()
+}
+
+// jsonValue marshals v, falling back to its fmt rendering (quoted) when v
+// does not marshal — a log line must never fail.
+func jsonValue(v any) []byte {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return b
+}
+
+func writeJSONField(sb *strings.Builder, f Field) {
+	sb.WriteByte(',')
+	sb.Write(jsonValue(f.Key))
+	sb.WriteByte(':')
+	sb.Write(jsonValue(f.Value))
+}
+
+func writeTextField(sb *strings.Builder, f Field) {
+	sb.WriteByte(' ')
+	sb.WriteString(f.Key)
+	sb.WriteByte('=')
+	switch v := f.Value.(type) {
+	case string:
+		writeTextValue(sb, v)
+	case error:
+		writeTextValue(sb, v.Error())
+	case float64:
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	case time.Duration:
+		sb.WriteString(v.String())
+	default:
+		writeTextValue(sb, fmt.Sprint(v))
+	}
+}
+
+// writeTextValue quotes a string value only when it contains whitespace,
+// quotes, or '=' — keeping common values (numbers, names) grep-friendly.
+func writeTextValue(sb *strings.Builder, s string) {
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		sb.WriteString(strconv.Quote(s))
+		return
+	}
+	sb.WriteString(s)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, false)
+	l.now = fixedNow
+	l.Info("query served",
+		F("dataset", "default"),
+		F("epoch", int64(3)),
+		F("durMs", 1.25),
+		F("score", "p-approval"),
+		F("note", "has spaces"),
+	)
+	got := buf.String()
+	want := "2026-08-07T12:00:00.000Z INFO query served dataset=default epoch=3 durMs=1.25 score=p-approval note=\"has spaces\"\n"
+	if got != want {
+		t.Errorf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, true)
+	l.now = fixedNow
+	l.With(F("dataset", "d1")).Debug("update applied", F("epoch", 4), F("err", errors.New("boom")))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]any{
+		"ts":      "2026-08-07T12:00:00.000Z",
+		"level":   "debug",
+		"msg":     "update applied",
+		"dataset": "d1",
+		"epoch":   float64(4),
+		"err":     "boom",
+	} {
+		if m[k] != want {
+			t.Errorf("field %q = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, false)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := buf.String()
+	if strings.Contains(out, "nope") {
+		t.Errorf("below-level lines leaked: %s", out)
+	}
+	if !strings.Contains(out, "WARN yes") || !strings.Contains(out, "ERROR also") {
+		t.Errorf("at-level lines missing: %s", out)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with the filter")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", F("k", "v"))
+	if l.With(F("a", 1)) != nil {
+		t.Error("nil.With must stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+// TestLoggerConcurrent exercises interleaving-freedom under -race: every
+// line must arrive whole.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, false)
+	l.now = fixedNow
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := l.With(F("worker", w))
+			for i := 0; i < 200; i++ {
+				child.Info("line", F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "2026-08-07T12:00:00.000Z INFO line worker=") {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}

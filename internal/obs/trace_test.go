@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanStages(t *testing.T) {
+	root := NewSpan("select-seeds")
+	c := root.StartChild("cache-lookup")
+	time.Sleep(time.Millisecond)
+	c.End()
+	root.Add("selection", 5*time.Millisecond)
+	total := root.End()
+	if total <= 0 {
+		t.Fatal("root span has no duration")
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("got %d children, want 2", len(root.Children))
+	}
+	if got := root.Stage("cache-lookup"); got == nil || got.DurNs <= 0 {
+		t.Fatalf("cache-lookup stage missing or unmeasured: %+v", got)
+	}
+	if got := root.Stage("selection"); got == nil || got.DurNs != (5*time.Millisecond).Nanoseconds() {
+		t.Fatalf("selection stage = %+v, want 5ms", got)
+	}
+	if root.Stage("nope") != nil {
+		t.Fatal("unknown stage must return nil")
+	}
+	// End is first-call-wins.
+	if again := root.End(); again != total {
+		t.Fatalf("second End changed the duration: %v != %v", again, total)
+	}
+	// A nil span absorbs the whole API.
+	var nilSpan *Span
+	nilSpan.StartChild("x").Add("y", time.Second)
+	nilSpan.End()
+}
+
+func TestSlowLogRingEviction(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i, dur := range []int64{10, 20, 30, 40, 50} {
+		ok := l.Offer(SlowEntry{DurNs: dur, Labels: map[string]string{"i": string(rune('a' + i))}})
+		if !ok {
+			t.Fatalf("entry %d not retained", i)
+		}
+	}
+	// Capacity 3, FIFO eviction: 10 and 20 are gone; 30..50 remain,
+	// slowest first.
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, want := range []int64{50, 40, 30} {
+		if got[i].DurNs != want {
+			t.Errorf("entry %d: durNs = %d, want %d (eviction must drop oldest first)", i, got[i].DurNs, want)
+		}
+	}
+}
+
+func TestSlowLogThresholdAndTies(t *testing.T) {
+	l := NewSlowLog(4, 25*time.Nanosecond)
+	if l.Offer(SlowEntry{DurNs: 10}) {
+		t.Fatal("entry under the threshold was retained")
+	}
+	l.Offer(SlowEntry{DurNs: 30, Labels: map[string]string{"n": "first"}})
+	l.Offer(SlowEntry{DurNs: 30, Labels: map[string]string{"n": "second"}})
+	got := l.Entries()
+	if len(got) != 2 {
+		t.Fatalf("retained %d, want 2", len(got))
+	}
+	if got[0].Labels["n"] != "second" {
+		t.Errorf("equal durations must order most-recent first, got %q", got[0].Labels["n"])
+	}
+	if l.Threshold() != 25*time.Nanosecond {
+		t.Errorf("Threshold = %v", l.Threshold())
+	}
+}
+
+func TestSlowLogDisabledAndNil(t *testing.T) {
+	for _, l := range []*SlowLog{nil, NewSlowLog(0, 0)} {
+		if l.Offer(SlowEntry{DurNs: 100}) {
+			t.Fatal("disabled slow log retained an entry")
+		}
+		if l.Entries() != nil {
+			t.Fatal("disabled slow log returned entries")
+		}
+	}
+}
+
+func TestSlowLogDumpJSON(t *testing.T) {
+	l := NewSlowLog(2, 0)
+	span := NewSpan("q")
+	span.Add("selection", 3*time.Millisecond)
+	span.End()
+	l.Offer(SlowEntry{At: time.Unix(1754000000, 0).UTC(), DurNs: span.DurNs, Labels: map[string]string{"endpoint": "select-seeds"}, Span: span})
+	var buf bytes.Buffer
+	if err := l.DumpJSON(json.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"endpoint":"select-seeds"`, `"stages"`, `"selection"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %s:\n%s", want, out)
+		}
+	}
+	var back []SlowEntry
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Span == nil || len(back[0].Span.Children) != 1 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+}

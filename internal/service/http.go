@@ -5,6 +5,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"time"
+
+	"ovm/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; seed lists are the only unbounded
@@ -21,6 +24,8 @@ const maxBodyBytes = 8 << 20
 //	GET  /v1/datasets                 → {"datasets": [names]}
 //	GET  /healthz                     → 200 "ok" once the service is up
 //	GET  /stats                       → Stats
+//	GET  /metrics                     → Prometheus text exposition
+//	GET  /debug/slow-queries          → retained slow queries, slowest first
 //
 // Errors are returned as {"error": {"code", "message"}} with the status
 // implied by the code (bad_request → 400, not_found → 404, else 500).
@@ -64,6 +69,18 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.StatsSnapshot())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			s.tel.logger.Warn("metrics write failed", obs.F("err", err))
+		}
+	})
+	mux.HandleFunc("GET /debug/slow-queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"thresholdNs": s.tel.slow.Threshold().Nanoseconds(),
+			"entries":     s.SlowQueries(),
+		})
+	})
 	return mux
 }
 
@@ -86,7 +103,11 @@ func handleQuery[Req any, Resp any](s *Service, w http.ResponseWriter, r *http.R
 		writeError(w, serr, 0)
 		return
 	}
+	// The request span ends when the service call returns; serialization
+	// happens after it, so it is timed straight into the stage histogram.
+	ser := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.tel.stageHist.With("serialize").Observe(time.Since(ser))
 }
 
 // writeError emits the error envelope; status 0 derives the status from

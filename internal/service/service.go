@@ -33,6 +33,7 @@ import (
 	"ovm/internal/core"
 	"ovm/internal/dynamic"
 	"ovm/internal/im"
+	"ovm/internal/obs"
 	"ovm/internal/opinion"
 	"ovm/internal/rwalk"
 	"ovm/internal/sampling"
@@ -94,11 +95,29 @@ type Config struct {
 	// post-update dataset becomes visible (ovmd appends it to the index
 	// file's update log). An error aborts the update without swapping.
 	OnUpdate func(dataset string, batch dynamic.Batch, epoch int64) error
+	// Logger, when set, emits structured log lines: queries at debug,
+	// updates and failures at info/warn. Nil disables logging.
+	Logger *obs.Logger
+	// SlowQueryLog caps the slow-query ring (entries; default 32, negative
+	// disables). SlowQueryThreshold is the minimum duration retained
+	// (default 0: the ring holds the most recent queries, read back
+	// slowest-first).
+	SlowQueryLog       int
+	SlowQueryThreshold time.Duration
+	// UpdateLogDepth, when set, reports the persisted update-log depth per
+	// dataset for /stats and /metrics (ovmd returns the batch count of the
+	// index file's log, which compaction resets). When nil, the depth is
+	// the number of batches applied since the dataset's base index —
+	// identical unless the log is compacted out from under the service.
+	UpdateLogDepth func(dataset string) int
 }
 
 func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
+	}
+	if c.SlowQueryLog == 0 {
+		c.SlowQueryLog = 32
 	}
 	return c
 }
@@ -111,6 +130,7 @@ type Service struct {
 	cache  *lruCache
 	flight *flightGroup
 	start  time.Time
+	tel    *telemetry
 
 	// updMu serializes ApplyUpdates calls so every epoch derives from its
 	// predecessor (no lost updates); queries never take it.
@@ -135,6 +155,7 @@ func New(cfg Config) *Service {
 		cache:  newLRUCache(cfg.CacheSize),
 		flight: newFlightGroup(),
 		start:  time.Now(),
+		tel:    newTelemetry(cfg),
 	}
 }
 
@@ -143,12 +164,13 @@ func New(cfg Config) *Service {
 // ApplyUpdates builds a successor and swaps the registry pointer, so
 // in-flight queries keep a consistent view.
 type Dataset struct {
-	name     string
-	sys      *opinion.System
-	epoch    int64 // bumped once per applied update batch
-	sketches []*sketchArtifact
-	walkSets []*walkArtifact
-	rrs      []*rrArtifact
+	name      string
+	sys       *opinion.System
+	epoch     int64 // bumped once per applied update batch
+	baseEpoch int64 // the loaded index's BaseEpoch; epoch-baseEpoch = applied batches
+	sketches  []*sketchArtifact
+	walkSets  []*walkArtifact
+	rrs       []*rrArtifact
 
 	compMu sync.RWMutex
 	comp   map[compKey][][]float64
@@ -198,10 +220,11 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 		return badRequestf("invalid index: %v", err)
 	}
 	ds := &Dataset{
-		name:  name,
-		sys:   idx.Sys,
-		epoch: idx.BaseEpoch,
-		comp:  make(map[compKey][][]float64),
+		name:      name,
+		sys:       idx.Sys,
+		epoch:     idx.BaseEpoch,
+		baseEpoch: idx.BaseEpoch,
+		comp:      make(map[compKey][][]float64),
 	}
 	for i, a := range idx.Sketches {
 		set, err := walks.FromSnapshot(idx.Sys.Candidate(a.Target).G, a.Set)
@@ -252,7 +275,7 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 	// path live updates use: the restarted daemon lands on exactly the
 	// epoch (and bytes) the writer was serving.
 	for i, b := range idx.Updates {
-		next, _, serr := s.repairDataset(ds, b)
+		next, _, serr := s.repairDataset(ds, b, nil)
 		if serr != nil {
 			return badRequestf("replaying update batch %d: %s", i, serr.Message)
 		}
@@ -513,21 +536,34 @@ func (s *Service) workers(reqParallelism int) int {
 	return s.cfg.Parallelism
 }
 
-// cachedQuery is the shared memoize-coalesce-compute skeleton. finish
-// stamps per-delivery fields (Cached, ElapsedMs) onto a copy of the shared
-// response value.
-func (s *Service) cachedQuery(key string, compute func() (any, error)) (any, bool, *Error) {
+// cachedQuery is the shared memoize-coalesce-compute skeleton, and the
+// query path's instrumentation point: it traces the cache-lookup /
+// singleflight-wait / selection stages on a per-request span, records the
+// endpoint × dataset × score latency histogram, and offers the finished
+// span to the slow-query log. Callers stamp per-delivery fields (Cached,
+// ElapsedMs) onto a copy of the shared response value.
+func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, compute func() (any, error)) (any, bool, *Error) {
+	span := obs.NewSpan(endpoint)
 	s.requests.Add(1)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	if v, ok := s.cache.Get(key); ok {
+	lookup := span.StartChild("cache-lookup")
+	v, ok := s.cache.Get(key)
+	lookup.End()
+	if ok {
 		s.cacheHits.Add(1)
+		s.tel.observe(span, endpoint, ds.name, score, ds.epoch, true, "")
 		return v, true, nil
 	}
 	s.cacheMisses.Add(1)
+	doStart := time.Now()
 	v, err, shared := s.flight.Do(key, func() (any, error) {
+		// Only the leader runs this closure, so the selection stage lands
+		// on the leader's span; followers record their wait instead.
 		s.computations.Add(1)
+		selStart := time.Now()
 		v, err := compute()
+		span.Add("selection", time.Since(selStart))
 		if err == nil {
 			s.cache.Put(key, v)
 		}
@@ -535,11 +571,15 @@ func (s *Service) cachedQuery(key string, compute func() (any, error)) (any, boo
 	})
 	if shared {
 		s.coalesced.Add(1)
+		span.Add("singleflight-wait", time.Since(doStart))
 	}
 	if err != nil {
 		s.errorCount.Add(1)
-		return nil, false, asError(err)
+		serr := asError(err)
+		s.tel.observe(span, endpoint, ds.name, score, ds.epoch, false, string(serr.Code))
+		return nil, false, serr
 	}
+	s.tel.observe(span, endpoint, ds.name, score, ds.epoch, shared, "")
 	return v, shared, nil
 }
 
@@ -599,7 +639,7 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	// the LRU) without a global cache flush.
 	key := fmt.Sprintf("select|%s|e=%d|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
-	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+	v, cached, serr := s.cachedQuery(endpointSelectSeeds, ds, req.Score.Name, key, func() (any, error) {
 		return s.computeSelect(ds, req, score, theta, s.workers(req.Parallelism))
 	})
 	if serr != nil {
@@ -696,7 +736,7 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	}
 	key := fmt.Sprintf("eval|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+	v, cached, serr := s.cachedQuery(endpointEvaluate, ds, req.Score.Name, key, func() (any, error) {
 		val, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
 		if err != nil {
 			return nil, err
@@ -721,7 +761,7 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 	}
 	key := fmt.Sprintf("wins|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+	v, cached, serr := s.cachedQuery(endpointWins, ds, req.Score.Name, key, func() (any, error) {
 		ok, err := core.Wins(ds.sys, req.Target, req.Horizon, score, req.Seeds)
 		if err != nil {
 			return nil, err
@@ -780,7 +820,7 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 	}
 	key := fmt.Sprintf("minwin|%s|e=%d|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
-	v, cached, serr := s.cachedQuery(key, func() (any, error) {
+	v, cached, serr := s.cachedQuery(endpointMinSeeds, ds, req.Score.Name, key, func() (any, error) {
 		par := s.workers(req.Parallelism)
 		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score}
 		var sel core.SeedSelector
@@ -811,21 +851,41 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 }
 
 // Stats is a point-in-time snapshot of the service counters.
+//
+// Consistency model: every counter is read exactly once with an atomic
+// load, so each value is exact at its own read instant; the snapshot as a
+// whole is not one instant (no global lock on the hot path). The loads
+// are ordered opposite to the increments, which preserves the natural
+// invariants mid-request: Computations+Coalesced <= CacheMisses and
+// CacheHits+CacheMisses <= Requests always hold in a snapshot.
 type Stats struct {
-	UptimeSeconds  float64        `json:"uptimeSeconds"`
-	Requests       int64          `json:"requests"`
-	CacheHits      int64          `json:"cacheHits"`
-	CacheMisses    int64          `json:"cacheMisses"`
-	CacheHitRate   float64        `json:"cacheHitRate"`
-	CacheEntries   int            `json:"cacheEntries"`
-	CacheCapacity  int            `json:"cacheCapacity"`
-	CacheEvictions int64          `json:"cacheEvictions"`
-	Coalesced      int64          `json:"coalesced"`
-	Computations   int64          `json:"computations"`
-	Errors         int64          `json:"errors"`
-	Inflight       int64          `json:"inflight"`
-	Updates        int64          `json:"updates"`
-	Datasets       []DatasetStats `json:"datasets"`
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Requests       int64   `json:"requests"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+	CacheEntries   int     `json:"cacheEntries"`
+	CacheCapacity  int     `json:"cacheCapacity"`
+	CacheEvictions int64   `json:"cacheEvictions"`
+	Coalesced      int64   `json:"coalesced"`
+	Computations   int64   `json:"computations"`
+	Errors         int64   `json:"errors"`
+	Inflight       int64   `json:"inflight"`
+	Updates        int64   `json:"updates"`
+	// Endpoints summarizes the request-latency histograms per endpoint
+	// (merged across datasets and scores); the full per-label histograms
+	// are on /metrics.
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+	Datasets  []DatasetStats           `json:"datasets"`
+}
+
+// EndpointStats is the latency summary of one endpoint.
+type EndpointStats struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
 }
 
 // DatasetStats describes one registered dataset and its index footprint.
@@ -844,38 +904,53 @@ type DatasetStats struct {
 	IndexBytes  int64 `json:"indexBytes"`
 	MappedBytes int64 `json:"mappedBytes"`
 	HeapBytes   int64 `json:"heapBytes"`
+	// UpdateLogDepth is the persisted update log's batch count (via
+	// Config.UpdateLogDepth when serving an index file — compaction resets
+	// it), falling back to the batches applied since the base index.
+	UpdateLogDepth int64 `json:"updateLogDepth"`
 }
 
 // StatsSnapshot assembles the /stats payload.
+//
+// Each counter is loaded exactly once, in the reverse of the order the
+// hot path increments them (cachedQuery bumps requests, then hit or
+// miss, then computation or coalesced). Loading downstream counters
+// first means a request that lands mid-snapshot can only make the
+// upstream totals larger, never smaller — so the documented invariants
+// (hits+misses <= requests, computations+coalesced <= misses) hold in
+// every snapshot without a lock on the recording side.
 func (s *Service) StatsSnapshot() Stats {
-	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	computations := s.computations.Load()
+	coalesced := s.coalesced.Load()
+	errorCount := s.errorCount.Load()
+	hits := s.cacheHits.Load()
+	misses := s.cacheMisses.Load()
+	updates := s.updates.Load()
+	inflight := s.inflight.Load()
+	requests := s.requests.Load()
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
 	st := Stats{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Requests:       s.requests.Load(),
+		Requests:       requests,
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheHitRate:   hitRate,
 		CacheEntries:   s.cache.Len(),
 		CacheCapacity:  s.cfg.CacheSize,
 		CacheEvictions: s.cache.Evictions(),
-		Coalesced:      s.coalesced.Load(),
-		Computations:   s.computations.Load(),
-		Errors:         s.errorCount.Load(),
-		Inflight:       s.inflight.Load(),
-		Updates:        s.updates.Load(),
+		Coalesced:      coalesced,
+		Computations:   computations,
+		Errors:         errorCount,
+		Inflight:       inflight,
+		Updates:        updates,
+		Endpoints:      s.endpointSummaries(),
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.ds))
-	for name := range s.ds {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedNames(s.ds) {
 		ds := s.ds[name]
 		d := DatasetStats{
 			Name:            name,
@@ -900,6 +975,11 @@ func (s *Service) StatsSnapshot() Stats {
 			d.HeapBytes += a.col.HeapBytes()
 		}
 		d.IndexBytes = d.MappedBytes + d.HeapBytes
+		if s.cfg.UpdateLogDepth != nil {
+			d.UpdateLogDepth = int64(s.cfg.UpdateLogDepth(name))
+		} else {
+			d.UpdateLogDepth = ds.epoch - ds.baseEpoch
+		}
 		st.Datasets = append(st.Datasets, d)
 	}
 	return st

@@ -5,6 +5,7 @@ import (
 
 	"ovm/internal/core"
 	"ovm/internal/dynamic"
+	"ovm/internal/obs"
 	"ovm/internal/rwalk"
 	"ovm/internal/serialize"
 	"ovm/internal/sketch"
@@ -54,28 +55,39 @@ type UpdateResponse struct {
 // before the swap, so a crash never leaves the daemon ahead of its log.
 func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
 	start := time.Now()
+	span := obs.NewSpan(endpointUpdates)
 	s.updMu.Lock()
 	defer s.updMu.Unlock()
 	ds, serr := s.dataset(req.Dataset)
 	if serr != nil {
+		s.tel.observe(span, endpointUpdates, req.Dataset, "", 0, false, string(serr.Code))
 		return nil, serr
 	}
-	next, resp, serr := s.repairDataset(ds, req.Ops)
+	next, resp, serr := s.repairDataset(ds, req.Ops, span)
 	if serr != nil {
 		s.errorCount.Add(1)
+		s.tel.observe(span, endpointUpdates, ds.name, "", ds.epoch, false, string(serr.Code))
 		return nil, serr
 	}
 	if s.cfg.OnUpdate != nil {
-		if err := s.cfg.OnUpdate(req.Dataset, req.Ops, next.epoch); err != nil {
+		persist := time.Now()
+		err := s.cfg.OnUpdate(req.Dataset, req.Ops, next.epoch)
+		span.Add("persist", time.Since(persist))
+		if err != nil {
 			s.errorCount.Add(1)
-			return nil, internalErr(err)
+			serr := internalErr(err)
+			s.tel.observe(span, endpointUpdates, ds.name, "", ds.epoch, false, string(serr.Code))
+			return nil, serr
 		}
 	}
+	swap := time.Now()
 	s.mu.Lock()
 	s.ds[req.Dataset] = next
 	s.mu.Unlock()
+	span.Add("swap", time.Since(swap))
 	s.updates.Add(1)
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	s.tel.observe(span, endpointUpdates, next.name, "", next.epoch, false, "")
 	return resp, nil
 }
 
@@ -125,21 +137,27 @@ func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
 // repairDataset applies one batch to a dataset snapshot and incrementally
 // repairs every artifact, returning the next (immutable) dataset version.
 // It holds no service locks: callers pass an immutable snapshot, so repair
-// work runs concurrently with query traffic.
-func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch) (*Dataset, *UpdateResponse, *Error) {
+// work runs concurrently with query traffic. The span (nil-safe; replay
+// passes nil) receives "apply" and "repair" stage timings.
+func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch, span *obs.Span) (*Dataset, *UpdateResponse, *Error) {
+	apply := time.Now()
 	newSys, cs, err := dynamic.ApplySystem(ds.sys, batch)
+	span.Add("apply", time.Since(apply))
 	if err != nil {
 		// Everything ApplySystem rejects is caused by the request content
 		// (schema violations, out-of-range ids, removing missing edges).
 		return nil, nil, badRequestf("%v", err)
 	}
+	repair := time.Now()
+	defer func() { span.Add("repair", time.Since(repair)) }()
 	par := s.cfg.Parallelism
 	n := newSys.N()
 	next := &Dataset{
-		name:  ds.name,
-		sys:   newSys,
-		epoch: ds.epoch + 1,
-		comp:  make(map[compKey][][]float64),
+		name:      ds.name,
+		sys:       newSys,
+		epoch:     ds.epoch + 1,
+		baseEpoch: ds.baseEpoch,
+		comp:      make(map[compKey][][]float64),
 	}
 	resp := &UpdateResponse{Epoch: next.epoch, NodesTouched: cs.NumTouched()}
 	for _, a := range ds.sketches {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Record the benchmark trajectory: run the smoke benchmarks and dump the
-# parsed results to BENCH_<sha>.json, one file per commit, so the repo's
-# perf history accumulates and regressions are diffable.
+# Record the benchmark trajectory: run the smoke benchmarks plus a live
+# ovmd serving-load measurement (ovmload against the 12k-node bench graph)
+# and dump the parsed results to BENCH_<sha>.json, one file per commit, so
+# the repo's perf history accumulates and regressions are diffable.
 #
 #   ./scripts/bench_record.sh            # sha from git HEAD
 #   ./scripts/bench_record.sh <sha>      # explicit sha (CI passes GITHUB_SHA)
 #
-# Knobs: BENCH_RE (benchmark regex), BENCHTIME (go -benchtime, default 1x).
+# Knobs: BENCH_RE (benchmark regex), BENCHTIME (go -benchtime, default 1x),
+# LOAD_DURATION (per ovmload run, default 5s), LOAD_WORKERS (default 8).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,8 +16,63 @@ sha="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
 out="BENCH_${sha}.json"
 bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad}"
 benchtime="${BENCHTIME:-1x}"
+load_duration="${LOAD_DURATION:-5s}"
+load_workers="${LOAD_WORKERS:-8}"
 
 raw=$(go test -bench "$bench_re" -benchtime "$benchtime" -run '^$' .)
+entries=$(awk '
+  /^Benchmark/ {
+    if (seen) printf ",\n"
+    seen = 1
+    printf "    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2
+    first = 1
+    for (i = 3; i < NF; i += 2) {
+      if (!first) printf ","
+      first = 0
+      printf "\"%s\":%s", $(i+1), $i
+    }
+    printf "}}"
+  }
+' <<<"$raw")
+
+# Serving-load measurement: a live daemon on the same 12k-node bench graph
+# BenchmarkServiceQuery uses, driven by ovmload in three regimes — cold
+# (unique evaluate seed sets, every request computes), warm (fixed query
+# mix, cache-served), and update-concurrent (warm mix with a mutation
+# stream persisting batches). -verify-metrics cross-checks the daemon's
+# /metrics request-histogram delta against the requests ovmload sent.
+echo "== serving load (ovmd + ovmload, ${load_duration}/run)" >&2
+sdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$sdir"
+}
+trap cleanup EXIT
+go build -o "$sdir/ovmd" ./cmd/ovmd
+go build -o "$sdir/ovmload" ./cmd/ovmload
+"$sdir/ovmd" -build-index -dataset twitter-distancing-like -n 12000 -seed 42 \
+  -theta 4096 -t 10 -target 0 -walks=false -out "$sdir/bench.ovmidx" >&2
+port=18474
+base="http://127.0.0.1:${port}"
+"$sdir/ovmd" -listen "127.0.0.1:${port}" -index "$sdir/bench.ovmidx" \
+  >"$sdir/ovmd.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$base/healthz" >/dev/null || { echo "bench_record: ovmd did not come up" >&2; cat "$sdir/ovmd.log" >&2; exit 1; }
+load() {
+  "$sdir/ovmload" -addr "$base" -duration "$load_duration" -workers "$load_workers" \
+    -t 10 -target 0 -seed 42 -verify-metrics -json "$@"
+}
+cold=$(load -bench-name ovmload/cold -endpoint evaluate -distinct)
+warm=$(load -bench-name ovmload/warm -endpoint mix)
+upd=$(load -bench-name ovmload/update-concurrent -endpoint mix -mutate-every 500ms)
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
 
 {
   printf '{\n'
@@ -24,22 +81,11 @@ raw=$(go test -bench "$bench_re" -benchtime "$benchtime" -run '^$' .)
   printf '  "go": "%s",\n' "$(go env GOVERSION)"
   printf '  "benchtime": "%s",\n' "$benchtime"
   printf '  "results": [\n'
-  awk '
-    /^Benchmark/ {
-      if (seen) printf ",\n"
-      seen = 1
-      printf "    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2
-      first = 1
-      for (i = 3; i < NF; i += 2) {
-        if (!first) printf ","
-        first = 0
-        printf "\"%s\":%s", $(i+1), $i
-      }
-      printf "}}"
-    }
-    END { if (seen) printf "\n" }
-  ' <<<"$raw"
-  printf '  ]\n'
+  printf '%s' "$entries"
+  for entry in "$cold" "$warm" "$upd"; do
+    printf ',\n    %s' "$entry"
+  done
+  printf '\n  ]\n'
   printf '}\n'
 } >"$out"
 

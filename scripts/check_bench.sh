@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Gate on the recorded bench trajectory: the BENCH_<sha>.json produced by
 # bench_record.sh must contain (a) BenchmarkSelection results carrying both
-# the old-vs-new speedup metric and the determinism self-check, and (b)
+# the old-vs-new speedup metric and the determinism self-check, (b)
 # BenchmarkIndexLoad results carrying the index byte-footprint split
-# (index_bytes on disk, mapped_bytes zero-copy, heap_bytes resident). A
-# refactor that silently drops either benchmark (or its evidence metrics)
-# fails CI here instead of eroding the perf history.
+# (index_bytes on disk, mapped_bytes zero-copy, heap_bytes resident), and
+# (c) the live-daemon serving results (ovmload cold/warm/update-concurrent)
+# carrying serving_qps and the p50/p99 latency tail. A refactor that
+# silently drops a benchmark (or its evidence metrics) fails CI here
+# instead of eroding the perf history.
 #
 #   ./scripts/check_bench.sh BENCH_<sha>.json
 set -euo pipefail
@@ -31,4 +33,15 @@ if ! grep -q 'BenchmarkIndexLoad/v3-mmap.*"load_speedup_x"' "$f"; then
   echo "check_bench: $f has no BenchmarkIndexLoad/v3-mmap result with the load_speedup_x metric" >&2
   exit 1
 fi
-echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok and BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x"
+# The serving-load results (live ovmd driven by ovmload) must carry the
+# achieved QPS and the latency tail for all three regimes — a record
+# without them means the serving measurement silently stopped running.
+for name in ovmload/cold ovmload/warm ovmload/update-concurrent; do
+  for metric in serving_qps p50_ns p99_ns; do
+    if ! grep -q "\"${name}\".*\"${metric}\"" "$f"; then
+      echo "check_bench: $f has no ${name} result with the ${metric} metric" >&2
+      exit 1
+    fi
+  done
+done
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, and ovmload cold/warm/update-concurrent serving_qps + latency percentiles"

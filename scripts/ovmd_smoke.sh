@@ -14,7 +14,11 @@
 #      the epoch, the post-update HTTP seeds equal a fresh CLI run on the
 #      mutated graph (ovm -updates), and the index file is rewritten as
 #      OVMIDX v3 with the persisted update log;
-#   7. SIGTERM drains the daemon gracefully (exit code 0).
+#   7. the observability surface answers: /metrics parses as Prometheus
+#      text and carries the request histogram + post-update epoch and
+#      update-log-depth gauges, /debug/slow-queries returns entries, and
+#      -pprof mounts net/http/pprof;
+#   8. SIGTERM drains the daemon gracefully (exit code 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,7 +51,7 @@ expected=$(sed -n 's/^seeds ([0-9]* total): \[\([0-9 ]*\)\].*/\1/p' <<<"$direct_
 echo "   expected seeds: $expected"
 
 echo "== starting daemon"
-"$workdir/ovmd" -listen "127.0.0.1:${port}" -index "$workdir/smoke.ovmidx" \
+"$workdir/ovmd" -listen "127.0.0.1:${port}" -index "$workdir/smoke.ovmidx" -pprof \
   >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
@@ -82,7 +86,7 @@ for _ in $(seq 1 50); do
   if curl -sf "$heap_base/healthz" >/dev/null 2>&1; then break; fi
   sleep 0.2
 done
-grep -q "(heap)" "$workdir/daemon_heap.log" \
+grep -q "mode=heap" "$workdir/daemon_heap.log" \
   || { echo "FAIL: -mmap=false daemon did not load to the heap"; cat "$workdir/daemon_heap.log"; exit 1; }
 heap_resp=$(curl -sf -X POST "$heap_base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
 # Only the elapsed-time stamp may differ between the two bodies.
@@ -125,6 +129,26 @@ version_bytes=$(head -c 10 "$workdir/smoke.ovmidx" | od -An -tu1 | tr -s ' ' | s
 [[ "$version_bytes" == "79 86 77 73 68 88 3 0 0 0" ]] \
   || { echo "FAIL: index file was not rewritten as OVMIDX v3 (header bytes: $version_bytes)"; exit 1; }
 echo "   index file persisted as OVMIDX v3 (update log appended)"
+
+echo "== observability endpoints"
+metrics=$(curl -sf "$base/metrics")
+bad=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.eE+-]+))$' <<<"$metrics" || true)
+[[ -z "$bad" ]] || { echo "FAIL: unparseable /metrics lines:"; echo "$bad"; exit 1; }
+grep -q '^ovmd_request_duration_seconds_bucket{' <<<"$metrics" \
+  || { echo "FAIL: /metrics has no request-duration histogram"; exit 1; }
+grep -q '^ovmd_dataset_epoch{dataset="default"} 1$' <<<"$metrics" \
+  || { echo "FAIL: /metrics epoch gauge did not reach 1 after the update"; exit 1; }
+grep -q '^ovmd_dataset_update_log_depth{dataset="default"} 1$' <<<"$metrics" \
+  || { echo "FAIL: /metrics update-log-depth gauge did not reach 1"; exit 1; }
+grep -q '^ovmd_stage_duration_seconds_count{stage="repair"}' <<<"$metrics" \
+  || { echo "FAIL: /metrics has no update-pipeline stage histogram"; exit 1; }
+echo "   /metrics parses and carries the histograms + post-update gauges"
+curl -sf "$base/debug/slow-queries" | grep -q '"endpoint":"select-seeds"' \
+  || { echo "FAIL: /debug/slow-queries has no select-seeds entry"; exit 1; }
+echo "   /debug/slow-queries retains spans"
+curl -sf "$base/debug/pprof/cmdline" >/dev/null \
+  || { echo "FAIL: -pprof did not mount /debug/pprof/"; exit 1; }
+echo "   -pprof mounted"
 
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"

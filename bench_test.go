@@ -18,6 +18,7 @@ import (
 	"ovm/internal/datasets"
 	"ovm/internal/dynamic"
 	"ovm/internal/experiments"
+	"ovm/internal/obs"
 	"ovm/internal/postings"
 	"ovm/internal/rwalk"
 	"ovm/internal/serialize"
@@ -274,6 +275,7 @@ func BenchmarkSelection(b *testing.B) {
 			}
 			b.ResetTimer()
 			var newDur time.Duration
+			costBefore := obs.CaptureCosts()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				est := newEst(b, 0)
@@ -288,12 +290,112 @@ func BenchmarkSelection(b *testing.B) {
 				mustMatch(res, 0)
 				b.StartTimer()
 			}
+			costDelta := obs.CaptureCosts().Delta(costBefore)
 			perRound := float64(newDur.Nanoseconds()) / float64(b.N) / k
 			b.ReportMetric(perRound, "ns/round")
 			b.ReportMetric(float64(refDur.Nanoseconds())/k, "ns/round_fullscan")
 			b.ReportMetric(float64(refDur.Nanoseconds())/(float64(newDur.Nanoseconds())/float64(b.N)), "speedup_x")
 			b.ReportMetric(1, "determinism_ok")
+			// Work done per selection, from the engine cost counters — the
+			// trajectory records effort alongside wall-clock.
+			b.ReportMetric(float64(costDelta["ovm_postings_blocks_total"])/float64(b.N), "postings_blocks_decoded")
+			b.ReportMetric(float64(costDelta["ovm_walks_truncated_total"])/float64(b.N), "walks_truncated")
 		})
+	}
+}
+
+// BenchmarkCostAccounting is the overhead guard for the engine cost
+// counters: it runs the same indexed greedy selection with accounting on
+// and off (interleaved, best-of so scheduler noise cancels) and fails if
+// the enabled path costs more than 2% over the disabled one. It also
+// re-checks determinism — accounting must never change a selected seed —
+// and reports accounting_overhead_pct into the bench trajectory.
+func BenchmarkCostAccounting(b *testing.B) {
+	const (
+		horizon = 10
+		seed    = int64(42)
+		k       = 50
+		lambda  = 25
+	)
+	d, err := datasets.TwitterDistancingLike(datasets.Options{N: 12000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &core.Problem{Sys: d.Sys, Target: d.DefaultTarget, Horizon: horizon, K: k, Score: voting.Cumulative{}}
+	plan := make([]int32, d.Sys.N())
+	for i := range plan {
+		plan[i] = lambda
+	}
+	base, err := rwalk.GenerateSet(prob, plan, seed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.EnsureIndex()
+	comp := core.CompetitorOpinions(d.Sys, d.DefaultTarget, horizon, 0)
+	init := d.Sys.Candidate(d.DefaultTarget).Init
+	score := voting.Plurality{}
+	defer obs.SetCostAccounting(true)
+	run := func(on bool) (time.Duration, *core.GreedyResult) {
+		obs.SetCostAccounting(on)
+		est, err := walks.NewEstimator(base.Clone(), d.DefaultTarget, init, comp, walks.UniformOwnerWeights(base), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := est.SelectGreedy(k, score)
+		dur := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return dur, res
+	}
+	// One untimed warmup per mode so page faults and index sharing settle.
+	run(true)
+	run(false)
+	bestOn, bestOff := time.Duration(0), time.Duration(0)
+	var onRes, offRes *core.GreedyResult
+	overhead := func() float64 {
+		return 100 * (float64(bestOn) - float64(bestOff)) / float64(bestOff)
+	}
+	measure := func(reps int) {
+		for i := 0; i < reps; i++ {
+			durOn, rOn := run(true)
+			durOff, rOff := run(false)
+			onRes, offRes = rOn, rOff
+			if bestOn == 0 || durOn < bestOn {
+				bestOn = durOn
+			}
+			if bestOff == 0 || durOff < bestOff {
+				bestOff = durOff
+			}
+		}
+	}
+	// At -benchtime 1x a best-of-1 comparison is pure scheduler noise.
+	// Best-of only refines with more reps, so start from max(b.N, 5)
+	// interleaved pairs and keep adding batches while the apparent
+	// overhead still exceeds the gate; only a reading that persists at
+	// the rep cap is a real regression rather than a noisy batch.
+	reps := b.N
+	if reps < 5 {
+		reps = 5
+	}
+	b.ResetTimer()
+	measure(reps)
+	for total := reps; overhead() > 2.0 && total < 40; total += 5 {
+		measure(5)
+	}
+	b.StopTimer()
+	for i := range onRes.Seeds {
+		if onRes.Seeds[i] != offRes.Seeds[i] || onRes.Gains[i] != offRes.Gains[i] {
+			b.Fatalf("round %d: accounting changed the selection: on=(%d, %v) off=(%d, %v)",
+				i, onRes.Seeds[i], onRes.Gains[i], offRes.Seeds[i], offRes.Gains[i])
+		}
+	}
+	b.ReportMetric(overhead(), "accounting_overhead_pct")
+	b.ReportMetric(float64(bestOn.Nanoseconds()), "on_ns")
+	b.ReportMetric(float64(bestOff.Nanoseconds()), "off_ns")
+	if pct := overhead(); pct > 2.0 {
+		b.Errorf("cost accounting overhead %.2f%% exceeds the 2%% gate (on=%v off=%v)", pct, bestOn, bestOff)
 	}
 }
 
@@ -368,6 +470,7 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		var invalidated, total int
 		b.ResetTimer()
 		start := time.Now()
+		costBefore := obs.CaptureCosts()
 		for i := 0; i < b.N; i++ {
 			resp, serr := svc.ApplyUpdates(&service.UpdateRequest{Dataset: "sweep", Ops: batchFor(i)})
 			if serr != nil {
@@ -376,9 +479,19 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 			invalidated += resp.WalksInvalidated + resp.RRSetsInvalidated
 			total += resp.WalksTotal + resp.RRSetsTotal
 		}
+		costDelta := obs.CaptureCosts().Delta(costBefore)
 		elapsed := time.Since(start)
 		if total > 0 {
 			b.ReportMetric(100*float64(invalidated)/float64(total), "invalidated_%")
+		}
+		// Repair work per batch from the cost counters: bytes the repair
+		// copy-on-wrote out of the mapped region, and the walk-invalidation
+		// rate as the repair layer itself accounts it.
+		b.ReportMetric(float64(costDelta["ovm_repair_copy_bytes_total"])/float64(b.N), "copy_on_repair_bytes")
+		if seen := costDelta["ovm_repair_walks_seen_total"]; seen > 0 {
+			b.ReportMetric(100*float64(costDelta["ovm_repair_walks_invalidated_total"])/float64(seen), "invalidated_walk_pct")
+		} else {
+			b.ReportMetric(0, "invalidated_walk_pct")
 		}
 		if elapsed > 0 {
 			repairNs := float64(elapsed.Nanoseconds()) / float64(b.N)

@@ -18,8 +18,13 @@
 //
 // Observability: GET /metrics is a dependency-free Prometheus text
 // exposition (request/stage latency histograms, cache counters,
-// per-dataset epoch and index-footprint gauges); GET /debug/slow-queries
-// dumps the slow-query ring with per-stage timings; -pprof mounts
+// per-dataset epoch and index-footprint gauges, and the engine-level
+// cost counters — postings blocks decoded, walks truncated, repair
+// bytes copied); an "explain": true field on any query returns its
+// stage spans plus the cost-counter delta of its computation; GET
+// /debug/slow-queries dumps the slow-query ring with per-stage timings;
+// GET /debug/timeseries?window=10m serves the in-process ring TSDB
+// (-timeseries-interval / -timeseries-capacity); -pprof mounts
 // net/http/pprof under /debug/pprof/. Logging is leveled and structured
 // (-log-level, -log-format json).
 //
@@ -83,6 +88,8 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux")
 		slowLog   = flag.Int("slow-log", 32, "slow-query ring capacity served on /debug/slow-queries (0 disables)")
 		slowThr   = flag.Duration("slow-threshold", 0, "minimum duration a request must take to enter the slow-query log (0 = retain the most recent requests)")
+		tsEvery   = flag.Duration("timeseries-interval", 5*time.Second, "in-process ring-TSDB sampling cadence served on /debug/timeseries (0 disables sampling)")
+		tsCap     = flag.Int("timeseries-capacity", 720, "ring-TSDB points retained (720 @ 5s = 1h of history)")
 
 		build  = flag.Bool("build-index", false, "build an index file and exit instead of serving")
 		out    = flag.String("out", "index.ovmidx", "index output path for -build-index")
@@ -105,6 +112,8 @@ func main() {
 	checkFlag(*target >= 0, "-target must be >= 0, got %d", *target)
 	checkFlag(*slowLog >= 0, "-slow-log must be >= 0, got %d", *slowLog)
 	checkFlag(*slowThr >= 0, "-slow-threshold must be >= 0, got %v", *slowThr)
+	checkFlag(*tsEvery >= 0, "-timeseries-interval must be >= 0, got %v", *tsEvery)
+	checkFlag(*tsCap > 0, "-timeseries-capacity must be > 0, got %d", *tsCap)
 	checkFlag(*logFormat == "text" || *logFormat == "json", "-log-format must be text or json, got %q", *logFormat)
 	level, err := obs.ParseLevel(*logLevel)
 	checkFlag(err == nil, "-log-level: %v", err)
@@ -117,6 +126,7 @@ func main() {
 		listen: *listen, name: *name, index: *index, load: *load, dataset: *dataset,
 		n: *n, mu: *mu, seed: *seed, par: *par, cache: *cache, compact: *compact,
 		mmap: *mmap, pprof: *pprofOn, slowLog: *slowLog, slowThreshold: *slowThr,
+		tsInterval: *tsEvery, tsCapacity: *tsCap,
 		logger: obs.NewLogger(os.Stderr, level, *logFormat == "json"),
 	})
 }
@@ -170,6 +180,8 @@ type serveOpts struct {
 	mmap, pprof                        bool
 	slowLog                            int
 	slowThreshold                      time.Duration
+	tsInterval                         time.Duration
+	tsCapacity                         int
 	logger                             *obs.Logger
 }
 
@@ -186,6 +198,8 @@ func serve(o serveOpts) {
 		Logger:             logger,
 		SlowQueryLog:       o.slowLog,
 		SlowQueryThreshold: o.slowThreshold,
+		TimeSeriesInterval: o.tsInterval,
+		TimeSeriesCapacity: o.tsCapacity,
 	}
 	if o.slowLog == 0 {
 		cfg.SlowQueryLog = -1 // 0 means "disabled" on the flag, "default" in Config
@@ -315,6 +329,7 @@ func serve(o serveOpts) {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	svc.Close()
 	logger.Info("ovmd stopped")
 }
 

@@ -58,6 +58,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the report as one bench-trajectory JSON line on stdout")
 		name     = flag.String("bench-name", "ovmload", "result name used with -json")
 		verify   = flag.Bool("verify-metrics", false, "check the daemon /metrics request-histogram count delta equals the requests sent (ovmload must be the only client)")
+		explain  = flag.Bool("explain", false, "set \"explain\": true on every query and fail unless every 200 response carries an explain block (exercises the EXPLAIN path under load)")
 	)
 	flag.Parse()
 	checkFlag(*duration > 0, "-duration must be > 0, got %v", *duration)
@@ -89,7 +90,7 @@ func main() {
 		client: client, addr: *addr, dataset: *dataset,
 		endpoint: *endpoint, scores: scoreList,
 		k: *k, horizon: *horizon, target: *target, seed: *seed, theta: *theta,
-		n: n, distinct: *distinct,
+		n: n, distinct: *distinct, explain: *explain,
 	}
 	// The warm fixture: one fixed seed set shared by every worker, so
 	// non-distinct evaluate/wins traffic collapses onto cached entries.
@@ -213,6 +214,7 @@ type loadgen struct {
 	theta      int
 	n          int
 	distinct   bool
+	explain    bool
 	fixedSeeds []int32
 
 	hist   obs.Histogram
@@ -265,7 +267,7 @@ func (g *loadgen) worker(ctx context.Context, w int, tokens <-chan struct{}) {
 		ep := endpoints[i%len(endpoints)]
 		sc := g.scores[i%len(g.scores)]
 		var path string
-		var body any
+		var body map[string]any
 		switch ep {
 		case "select-seeds":
 			path = "/v1/select-seeds"
@@ -284,6 +286,9 @@ func (g *loadgen) worker(ctx context.Context, w int, tokens <-chan struct{}) {
 				"dataset": g.dataset, "score": sc,
 				"horizon": g.horizon, "target": g.target, "seeds": seeds,
 			}
+		}
+		if g.explain {
+			body["explain"] = true
 		}
 		// The deadline gates starting a request, not finishing it: in-flight
 		// requests drain to completion so every request sent is also
@@ -348,6 +353,18 @@ func (g *loadgen) post(path string, body any) error {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	// With -explain every query response must carry the explain block
+	// (updates don't take the field; their path is excluded).
+	if g.explain && !strings.HasPrefix(path, "/v1/datasets/") {
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if !bytes.Contains(payload, []byte(`"explain":`)) {
+			return fmt.Errorf("%s: response missing explain block", path)
+		}
+		return nil
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
 	return err

@@ -23,7 +23,20 @@ import (
 	"slices"
 
 	"ovm/internal/graph"
+	"ovm/internal/obs"
 	"ovm/internal/opinion"
+)
+
+// Update cost accounting: mutation volume applied. The per-artifact
+// repair cost it triggers is accounted where it happens (walks/im
+// repair counters); these give the numerator to amortize it over.
+var (
+	batchesApplied = obs.NewCounter("ovm_dynamic_batches_applied_total",
+		"Mutation batches applied to opinion systems")
+	opsApplied = obs.NewCounter("ovm_dynamic_ops_applied_total",
+		"Individual mutation ops applied across all batches")
+	nodesTouched = obs.NewCounter("ovm_dynamic_nodes_touched_total",
+		"Distinct nodes whose artifacts a batch could have invalidated")
 )
 
 // OpKind names one mutation type; it is the "op" field of the JSON wire
@@ -255,6 +268,11 @@ func ApplySystem(sys *opinion.System, b Batch) (*opinion.System, *ChangeSet, err
 	newSys, err := opinion.NewSystem(cands)
 	if err != nil {
 		return nil, nil, err
+	}
+	if obs.CostEnabled() {
+		batchesApplied.Inc()
+		opsApplied.Add(int64(len(b)))
+		nodesTouched.Add(int64(cs.NumTouched()))
 	}
 	return newSys, cs, nil
 }

@@ -24,7 +24,37 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ovm/internal/obs"
 )
+
+// Pool cost accounting: shards executed, cumulative per-worker busy time,
+// and the capacity those workers had (wall time x workers). busy/capacity
+// is the pool-utilization gauge — a low ratio under load means shards are
+// too coarse or too skewed to keep the pool fed. Counting is per call and
+// per worker (never per shard in the parallel path's pull loop), so the
+// hot path sees at most one clock read and one atomic add per worker.
+var (
+	engineShards = obs.NewCounter("ovm_engine_shards_total",
+		"Shards executed by the parallel worker pool")
+	engineBusyNs = obs.NewCounter("ovm_engine_busy_ns_total",
+		"Cumulative nanoseconds pool workers spent executing shards")
+	engineCapacityNs = obs.NewCounter("ovm_engine_capacity_ns_total",
+		"Cumulative pool capacity in nanoseconds (wall time x workers per fan-out)")
+)
+
+func init() {
+	obs.NewGaugeFunc("ovm_engine_pool_utilization",
+		"Fraction of pool capacity spent busy since process start (busy_ns / capacity_ns)",
+		func() float64 {
+			capacity := engineCapacityNs.Load()
+			if capacity == 0 {
+				return 0
+			}
+			return float64(engineBusyNs.Load()) / float64(capacity)
+		})
+}
 
 // Workers resolves a Parallelism configuration value to an actual worker
 // count: 0 means runtime.GOMAXPROCS(0), values below zero mean 1.
@@ -101,6 +131,12 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 	if w > shards {
 		w = shards
 	}
+	account := obs.CostEnabled()
+	var fanOutStart time.Time
+	if account {
+		engineShards.Add(int64(shards))
+		fanOutStart = time.Now()
+	}
 	errs := make([]error, shards)
 	var panics []shardPanic
 	var mu sync.Mutex
@@ -123,6 +159,11 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 		for s := 0; s < shards; s++ {
 			runShard(0, s)
 		}
+		if account {
+			busy := time.Since(fanOutStart).Nanoseconds()
+			engineBusyNs.Add(busy)
+			engineCapacityNs.Add(busy)
+		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -130,6 +171,15 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 			wg.Add(1)
 			go func(worker int) {
 				defer wg.Done()
+				var workerStart time.Time
+				if account {
+					workerStart = time.Now()
+				}
+				defer func() {
+					if account {
+						engineBusyNs.Add(time.Since(workerStart).Nanoseconds())
+					}
+				}()
 				for {
 					s := int(next.Add(1)) - 1
 					if s >= shards {
@@ -140,6 +190,9 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 			}(worker)
 		}
 		wg.Wait()
+		if account {
+			engineCapacityNs.Add(int64(w) * time.Since(fanOutStart).Nanoseconds())
+		}
 	}
 	if len(panics) > 0 {
 		first := panics[0]

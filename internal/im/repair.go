@@ -5,6 +5,7 @@ import (
 
 	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/obs"
 )
 
 // RRRepairStats reports how much of an RR collection an incremental repair
@@ -56,6 +57,10 @@ func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RR
 		if bad {
 			stats.SetsInvalidated++
 		}
+	}
+	if obs.CostEnabled() {
+		rrRepairSetsSeen.Add(int64(stats.Sets))
+		rrSetsResampled.Add(int64(stats.SetsInvalidated))
 	}
 
 	nc := NewRRCollection(g, c.model, c.str, c.parallelism)

@@ -3,6 +3,7 @@ package im
 import (
 	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/obs"
 	"ovm/internal/postings"
 	"ovm/internal/sampling"
 )
@@ -114,6 +115,10 @@ func (c *RRCollection) Add(count int) {
 	}
 	c.drawn += count
 	c.indexed = 0 // invalidate index
+	if obs.CostEnabled() {
+		rrSetsSampled.Add(int64(count))
+		rrDrawAdvances.Add(int64(count))
+	}
 }
 
 // sampleIC performs a reverse randomized BFS: each in-edge is live with
@@ -240,6 +245,9 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 	coveredSet := make([]bool, numSets)
 	seeds := make([]int32, 0, k)
 	coveredCount := 0
+	// Coverage work is accumulated locally across picks (this loop is
+	// serial) and flushed to the counters once at the end.
+	var scanned, entries, blocks int64
 	for len(seeds) < k {
 		best, bestDeg := int32(-1), int32(-1)
 		for v := int32(0); v < int32(n); v++ {
@@ -252,7 +260,14 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 		}
 		seeds = append(seeds, best)
 		degree[best] = -1 // never re-pick
+		if c.idxCompact != nil {
+			entries += int64(c.idxCompact.Count(best))
+			blocks += int64(c.idxCompact.Blocks(best))
+		} else {
+			entries += int64(c.idxOff[best+1] - c.idxOff[best])
+		}
 		c.forEachCoveringSet(best, func(sid int32) {
+			scanned++
 			if coveredSet[sid] {
 				return
 			}
@@ -264,6 +279,10 @@ func (c *RRCollection) GreedyCover(k int) ([]int32, float64) {
 				}
 			}
 		})
+	}
+	if obs.CostEnabled() {
+		rrSetsScanned.Add(scanned)
+		postings.Account(entries, blocks)
 	}
 	return seeds, float64(coveredCount) / float64(numSets)
 }

@@ -8,6 +8,20 @@ package mmapio
 import (
 	"fmt"
 	"os"
+
+	"ovm/internal/obs"
+)
+
+// Mapping cost accounting: how many regions ended up mmap'd versus on
+// the heap fallback, and the byte volume mapped — the denominator for
+// the zero-copy story the serialize counters tell per section.
+var (
+	regionsMapped = obs.NewCounter("ovm_mmap_regions_mapped_total",
+		"File regions opened as read-only memory maps")
+	regionsHeap = obs.NewCounter("ovm_mmap_regions_heap_total",
+		"File regions opened on the heap-read fallback path")
+	bytesMapped = obs.NewCounter("ovm_mmap_bytes_mapped_total",
+		"Bytes served from read-only memory-mapped regions")
 )
 
 // Region is a read-only view of a file's contents. When Mapped reports
@@ -47,7 +61,16 @@ func Open(path string) (*Region, error) {
 	if size != int64(int(size)) {
 		return nil, fmt.Errorf("mmapio: %s is too large to map (%d bytes)", path, size)
 	}
-	return openFile(f, int(size))
+	r, err := openFile(f, int(size))
+	if err == nil && obs.CostEnabled() {
+		if r.mapped {
+			regionsMapped.Inc()
+			bytesMapped.Add(int64(len(r.data)))
+		} else {
+			regionsHeap.Inc()
+		}
+	}
+	return r, err
 }
 
 // Close releases the mapping (or drops the fallback buffer). The Region

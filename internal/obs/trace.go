@@ -19,6 +19,10 @@ type Span struct {
 	Name     string  `json:"name"`
 	DurNs    int64   `json:"durNs"`
 	Children []*Span `json:"stages,omitempty"`
+	// Cost is the per-query work delta (registered-counter movement
+	// attributable to this span), stamped by the query path when cost
+	// accounting is enabled.
+	Cost CostSnapshot `json:"cost,omitempty"`
 
 	start time.Time
 }

@@ -1,0 +1,39 @@
+package postings
+
+import "ovm/internal/obs"
+
+// Postings cost accounting. The iterators themselves are never
+// instrumented — they are the innermost hot loops and a shared atomic
+// there would serialize the parallel shard scans. Instead, consumers
+// derive how much a scan cost arithmetically from the prefix sums
+// (Count for entries, Blocks for varint blocks) and record the totals
+// here at a coarse serial point: once per AddSeed, once per greedy
+// round, once per repair.
+var (
+	entriesIterated = obs.NewCounter("ovm_postings_entries_total",
+		"Postings entries iterated by index scans")
+	blocksDecoded = obs.NewCounter("ovm_postings_blocks_total",
+		"Varint postings blocks decoded by index scans")
+)
+
+// Blocks returns member v's varint block count — what an Iter(v) drain
+// decodes. Raw CSR consumers can treat entries/DefaultBlockSize as the
+// equivalent figure.
+func (c *Compact) Blocks(v int32) int32 { return c.FirstBlock[v+1] - c.FirstBlock[v] }
+
+// TotalEntries returns the index-wide postings count.
+func (c *Compact) TotalEntries() int64 { return int64(c.Off[len(c.Off)-1]) }
+
+// TotalBlocks returns the index-wide varint block count.
+func (c *Compact) TotalBlocks() int64 { return int64(c.FirstBlock[len(c.FirstBlock)-1]) }
+
+// Account records entries iterated and blocks decoded. Callers batch
+// counts locally and call this once per coarse unit of work; it is a
+// no-op when cost accounting is disabled.
+func Account(entries, blocks int64) {
+	if !obs.CostEnabled() || (entries == 0 && blocks == 0) {
+		return
+	}
+	entriesIterated.Add(entries)
+	blocksDecoded.Add(blocks)
+}

@@ -95,6 +95,10 @@ type Result struct {
 	BytesUsed      int64     // walk storage footprint (Fig 17 memory study)
 	Lambda         []int32   // final per-node walk plan
 	Gamma          []float64 // estimated γ*_v (nil for cumulative)
+	// Rounds is the per-round work accounting of the greedy selection
+	// (nil when cost accounting is disabled). Observability only: it
+	// never influences seeds or scores.
+	Rounds []walks.RoundCost
 }
 
 // CumulativeLambda resolves the per-node walk count the cumulative score
@@ -174,6 +178,7 @@ func SelectOnSet(p *core.Problem, set *walks.Set, comp [][]float64, parallelism 
 		Gains:          gr.Gains,
 		TotalWalks:     set.NumWalks(),
 		BytesUsed:      set.BytesUsed(),
+		Rounds:         append([]walks.RoundCost(nil), est.RoundCosts()...),
 	}, nil
 }
 

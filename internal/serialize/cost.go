@@ -1,0 +1,33 @@
+package serialize
+
+import "ovm/internal/obs"
+
+// Index-load cost accounting: how many manifest sections were aliased
+// in place (zero-copy) versus decoded to fresh heap arrays, and the
+// byte volume of each. Counted once per section during parse — the
+// parse itself is not a hot path, but the split is the evidence for
+// the mmap-vs-heap serving trade-off.
+var (
+	sectionsAliased = obs.NewCounter("ovm_serialize_sections_aliased_total",
+		"Index file sections aliased in place (zero-copy) during loads")
+	sectionsDecoded = obs.NewCounter("ovm_serialize_sections_decoded_total",
+		"Index file sections decoded to fresh heap arrays during loads")
+	zeroCopyBytes = obs.NewCounter("ovm_serialize_zerocopy_bytes_total",
+		"Payload bytes consumed zero-copy from mapped index files")
+	decodedBytes = obs.NewCounter("ovm_serialize_decoded_bytes_total",
+		"Payload bytes decoded to the heap during index loads")
+)
+
+// accountSection records one parsed section in the load-cost counters.
+func accountSection(aliased bool, n int64) {
+	if !obs.CostEnabled() {
+		return
+	}
+	if aliased {
+		sectionsAliased.Inc()
+		zeroCopyBytes.Add(n)
+	} else {
+		sectionsDecoded.Inc()
+		decodedBytes.Add(n)
+	}
+}

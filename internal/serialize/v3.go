@@ -340,6 +340,7 @@ func (p *v3parser) i32s(ref uint32, what string) ([]int32, bool, error) {
 	if !copied {
 		p.aliased += int64(len(b))
 	}
+	accountSection(!copied, int64(len(b)))
 	return xs, !copied, nil
 }
 
@@ -352,6 +353,7 @@ func (p *v3parser) i64s(ref uint32, what string) ([]int64, bool, error) {
 	if !copied {
 		p.aliased += int64(len(b))
 	}
+	accountSection(!copied, int64(len(b)))
 	return xs, !copied, nil
 }
 
@@ -364,6 +366,7 @@ func (p *v3parser) f64s(ref uint32, what string) ([]float64, bool, error) {
 	if !copied {
 		p.aliased += int64(len(b))
 	}
+	accountSection(!copied, int64(len(b)))
 	return xs, !copied, nil
 }
 
@@ -373,6 +376,7 @@ func (p *v3parser) bytesSection(ref uint32, what string) ([]byte, error) {
 		return nil, err
 	}
 	p.aliased += int64(len(b))
+	accountSection(true, int64(len(b)))
 	return b, nil
 }
 

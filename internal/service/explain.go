@@ -1,0 +1,39 @@
+package service
+
+import (
+	"ovm/internal/obs"
+	"ovm/internal/walks"
+)
+
+// ExplainBlock is the observability attachment a query returns when the
+// request sets "explain": true. It never changes the result fields — it
+// is stamped onto the per-delivery response copy after the shared value
+// is resolved, so cached and uncached answers stay byte-identical once
+// the explain block is stripped.
+//
+// Span is this request's stage trace (cache-lookup, singleflight-wait,
+// selection). Cost is the registry-counter delta captured around the
+// compute closure — it is populated only on the delivery that actually
+// computed (the singleflight leader); cache hits and coalesced followers
+// report no cost because they did no compute work. Under concurrent
+// load the delta can include work from overlapping queries (the
+// counters are process-global); on an idle daemon it is exact, which is
+// what the reconciliation check in the smoke test relies on.
+//
+// Rounds is the per-greedy-round work breakdown for select-seeds on the
+// RW/RS paths (walks truncated, postings entries/blocks touched, gain
+// cache hits/misses per round). It describes the computation that
+// produced the answer, so it is retained with the cached value: a cache
+// hit still explains how its answer was derived, even though its own
+// Cost is empty.
+type ExplainBlock struct {
+	Span   *obs.Span         `json:"span"`
+	Cost   obs.CostSnapshot  `json:"cost,omitempty"`
+	Rounds []walks.RoundCost `json:"rounds,omitempty"`
+}
+
+// explain builds the block for one delivery. span is this request's
+// trace; rounds may be nil for methods without a greedy round structure.
+func explainBlock(span *obs.Span, rounds []walks.RoundCost) *ExplainBlock {
+	return &ExplainBlock{Span: span, Cost: span.Cost, Rounds: rounds}
+}

@@ -1,0 +1,223 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ovm/internal/service"
+)
+
+// stripExplain returns resp marshaled with its explain block removed and
+// its elapsedMs overwritten by ref's (wall-clock is per-delivery and can
+// never be byte-stable). Everything else must match ref byte-for-byte.
+func normalizeJSON(t *testing.T, resp any, elapsedMs float64) []byte {
+	t.Helper()
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "explain")
+	m["elapsedMs"] = elapsedMs
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestExplainEquivalence is the EXPLAIN wire contract: at parallelism
+// 1/4/0, pre- and post-update, an explain:true response is byte-identical
+// to the plain response once the explain block is stripped — on all four
+// query endpoints, for both the computed and the cached delivery. Two
+// identically built services answer the two variants so both sides see
+// the same cache state.
+func TestExplainEquivalence(t *testing.T) {
+	_, idx := testWorld(t)
+	batch := testBatch(t, idx)
+	svcPlain := newTestService(t, idx)
+	svcExplain := newTestService(t, idx)
+
+	check := func(t *testing.T, par int) {
+		// Parallelism is excluded from the cache key by design, so each
+		// parallelism level starts from a cold cache to get a computed
+		// first round.
+		svcPlain.ResetCache()
+		svcExplain.ResetCache()
+		type pair struct {
+			name  string
+			plain func() any
+			expl  func() (any, *service.ExplainBlock)
+		}
+		sel := func(svc *service.Service, explain bool) (*service.SelectSeedsResponse, *service.Error) {
+			req := selectReq("RS", "plurality", tdTheta)
+			req.Parallelism = par
+			req.Explain = explain
+			return svc.SelectSeeds(req)
+		}
+		eval := func(svc *service.Service, explain bool) (*service.EvaluateResponse, *service.Error) {
+			return svc.Evaluate(&service.EvaluateRequest{
+				Dataset: "world", Score: service.ScoreSpec{Name: "plurality"},
+				Horizon: tdHorizon, Target: 0, Seeds: []int32{1, 2, 3},
+				Parallelism: par, Explain: explain,
+			})
+		}
+		wins := func(svc *service.Service, explain bool) (*service.WinsResponse, *service.Error) {
+			return svc.Wins(&service.EvaluateRequest{
+				Dataset: "world", Score: service.ScoreSpec{Name: "plurality"},
+				Horizon: tdHorizon, Target: 0, Seeds: []int32{1, 2, 3},
+				Parallelism: par, Explain: explain,
+			})
+		}
+		minw := func(svc *service.Service, explain bool) (*service.MinSeedsResponse, *service.Error) {
+			return svc.MinSeedsToWin(&service.MinSeedsRequest{
+				Dataset: "world", Method: "RS", Score: service.ScoreSpec{Name: "plurality"},
+				Horizon: tdHorizon, Target: 0, Seed: tdSeed, Theta: tdTheta,
+				Parallelism: par, Explain: explain,
+			})
+		}
+		pairs := []pair{
+			{"select-seeds", func() any {
+				r, serr := sel(svcPlain, false)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r
+			}, func() (any, *service.ExplainBlock) {
+				r, serr := sel(svcExplain, true)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r, r.Explain
+			}},
+			{"evaluate", func() any {
+				r, serr := eval(svcPlain, false)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r
+			}, func() (any, *service.ExplainBlock) {
+				r, serr := eval(svcExplain, true)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r, r.Explain
+			}},
+			{"wins", func() any {
+				r, serr := wins(svcPlain, false)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r
+			}, func() (any, *service.ExplainBlock) {
+				r, serr := wins(svcExplain, true)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r, r.Explain
+			}},
+			{"min-seeds-to-win", func() any {
+				r, serr := minw(svcPlain, false)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r
+			}, func() (any, *service.ExplainBlock) {
+				r, serr := minw(svcExplain, true)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				return r, r.Explain
+			}},
+		}
+		for _, p := range pairs {
+			// Two rounds: the first computes, the second serves from cache.
+			// Equivalence must hold for both.
+			for round, wantCached := range []bool{false, true} {
+				plainResp := p.plain()
+				explResp, block := p.expl()
+				if block == nil || block.Span == nil {
+					t.Fatalf("%s round %d: explain:true returned no explain block", p.name, round)
+				}
+				got := normalizeJSON(t, explResp, 0)
+				want := normalizeJSON(t, plainResp, 0)
+				if string(got) != string(want) {
+					t.Errorf("%s round %d (cached=%v): stripped explain response differs\n got: %s\nwant: %s",
+						p.name, round, wantCached, got, want)
+				}
+				if round == 0 && len(block.Cost) == 0 {
+					t.Errorf("%s: computed delivery has an empty cost snapshot", p.name)
+				}
+				if round == 1 && len(block.Cost) != 0 {
+					t.Errorf("%s: cached delivery claims compute cost %v", p.name, block.Cost)
+				}
+			}
+		}
+	}
+
+	for _, par := range []int{1, 4, 0} {
+		t.Run(fmt.Sprintf("P=%d/pre-update", par), func(t *testing.T) { check(t, par) })
+	}
+	// Mutate both services identically; explain equivalence must survive
+	// the epoch bump (new cache generation, repaired artifacts).
+	for _, svc := range []*service.Service{svcPlain, svcExplain} {
+		if _, serr := svc.ApplyUpdates(&service.UpdateRequest{Dataset: "world", Ops: batch}); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	for _, par := range []int{1, 4, 0} {
+		t.Run(fmt.Sprintf("P=%d/post-update", par), func(t *testing.T) { check(t, par) })
+	}
+}
+
+// TestExplainRoundsReconcile is the acceptance check for the cost
+// accounting's global/round mirror invariant: an uncached select-seeds
+// explain reports per-round walks-truncated / postings-blocks-decoded
+// counts whose sums equal the query's cost-snapshot deltas for the same
+// counters — the same reconciliation an operator does between an explain
+// block and two /metrics scrapes around the query.
+func TestExplainRoundsReconcile(t *testing.T) {
+	_, idx := testWorld(t)
+	for _, par := range []int{1, 4, 0} {
+		svc := newTestService(t, idx)
+		req := selectReq("RS", "plurality", tdTheta)
+		req.Parallelism = par
+		req.Explain = true
+		resp, serr := svc.SelectSeeds(req)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if resp.Cached || resp.Explain == nil {
+			t.Fatalf("P=%d: want an uncached explained response, got cached=%v explain=%v", par, resp.Cached, resp.Explain)
+		}
+		if len(resp.Explain.Rounds) != tdK {
+			t.Fatalf("P=%d: %d rounds reported, want k=%d", par, len(resp.Explain.Rounds), tdK)
+		}
+		var truncated, blocks, entries int64
+		for i, r := range resp.Explain.Rounds {
+			if r.Seed != resp.Seeds[i] {
+				t.Errorf("P=%d round %d: explain seed %d, response seed %d", par, i, r.Seed, resp.Seeds[i])
+			}
+			truncated += r.WalksTruncated
+			blocks += r.PostingsBlocks
+			entries += r.PostingsEntries
+		}
+		cost := resp.Explain.Cost
+		if got := cost["ovm_walks_truncated_total"]; got != truncated {
+			t.Errorf("P=%d: rounds sum %d walks truncated, cost snapshot says %d", par, truncated, got)
+		}
+		if got := cost["ovm_postings_blocks_total"]; got != blocks {
+			t.Errorf("P=%d: rounds sum %d postings blocks, cost snapshot says %d", par, blocks, got)
+		}
+		if got := cost["ovm_postings_entries_total"]; got != entries {
+			t.Errorf("P=%d: rounds sum %d postings entries, cost snapshot says %d", par, entries, got)
+		}
+		if entries == 0 || truncated == 0 {
+			t.Errorf("P=%d: implausible zero work (entries=%d truncated=%d)", par, entries, truncated)
+		}
+	}
+}

@@ -26,6 +26,7 @@ const maxBodyBytes = 8 << 20
 //	GET  /stats                       → Stats
 //	GET  /metrics                     → Prometheus text exposition
 //	GET  /debug/slow-queries          → retained slow queries, slowest first
+//	GET  /debug/timeseries?window=10m → ring-TSDB samples, oldest first
 //
 // Errors are returned as {"error": {"code", "message"}} with the status
 // implied by the code (bad_request → 400, not_found → 404, else 500).
@@ -80,6 +81,19 @@ func (s *Service) Handler() http.Handler {
 			"thresholdNs": s.tel.slow.Threshold().Nanoseconds(),
 			"entries":     s.SlowQueries(),
 		})
+	})
+	mux.HandleFunc("GET /debug/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		window := time.Duration(0) // zero = everything retained
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil {
+				writeError(w, badRequestf("invalid window %q: %v (want a Go duration like 10m)", q, err), 0)
+				return
+			}
+			window = d
+		}
+		pts := s.tsdb.Window(window, time.Now())
+		writeJSON(w, http.StatusOK, map[string]any{"points": pts})
 	})
 	return mux
 }

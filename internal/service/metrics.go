@@ -143,6 +143,16 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		func(d DatasetStats) float64 { return float64(d.HeapBytes) })
 	e.HistogramVec(s.tel.reqHist)
 	e.HistogramVec(s.tel.stageHist)
+	// Every counter/gauge registered in the obs cost registry (engine,
+	// walks, postings, im, serialize, mmapio, dynamic) is appended here,
+	// so new library counters are exported without a hand-written line.
+	for _, f := range obs.Families() {
+		if f.IsGauge {
+			e.Gauge(f.Name, f.Help, f.Value)
+		} else {
+			e.Counter(f.Name, f.Help, f.Value)
+		}
+	}
 	return e.Flush()
 }
 

@@ -110,6 +110,15 @@ type Config struct {
 	// the number of batches applied since the dataset's base index —
 	// identical unless the log is compacted out from under the service.
 	UpdateLogDepth func(dataset string) int
+	// TimeSeriesInterval, when positive, starts the in-process ring TSDB:
+	// every registered cost counter/gauge plus the service counters are
+	// sampled at this cadence and served from /debug/timeseries. Zero
+	// leaves the sampler off (the ring still exists; tests drive it with
+	// explicit samples). Call Close to stop the sampler goroutine.
+	TimeSeriesInterval time.Duration
+	// TimeSeriesCapacity caps the ring (points retained; <= 0 selects 720
+	// — an hour of history at a 5s interval).
+	TimeSeriesCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +140,7 @@ type Service struct {
 	flight *flightGroup
 	start  time.Time
 	tel    *telemetry
+	tsdb   *obs.TimeSeries
 
 	// updMu serializes ApplyUpdates calls so every epoch derives from its
 	// predecessor (no lost updates); queries never take it.
@@ -149,7 +159,7 @@ type Service struct {
 // New creates an empty service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:    cfg,
 		ds:     make(map[string]*Dataset),
 		cache:  newLRUCache(cfg.CacheSize),
@@ -157,6 +167,35 @@ func New(cfg Config) *Service {
 		start:  time.Now(),
 		tel:    newTelemetry(cfg),
 	}
+	// The ring samples the global cost registry plus the service's own
+	// counters, so one /debug/timeseries window correlates serving load
+	// (QPS, hit rate) with engine work (postings decoded, walks repaired).
+	s.tsdb = obs.NewTimeSeries(cfg.TimeSeriesCapacity, obs.RegistrySource(), s.sampleServiceSeries)
+	if cfg.TimeSeriesInterval > 0 {
+		s.tsdb.Start(cfg.TimeSeriesInterval)
+	}
+	return s
+}
+
+// Close stops background goroutines (the time-series sampler). The
+// service must not serve queries after Close.
+func (s *Service) Close() { s.tsdb.Stop() }
+
+// TimeSeries exposes the in-process ring TSDB (the /debug/timeseries
+// handler and tests read it; tests also drive Sample explicitly).
+func (s *Service) TimeSeries() *obs.TimeSeries { return s.tsdb }
+
+// sampleServiceSeries contributes the service-level counters to a
+// time-series sample, alongside the registry's cost counters.
+func (s *Service) sampleServiceSeries(sample func(name string, v float64)) {
+	sample("ovmd_requests_total", float64(s.requests.Load()))
+	sample("ovmd_cache_hits_total", float64(s.cacheHits.Load()))
+	sample("ovmd_cache_misses_total", float64(s.cacheMisses.Load()))
+	sample("ovmd_coalesced_total", float64(s.coalesced.Load()))
+	sample("ovmd_computations_total", float64(s.computations.Load()))
+	sample("ovmd_errors_total", float64(s.errorCount.Load()))
+	sample("ovmd_updates_total", float64(s.updates.Load()))
+	sample("ovmd_inflight", float64(s.inflight.Load()))
 }
 
 // Dataset is one registered opinion system plus its restored artifacts.
@@ -450,6 +489,10 @@ type SelectSeedsRequest struct {
 	// Parallelism overrides the service-wide engine worker knob for this
 	// query (0 = service default). It never changes the response.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Explain attaches the stage spans and cost-counter deltas to the
+	// response. It never changes the result fields and is excluded from
+	// the cache key.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // SelectSeedsResponse reports the selected seeds and their exact score.
@@ -464,6 +507,15 @@ type SelectSeedsResponse struct {
 	// Cached reports whether the response came from the LRU cache.
 	Cached    bool    `json:"cached"`
 	ElapsedMs float64 `json:"elapsedMs"`
+	// Explain is present only when the request asked for it; always the
+	// last field so the result bytes are unchanged when absent.
+	Explain *ExplainBlock `json:"explain,omitempty"`
+
+	// rounds retains the per-greedy-round cost breakdown from the compute
+	// that produced this value (RW/RS paths). Unexported: it rides the
+	// cached value so explain works on cache hits, without ever appearing
+	// in the serialized result.
+	rounds []walks.RoundCost
 }
 
 // EvaluateRequest asks for the exact score of a seed set.
@@ -474,22 +526,26 @@ type EvaluateRequest struct {
 	Target      int       `json:"target"`
 	Seeds       []int32   `json:"seeds"`
 	Parallelism int       `json:"parallelism,omitempty"`
+	// Explain attaches the stage spans and cost-counter deltas.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // EvaluateResponse reports an exact score.
 type EvaluateResponse struct {
-	Value     float64 `json:"value"`
-	Epoch     int64   `json:"epoch"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsedMs"`
+	Value     float64       `json:"value"`
+	Epoch     int64         `json:"epoch"`
+	Cached    bool          `json:"cached"`
+	ElapsedMs float64       `json:"elapsedMs"`
+	Explain   *ExplainBlock `json:"explain,omitempty"`
 }
 
 // WinsResponse reports the FJ-Vote-Win predicate for a seed set.
 type WinsResponse struct {
-	Wins      bool    `json:"wins"`
-	Epoch     int64   `json:"epoch"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsedMs"`
+	Wins      bool          `json:"wins"`
+	Epoch     int64         `json:"epoch"`
+	Cached    bool          `json:"cached"`
+	ElapsedMs float64       `json:"elapsedMs"`
+	Explain   *ExplainBlock `json:"explain,omitempty"`
 }
 
 // MinSeedsRequest asks for the smallest winning seed set (Problem 2).
@@ -502,17 +558,20 @@ type MinSeedsRequest struct {
 	Seed        int64     `json:"seed,omitempty"`
 	Theta       int       `json:"theta,omitempty"`
 	Parallelism int       `json:"parallelism,omitempty"`
+	// Explain attaches the stage spans and cost-counter deltas.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // MinSeedsResponse reports the minimum winning seed set; CanWin is false
 // when no seed set makes the target the strict winner.
 type MinSeedsResponse struct {
-	CanWin    bool    `json:"canWin"`
-	K         int     `json:"k"`
-	Seeds     []int32 `json:"seeds"`
-	Epoch     int64   `json:"epoch"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsedMs"`
+	CanWin    bool          `json:"canWin"`
+	K         int           `json:"k"`
+	Seeds     []int32       `json:"seeds"`
+	Epoch     int64         `json:"epoch"`
+	Cached    bool          `json:"cached"`
+	ElapsedMs float64       `json:"elapsedMs"`
+	Explain   *ExplainBlock `json:"explain,omitempty"`
 }
 
 // validCommon checks the fields shared by every query shape. The target /
@@ -541,8 +600,10 @@ func (s *Service) workers(reqParallelism int) int {
 // singleflight-wait / selection stages on a per-request span, records the
 // endpoint × dataset × score latency histogram, and offers the finished
 // span to the slow-query log. Callers stamp per-delivery fields (Cached,
-// ElapsedMs) onto a copy of the shared response value.
-func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, compute func() (any, error)) (any, bool, *Error) {
+// ElapsedMs, Explain) onto a copy of the shared response value; the
+// returned span is finished and carries the cost-counter delta of the
+// compute when this call led it.
+func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, compute func() (any, error)) (any, bool, *obs.Span, *Error) {
 	span := obs.NewSpan(endpoint)
 	s.requests.Add(1)
 	s.inflight.Add(1)
@@ -553,17 +614,23 @@ func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, c
 	if ok {
 		s.cacheHits.Add(1)
 		s.tel.observe(span, endpoint, ds.name, score, ds.epoch, true, "")
-		return v, true, nil
+		return v, true, span, nil
 	}
 	s.cacheMisses.Add(1)
 	doStart := time.Now()
 	v, err, shared := s.flight.Do(key, func() (any, error) {
 		// Only the leader runs this closure, so the selection stage lands
-		// on the leader's span; followers record their wait instead.
+		// on the leader's span; followers record their wait instead. The
+		// cost delta brackets the compute: the counters are process-global,
+		// so overlapping queries can bleed into each other's deltas, but on
+		// an idle daemon the delta is exactly this query's work (the
+		// explain-vs-/metrics reconciliation the smoke test performs).
 		s.computations.Add(1)
+		before := obs.CaptureCosts()
 		selStart := time.Now()
 		v, err := compute()
 		span.Add("selection", time.Since(selStart))
+		span.Cost = obs.CaptureCosts().Delta(before)
 		if err == nil {
 			s.cache.Put(key, v)
 		}
@@ -577,10 +644,10 @@ func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, c
 		s.errorCount.Add(1)
 		serr := asError(err)
 		s.tel.observe(span, endpoint, ds.name, score, ds.epoch, false, string(serr.Code))
-		return nil, false, serr
+		return nil, false, span, serr
 	}
 	s.tel.observe(span, endpoint, ds.name, score, ds.epoch, shared, "")
-	return v, shared, nil
+	return v, shared, span, nil
 }
 
 func seedsKey(seeds []int32) string {
@@ -639,7 +706,7 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	// the LRU) without a global cache flush.
 	key := fmt.Sprintf("select|%s|e=%d|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
-	v, cached, serr := s.cachedQuery(endpointSelectSeeds, ds, req.Score.Name, key, func() (any, error) {
+	v, cached, span, serr := s.cachedQuery(endpointSelectSeeds, ds, req.Score.Name, key, func() (any, error) {
 		return s.computeSelect(ds, req, score, theta, s.workers(req.Parallelism))
 	})
 	if serr != nil {
@@ -648,12 +715,16 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	resp := *v.(*SelectSeedsResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	if req.Explain {
+		resp.Explain = explainBlock(span, resp.rounds)
+	}
 	return &resp, nil
 }
 
 func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voting.Score, theta, par int) (*SelectSeedsResponse, error) {
 	prob := &core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: req.K, Score: score}
 	var seeds []int32
+	var rounds []walks.RoundCost
 	var err error
 	fromIndex := false
 	switch req.Method {
@@ -669,13 +740,13 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 			comp := ds.competitors(req.Target, req.Horizon, par)
 			var res *rwalk.Result
 			if res, err = rwalk.SelectOnSet(prob, art.set.Clone(), comp, par); err == nil {
-				seeds = res.Seeds
+				seeds, rounds = res.Seeds, res.Rounds
 				fromIndex = true
 			}
 		} else {
 			var res *rwalk.Result
 			if res, err = rwalk.Select(prob, rwalk.Config{Seed: req.Seed, Parallelism: par}); err == nil {
-				seeds = res.Seeds
+				seeds, rounds = res.Seeds, res.Rounds
 			}
 		}
 	case "RS":
@@ -684,13 +755,13 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 			comp := ds.competitors(req.Target, req.Horizon, par)
 			var res *sketch.Result
 			if res, err = sketch.SelectOnSet(prob, art.set.Clone(), theta, comp, par); err == nil {
-				seeds = res.Seeds
+				seeds, rounds = res.Seeds, res.Rounds
 				fromIndex = true
 			}
 		default:
 			var res *sketch.Result
 			if res, err = sketch.Select(prob, sketch.Config{FixedTheta: theta, Seed: req.Seed, Parallelism: par}); err == nil {
-				seeds = res.Seeds
+				seeds, rounds = res.Seeds, res.Rounds
 			}
 		}
 	default: // the baselines
@@ -724,6 +795,7 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 		Method:     req.Method,
 		FromIndex:  fromIndex,
 		Epoch:      ds.epoch,
+		rounds:     rounds,
 	}, nil
 }
 
@@ -736,7 +808,7 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	}
 	key := fmt.Sprintf("eval|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, serr := s.cachedQuery(endpointEvaluate, ds, req.Score.Name, key, func() (any, error) {
+	v, cached, span, serr := s.cachedQuery(endpointEvaluate, ds, req.Score.Name, key, func() (any, error) {
 		val, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
 		if err != nil {
 			return nil, err
@@ -749,6 +821,9 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	resp := *v.(*EvaluateResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	if req.Explain {
+		resp.Explain = explainBlock(span, nil)
+	}
 	return &resp, nil
 }
 
@@ -761,7 +836,7 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 	}
 	key := fmt.Sprintf("wins|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, serr := s.cachedQuery(endpointWins, ds, req.Score.Name, key, func() (any, error) {
+	v, cached, span, serr := s.cachedQuery(endpointWins, ds, req.Score.Name, key, func() (any, error) {
 		ok, err := core.Wins(ds.sys, req.Target, req.Horizon, score, req.Seeds)
 		if err != nil {
 			return nil, err
@@ -774,6 +849,9 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 	resp := *v.(*WinsResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	if req.Explain {
+		resp.Explain = explainBlock(span, nil)
+	}
 	return &resp, nil
 }
 
@@ -820,7 +898,7 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 	}
 	key := fmt.Sprintf("minwin|%s|e=%d|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
-	v, cached, serr := s.cachedQuery(endpointMinSeeds, ds, req.Score.Name, key, func() (any, error) {
+	v, cached, span, serr := s.cachedQuery(endpointMinSeeds, ds, req.Score.Name, key, func() (any, error) {
 		par := s.workers(req.Parallelism)
 		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score}
 		var sel core.SeedSelector
@@ -847,6 +925,9 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 	resp := *v.(*MinSeedsResponse)
 	resp.Cached = cached
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	if req.Explain {
+		resp.Explain = explainBlock(span, nil)
+	}
 	return &resp, nil
 }
 

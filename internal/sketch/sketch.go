@@ -96,6 +96,10 @@ type Result struct {
 	Theta          int
 	OPTLowerBound  float64 // cumulative only
 	BytesUsed      int64
+	// Rounds is the per-round work accounting of the greedy selection
+	// (nil when cost accounting is disabled). Observability only: it
+	// never influences seeds or scores.
+	Rounds []walks.RoundCost
 }
 
 // Select runs Algorithm 5: Theorem-13 sketch counts for the cumulative
@@ -196,6 +200,7 @@ func SelectOnSet(p *core.Problem, set *walks.Set, theta int, comp [][]float64, p
 		EstimatedValue: gr.Value,
 		Theta:          theta,
 		BytesUsed:      set.BytesUsed(),
+		Rounds:         append([]walks.RoundCost(nil), est.RoundCosts()...),
 	}, nil
 }
 

@@ -91,6 +91,12 @@ type Estimator struct {
 	rankMark  []bool
 	entReady  bool
 	rankAll   bool
+
+	// Per-round cost accounting for query EXPLAIN: round accumulates the
+	// current greedy round's work, roundCosts the finished rounds of the
+	// last SelectGreedy run. Maintained only while obs.CostEnabled.
+	round      RoundCost
+	roundCosts []RoundCost
 }
 
 // NewEstimator assembles an estimator. comp must hold the exact horizon-t

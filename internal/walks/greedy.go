@@ -66,7 +66,9 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 	// Entry lists survive across SelectGreedy runs (they are score-
 	// independent) but cached gains do not: force one full re-evaluation.
 	e.rankAll = true
+	e.resetRoundCosts()
 	for round := 0; round < k; round++ {
+		e.beginRound()
 		var best int32
 		var bestGain float64
 		switch kind {
@@ -108,6 +110,7 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 			}
 		}
 		e.AddSeed(best)
+		e.endRound(best)
 		res.Seeds = append(res.Seeds, best)
 		res.Gains = append(res.Gains, bestGain)
 		curScore, err = e.EstimatedScore(score)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ovm/internal/engine"
+	"ovm/internal/obs"
 	"ovm/internal/voting"
 )
 
@@ -104,7 +105,7 @@ func (e *Estimator) addSeedIncremental(u int32) {
 		e.ownerMark = make([]bool, set.NumOwners())
 	}
 	e.changedOwners = e.changedOwners[:0]
-	set.truncateIndexed(u, func(w, oldEnd int32) {
+	hits := set.truncateIndexed(u, func(w, oldEnd int32) {
 		if !e.live[w] {
 			// Already dead: the truncation moved the end pointer (matching
 			// the full scan) but the value stays 1, so nothing to maintain.
@@ -130,6 +131,15 @@ func (e *Estimator) addSeedIncremental(u int32) {
 			}
 		}
 	})
+	if obs.CostEnabled() {
+		// Mirror truncateIndexed's global accounting into the current
+		// greedy round, with identical values, so per-round EXPLAIN sums
+		// reconcile with the /metrics counter deltas.
+		entries, blocks := set.postingsCost(u)
+		e.round.WalksTruncated += hits
+		e.round.PostingsEntries += entries
+		e.round.PostingsBlocks += blocks
+	}
 	if len(e.changedOwners) == 0 {
 		return
 	}
@@ -291,6 +301,8 @@ func (e *Estimator) bestCumulativeIndexed() (int32, float64) {
 		}
 		e.cumDirty = e.cumDirty[:0]
 		e.cumReady = true
+		entries, blocks := set.indexCost()
+		e.accountGainScan(0, int64(n), entries, blocks)
 	} else if len(e.cumDirty) > 0 {
 		dirty := e.cumDirty
 		_ = engine.ForEachChunk(e.parallelism, len(dirty), 256, 256, func(_, _, lo, hi int) error {
@@ -303,7 +315,22 @@ func (e *Estimator) bestCumulativeIndexed() (int32, float64) {
 		for _, x := range dirty {
 			e.cumMark[x] = false
 		}
+		if obs.CostEnabled() {
+			var entries, blocks int64
+			for _, u := range dirty {
+				en, bl := set.postingsCost(u)
+				entries += en
+				blocks += bl
+			}
+			hits := int64(len(e.cumCand)) - int64(len(dirty))
+			if hits < 0 {
+				hits = 0
+			}
+			e.accountGainScan(hits, int64(len(dirty)), entries, blocks)
+		}
 		e.cumDirty = dirty[:0]
+	} else if obs.CostEnabled() {
+		e.accountGainScan(int64(len(e.cumCand)), 0, 0, 0)
 	}
 	best, bestGain := int32(-1), 0.0
 	kept := e.cumCand[:0]
@@ -431,6 +458,7 @@ func (e *Estimator) copelandGainPairs(worker int, owners []int32, deltas []float
 func (e *Estimator) bestRankIndexed(pos voting.Positional, copeland bool, curScore float64) (int32, float64) {
 	set := e.set
 	n := set.Graph().N()
+	rebuilt := !e.entReady
 	if !e.entReady {
 		if e.entOwner == nil {
 			e.entOwner = make([][]int32, n)
@@ -492,6 +520,26 @@ func (e *Estimator) bestRankIndexed(pos voting.Positional, copeland bool, curSco
 		}
 		return nil
 	})
+	if obs.CostEnabled() {
+		// Postings work: a rebuild drains every node's postings; a patch
+		// drains only the dirtied candidates'. Gains outside evalList are
+		// cache hits. Derived from prefix sums — nothing counted in-loop.
+		var entries, blocks int64
+		if rebuilt {
+			entries, blocks = set.indexCost()
+		} else {
+			for _, u := range e.rankDirty {
+				en, bl := set.postingsCost(u)
+				entries += en
+				blocks += bl
+			}
+		}
+		hits := int64(len(e.entCand)) - int64(len(evalList))
+		if hits < 0 {
+			hits = 0
+		}
+		e.accountGainScan(hits, int64(len(evalList)), entries, blocks)
+	}
 	for _, x := range e.rankDirty {
 		e.rankMark[x] = false
 	}

@@ -2,6 +2,7 @@ package walks
 
 import (
 	"ovm/internal/engine"
+	"ovm/internal/obs"
 	"ovm/internal/postings"
 )
 
@@ -50,6 +51,9 @@ func (idx *walkIndex) materialized() *walkIndex {
 	off := csr.Off
 	if idx.mapped {
 		off = append([]int32(nil), off...) // ToCSR shares Off with the mapping
+	}
+	if obs.CostEnabled() {
+		repairCopyBytes.Add(4 * int64(len(off)+len(csr.Item)+len(csr.Pos)))
 	}
 	return &walkIndex{off: off, walk: csr.Item, pos: csr.Pos}
 }
@@ -209,33 +213,41 @@ func repairIndex(old, set *Set, invalid []bool, parallelism int) *walkIndex {
 // walk. onHit, if non-nil, observes each affected walk together with its
 // pre-truncation end pointer (estimators use it to maintain incremental
 // state). The resulting end pointers are identical to the full-scan
-// truncation's.
-func (set *Set) truncateIndexed(u int32, onHit func(w, oldEnd int32)) {
+// truncation's. Returns the number of walks truncated; the truncation
+// and its postings drain are recorded in the cost counters.
+func (set *Set) truncateIndexed(u int32, onHit func(w, oldEnd int32)) int64 {
 	idx := set.idx
+	var hits int64
 	if idx.compact != nil {
 		it := idx.compact.Iter(u)
 		for {
 			w, rel, ok := it.Next()
 			if !ok {
-				return
+				break
 			}
 			if pos := set.off[w] + rel; pos <= set.end[w] {
 				old := set.end[w]
 				set.end[w] = pos
+				hits++
 				if onHit != nil {
 					onHit(w, old)
 				}
 			}
 		}
+		set.accountTruncate(u, hits)
+		return hits
 	}
 	for p := idx.off[u]; p < idx.off[u+1]; p++ {
 		w := idx.walk[p]
 		if pos := set.off[w] + idx.pos[p]; pos <= set.end[w] {
 			old := set.end[w]
 			set.end[w] = pos
+			hits++
 			if onHit != nil {
 				onHit(w, old)
 			}
 		}
 	}
+	set.accountTruncate(u, hits)
+	return hits
 }

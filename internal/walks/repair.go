@@ -5,6 +5,7 @@ import (
 
 	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/obs"
 	"ovm/internal/sampling"
 )
 
@@ -76,6 +77,11 @@ func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, st
 			stats.OwnersInvalidated++
 			stats.WalksInvalidated += int(old.ownerOff[i+1] - old.ownerOff[i])
 		}
+	}
+	if obs.CostEnabled() {
+		repairWalksSeen.Add(int64(stats.Walks))
+		repairWalksInvalid.Add(int64(stats.WalksInvalidated))
+		repairOwnersRegen.Add(int64(stats.OwnersInvalidated))
 	}
 
 	// Phase 2: selective regeneration, sharded exactly like generateGrouped

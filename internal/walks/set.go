@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync/atomic"
 
 	"ovm/internal/engine"
 	"ovm/internal/graph"
+	"ovm/internal/obs"
 	"ovm/internal/sampling"
 )
 
@@ -283,19 +285,31 @@ func (set *Set) AddSeed(u int32, parallelism int) {
 // truncateScan is the index-free truncation: one sharded pass over all
 // remaining walk elements. Retained as the reference path (and the
 // fallback for sets without an index); end pointers match truncateIndexed
-// exactly.
+// exactly. Counted as a full-scan fallback in the cost counters; hit
+// counts accumulate per shard (one atomic add per shard, never per walk).
 func (set *Set) truncateScan(u int32, parallelism int) {
+	account := obs.CostEnabled()
+	var hits atomic.Int64
 	_ = engine.ForEachChunk(parallelism, len(set.end), 4096, 256, func(_, _, lo, hi int) error {
+		local := int64(0)
 		for w := lo; w < hi; w++ {
 			for i := set.off[w]; i <= set.end[w]; i++ {
 				if set.nodes[i] == u {
 					set.end[w] = i
+					local++
 					break
 				}
 			}
 		}
+		if account && local > 0 {
+			hits.Add(local)
+		}
 		return nil
 	})
+	if account {
+		fullScanFallbacks.Inc()
+		walksTruncated.Add(hits.Load())
+	}
 }
 
 // ValueWithSeeds returns the walk's Y value under a hypothetical extra seed

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 sha="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
 out="BENCH_${sha}.json"
-bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad}"
+bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad|BenchmarkCostAccounting}"
 benchtime="${BENCHTIME:-1x}"
 load_duration="${LOAD_DURATION:-5s}"
 load_workers="${LOAD_WORKERS:-8}"

@@ -5,7 +5,10 @@
 # BenchmarkIndexLoad results carrying the index byte-footprint split
 # (index_bytes on disk, mapped_bytes zero-copy, heap_bytes resident), and
 # (c) the live-daemon serving results (ovmload cold/warm/update-concurrent)
-# carrying serving_qps and the p50/p99 latency tail. A refactor that
+# carrying serving_qps and the p50/p99 latency tail, and (d) the
+# cost-accounting evidence: BenchmarkSelection's postings/walk work
+# counters, BenchmarkIncrementalUpdate's repair cost counters, and
+# BenchmarkCostAccounting's on-vs-off overhead record. A refactor that
 # silently drops a benchmark (or its evidence metrics) fails CI here
 # instead of eroding the perf history.
 #
@@ -17,9 +20,28 @@ if [[ ! -s "$f" ]]; then
   echo "check_bench: $f is missing or empty" >&2
   exit 1
 fi
-for metric in speedup_x determinism_ok; do
+for metric in speedup_x determinism_ok postings_blocks_decoded walks_truncated; do
   if ! grep -q "BenchmarkSelection.*\"${metric}\"" "$f"; then
     echo "check_bench: $f has no BenchmarkSelection result with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+# The incremental-update benchmark must carry the repair cost counters
+# (bytes copied on copy-on-repair, share of walks invalidated) — they are
+# the evidence that the cost-accounting layer is still wired through the
+# repair path.
+for metric in copy_on_repair_bytes invalidated_walk_pct; do
+  if ! grep -q "BenchmarkIncrementalUpdate.*\"${metric}\"" "$f"; then
+    echo "check_bench: $f has no BenchmarkIncrementalUpdate result with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+# The cost-accounting overhead gate: the on-vs-off selection benchmark
+# must have run and recorded its overhead percentage (the ≤2% assertion
+# itself lives in the benchmark; here we gate on the record existing).
+for metric in accounting_overhead_pct on_ns off_ns; do
+  if ! grep -q "BenchmarkCostAccounting.*\"${metric}\"" "$f"; then
+    echo "check_bench: $f has no BenchmarkCostAccounting result with the ${metric} metric" >&2
     exit 1
   fi
 done
@@ -44,4 +66,4 @@ for name in ovmload/cold ovmload/warm ovmload/update-concurrent; do
     fi
   done
 done
-echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, and ovmload cold/warm/update-concurrent serving_qps + latency percentiles"
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok + cost counters, BenchmarkIncrementalUpdate repair cost counters, BenchmarkCostAccounting overhead, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, and ovmload cold/warm/update-concurrent serving_qps + latency percentiles"

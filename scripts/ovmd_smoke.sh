@@ -14,11 +14,17 @@
 #      the epoch, the post-update HTTP seeds equal a fresh CLI run on the
 #      mutated graph (ovm -updates), and the index file is rewritten as
 #      OVMIDX v3 with the persisted update log;
-#   7. the observability surface answers: /metrics parses as Prometheus
-#      text and carries the request histogram + post-update epoch and
-#      update-log-depth gauges, /debug/slow-queries returns entries, and
-#      -pprof mounts net/http/pprof;
-#   8. SIGTERM drains the daemon gracefully (exit code 0).
+#   7. an "explain": true select-seeds query returns the stage spans plus
+#      the engine cost snapshot without changing the answer, and its
+#      per-round walks-truncated / postings-blocks counts reconcile
+#      exactly with the /metrics cost-counter deltas around the query;
+#   8. the observability surface answers: /metrics parses as Prometheus
+#      text and carries the request histogram, the post-update epoch and
+#      update-log-depth gauges, and the engine cost counters moved by the
+#      update batch; /debug/timeseries has a non-empty window (the
+#      background sampler is on by default); /debug/slow-queries returns
+#      entries; and -pprof mounts net/http/pprof;
+#   9. SIGTERM drains the daemon gracefully (exit code 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -130,6 +136,39 @@ version_bytes=$(head -c 10 "$workdir/smoke.ovmidx" | od -An -tu1 | tr -s ' ' | s
   || { echo "FAIL: index file was not rewritten as OVMIDX v3 (header bytes: $version_bytes)"; exit 1; }
 echo "   index file persisted as OVMIDX v3 (update log appended)"
 
+echo "== query EXPLAIN (live reconciliation against /metrics)"
+# A fresh (uncached) explain:true query must carry stage spans and a
+# non-empty cost snapshot, and — with the daemon otherwise idle — its
+# per-round work counters must sum to exactly the /metrics cost-counter
+# deltas around the query. k=4 keeps it distinct from every cached entry.
+explain_request='{"dataset":"default","method":"RS","score":{"name":"plurality"},"k":4,"horizon":10,"target":0,"seed":7,"theta":2048,"explain":true}'
+walks_before=$(curl -sf "$base/metrics" | sed -n 's/^ovm_walks_truncated_total //p')
+blocks_before=$(curl -sf "$base/metrics" | sed -n 's/^ovm_postings_blocks_total //p')
+eresp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$explain_request")
+walks_after=$(curl -sf "$base/metrics" | sed -n 's/^ovm_walks_truncated_total //p')
+blocks_after=$(curl -sf "$base/metrics" | sed -n 's/^ovm_postings_blocks_total //p')
+grep -q '"cached":false' <<<"$eresp" || { echo "FAIL: explain probe was unexpectedly cached"; echo "$eresp"; exit 1; }
+grep -q '"explain":{' <<<"$eresp" || { echo "FAIL: explain:true response has no explain block"; echo "$eresp"; exit 1; }
+grep -q '"span":{"name":"select-seeds"' <<<"$eresp" || { echo "FAIL: explain block has no select-seeds span"; echo "$eresp"; exit 1; }
+grep -q '"cost":{' <<<"$eresp" || { echo "FAIL: explain block has no cost snapshot"; echo "$eresp"; exit 1; }
+# The same query without explain must answer with identical seeds —
+# explaining a query never changes the answer.
+plain_request=${explain_request/,\"explain\":true/}
+presp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$plain_request")
+eseeds=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$eresp")
+pseeds=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$presp")
+[[ -n "$eseeds" && "$eseeds" == "$pseeds" ]] \
+  || { echo "FAIL: explain:true seeds ($eseeds) != plain seeds ($pseeds)"; exit 1; }
+rounds_walks=$(grep -o '"walksTruncated":[0-9]*' <<<"$eresp" | cut -d: -f2 | awk '{s+=$1} END{print s+0}')
+rounds_blocks=$(grep -o '"postingsBlocks":[0-9]*' <<<"$eresp" | cut -d: -f2 | awk '{s+=$1} END{print s+0}')
+d_walks=$(awk -v a="$walks_after" -v b="$walks_before" 'BEGIN{printf "%.0f", a-b}')
+d_blocks=$(awk -v a="$blocks_after" -v b="$blocks_before" 'BEGIN{printf "%.0f", a-b}')
+[[ "$rounds_walks" == "$d_walks" && "$rounds_walks" != 0 ]] \
+  || { echo "FAIL: explain rounds sum $rounds_walks walks truncated, /metrics delta is $d_walks"; exit 1; }
+[[ "$rounds_blocks" == "$d_blocks" ]] \
+  || { echo "FAIL: explain rounds sum $rounds_blocks postings blocks, /metrics delta is $d_blocks"; exit 1; }
+echo "   explain block present, answer unchanged, round sums reconcile with /metrics deltas (walks=$d_walks blocks=$d_blocks)"
+
 echo "== observability endpoints"
 metrics=$(curl -sf "$base/metrics")
 bad=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.eE+-]+))$' <<<"$metrics" || true)
@@ -142,7 +181,23 @@ grep -q '^ovmd_dataset_update_log_depth{dataset="default"} 1$' <<<"$metrics" \
   || { echo "FAIL: /metrics update-log-depth gauge did not reach 1"; exit 1; }
 grep -q '^ovmd_stage_duration_seconds_count{stage="repair"}' <<<"$metrics" \
   || { echo "FAIL: /metrics has no update-pipeline stage histogram"; exit 1; }
-echo "   /metrics parses and carries the histograms + post-update gauges"
+# The engine cost counters must be exposed, and the ones the update batch
+# and the queries drive must have moved off zero.
+grep -q '^ovm_dynamic_batches_applied_total [1-9]' <<<"$metrics" \
+  || { echo "FAIL: /metrics ovm_dynamic_batches_applied_total did not count the update batch"; exit 1; }
+grep -q '^ovm_walks_truncated_total [1-9]' <<<"$metrics" \
+  || { echo "FAIL: /metrics ovm_walks_truncated_total is zero after serving queries"; exit 1; }
+for counter in ovm_repair_copy_bytes_total ovm_repair_invalidated_walk_pct ovm_postings_blocks_total ovm_rr_sets_scanned_total; do
+  grep -q "^${counter} " <<<"$metrics" \
+    || { echo "FAIL: /metrics is missing the ${counter} cost counter"; exit 1; }
+done
+echo "   /metrics parses and carries the histograms, post-update gauges, and cost counters"
+tsout=$(curl -sf "$base/debug/timeseries?window=10m")
+grep -q '"at":' <<<"$tsout" \
+  || { echo "FAIL: /debug/timeseries window is empty (default sampler not running?)"; echo "$tsout"; exit 1; }
+grep -q 'ovm_walks_truncated_total' <<<"$tsout" \
+  || { echo "FAIL: /debug/timeseries samples lack the registry cost counters"; echo "$tsout"; exit 1; }
+echo "   /debug/timeseries serves a non-empty window with cost counters"
 curl -sf "$base/debug/slow-queries" | grep -q '"endpoint":"select-seeds"' \
   || { echo "FAIL: /debug/slow-queries has no select-seeds entry"; exit 1; }
 echo "   /debug/slow-queries retains spans"

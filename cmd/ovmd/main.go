@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,7 +54,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -63,7 +63,9 @@ import (
 	"ovm/internal/cliutil"
 	"ovm/internal/core"
 	"ovm/internal/dynamic"
+	"ovm/internal/iofault"
 	"ovm/internal/obs"
+	"ovm/internal/persist"
 	"ovm/internal/serialize"
 	"ovm/internal/service"
 )
@@ -82,6 +84,12 @@ func main() {
 		mmap    = flag.Bool("mmap", true, "serve a v3 -index zero-copy from an mmap'd region (v1/v2 files and -mmap=false load to the heap); never changes any response")
 		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
 		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log reaches this many batches, bounding file size and restart replay cost (0 = never compact)")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline; an expired query returns deadline_exceeded (504) and its computation stops at the next cancellation poll (0 = unbounded; requests may override with timeoutMs)")
+		maxInflight  = flag.Int("max-inflight", 0, "cap on concurrently computing queries; cache hits always answer (0 = unlimited)")
+		maxQueue     = flag.Int("max-queue", 64, "computations allowed to wait for a free slot once -max-inflight is reached; overflow is shed with 429 + Retry-After (only meaningful with -max-inflight > 0)")
+		debugFaults  = flag.Bool("debug-faults", false, "mount /debug/fault/* handlers (panic injection for failure-mode testing); never enable in production")
+		dumpUpdates  = flag.Bool("dump-updates", false, "print the -index file's persisted update log as JSONL (one batch per line, replayable via 'ovm -updates') and exit")
 
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (queries log at debug)")
 		logFormat = flag.String("log-format", "text", "log line format: text or json")
@@ -115,6 +123,9 @@ func main() {
 	checkFlag(*tsEvery >= 0, "-timeseries-interval must be >= 0, got %v", *tsEvery)
 	checkFlag(*tsCap > 0, "-timeseries-capacity must be > 0, got %d", *tsCap)
 	checkFlag(*logFormat == "text" || *logFormat == "json", "-log-format must be text or json, got %q", *logFormat)
+	checkFlag(*queryTimeout >= 0, "-query-timeout must be >= 0, got %v", *queryTimeout)
+	checkFlag(*maxInflight >= 0, "-max-inflight must be >= 0, got %d", *maxInflight)
+	checkFlag(*maxQueue >= 0, "-max-queue must be >= 0, got %d", *maxQueue)
 	level, err := obs.ParseLevel(*logLevel)
 	checkFlag(err == nil, "-log-level: %v", err)
 
@@ -122,13 +133,42 @@ func main() {
 		buildIndex(*load, *dataset, *n, *mu, *seed, *out, *theta, *walks, *rr, *tBuild, *target, *par)
 		return
 	}
+	if *dumpUpdates {
+		checkFlag(*index != "", "-dump-updates requires -index")
+		dumpUpdateLog(*index)
+		return
+	}
 	serve(serveOpts{
 		listen: *listen, name: *name, index: *index, load: *load, dataset: *dataset,
 		n: *n, mu: *mu, seed: *seed, par: *par, cache: *cache, compact: *compact,
 		mmap: *mmap, pprof: *pprofOn, slowLog: *slowLog, slowThreshold: *slowThr,
 		tsInterval: *tsEvery, tsCapacity: *tsCap,
-		logger: obs.NewLogger(os.Stderr, level, *logFormat == "json"),
+		queryTimeout: *queryTimeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		debugFaults: *debugFaults,
+		logger:      obs.NewLogger(os.Stderr, level, *logFormat == "json"),
 	})
+}
+
+// dumpUpdateLog prints the index file's persisted update log as JSONL —
+// one batch per line, each a JSON array of ops — the exact shape
+// 'ovm -updates' replays, so the chaos harness can compare a restarted
+// daemon's answers against a direct library run on the mutated graph.
+func dumpUpdateLog(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := serialize.ReadIndex(f)
+	_ = f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, batch := range idx.Updates {
+		if err := enc.Encode(batch); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // buildIndex implements ovmd -build-index: load or synthesize a system,
@@ -182,6 +222,9 @@ type serveOpts struct {
 	slowThreshold                      time.Duration
 	tsInterval                         time.Duration
 	tsCapacity                         int
+	queryTimeout                       time.Duration
+	maxInflight, maxQueue              int
+	debugFaults                        bool
 	logger                             *obs.Logger
 }
 
@@ -200,6 +243,10 @@ func serve(o serveOpts) {
 		SlowQueryThreshold: o.slowThreshold,
 		TimeSeriesInterval: o.tsInterval,
 		TimeSeriesCapacity: o.tsCapacity,
+		QueryTimeout:       o.queryTimeout,
+		MaxInflight:        o.maxInflight,
+		MaxQueue:           o.maxQueue,
+		DebugFaults:        o.debugFaults,
 	}
 	if o.slowLog == 0 {
 		cfg.SlowQueryLog = -1 // 0 means "disabled" on the flag, "default" in Config
@@ -213,6 +260,12 @@ func serve(o serveOpts) {
 	// rather than by reading idx.Updates directly.
 	var logDepth atomic.Int64
 	if o.index != "" {
+		// A crash during a previous atomic rewrite can leave *.tmp-* files
+		// next to the index (the rename never happened, so the index itself
+		// is still the complete old epoch). Sweep them before loading.
+		if removed, err := persist.CleanStaleTemps(iofault.OS, o.index); err == nil && len(removed) > 0 {
+			logger.Warn("removed stale index temp files from an interrupted rewrite", obs.F("files", strings.Join(removed, ", ")))
+		}
 		if o.mmap {
 			// Zero-copy load: a v3 file is mmap'd and its arrays aliased in
 			// place (v1/v2 fall back to heap decode inside OpenMapped). The
@@ -221,9 +274,10 @@ func serve(o serveOpts) {
 			// is deliberately never closed.
 			var err error
 			if mi, err = serialize.OpenMapped(o.index); err != nil {
-				fatal(err)
+				quarantineIndex(logger, o.index, err)
+			} else {
+				idx = mi.Index
 			}
-			idx = mi.Index
 		} else {
 			f, err := os.Open(o.index)
 			if err != nil {
@@ -233,9 +287,12 @@ func serve(o serveOpts) {
 			idx, err2 = serialize.ReadIndex(f)
 			_ = f.Close()
 			if err2 != nil {
-				fatal(err2)
+				idx = nil
+				quarantineIndex(logger, o.index, err2)
 			}
 		}
+	}
+	if idx != nil {
 		logDepth.Store(int64(len(idx.Updates)))
 		cfg.UpdateLogDepth = func(string) int { return int(logDepth.Load()) }
 		// Persistence trade-off: the update log lives inside the
@@ -258,7 +315,7 @@ func serve(o serveOpts) {
 				}
 			}
 			idx.Updates = append(idx.Updates, batch)
-			if err := writeIndexAtomic(o.index, idx); err != nil {
+			if err := persist.WriteIndexAtomic(iofault.OS, o.index, idx); err != nil {
 				// Roll the in-memory log back so a later retry does not
 				// persist this batch twice.
 				idx.Updates = idx.Updates[:len(idx.Updates)-1]
@@ -289,13 +346,20 @@ func serve(o serveOpts) {
 			fields = append(fields, obs.F("zeroCopy", fmt.Sprintf("%d bytes zero-copy", mi.MappedBytes())))
 		}
 		logger.Info("loaded index (no recomputation)", append([]obs.Field{obs.F("mode", mode)}, fields...)...)
-	default:
+	case o.load != "" || o.dataset != "":
 		sys := loadSystem(o.load, o.dataset, o.n, o.mu, o.seed)
 		if err := svc.AddDataset(o.name, sys); err != nil {
 			fatal(err)
 		}
 		logger.Info("registered dataset without precomputed artifacts; queries compute from scratch and updates are not persisted",
 			obs.F("dataset", o.name), obs.F("n", sys.N()), obs.F("r", sys.R()))
+	case o.index != "":
+		// The index was quarantined above: start degraded (health, stats,
+		// and metrics still serve; dataset queries 404) rather than
+		// crash-looping on a corrupt file.
+		logger.Warn("serving with no datasets: index was quarantined", obs.F("index", o.index))
+	default:
+		fatal(fmt.Errorf("pass -index, -load, or -dataset"))
 	}
 
 	handler := svc.Handler()
@@ -309,7 +373,21 @@ func serve(o serveOpts) {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = root
 	}
-	srv := &http.Server{Addr: o.listen, Handler: handler}
+	// Server-side transport limits: slow or stuck clients cannot hold
+	// connections open forever. The write timeout must cover the slowest
+	// legitimate query, so it derives from the query deadline when one is
+	// configured and stays unbounded otherwise (long cold selections are
+	// legitimate on large graphs).
+	srv := &http.Server{
+		Addr:              o.listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if o.queryTimeout > 0 {
+		srv.WriteTimeout = o.queryTimeout + 30*time.Second
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -360,47 +438,23 @@ func loadSystem(load, dataset string, n int, mu float64, seed int64) *ovm.System
 	}
 }
 
-// writeIndexAtomic rewrites the index file via a temp file + fsync +
-// rename (+ directory fsync), so a crash — even a power loss — leaves
-// either the old complete file or the new complete file, with the original
-// permissions preserved.
-func writeIndexAtomic(path string, idx *serialize.Index) error {
-	mode := os.FileMode(0o644)
-	if info, err := os.Stat(path); err == nil {
-		mode = info.Mode().Perm()
+// quarantineIndex handles an unreadable index at startup. A missing file is
+// fatal — that is a typo'd path, not corruption, and silently serving empty
+// would mask it. Anything else (truncated file, CRC mismatch, bad magic) is
+// corruption: move the file aside to <path>.corrupt so the next restart does
+// not crash-loop on it, and let the daemon start degraded for inspection.
+func quarantineIndex(logger *obs.Logger, path string, loadErr error) {
+	if os.IsNotExist(loadErr) {
+		fatal(loadErr)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
+	dst, qerr := persist.Quarantine(iofault.OS, path)
+	if qerr != nil {
+		logger.Warn("index unreadable and quarantine failed; serving degraded",
+			obs.F("index", path), obs.F("err", loadErr), obs.F("quarantineErr", qerr))
+		return
 	}
-	cleanup := func(err error) error {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if err := serialize.WriteIndexV3(tmp, idx, serialize.V3Options{}); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Chmod(mode); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	// Make the rename itself durable.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = dir.Sync()
-		_ = dir.Close()
-	}
-	return nil
+	logger.Warn("index unreadable; quarantined for inspection",
+		obs.F("index", path), obs.F("err", loadErr), obs.F("movedTo", dst))
 }
 
 func checkFlag(ok bool, format string, args ...any) {

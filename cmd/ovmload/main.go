@@ -59,6 +59,7 @@ func main() {
 		name     = flag.String("bench-name", "ovmload", "result name used with -json")
 		verify   = flag.Bool("verify-metrics", false, "check the daemon /metrics request-histogram count delta equals the requests sent (ovmload must be the only client)")
 		explain  = flag.Bool("explain", false, "set \"explain\": true on every query and fail unless every 200 response carries an explain block (exercises the EXPLAIN path under load)")
+		retries  = flag.Int("retries", 3, "retry attempts per request when the daemon sheds with 429 (backoff honors Retry-After, with jitter); a request that exhausts its retries counts as an error")
 	)
 	flag.Parse()
 	checkFlag(*duration > 0, "-duration must be > 0, got %v", *duration)
@@ -69,6 +70,7 @@ func main() {
 	checkFlag(*target >= 0, "-target must be >= 0, got %d", *target)
 	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
 	checkFlag(*mutEvery >= 0, "-mutate-every must be >= 0, got %v", *mutEvery)
+	checkFlag(*retries >= 0, "-retries must be >= 0, got %d", *retries)
 	switch *endpoint {
 	case "select-seeds", "evaluate", "wins", "mix":
 	default:
@@ -90,7 +92,7 @@ func main() {
 		client: client, addr: *addr, dataset: *dataset,
 		endpoint: *endpoint, scores: scoreList,
 		k: *k, horizon: *horizon, target: *target, seed: *seed, theta: *theta,
-		n: n, distinct: *distinct, explain: *explain,
+		n: n, distinct: *distinct, explain: *explain, maxRetries: *retries,
 	}
 	// The warm fixture: one fixed seed set shared by every worker, so
 	// non-distinct evaluate/wins traffic collapses onto cached entries.
@@ -144,7 +146,9 @@ func main() {
 	elapsed := time.Since(start)
 
 	snap := g.hist.Snapshot()
-	sent := snap.Count + g.errors.Load()
+	// Every attempt reaches the daemon's request histogram, including the
+	// 429s that were later retried — so "sent" counts retried attempts too.
+	sent := snap.Count + g.errors.Load() + g.retried.Load()
 	if *verify {
 		after := requestHistogramCount(client, *addr)
 		if delta := after - before; delta != float64(sent) {
@@ -155,9 +159,9 @@ func main() {
 
 	achieved := float64(snap.Count) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr,
-		"ovmload: %s %d workers %v: %d ok, %d errors, %d mutations, %.1f qps, p50=%s p95=%s p99=%s max=%s\n",
+		"ovmload: %s %d workers %v: %d ok, %d errors, %d retried, %d mutations, %.1f qps, p50=%s p95=%s p99=%s max=%s\n",
 		*endpoint, *workers, elapsed.Round(time.Millisecond),
-		snap.Count, g.errors.Load(), mutations.Load(), achieved,
+		snap.Count, g.errors.Load(), g.retried.Load(), mutations.Load(), achieved,
 		time.Duration(snap.Quantile(0.50)), time.Duration(snap.Quantile(0.95)),
 		time.Duration(snap.Quantile(0.99)), time.Duration(snap.MaxNs))
 	if *jsonOut {
@@ -174,6 +178,7 @@ func main() {
 				MaxNs      int64   `json:"max_ns"`
 				MeanNs     int64   `json:"mean_ns"`
 				Errors     int64   `json:"errors"`
+				Retried    int64   `json:"retried"`
 				Mutations  int64   `json:"mutations"`
 				Workers    int     `json:"workers"`
 				DurationS  float64 `json:"duration_s"`
@@ -187,6 +192,7 @@ func main() {
 		m.MaxNs = snap.MaxNs
 		m.MeanNs = int64(snap.Mean())
 		m.Errors = g.errors.Load()
+		m.Retried = g.retried.Load()
 		m.Mutations = mutations.Load()
 		m.Workers = *workers
 		m.DurationS = round1(elapsed.Seconds())
@@ -215,10 +221,12 @@ type loadgen struct {
 	n          int
 	distinct   bool
 	explain    bool
+	maxRetries int
 	fixedSeeds []int32
 
-	hist   obs.Histogram
-	errors atomic.Int64
+	hist    obs.Histogram
+	errors  atomic.Int64
+	retried atomic.Int64 // 429 attempts that were retried after backoff
 }
 
 type scoreSpec struct {
@@ -334,20 +342,34 @@ func (g *loadgen) mutate(ctx context.Context, every time.Duration, count *atomic
 
 // post sends one request to completion — deliberately not tied to the
 // run context, so the drain-at-deadline accounting stays exact (the
-// client -timeout still bounds a hung daemon).
+// client -timeout still bounds a hung daemon). A 429 (the daemon shedding
+// compute) is retried up to -retries times with jittered backoff that
+// honors the Retry-After header; the recorded latency spans the whole
+// exchange including backoff, which is what the caller experienced.
 func (g *loadgen) post(path string, body any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, g.addr+path, bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, g.addr+path, bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = g.client.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= g.maxRetries {
+			break
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		g.retried.Add(1)
+		time.Sleep(backoff(retryAfter, attempt))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -368,6 +390,23 @@ func (g *loadgen) post(path string, body any) error {
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
 	return err
+}
+
+// backoff picks the wait before a retry: the server's Retry-After when it
+// sent one (integer seconds), else exponential from 100ms, both capped at
+// 5s — then jittered uniformly over [base/2, base) so a herd of shed
+// workers does not re-arrive in lockstep. The global rand is used for the
+// jitter only; it never touches request generation, so runs stay
+// reproducible where it matters.
+func backoff(retryAfter string, attempt int) time.Duration {
+	base := 100 * time.Millisecond << min(attempt, 5)
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		base = time.Duration(s) * time.Second
+	}
+	if base > 5*time.Second {
+		base = 5 * time.Second
+	}
+	return base/2 + time.Duration(rand.Int63n(int64(base/2)))
 }
 
 func randomSeedSet(rng *rand.Rand, k, n int) []int32 {

@@ -8,6 +8,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -82,6 +83,9 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 	if cfg.IMM.Parallelism == 0 {
 		cfg.IMM.Parallelism = cfg.Parallelism
 	}
+	if cfg.IMM.Ctx == nil {
+		cfg.IMM.Ctx = p.Ctx
+	}
 	g := p.Sys.Candidate(p.Target).G
 	rrCache := func(model im.Model) *im.RRCollection {
 		if cfg.RRCache != nil && cfg.RRCache.Model() == model {
@@ -108,10 +112,16 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 		seeds, _, err := core.SelectSeedsDM(&q, cfg.Parallelism)
 		return seeds, err
 	case MethodPR:
-		scores := PageRank(g, cfg.Damping, cfg.PowerIters, cfg.PowerTol)
+		scores, err := pageRankCtx(p.Ctx, g, cfg.Damping, cfg.PowerIters, cfg.PowerTol)
+		if err != nil {
+			return nil, err
+		}
 		return TopK(scores, p.K), nil
 	case MethodRWR:
-		scores := ReverseRWR(g, cfg.Damping, cfg.PowerIters, cfg.PowerTol)
+		scores, err := reverseRWRCtx(p.Ctx, g, cfg.Damping, cfg.PowerIters, cfg.PowerTol)
+		if err != nil {
+			return nil, err
+		}
 		return TopK(scores, p.K), nil
 	case MethodDC:
 		return TopK(WeightedOutDegree(g), p.K), nil
@@ -124,6 +134,12 @@ func Select(m Method, p *core.Problem, cfg Config) ([]int32, error) {
 // out-edges (normalized by total out-weight) with probability damping and
 // teleports uniformly otherwise; dangling nodes always teleport.
 func PageRank(g *graph.Graph, damping float64, iters int, tol float64) []float64 {
+	scores, _ := pageRankCtx(nil, g, damping, iters, tol)
+	return scores
+}
+
+// pageRankCtx is PageRank with a per-power-iteration cancellation poll.
+func pageRankCtx(ctx context.Context, g *graph.Graph, damping float64, iters int, tol float64) ([]float64, error) {
 	n := g.N()
 	cur := make([]float64, n)
 	next := make([]float64, n)
@@ -138,6 +154,11 @@ func PageRank(g *graph.Graph, damping float64, iters int, tol float64) []float64
 		cur[v] = 1 / float64(n)
 	}
 	for it := 0; it < iters; it++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		dangling := 0.0
 		for v := range next {
 			next[v] = 0
@@ -163,7 +184,7 @@ func PageRank(g *graph.Graph, damping float64, iters int, tol float64) []float64
 			break
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // ReverseRWR computes a random-walk-with-restart score on the reverse
@@ -173,6 +194,12 @@ func PageRank(g *graph.Graph, damping float64, iters int, tol float64) []float64
 // Frequently visited nodes are strong influencers at any horizon — this is
 // the RWR baseline of [25] recast in our weight convention.
 func ReverseRWR(g *graph.Graph, damping float64, iters int, tol float64) []float64 {
+	scores, _ := reverseRWRCtx(nil, g, damping, iters, tol)
+	return scores
+}
+
+// reverseRWRCtx is ReverseRWR with a per-power-iteration cancellation poll.
+func reverseRWRCtx(ctx context.Context, g *graph.Graph, damping float64, iters int, tol float64) ([]float64, error) {
 	n := g.N()
 	cur := make([]float64, n)
 	next := make([]float64, n)
@@ -180,6 +207,11 @@ func ReverseRWR(g *graph.Graph, damping float64, iters int, tol float64) []float
 		cur[v] = 1 / float64(n)
 	}
 	for it := 0; it < iters; it++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for v := range next {
 			next[v] = (1 - damping) / float64(n)
 		}
@@ -200,7 +232,7 @@ func ReverseRWR(g *graph.Graph, damping float64, iters int, tol float64) []float
 			break
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // WeightedOutDegree returns each node's total out-edge weight (the DC

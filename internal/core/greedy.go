@@ -2,8 +2,20 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
+
+// ctxErr polls an optional context; nil means "never cancelled". The greedy
+// drivers call it at round (and heap-iteration) boundaries — the same
+// granularity the engine pool uses for shards — so a cancelled selection
+// abandons work promptly without ever publishing a partial result.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // GreedyResult reports the outcome of a greedy run.
 type GreedyResult struct {
@@ -39,6 +51,11 @@ func evaluateBatch(obj Objective, base []int32, cands []int32, out []float64) {
 // either way (candidates are scanned in ascending node order with
 // first-max-wins tie-breaking).
 func Greedy(obj Objective, k int) (*GreedyResult, error) {
+	return GreedyCtx(nil, obj, k)
+}
+
+// GreedyCtx is Greedy with cooperative cancellation at round boundaries.
+func GreedyCtx(ctx context.Context, obj Objective, k int) (*GreedyResult, error) {
 	n := obj.N()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
@@ -51,6 +68,9 @@ func Greedy(obj Objective, k int) (*GreedyResult, error) {
 	cands := make([]int32, 0, n)
 	vals := make([]float64, 0, n)
 	for round := 0; round < k; round++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		cands = cands[:0]
 		for v := int32(0); v < int32(n); v++ {
 			if !inSeed[v] {
@@ -113,9 +133,18 @@ func (h *celfHeap) Pop() any {
 // sequential algorithm; results are therefore bit-identical across
 // Parallelism values.
 func GreedyCELF(obj Objective, k int) (*GreedyResult, error) {
+	return GreedyCELFCtx(nil, obj, k)
+}
+
+// GreedyCELFCtx is GreedyCELF with cooperative cancellation, polled before
+// the initial full sweep and at every lazy-loop iteration.
+func GreedyCELFCtx(ctx context.Context, obj Objective, k int) (*GreedyResult, error) {
 	n := obj.N()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: need 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	res := &GreedyResult{}
 	base := obj.Value(nil)
@@ -138,6 +167,9 @@ func GreedyCELF(obj Objective, k int) (*GreedyResult, error) {
 
 	cur := base
 	for len(seeds) < k && h.Len() > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		top := h[0]
 		if top.stamp == len(seeds) {
 			// Gain is fresh w.r.t. the current seed set: accept.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ovm/internal/engine"
@@ -10,12 +11,28 @@ import (
 
 // Problem is one FJ-Vote instance (Problem 1, §II-C): find K seed nodes for
 // candidate Target maximizing Score at timestamp Horizon.
+//
+// Ctx, when set, bounds the selection: solvers poll it at shard and greedy
+// round boundaries and abandon the run with ctx.Err(). Cancellation never
+// mutates shared state — every solver builds its estimator locally and
+// discards it wholesale on error, so a cancelled run followed by a retry of
+// the same Problem produces bit-identical results.
 type Problem struct {
 	Sys     *opinion.System
 	Target  int
 	Horizon int
 	K       int
 	Score   voting.Score
+	Ctx     context.Context
+}
+
+// Context returns p.Ctx, or context.Background() when unset, so solvers can
+// thread it unconditionally.
+func (p *Problem) Context() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // ValidateTargetHorizon is the shared bounds check for the two parameters
@@ -61,6 +78,18 @@ func (p *Problem) Validate() error {
 // parallelism caps the per-candidate diffusion fan-out (0 = GOMAXPROCS,
 // 1 = serial); the result is identical at any setting.
 func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score, seeds []int32, parallelism int) (float64, error) {
+	return EvaluateExactCtx(nil, sys, target, horizon, score, seeds, parallelism)
+}
+
+// EvaluateExactCtx is EvaluateExact with cooperative cancellation: the
+// per-candidate diffusion fan-out aborts at shard boundaries once ctx is
+// done and ctx.Err() is returned.
+func EvaluateExactCtx(ctx context.Context, sys *opinion.System, target, horizon int, score voting.Score, seeds []int32, parallelism int) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	B, err := opinion.Matrix(sys, horizon, target, seeds, parallelism)
 	if err != nil {
 		return 0, err
@@ -75,12 +104,24 @@ func EvaluateExact(sys *opinion.System, target, horizon int, score voting.Score,
 // per-candidate diffusions run concurrently on the engine worker pool
 // (parallelism: 0 = GOMAXPROCS, 1 = serial).
 func CompetitorOpinions(sys *opinion.System, target, horizon, parallelism int) [][]float64 {
+	B, _ := CompetitorOpinionsCtx(nil, sys, target, horizon, parallelism)
+	return B
+}
+
+// CompetitorOpinionsCtx is CompetitorOpinions with cooperative cancellation
+// at per-candidate granularity. On cancellation the partially-filled matrix
+// is discarded and ctx.Err() returned — callers must never memoize a partial
+// result.
+func CompetitorOpinionsCtx(ctx context.Context, sys *opinion.System, target, horizon, parallelism int) ([][]float64, error) {
 	B := make([][]float64, sys.R())
-	_ = engine.ForEachShard(parallelism, sys.R(), func(_, q int) error {
+	err := engine.ForEachShardCtx(ctx, parallelism, sys.R(), func(_, q int) error {
 		if q != target {
 			B[q] = opinion.OpinionsAt(sys.Candidate(q), horizon, nil)
 		}
 		return nil
 	})
-	return B
+	if err != nil {
+		return nil, err
+	}
+	return B, nil
 }

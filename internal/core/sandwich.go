@@ -51,7 +51,10 @@ func SandwichPositional(p *Problem, parallelism int) (*SandwichResult, error) {
 
 	// Seedless horizon matrix for the bound ingredients.
 	noSeedB := make([][]float64, p.Sys.R())
-	comp := CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	comp, err := CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	copy(noSeedB, comp)
 	tgtDiff, err := NewParallelDMObjective(&inner, parallelism)
 	if err != nil {
@@ -69,6 +72,9 @@ func SandwichPositional(p *Problem, parallelism int) (*SandwichResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctxErr(p.Ctx); err != nil {
+		return nil, err
+	}
 
 	// SL: greedy (CELF; the LB is submodular by Theorem 5) on
 	// LB(S) = ω[p]·Σ_{v∈V_q^(t)} b_qv^(t)[S] (Definition 3).
@@ -78,7 +84,7 @@ func SandwichPositional(p *Problem, parallelism int) (*SandwichResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sl, err := GreedyCELF(lbObj, p.K)
+	sl, err := GreedyCELFCtx(p.Ctx, lbObj, p.K)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +94,7 @@ func SandwichPositional(p *Problem, parallelism int) (*SandwichResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sf, err := GreedyCELF(fObj, p.K)
+	sf, err := GreedyCELFCtx(p.Ctx, fObj, p.K)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +116,11 @@ func SandwichCopeland(p *Problem, parallelism int) (*SandwichResult, error) {
 		return nil, err
 	}
 	noSeedB := make([][]float64, p.Sys.R())
-	copy(noSeedB, CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism))
+	comp, err := CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	copy(noSeedB, comp)
 	fObj, err := NewParallelDMObjective(p, parallelism)
 	if err != nil {
 		return nil, err
@@ -126,7 +136,10 @@ func SandwichCopeland(p *Problem, parallelism int) (*SandwichResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sf, err := GreedyCELF(fObj, p.K)
+	if err := ctxErr(p.Ctx); err != nil {
+		return nil, err
+	}
+	sf, err := GreedyCELFCtx(p.Ctx, fObj, p.K)
 	if err != nil {
 		return nil, err
 	}
@@ -138,15 +151,15 @@ func SandwichCopeland(p *Problem, parallelism int) (*SandwichResult, error) {
 func assembleSandwich(p *Problem, parallelism int, su, sl, sf *GreedyResult, ubValue func([]int32) float64) (*SandwichResult, error) {
 	res := &SandwichResult{SU: su, SL: sl, SF: sf}
 	var err error
-	if res.FofSU, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, su.Seeds, parallelism); err != nil {
+	if res.FofSU, err = EvaluateExactCtx(p.Ctx, p.Sys, p.Target, p.Horizon, p.Score, su.Seeds, parallelism); err != nil {
 		return nil, err
 	}
-	if res.FofSF, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sf.Seeds, parallelism); err != nil {
+	if res.FofSF, err = EvaluateExactCtx(p.Ctx, p.Sys, p.Target, p.Horizon, p.Score, sf.Seeds, parallelism); err != nil {
 		return nil, err
 	}
 	res.Seeds, res.Value, res.Chosen = su.Seeds, res.FofSU, "UB"
 	if sl != nil {
-		if res.FofSL, err = EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, sl.Seeds, parallelism); err != nil {
+		if res.FofSL, err = EvaluateExactCtx(p.Ctx, p.Sys, p.Target, p.Horizon, p.Score, sl.Seeds, parallelism); err != nil {
 			return nil, err
 		}
 		if res.FofSL > res.Value {
@@ -178,7 +191,7 @@ func SelectSeedsDM(p *Problem, parallelism int) ([]int32, float64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		res, err := GreedyCELF(obj, p.K)
+		res, err := GreedyCELFCtx(p.Ctx, obj, p.K)
 		if err != nil {
 			return nil, 0, err
 		}

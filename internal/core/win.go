@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,6 +49,16 @@ func Wins(sys *opinion.System, target, horizon int, score voting.Score, seeds []
 // bound by doubling (k = 1, 2, 4, …) and then binary-search the bracket —
 // the same predicate, the same k*, far cheaper probes.
 func MinSeedsToWin(sys *opinion.System, target, horizon int, score voting.Score, sel SeedSelector) ([]int32, error) {
+	return MinSeedsToWinCtx(nil, sys, target, horizon, score, sel)
+}
+
+// MinSeedsToWinCtx is MinSeedsToWin with cooperative cancellation between
+// probes (each probe additionally honors any context the selector's Problem
+// carries).
+func MinSeedsToWinCtx(ctx context.Context, sys *opinion.System, target, horizon int, score voting.Score, sel SeedSelector) ([]int32, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if ok, err := Wins(sys, target, horizon, score, nil); err != nil {
 		return nil, err
 	} else if ok {
@@ -66,6 +77,9 @@ func MinSeedsToWin(sys *opinion.System, target, horizon int, score voting.Score,
 		return nil, ErrCannotWin
 	}
 	probe := func(k int) ([]int32, bool, error) {
+		if err := ctxErr(ctx); err != nil {
+			return nil, false, err
+		}
 		if k >= n {
 			return all, true, nil
 		}
@@ -120,8 +134,14 @@ func MinSeedsToWin(sys *opinion.System, target, horizon int, score voting.Score,
 // DMSelector returns a SeedSelector backed by SelectSeedsDM running with
 // the given engine parallelism (0 = GOMAXPROCS).
 func DMSelector(sys *opinion.System, target, horizon int, score voting.Score, parallelism int) SeedSelector {
+	return DMSelectorCtx(nil, sys, target, horizon, score, parallelism)
+}
+
+// DMSelectorCtx is DMSelector with each probe's Problem carrying ctx, so a
+// cancelled min-seeds-to-win query abandons the inner greedy promptly.
+func DMSelectorCtx(ctx context.Context, sys *opinion.System, target, horizon int, score voting.Score, parallelism int) SeedSelector {
 	return func(k int) ([]int32, error) {
-		p := &Problem{Sys: sys, Target: target, Horizon: horizon, K: k, Score: score}
+		p := &Problem{Sys: sys, Target: target, Horizon: horizon, K: k, Score: score, Ctx: ctx}
 		seeds, _, err := SelectSeedsDM(p, parallelism)
 		return seeds, err
 	}

@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -124,6 +125,23 @@ type shardPanic struct {
 // (re-raised). A panic in a shard is re-thrown on the calling goroutine
 // with the original value, so the process fails loudly rather than hanging.
 func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) error {
+	return forEachShard(nil, parallelism, shards, fn)
+}
+
+// ForEachShardCtx is ForEachShard with cooperative cancellation: each worker
+// polls ctx before pulling another shard and skips the remaining shards once
+// ctx is done. Shards already running still run to completion (a shard is the
+// cancellation granularity), so the set of executed shards is always a prefix
+// of the pull order plus in-flight shards — callers must treat any error
+// return, including ctx.Err(), as "results are garbage, discard everything".
+// Shard errors from completed shards take precedence over the context error;
+// if no shard failed but ctx was cancelled, ctx.Err() is returned verbatim so
+// errors.Is(err, context.Canceled/DeadlineExceeded) works.
+func ForEachShardCtx(ctx context.Context, parallelism, shards int, fn func(worker, shard int) error) error {
+	return forEachShard(ctx, parallelism, shards, fn)
+}
+
+func forEachShard(ctx context.Context, parallelism, shards int, fn func(worker, shard int) error) error {
 	if shards <= 0 {
 		return nil
 	}
@@ -152,11 +170,17 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 		}()
 		errs[s] = fn(worker, s)
 	}
+	cancelled := func() bool {
+		return ctx != nil && ctx.Err() != nil
+	}
 	if w <= 1 {
 		// Same run-to-completion and lowest-shard-wins semantics as the
 		// parallel path, so error-path side effects are worker-count
 		// independent too.
 		for s := 0; s < shards; s++ {
+			if cancelled() {
+				break
+			}
 			runShard(0, s)
 		}
 		if account {
@@ -181,6 +205,9 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 					}
 				}()
 				for {
+					if cancelled() {
+						return
+					}
 					s := int(next.Add(1)) - 1
 					if s >= shards {
 						return
@@ -208,6 +235,9 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 			return fmt.Errorf("engine: shard %d: %w", s, err)
 		}
 	}
+	if ctx != nil {
+		return ctx.Err()
+	}
 	return nil
 }
 
@@ -215,8 +245,14 @@ func ForEachShard(parallelism, shards int, fn func(worker, shard int) error) err
 // contiguous chunks and runs fn(worker, shard, lo, hi) for each. It is the
 // common "parallel for over a slice" shape.
 func ForEachChunk(parallelism, n, minPerShard, maxShards int, fn func(worker, shard, lo, hi int) error) error {
+	return ForEachChunkCtx(nil, parallelism, n, minPerShard, maxShards, fn)
+}
+
+// ForEachChunkCtx is ForEachChunk with the cancellation semantics of
+// ForEachShardCtx.
+func ForEachChunkCtx(ctx context.Context, parallelism, n, minPerShard, maxShards int, fn func(worker, shard, lo, hi int) error) error {
 	shards := NumShards(n, minPerShard, maxShards)
-	return ForEachShard(parallelism, shards, func(worker, s int) error {
+	return forEachShard(ctx, parallelism, shards, func(worker, s int) error {
 		lo, hi := ShardRange(n, shards, s)
 		return fn(worker, s, lo, hi)
 	})
@@ -225,8 +261,14 @@ func ForEachChunk(parallelism, n, minPerShard, maxShards int, fn func(worker, sh
 // Map runs fn for every shard and returns the results indexed by shard —
 // the deterministic fan-out/fan-in building block.
 func Map[T any](parallelism, shards int, fn func(worker, shard int) (T, error)) ([]T, error) {
+	return MapCtx[T](nil, parallelism, shards, fn)
+}
+
+// MapCtx is Map with the cancellation semantics of ForEachShardCtx: on
+// cancellation the partial results are dropped and ctx.Err() is returned.
+func MapCtx[T any](ctx context.Context, parallelism, shards int, fn func(worker, shard int) (T, error)) ([]T, error) {
 	out := make([]T, shards)
-	err := ForEachShard(parallelism, shards, func(worker, s int) error {
+	err := forEachShard(ctx, parallelism, shards, func(worker, s int) error {
 		v, err := fn(worker, s)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package im
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,18 @@ type IMMConfig struct {
 	// means GOMAXPROCS, 1 disables concurrency. The sampled sets — and the
 	// selected seeds — are bit-identical across Parallelism values.
 	Parallelism int
+	// Ctx, when set, is polled between sampling/cover phases; a done
+	// context abandons the run with ctx.Err(). Only the run's private
+	// RRCollection is discarded (the optional cache is read-only here), so
+	// a retry is bit-identical.
+	Ctx context.Context
+}
+
+func (c IMMConfig) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 func (c IMMConfig) withDefaults() IMMConfig {
@@ -92,6 +105,9 @@ func IMMCached(g *graph.Graph, model Model, k int, cfg IMMConfig, cache *RRColle
 	col := NewRRCollection(g, model, str, cfg.Parallelism)
 	lb := 1.0
 	for i := 1; i < int(math.Ceil(math.Log2(nf))); i++ {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		x := nf / math.Pow(2, float64(i))
 		thetaI := int(math.Ceil(lambdaPrime / x))
 		if thetaI > cfg.MaxSets {
@@ -118,8 +134,14 @@ func IMMCached(g *graph.Graph, model Model, k int, cfg IMMConfig, cache *RRColle
 	if theta > cfg.MaxSets {
 		theta = cfg.MaxSets
 	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	if col.NumSets() < theta {
 		col.AddCached(theta-col.NumSets(), cache)
+	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
 	}
 	seeds, frac := col.GreedyCover(k)
 	return &IMMResult{

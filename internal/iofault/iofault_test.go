@@ -1,0 +1,129 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultyPassthroughAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS)
+	file, err := f.CreateTemp(dir, "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "x")
+	if err := f.Rename(file.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dst)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("content = %q, %v", b, err)
+	}
+	want := []Point{
+		{OpCreateTemp, 0}, {OpWrite, 0}, {OpSync, 0}, {OpClose, 0}, {OpRename, 0}, {OpSyncDir, 0},
+	}
+	got := f.Trace()
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInjectErrorAtOccurrence(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS)
+	f.Inject(OpWrite, 1, ActError)
+	file, err := f.CreateTemp(dir, "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	if _, err := file.Write([]byte("first")); err != nil {
+		t.Fatalf("occurrence 0 should pass through: %v", err)
+	}
+	if _, err := file.Write([]byte("second")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("occurrence 1 err = %v, want ErrInjected", err)
+	}
+	if _, err := file.Write([]byte("third")); err != nil {
+		t.Fatalf("occurrence 2 should pass through again: %v", err)
+	}
+}
+
+func TestTornWritePersistsHalf(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS)
+	f.Inject(OpWrite, 0, ActTornWrite)
+	file, err := f.CreateTemp(dir, "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := file.Write([]byte("abcdefgh"))
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", werr)
+	}
+	if n != 4 {
+		t.Errorf("short write reported %d bytes, want 4", n)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(file.Name())
+	if err != nil || string(b) != "abcd" {
+		t.Fatalf("on-disk prefix = %q, %v; want \"abcd\"", b, err)
+	}
+}
+
+func TestCrashPanicsWithTypedPayload(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS)
+	f.Inject(OpRename, 0, ActCrash)
+	defer func() {
+		r := recover()
+		c, ok := r.(*Crash)
+		if !ok {
+			t.Fatalf("recover() = %v, want *Crash", r)
+		}
+		if c.Op != OpRename || c.Occurrence != 0 {
+			t.Errorf("crash point = %s#%d, want rename#0", c.Op, c.Occurrence)
+		}
+	}()
+	_ = f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+	t.Fatal("rename should have panicked")
+}
+
+func TestResetClearsScriptAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS)
+	f.Inject(OpCreateTemp, 0, ActError)
+	if _, err := f.CreateTemp(dir, "x.tmp-*"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	f.Reset()
+	file, err := f.CreateTemp(dir, "x.tmp-*")
+	if err != nil {
+		t.Fatalf("after Reset the script must be gone: %v", err)
+	}
+	if tr := f.Trace(); len(tr) != 1 || tr[0] != (Point{OpCreateTemp, 0}) {
+		t.Errorf("trace after Reset = %v, want a fresh create-temp#0", tr)
+	}
+	_ = file.Close()
+}

@@ -1,0 +1,102 @@
+// Package persist owns the crash-consistent index persistence sequence:
+// atomic rewrite via temp file + fsync + rename + directory fsync, stale
+// temp-file cleanup after a crash, and corruption quarantine at load time.
+// All mutating file operations route through an iofault.FS, so torture
+// tests can inject an error, a torn write, or a simulated crash at every
+// single operation and assert the old-or-new invariant.
+package persist
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ovm/internal/iofault"
+	"ovm/internal/serialize"
+)
+
+// tempPattern returns the os.CreateTemp pattern used for path's rewrite
+// temps; CleanStaleTemps matches the same shape.
+func tempPattern(base string) string { return base + ".tmp-*" }
+
+// WriteIndexAtomic rewrites the index file at path via a temp file + fsync
+// + rename (+ directory fsync), so a crash — even a power loss — leaves
+// either the old complete file or the new complete file, with the original
+// permissions preserved. On every error path the temp file is removed; only
+// a crash between CreateTemp and the cleanup can leave one behind, which
+// CleanStaleTemps sweeps at the next startup.
+func WriteIndexAtomic(fsys iofault.FS, path string, idx *serialize.Index) error {
+	mode := fs.FileMode(0o644)
+	if info, err := fsys.Stat(path); err == nil {
+		mode = info.Mode().Perm()
+	}
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), tempPattern(filepath.Base(path)))
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := serialize.WriteIndexV3(tmp, idx, serialize.V3Options{}); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		_ = fsys.Remove(tmp.Name())
+		return err
+	}
+	// Make the rename itself durable. A failure here is not an error for
+	// the caller: the new file is in place and complete, only the rename's
+	// durability against power loss is weakened.
+	_ = fsys.SyncDir(filepath.Dir(path))
+	return nil
+}
+
+// CleanStaleTemps removes temp files a crashed rewrite of path may have
+// left next to it and returns the removed names. Errors on individual
+// removes are ignored (the next sweep retries); only directory listing
+// failure is reported.
+func CleanStaleTemps(fsys iofault.FS, path string) ([]string, error) {
+	dir := filepath.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := filepath.Base(path) + ".tmp-"
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		if err := fsys.Remove(full); err == nil {
+			removed = append(removed, full)
+		}
+	}
+	return removed, nil
+}
+
+// Quarantine moves an unreadable index file aside to path + ".corrupt"
+// (overwriting any previous quarantine) so the daemon can start without it
+// while preserving the evidence for inspection. Returns the quarantine
+// path.
+func Quarantine(fsys iofault.FS, path string) (string, error) {
+	dst := path + ".corrupt"
+	if err := fsys.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("persist: quarantine %s: %w", path, err)
+	}
+	return dst, nil
+}

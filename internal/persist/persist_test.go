@@ -1,0 +1,264 @@
+package persist_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ovm/internal/datasets"
+	"ovm/internal/iofault"
+	"ovm/internal/persist"
+	"ovm/internal/serialize"
+)
+
+// testIndex builds a minimal artifact-free index whose BaseEpoch doubles as
+// a content marker: reading the file back and checking BaseEpoch tells the
+// torture sweep whether the old or the new version survived.
+func testIndex(t testing.TB, epoch int64) *serialize.Index {
+	t.Helper()
+	d, err := datasets.YelpLike(datasets.Options{N: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &serialize.Index{Sys: d.Sys, BaseEpoch: epoch}
+}
+
+func readEpoch(t *testing.T, path string) int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	idx, err := serialize.ReadIndex(f)
+	if err != nil {
+		t.Fatalf("index at %s is corrupt — the old-or-new invariant is broken: %v", path, err)
+	}
+	return idx.BaseEpoch
+}
+
+// listTemps returns the rewrite temp files currently next to path.
+func listTemps(t *testing.T, path string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestWriteIndexAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.ovmidx")
+	if err := persist.WriteIndexAtomic(iofault.OS, path, testIndex(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readEpoch(t, path); got != 7 {
+		t.Errorf("BaseEpoch = %d, want 7", got)
+	}
+	if temps := listTemps(t, path); len(temps) != 0 {
+		t.Errorf("temp files left after a clean rewrite: %v", temps)
+	}
+}
+
+func TestWriteIndexAtomicPreservesMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.ovmidx")
+	idx := testIndex(t, 1)
+	if err := persist.WriteIndexAtomic(iofault.OS, path, idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.WriteIndexAtomic(iofault.OS, path, idx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o600 {
+		t.Errorf("mode after rewrite = %o, want 600", got)
+	}
+}
+
+// TestWriteIndexAtomicRemovesTempOnEveryErrorPath injects an error at each
+// operation of the rewrite sequence in turn and asserts that no temp file
+// survives the failed call and the original file is untouched.
+func TestWriteIndexAtomicRemovesTempOnEveryErrorPath(t *testing.T) {
+	oldIdx, newIdx := testIndex(t, 1), testIndex(t, 2)
+
+	// Recording pass: a clean rewrite enumerates the injection points.
+	recDir := t.TempDir()
+	recPath := filepath.Join(recDir, "world.ovmidx")
+	if err := persist.WriteIndexAtomic(iofault.OS, recPath, oldIdx); err != nil {
+		t.Fatal(err)
+	}
+	rec := iofault.NewFaulty(iofault.OS)
+	if err := persist.WriteIndexAtomic(rec, recPath, newIdx); err != nil {
+		t.Fatal(err)
+	}
+	points := rec.Trace()
+	if len(points) < 5 {
+		t.Fatalf("suspiciously short trace %v: the recording pass missed operations", points)
+	}
+
+	for _, p := range points {
+		if p.Op == iofault.OpSyncDir {
+			continue // non-fatal by design; covered below
+		}
+		t.Run(fmt.Sprintf("%s#%d", p.Op, p.Occurrence), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "world.ovmidx")
+			if err := persist.WriteIndexAtomic(iofault.OS, path, oldIdx); err != nil {
+				t.Fatal(err)
+			}
+			f := iofault.NewFaulty(iofault.OS)
+			f.Inject(p.Op, p.Occurrence, iofault.ActError)
+			err := persist.WriteIndexAtomic(f, path, newIdx)
+			if !errors.Is(err, iofault.ErrInjected) {
+				t.Fatalf("err = %v, want the injected fault", err)
+			}
+			if temps := listTemps(t, path); len(temps) != 0 {
+				t.Errorf("temp files survived the %s#%d error path: %v", p.Op, p.Occurrence, temps)
+			}
+			if got := readEpoch(t, path); got != 1 {
+				t.Errorf("original file changed under a failed rewrite: BaseEpoch = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestWriteIndexAtomicSyncDirFailureIsNotFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.ovmidx")
+	if err := persist.WriteIndexAtomic(iofault.OS, path, testIndex(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f := iofault.NewFaulty(iofault.OS)
+	f.Inject(iofault.OpSyncDir, 0, iofault.ActError)
+	if err := persist.WriteIndexAtomic(f, path, testIndex(t, 2)); err != nil {
+		t.Fatalf("a directory-fsync failure after the rename must not fail the rewrite: %v", err)
+	}
+	if got := readEpoch(t, path); got != 2 {
+		t.Errorf("BaseEpoch = %d, want the new version 2", got)
+	}
+}
+
+// TestWriteIndexAtomicTortureSweep is the crash-consistency sweep: every
+// operation of the rewrite sequence is made to fail, tear, or "crash" (panic
+// mid-operation), the simulated restart sweeps stale temps, and the index
+// file must always parse as exactly the old or the new version — never a
+// torn in-between.
+func TestWriteIndexAtomicTortureSweep(t *testing.T) {
+	oldIdx, newIdx := testIndex(t, 1), testIndex(t, 2)
+
+	recPath := filepath.Join(t.TempDir(), "world.ovmidx")
+	if err := persist.WriteIndexAtomic(iofault.OS, recPath, oldIdx); err != nil {
+		t.Fatal(err)
+	}
+	rec := iofault.NewFaulty(iofault.OS)
+	if err := persist.WriteIndexAtomic(rec, recPath, newIdx); err != nil {
+		t.Fatal(err)
+	}
+	points := rec.Trace()
+
+	actions := []iofault.Action{iofault.ActError, iofault.ActTornWrite, iofault.ActCrash}
+	for _, p := range points {
+		for _, act := range actions {
+			t.Run(fmt.Sprintf("%s#%d/%s", p.Op, p.Occurrence, act), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "world.ovmidx")
+				if err := persist.WriteIndexAtomic(iofault.OS, path, oldIdx); err != nil {
+					t.Fatal(err)
+				}
+				f := iofault.NewFaulty(iofault.OS)
+				f.Inject(p.Op, p.Occurrence, act)
+
+				var err error
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(*iofault.Crash); !ok {
+								panic(r) // a real bug, not a scripted crash
+							}
+							crashed = true
+						}
+					}()
+					err = persist.WriteIndexAtomic(f, path, newIdx)
+				}()
+
+				// Simulated restart: sweep the temps a crash may have left.
+				removed, serr := persist.CleanStaleTemps(iofault.OS, path)
+				if serr != nil {
+					t.Fatalf("CleanStaleTemps: %v", serr)
+				}
+				if !crashed && len(removed) > 0 {
+					t.Errorf("error path left temp files for the restart sweep: %v", removed)
+				}
+				if temps := listTemps(t, path); len(temps) != 0 {
+					t.Errorf("temp files survived the restart sweep: %v", temps)
+				}
+
+				got := readEpoch(t, path)
+				switch {
+				case got != 1 && got != 2:
+					t.Errorf("BaseEpoch = %d: neither old nor new", got)
+				case err == nil && !crashed && got != 2:
+					// A rewrite that reported success must be durable.
+					t.Errorf("rewrite returned nil but file holds epoch %d, want 2", got)
+				}
+			})
+		}
+	}
+}
+
+func TestCleanStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.ovmidx")
+	stale := filepath.Join(dir, "world.ovmidx.tmp-12345")
+	bystander := filepath.Join(dir, "other.ovmidx.tmp-1")
+	for _, f := range []string{path, stale, bystander} {
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := persist.CleanStaleTemps(iofault.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale {
+		t.Errorf("removed %v, want exactly %s", removed, stale)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp still present")
+	}
+	for _, f := range []string{path, bystander} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("%s should have survived the sweep: %v", f, err)
+		}
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.ovmidx")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := persist.Quarantine(iofault.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != path+".corrupt" {
+		t.Errorf("quarantine destination = %s, want %s.corrupt", dst, path)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("original path still present after quarantine")
+	}
+	if b, err := os.ReadFile(dst); err != nil || string(b) != "garbage" {
+		t.Errorf("quarantined evidence = %q, %v", b, err)
+	}
+	if _, err := persist.Quarantine(iofault.OS, filepath.Join(dir, "missing")); err == nil {
+		t.Error("quarantining a missing file should fail")
+	}
+}

@@ -161,13 +161,18 @@ func SelectOnSet(p *core.Problem, set *walks.Set, comp [][]float64, parallelism 
 		return nil, err
 	}
 	if comp == nil {
-		comp = core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+		var err error
+		comp, err = core.CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cand := p.Sys.Candidate(p.Target)
 	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.UniformOwnerWeights(set), parallelism)
 	if err != nil {
 		return nil, err
 	}
+	est.SetContext(p.Ctx)
 	gr, err := est.SelectGreedy(p.K, p.Score)
 	if err != nil {
 		return nil, err
@@ -196,7 +201,10 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, cfg.Parallelism)
+	comp, err := core.CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 
 	var gammaOut []float64
 	n := p.Sys.N()
@@ -238,7 +246,7 @@ func Select(p *core.Problem, cfg Config) (*Result, error) {
 		}
 	}
 
-	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 101}, cfg.Parallelism)
+	set, err := walks.GenerateCtx(p.Ctx, sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 101}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +296,7 @@ func estimateGammaStar(p *core.Problem, cfg Config, sampler *graph.InEdgeSampler
 	for v := range plan {
 		plan[v] = int32(alpha)
 	}
-	set, err := walks.Generate(sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 103}, cfg.Parallelism)
+	set, err := walks.GenerateCtx(p.Ctx, sampler, cand.Stub, p.Horizon, plan, sampling.Stream{Seed: cfg.Seed, ID: 103}, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +304,7 @@ func estimateGammaStar(p *core.Problem, cfg Config, sampler *graph.InEdgeSampler
 	if err != nil {
 		return nil, err
 	}
+	est.SetContext(p.Ctx)
 	gamma := make([]float64, n)
 	for v := range gamma {
 		gamma[v] = math.Inf(1)

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the compute-path load shedder: a fixed pool of computation
+// slots plus a bounded wait queue. Cache hits never pass through it — a
+// shedding daemon still answers everything the cache can serve. A nil
+// *admission (MaxInflight 0) admits everything.
+type admission struct {
+	slots    chan struct{} // buffered to MaxInflight; a send acquires a slot
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newAdmission returns nil (no admission control) when maxInflight <= 0.
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, maxInflight), maxQueue: int64(maxQueue)}
+}
+
+// acquire takes a computation slot, waiting in the bounded queue when all
+// slots are busy. A full queue sheds the request with a typed overloaded
+// error (HTTP 429 + Retry-After); a context expiry while queued returns
+// the context error. Callers must release after a nil return.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return &Error{
+			Code:       CodeOverloaded,
+			Message:    "compute capacity exhausted: inflight cap reached and the wait queue is full",
+			RetryAfter: 1,
+		}
+	}
+	defer a.queued.Add(-1)
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctxDone:
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	if a != nil {
+		<-a.slots
+	}
+}

@@ -2,8 +2,11 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
+
+	"ovm/internal/obs"
 )
 
 // lruCache is a fixed-capacity least-recently-used response cache keyed by
@@ -100,53 +103,110 @@ func (c *lruCache) Keys() []string {
 // flightGroup coalesces concurrent calls with the same key into one
 // execution whose result every caller shares (the classic singleflight
 // shape, local to this package to keep the module dependency-free).
+//
+// The computation runs in a goroutine detached from every caller's
+// context: a caller whose context expires abandons the wait (and gets its
+// context error), but the computation keeps running for the remaining
+// waiters — a leader's cancellation never poisons its followers. Only
+// when every interested caller has abandoned is the computation's own
+// context cancelled, stopping the now-unwanted work at its next
+// cooperative poll.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
 
+// computeOutcome carries a detached computation's result to its waiters.
+// selNs and cost are stamped by the compute closure so the leading
+// caller's span can adopt them without racing the detached goroutine.
+type computeOutcome struct {
+	val   any
+	err   error
+	selNs int64
+	cost  obs.CostSnapshot
+}
+
 type flightCall struct {
-	wg      sync.WaitGroup
-	waiters int
-	val     any
-	err     error
+	done    chan struct{} // closed when outcome is set
+	outcome *computeOutcome
+
+	// Guarded by the group mutex.
+	waiters  int  // callers that piggybacked (test synchronization)
+	interest int  // callers still waiting; 0 → cancel the compute
+	dead     bool // every waiter abandoned; no new joiners
+	cancel   context.CancelFunc
 }
 
 func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
-// Do runs fn once per key at a time: concurrent callers with an in-flight
-// key block and receive the leader's result. shared reports whether this
-// caller piggybacked on another's execution.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+// Do coalesces concurrent callers of the same key onto one execution of fn
+// and blocks until the outcome is ready or ctx is done, whichever comes
+// first. fn runs in a detached goroutine under its own context, which is
+// cancelled only when every coalesced caller has abandoned. shared reports
+// whether this caller piggybacked on another's execution; a non-nil error
+// is this caller's ctx error (the computation itself reports failures
+// through the outcome).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) *computeOutcome) (out *computeOutcome, shared bool, err error) {
 	g.mu.Lock()
-	if call, ok := g.calls[key]; ok {
+	if call, ok := g.calls[key]; ok && !call.dead {
 		call.waiters++
+		call.interest++
 		g.mu.Unlock()
-		call.wg.Wait()
-		return call.val, call.err, true
+		return g.wait(ctx, key, call, true)
 	}
-	call := &flightCall{}
-	call.wg.Add(1)
+	cctx, cancel := context.WithCancel(context.Background())
+	call := &flightCall{done: make(chan struct{}), interest: 1, cancel: cancel}
 	g.calls[key] = call
 	g.mu.Unlock()
 
-	// Release waiters and drop the key even if fn panics, so one crashing
-	// computation cannot wedge every future caller of the same key. The
-	// panic is converted into an error shared by leader and waiters alike.
-	defer func() {
-		if r := recover(); r != nil {
-			call.err = fmt.Errorf("service: query panicked: %v", r)
-			val, err = call.val, call.err
-		}
-		call.wg.Done()
-		g.mu.Lock()
-		delete(g.calls, key)
-		g.mu.Unlock()
+	go func() {
+		// Set the outcome and drop the key even if fn panics, so one
+		// crashing computation cannot wedge every future caller of the same
+		// key. The panic is converted into an error shared by all waiters.
+		defer func() {
+			if r := recover(); r != nil {
+				call.outcome = &computeOutcome{err: fmt.Errorf("service: query panicked: %v", r)}
+			}
+			cancel()
+			g.mu.Lock()
+			if g.calls[key] == call {
+				delete(g.calls, key)
+			}
+			g.mu.Unlock()
+			close(call.done)
+		}()
+		call.outcome = fn(cctx)
 	}()
-	call.val, call.err = fn()
-	return call.val, call.err, false
+	return g.wait(ctx, key, call, false)
+}
+
+// wait blocks until the call finishes or ctx is done. An abandoning caller
+// withdraws its interest; the last withdrawal cancels the computation and
+// retires the key so a fresh query restarts cleanly instead of joining a
+// doomed flight.
+func (g *flightGroup) wait(ctx context.Context, key string, call *flightCall, shared bool) (*computeOutcome, bool, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-call.done:
+		return call.outcome, shared, nil
+	case <-ctxDone:
+	}
+	g.mu.Lock()
+	call.interest--
+	if call.interest == 0 && !call.dead {
+		call.dead = true
+		call.cancel()
+		if g.calls[key] == call {
+			delete(g.calls, key)
+		}
+	}
+	g.mu.Unlock()
+	return nil, shared, ctx.Err()
 }
 
 // waiters reports how many callers are blocked on the in-flight key

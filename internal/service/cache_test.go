@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"runtime"
@@ -73,19 +74,19 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	results := make([]int, followers+1)
 	run := func(i int, signal bool) {
 		defer wg.Done()
-		v, err, _ := g.Do("k", func() (any, error) {
+		out, _, err := g.Do(context.Background(), "k", func(context.Context) *computeOutcome {
 			calls.Add(1)
 			if signal {
 				close(leaderIn)
 			}
 			<-release
-			return 42, nil
+			return &computeOutcome{val: 42}
 		})
-		if err != nil {
-			t.Errorf("Do: %v", err)
+		if err != nil || out.err != nil {
+			t.Errorf("Do: %v / %v", err, out.err)
 			return
 		}
-		results[i] = v.(int)
+		results[i] = out.val.(int)
 	}
 	wg.Add(1)
 	go run(0, true)
@@ -114,22 +115,127 @@ func TestFlightGroupCoalesces(t *testing.T) {
 
 func TestFlightGroupPanicReleasesWaiters(t *testing.T) {
 	g := newFlightGroup()
-	_, err, _ := g.Do("k", func() (any, error) { panic("boom") })
-	if err == nil {
+	out, _, err := g.Do(context.Background(), "k", func(context.Context) *computeOutcome { panic("boom") })
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if out.err == nil {
 		t.Fatal("expected error from panicking computation")
 	}
 	// The key must be usable again afterwards.
-	v, err, _ := g.Do("k", func() (any, error) { return "ok", nil })
-	if err != nil || v.(string) != "ok" {
-		t.Fatalf("Do after panic = %v, %v", v, err)
+	out, _, err = g.Do(context.Background(), "k", func(context.Context) *computeOutcome {
+		return &computeOutcome{val: "ok"}
+	})
+	if err != nil || out.err != nil || out.val.(string) != "ok" {
+		t.Fatalf("Do after panic = %+v, %v", out, err)
 	}
 }
 
 func TestFlightGroupPropagatesError(t *testing.T) {
 	g := newFlightGroup()
 	want := errors.New("nope")
-	_, err, _ := g.Do("k", func() (any, error) { return nil, want })
-	if !errors.Is(err, want) {
-		t.Errorf("err = %v, want %v", err, want)
+	out, _, err := g.Do(context.Background(), "k", func(context.Context) *computeOutcome {
+		return &computeOutcome{err: want}
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
 	}
+	if !errors.Is(out.err, want) {
+		t.Errorf("err = %v, want %v", out.err, want)
+	}
+}
+
+// TestFlightGroupLeaderCancelDoesNotPoisonFollowers is the detachment
+// contract: the leader's context expires mid-compute, the leader gets its
+// context error, and a follower that coalesced onto the same key still
+// receives the correct value — the computation must not be cancelled while
+// any waiter remains interested.
+func TestFlightGroupLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var computeCtx context.Context
+	fn := func(cctx context.Context) *computeOutcome {
+		computeCtx = cctx
+		close(leaderIn)
+		<-release
+		if err := cctx.Err(); err != nil {
+			return &computeOutcome{err: err}
+		}
+		return &computeOutcome{val: "value"}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", fn)
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	followerDone := make(chan *computeOutcome, 1)
+	go func() {
+		out, shared, err := g.Do(context.Background(), "k", fn)
+		if err != nil {
+			t.Errorf("follower Do: %v", err)
+		}
+		if !shared {
+			t.Error("follower should have coalesced")
+		}
+		followerDone <- out
+	}()
+	for g.waiters("k") < 1 {
+		runtime.Gosched()
+	}
+
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	// The follower is still interested: the compute context must be alive.
+	if computeCtx.Err() != nil {
+		t.Fatal("compute ctx cancelled while a follower still waits")
+	}
+	close(release)
+	out := <-followerDone
+	if out.err != nil || out.val.(string) != "value" {
+		t.Fatalf("follower outcome = %+v, want value", out)
+	}
+}
+
+// TestFlightGroupAllWaitersGoneCancelsCompute: once every caller abandons,
+// the detached computation's context is cancelled and the key is retired so
+// a fresh query restarts cleanly.
+func TestFlightGroupAllWaitersGoneCancelsCompute(t *testing.T) {
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	computeDone := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(cctx context.Context) *computeOutcome {
+			close(leaderIn)
+			<-cctx.Done() // the compute observes its own cancellation
+			computeDone <- cctx.Err()
+			<-release
+			return &computeOutcome{err: cctx.Err()}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("caller err = %v, want context.Canceled", err)
+		}
+	}()
+	<-leaderIn
+	cancel()
+	if err := <-computeDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("compute ctx err = %v, want context.Canceled", err)
+	}
+	// The key must be free for a fresh flight even though the old compute
+	// goroutine is still unwinding.
+	out, shared, err := g.Do(context.Background(), "k", func(context.Context) *computeOutcome {
+		return &computeOutcome{val: "fresh"}
+	})
+	if err != nil || shared || out.val.(string) != "fresh" {
+		t.Fatalf("fresh Do = %+v shared=%v err=%v", out, shared, err)
+	}
+	close(release)
 }

@@ -1,0 +1,11 @@
+package service
+
+import "context"
+
+// SetComputeContext installs the test-only hook that wraps every detached
+// compute context, letting robustness tests cancel a computation at a
+// precise point mid-greedy (or block it to hold an admission slot) without
+// racing the request path. Production code never sets it.
+func (c *Config) SetComputeContext(hook func(context.Context) context.Context) {
+	c.computeContext = hook
+}

@@ -2,16 +2,20 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ovm/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; seed lists are the only unbounded
-// field and a million seeds still fit comfortably.
+// field and a million seeds still fit comfortably. Update batches are
+// additionally bounded by op count (maxUpdateOps).
 const maxBodyBytes = 8 << 20
 
 // Handler returns the daemon's HTTP mux:
@@ -29,20 +33,34 @@ const maxBodyBytes = 8 << 20
 //	GET  /debug/timeseries?window=10m → ring-TSDB samples, oldest first
 //
 // Errors are returned as {"error": {"code", "message"}} with the status
-// implied by the code (bad_request → 400, not_found → 404, else 500).
+// implied by the code (bad_request → 400, not_found → 404,
+// deadline_exceeded → 504, canceled → 499, overloaded → 429 with a
+// Retry-After header, else 500). Every query handler threads the request
+// context into the service, so a client disconnect or an expired deadline
+// cancels the query at its next cooperative poll. The whole mux is wrapped
+// in panic recovery: a crashing handler becomes a 500 plus an
+// ovmd_panics_total increment, never a dead daemon.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/select-seeds", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(s, w, r, s.SelectSeeds)
+		handleQuery(s, w, r, func(req *SelectSeedsRequest) (*SelectSeedsResponse, *Error) {
+			return s.SelectSeedsCtx(r.Context(), req)
+		})
 	})
 	mux.HandleFunc("/v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(s, w, r, s.Evaluate)
+		handleQuery(s, w, r, func(req *EvaluateRequest) (*EvaluateResponse, *Error) {
+			return s.EvaluateCtx(r.Context(), req)
+		})
 	})
 	mux.HandleFunc("/v1/wins", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(s, w, r, s.Wins)
+		handleQuery(s, w, r, func(req *EvaluateRequest) (*WinsResponse, *Error) {
+			return s.WinsCtx(r.Context(), req)
+		})
 	})
 	mux.HandleFunc("/v1/min-seeds-to-win", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(s, w, r, s.MinSeedsToWin)
+		handleQuery(s, w, r, func(req *MinSeedsRequest) (*MinSeedsResponse, *Error) {
+			return s.MinSeedsToWinCtx(r.Context(), req)
+		})
 	})
 	mux.HandleFunc("POST /v1/datasets/{name}/updates", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -95,20 +113,59 @@ func (s *Service) Handler() http.Handler {
 		pts := s.tsdb.Window(window, time.Now())
 		writeJSON(w, http.StatusOK, map[string]any{"points": pts})
 	})
-	return mux
+	if s.cfg.DebugFaults {
+		// Deliberately crashes the handler goroutine so smoke tests can
+		// prove the recovery middleware turns a panic into a 500 without
+		// killing the daemon. Gated behind Config.DebugFaults.
+		mux.HandleFunc("POST /debug/fault/panic", func(w http.ResponseWriter, r *http.Request) {
+			panic("injected fault: /debug/fault/panic")
+		})
+	}
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a panicking handler into a 500 response and an
+// ovmd_panics_total increment, keeping the daemon alive. http.ErrAbortHandler
+// is re-panicked: it is net/http's own sentinel for deliberately aborting a
+// response and must keep its semantics.
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.tel.logger.Error("handler panic recovered",
+				obs.F("path", r.URL.Path), obs.F("panic", fmt.Sprint(rec)))
+			// Best effort: if the handler already wrote headers this is a
+			// no-op beyond the log line.
+			writeError(w, &Error{Code: CodeInternal, Message: fmt.Sprintf("internal panic: %v", rec)}, 0)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // handleQuery decodes a JSON body into Req, dispatches, and encodes the
-// response or the typed error.
+// response or the typed error. The body is hard-bounded by MaxBytesReader,
+// so an oversized request fails with 413 instead of being truncated.
 func handleQuery[Req any, Resp any](s *Service, w http.ResponseWriter, r *http.Request, fn func(*Req) (Resp, *Error)) {
 	if r.Method != http.MethodPost {
 		writeError(w, &Error{Code: CodeBadRequest, Message: "use POST with a JSON body"}, http.StatusMethodNotAllowed)
 		return
 	}
 	var req Req
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, badRequestf("request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		writeError(w, badRequestf("invalid JSON body: %v", err), 0)
 		return
 	}
@@ -124,8 +181,13 @@ func handleQuery[Req any, Resp any](s *Service, w http.ResponseWriter, r *http.R
 	s.tel.stageHist.With("serialize").Observe(time.Since(ser))
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was ready. There is no standard status for it
+// and 499 is what fleet dashboards already understand.
+const statusClientClosedRequest = 499
+
 // writeError emits the error envelope; status 0 derives the status from
-// the error code.
+// the error code. Overloaded errors carry a Retry-After header.
 func writeError(w http.ResponseWriter, e *Error, status int) {
 	if status == 0 {
 		switch e.Code {
@@ -133,9 +195,18 @@ func writeError(w http.ResponseWriter, e *Error, status int) {
 			status = http.StatusBadRequest
 		case CodeNotFound:
 			status = http.StatusNotFound
+		case CodeDeadlineExceeded:
+			status = http.StatusGatewayTimeout
+		case CodeCanceled:
+			status = statusClientClosedRequest
+		case CodeOverloaded:
+			status = http.StatusTooManyRequests
 		default:
 			status = http.StatusInternalServerError
 		}
+	}
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
 	}
 	writeJSON(w, status, map[string]any{
 		"error": map[string]string{"code": string(e.Code), "message": e.Message},

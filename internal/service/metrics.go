@@ -119,6 +119,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	e.Counter("ovmd_computations_total", "Queries actually computed (missed cache, led the singleflight).", float64(st.Computations))
 	e.Counter("ovmd_errors_total", "Requests that returned an error.", float64(st.Errors))
 	e.Counter("ovmd_updates_total", "Mutation batches applied.", float64(st.Updates))
+	e.Counter("ovmd_shed_total", "Computations shed by admission control (inflight cap reached, queue full).", float64(st.Shed))
+	e.Counter("ovmd_timeouts_total", "Queries that exceeded their deadline (deadline_exceeded responses).", float64(st.Timeouts))
+	e.Counter("ovmd_canceled_total", "Queries abandoned by client cancellation.", float64(st.Canceled))
+	e.Counter("ovmd_panics_total", "Handler panics recovered into 500 responses.", float64(st.Panics))
 	e.Gauge("ovmd_inflight", "Queries currently being served.", float64(st.Inflight))
 	e.Gauge("ovmd_cache_entries", "Response-cache entries currently resident.", float64(st.CacheEntries))
 	datasetGauge := func(name, help string, value func(DatasetStats) float64) {

@@ -20,6 +20,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -51,12 +53,24 @@ const (
 	CodeBadRequest ErrorCode = "bad_request"
 	CodeNotFound   ErrorCode = "not_found"
 	CodeInternal   ErrorCode = "internal"
+	// CodeDeadlineExceeded: the query's deadline (Config.QueryTimeout or the
+	// request's timeoutMs) expired before the answer was ready → HTTP 504.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCanceled: the caller abandoned the request (client disconnect,
+	// context cancellation) → HTTP 499.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeOverloaded: admission control shed the computation (inflight cap
+	// reached, wait queue full) → HTTP 429 with a Retry-After header.
+	CodeOverloaded ErrorCode = "overloaded"
 )
 
 // Error is a typed service error; the HTTP layer maps Code to a status.
 type Error struct {
 	Code    ErrorCode
 	Message string
+	// RetryAfter, when positive, is the suggested client backoff in seconds
+	// (set on overloaded errors; surfaced as the Retry-After header).
+	RetryAfter int
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -73,12 +87,21 @@ func internalErr(err error) *Error {
 	return &Error{Code: CodeInternal, Message: err.Error()}
 }
 
-// asError folds an arbitrary error into the taxonomy: library validation
-// errors become bad requests only when they already are *Error; everything
-// else is internal.
+// asError folds an arbitrary error into the taxonomy: typed *Error values
+// pass through, context expiry maps to deadline_exceeded / canceled (the
+// cancellation layer returns ctx.Err() verbatim from shard and round
+// boundaries, so errors.Is sees through any wrapping), and everything else
+// is internal.
 func asError(err error) *Error {
-	if e, ok := err.(*Error); ok {
+	var e *Error
+	if errors.As(err, &e) {
 		return e
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: "query deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return &Error{Code: CodeCanceled, Message: "request canceled"}
 	}
 	return internalErr(err)
 }
@@ -119,6 +142,29 @@ type Config struct {
 	// TimeSeriesCapacity caps the ring (points retained; <= 0 selects 720
 	// — an hour of history at a 5s interval).
 	TimeSeriesCapacity int
+	// QueryTimeout bounds each query end to end (cache lookup, admission
+	// wait, compute): an expired deadline returns a typed deadline_exceeded
+	// error and the abandoned computation stops at its next cooperative
+	// cancellation poll. Zero disables the server-wide bound. A request's
+	// timeoutMs field overrides it per query.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently executing computations (cache misses
+	// that lead a singleflight). Zero disables admission control. Cache
+	// hits are always served, even while compute is being shed.
+	MaxInflight int
+	// MaxQueue bounds how many computations may wait for a free slot once
+	// MaxInflight is reached; overflow is shed with a typed overloaded
+	// error (HTTP 429 + Retry-After). Zero sheds immediately when every
+	// slot is busy. Ignored when MaxInflight is 0.
+	MaxQueue int
+	// DebugFaults enables the /debug/fault/* handlers (panic injection for
+	// exercising the recovery middleware). Never enable in production.
+	DebugFaults bool
+
+	// computeContext, when set, wraps the detached compute context just
+	// before the selection runs. Tests inject countdown contexts here to
+	// cancel mid-greedy at a deterministic round.
+	computeContext func(ctx context.Context) context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +184,7 @@ type Service struct {
 	ds     map[string]*Dataset
 	cache  *lruCache
 	flight *flightGroup
+	adm    *admission
 	start  time.Time
 	tel    *telemetry
 	tsdb   *obs.TimeSeries
@@ -154,6 +201,10 @@ type Service struct {
 	errorCount   atomic.Int64
 	inflight     atomic.Int64
 	updates      atomic.Int64
+	shed         atomic.Int64
+	timeouts     atomic.Int64
+	canceledReqs atomic.Int64
+	panics       atomic.Int64
 }
 
 // New creates an empty service.
@@ -164,6 +215,7 @@ func New(cfg Config) *Service {
 		ds:     make(map[string]*Dataset),
 		cache:  newLRUCache(cfg.CacheSize),
 		flight: newFlightGroup(),
+		adm:    newAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		start:  time.Now(),
 		tel:    newTelemetry(cfg),
 	}
@@ -196,6 +248,10 @@ func (s *Service) sampleServiceSeries(sample func(name string, v float64)) {
 	sample("ovmd_errors_total", float64(s.errorCount.Load()))
 	sample("ovmd_updates_total", float64(s.updates.Load()))
 	sample("ovmd_inflight", float64(s.inflight.Load()))
+	sample("ovmd_shed_total", float64(s.shed.Load()))
+	sample("ovmd_timeouts_total", float64(s.timeouts.Load()))
+	sample("ovmd_canceled_total", float64(s.canceledReqs.Load()))
+	sample("ovmd_panics_total", float64(s.panics.Load()))
 }
 
 // Dataset is one registered opinion system plus its restored artifacts.
@@ -364,16 +420,21 @@ func (s *Service) dataset(name string) (*Dataset, *Error) {
 // competitors memoizes core.CompetitorOpinions per (target, horizon): the
 // competitor rows never depend on the target's seeds, so every query
 // against the same instance shares one exact diffusion. The value is
-// deterministic, so a racing double-computation is harmless.
-func (ds *Dataset) competitors(target, horizon, parallelism int) [][]float64 {
+// deterministic, so a racing double-computation is harmless. A cancelled
+// computation returns its context error and memoizes nothing — a partial
+// matrix can never be served to a later query.
+func (ds *Dataset) competitors(ctx context.Context, target, horizon, parallelism int) ([][]float64, error) {
 	key := compKey{target, horizon}
 	ds.compMu.RLock()
 	B, ok := ds.comp[key]
 	ds.compMu.RUnlock()
 	if ok {
-		return B
+		return B, nil
 	}
-	B = core.CompetitorOpinions(ds.sys, target, horizon, parallelism)
+	B, err := core.CompetitorOpinionsCtx(ctx, ds.sys, target, horizon, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	ds.compMu.Lock()
 	if prev, ok := ds.comp[key]; ok {
 		B = prev
@@ -381,7 +442,7 @@ func (ds *Dataset) competitors(target, horizon, parallelism int) [][]float64 {
 		ds.comp[key] = B
 	}
 	ds.compMu.Unlock()
-	return B
+	return B, nil
 }
 
 func (ds *Dataset) sketchFor(target, horizon, theta int, seed int64) *sketchArtifact {
@@ -493,6 +554,10 @@ type SelectSeedsRequest struct {
 	// response. It never changes the result fields and is excluded from
 	// the cache key.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMs overrides the service-wide query timeout for this request
+	// (0 keeps the default). Like Parallelism it never changes the answer
+	// and is excluded from the cache key.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // SelectSeedsResponse reports the selected seeds and their exact score.
@@ -528,6 +593,8 @@ type EvaluateRequest struct {
 	Parallelism int       `json:"parallelism,omitempty"`
 	// Explain attaches the stage spans and cost-counter deltas.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMs overrides the service-wide query timeout (0 = default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // EvaluateResponse reports an exact score.
@@ -560,6 +627,8 @@ type MinSeedsRequest struct {
 	Parallelism int       `json:"parallelism,omitempty"`
 	// Explain attaches the stage spans and cost-counter deltas.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMs overrides the service-wide query timeout (0 = default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // MinSeedsResponse reports the minimum winning seed set; CanWin is false
@@ -578,12 +647,15 @@ type MinSeedsResponse struct {
 // horizon bounds are the same core.ValidateTargetHorizon the commands
 // apply, so HTTP and CLI entry points reject exactly the same inputs (here
 // as a typed bad_request, there as exit 2 + usage).
-func (s *Service) validCommon(ds *Dataset, target, horizon, parallelism int) *Error {
+func (s *Service) validCommon(ds *Dataset, target, horizon, parallelism, timeoutMs int) *Error {
 	if err := core.ValidateTargetHorizon(target, horizon, ds.sys.R()); err != nil {
 		return badRequestf("%v", err)
 	}
 	if parallelism < 0 {
 		return badRequestf("parallelism must be >= 0, got %d", parallelism)
+	}
+	if timeoutMs < 0 {
+		return badRequestf("timeoutMs must be >= 0, got %d", timeoutMs)
 	}
 	return nil
 }
@@ -595,6 +667,23 @@ func (s *Service) workers(reqParallelism int) int {
 	return s.cfg.Parallelism
 }
 
+// reqContext derives the per-request context: the request's timeoutMs
+// overrides Config.QueryTimeout; neither set leaves the caller's deadline
+// (if any) in charge. The returned cancel must always be called.
+func (s *Service) reqContext(ctx context.Context, timeoutMs int) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := s.cfg.QueryTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
 // cachedQuery is the shared memoize-coalesce-compute skeleton, and the
 // query path's instrumentation point: it traces the cache-lookup /
 // singleflight-wait / selection stages on a per-request span, records the
@@ -603,7 +692,15 @@ func (s *Service) workers(reqParallelism int) int {
 // ElapsedMs, Explain) onto a copy of the shared response value; the
 // returned span is finished and carries the cost-counter delta of the
 // compute when this call led it.
-func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, compute func() (any, error)) (any, bool, *obs.Span, *Error) {
+//
+// Request-ctx contract: the cache lookup always runs (a hit answers even a
+// shedding or deadline-tight daemon); on a miss the computation is
+// detached from ctx — ctx expiring makes this caller return its typed
+// error promptly while the compute keeps serving the remaining coalesced
+// waiters, and only when every waiter is gone is the compute cancelled.
+// Admission control gates the compute inside the detached closure, so a
+// slot is never consumed by a request that already gave up.
+func (s *Service) cachedQuery(ctx context.Context, endpoint string, ds *Dataset, score, key string, compute func(ctx context.Context) (any, error)) (any, bool, *obs.Span, *Error) {
 	span := obs.NewSpan(endpoint)
 	s.requests.Add(1)
 	s.inflight.Add(1)
@@ -618,36 +715,65 @@ func (s *Service) cachedQuery(endpoint string, ds *Dataset, score, key string, c
 	}
 	s.cacheMisses.Add(1)
 	doStart := time.Now()
-	v, err, shared := s.flight.Do(key, func() (any, error) {
-		// Only the leader runs this closure, so the selection stage lands
-		// on the leader's span; followers record their wait instead. The
-		// cost delta brackets the compute: the counters are process-global,
-		// so overlapping queries can bleed into each other's deltas, but on
-		// an idle daemon the delta is exactly this query's work (the
-		// explain-vs-/metrics reconciliation the smoke test performs).
+	out, shared, werr := s.flight.Do(ctx, key, func(cctx context.Context) *computeOutcome {
+		if err := s.adm.acquire(cctx); err != nil {
+			return &computeOutcome{err: err}
+		}
+		defer s.adm.release()
+		if hook := s.cfg.computeContext; hook != nil {
+			cctx = hook(cctx)
+		}
+		// Only the flight leader's goroutine runs this closure; the
+		// selection time and cost delta ride the outcome so the leading
+		// caller's span adopts them without racing the detached compute.
+		// The cost delta brackets the compute: the counters are
+		// process-global, so overlapping queries can bleed into each
+		// other's deltas, but on an idle daemon the delta is exactly this
+		// query's work (the explain-vs-/metrics reconciliation the smoke
+		// test performs).
 		s.computations.Add(1)
 		before := obs.CaptureCosts()
 		selStart := time.Now()
-		v, err := compute()
-		span.Add("selection", time.Since(selStart))
-		span.Cost = obs.CaptureCosts().Delta(before)
+		v, err := compute(cctx)
+		o := &computeOutcome{
+			val:   v,
+			err:   err,
+			selNs: time.Since(selStart).Nanoseconds(),
+			cost:  obs.CaptureCosts().Delta(before),
+		}
 		if err == nil {
 			s.cache.Put(key, v)
 		}
-		return v, err
+		return o
 	})
 	if shared {
 		s.coalesced.Add(1)
 		span.Add("singleflight-wait", time.Since(doStart))
 	}
+	err := werr
+	if err == nil {
+		if !shared {
+			span.Children = append(span.Children, &obs.Span{Name: "selection", DurNs: out.selNs})
+			span.Cost = out.cost
+		}
+		err = out.err
+	}
 	if err != nil {
-		s.errorCount.Add(1)
 		serr := asError(err)
+		switch serr.Code {
+		case CodeOverloaded:
+			s.shed.Add(1)
+		case CodeDeadlineExceeded:
+			s.timeouts.Add(1)
+		case CodeCanceled:
+			s.canceledReqs.Add(1)
+		}
+		s.errorCount.Add(1)
 		s.tel.observe(span, endpoint, ds.name, score, ds.epoch, false, string(serr.Code))
 		return nil, false, span, serr
 	}
 	s.tel.observe(span, endpoint, ds.name, score, ds.epoch, shared, "")
-	return v, shared, span, nil
+	return out.val, shared, span, nil
 }
 
 func seedsKey(seeds []int32) string {
@@ -666,12 +792,22 @@ func seedsKey(seeds []int32) string {
 // SelectSeeds answers a select-seeds query, preferring precomputed index
 // artifacts when the request parameters match one.
 func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *Error) {
+	return s.SelectSeedsCtx(context.Background(), req)
+}
+
+// SelectSeedsCtx is SelectSeeds bounded by ctx (plus the configured query
+// timeout): when the deadline expires or the caller cancels, it returns a
+// typed deadline_exceeded / canceled error promptly — the computation is
+// abandoned at its next shard or greedy-round boundary, no partial state
+// is cached or memoized, and an immediate retry of the same query is
+// byte-identical to a never-cancelled run.
+func (s *Service) SelectSeedsCtx(ctx context.Context, req *SelectSeedsRequest) (*SelectSeedsResponse, *Error) {
 	start := time.Now()
 	ds, serr := s.dataset(req.Dataset)
 	if serr != nil {
 		return nil, serr
 	}
-	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism); serr != nil {
+	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs); serr != nil {
 		return nil, serr
 	}
 	if req.K < 1 || req.K > ds.sys.N() {
@@ -706,8 +842,10 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	// the LRU) without a global cache flush.
 	key := fmt.Sprintf("select|%s|e=%d|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
-	v, cached, span, serr := s.cachedQuery(endpointSelectSeeds, ds, req.Score.Name, key, func() (any, error) {
-		return s.computeSelect(ds, req, score, theta, s.workers(req.Parallelism))
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	v, cached, span, serr := s.cachedQuery(ctx, endpointSelectSeeds, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
+		return s.computeSelect(cctx, ds, req, score, theta, s.workers(req.Parallelism))
 	})
 	if serr != nil {
 		return nil, serr
@@ -721,8 +859,13 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 	return &resp, nil
 }
 
-func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voting.Score, theta, par int) (*SelectSeedsResponse, error) {
-	prob := &core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: req.K, Score: score}
+// computeSelect runs a selection under ctx. Cancellation mid-greedy is
+// safe for determinism: the RW/RS paths run on clones of the pristine
+// artifact sets, the IM paths treat the cached RR collection as read-only,
+// and the competitor memo only ever stores complete matrices — so an
+// abandoned run leaves nothing behind and a retry recomputes identically.
+func (s *Service) computeSelect(ctx context.Context, ds *Dataset, req *SelectSeedsRequest, score voting.Score, theta, par int) (*SelectSeedsResponse, error) {
+	prob := &core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: req.K, Score: score, Ctx: ctx}
 	var seeds []int32
 	var rounds []walks.RoundCost
 	var err error
@@ -737,7 +880,10 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 		}
 		art := ds.walksFor(req.Target, req.Horizon, lambda, req.Seed)
 		if _, cumulative := score.(voting.Cumulative); cumulative && art != nil {
-			comp := ds.competitors(req.Target, req.Horizon, par)
+			comp, cerr := ds.competitors(ctx, req.Target, req.Horizon, par)
+			if cerr != nil {
+				return nil, cerr
+			}
 			var res *rwalk.Result
 			if res, err = rwalk.SelectOnSet(prob, art.set.Clone(), comp, par); err == nil {
 				seeds, rounds = res.Seeds, res.Rounds
@@ -752,7 +898,10 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 	case "RS":
 		switch art := ds.sketchFor(req.Target, req.Horizon, theta, req.Seed); {
 		case theta > 0 && art != nil:
-			comp := ds.competitors(req.Target, req.Horizon, par)
+			comp, cerr := ds.competitors(ctx, req.Target, req.Horizon, par)
+			if cerr != nil {
+				return nil, cerr
+			}
 			var res *sketch.Result
 			if res, err = sketch.SelectOnSet(prob, art.set.Clone(), theta, comp, par); err == nil {
 				seeds, rounds = res.Seeds, res.Rounds
@@ -785,7 +934,7 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 	if err != nil {
 		return nil, err
 	}
-	exact, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, seeds, par)
+	exact, err := core.EvaluateExactCtx(ctx, ds.sys, req.Target, req.Horizon, score, seeds, par)
 	if err != nil {
 		return nil, err
 	}
@@ -801,15 +950,22 @@ func (s *Service) computeSelect(ds *Dataset, req *SelectSeedsRequest, score voti
 
 // Evaluate answers an exact-score query.
 func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
+	return s.EvaluateCtx(context.Background(), req)
+}
+
+// EvaluateCtx is Evaluate bounded by ctx plus the configured query timeout.
+func (s *Service) EvaluateCtx(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	start := time.Now()
-	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.Seeds)
+	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs, req.Seeds)
 	if serr != nil {
 		return nil, serr
 	}
 	key := fmt.Sprintf("eval|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, span, serr := s.cachedQuery(endpointEvaluate, ds, req.Score.Name, key, func() (any, error) {
-		val, err := core.EvaluateExact(ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	v, cached, span, serr := s.cachedQuery(ctx, endpointEvaluate, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
+		val, err := core.EvaluateExactCtx(cctx, ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
 		if err != nil {
 			return nil, err
 		}
@@ -829,14 +985,24 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 
 // Wins answers the FJ-Vote-Win predicate for a seed set.
 func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
+	return s.WinsCtx(context.Background(), req)
+}
+
+// WinsCtx is Wins bounded by ctx plus the configured query timeout.
+func (s *Service) WinsCtx(ctx context.Context, req *EvaluateRequest) (*WinsResponse, *Error) {
 	start := time.Now()
-	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.Seeds)
+	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs, req.Seeds)
 	if serr != nil {
 		return nil, serr
 	}
 	key := fmt.Sprintf("wins|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	v, cached, span, serr := s.cachedQuery(endpointWins, ds, req.Score.Name, key, func() (any, error) {
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	v, cached, span, serr := s.cachedQuery(ctx, endpointWins, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		ok, err := core.Wins(ds.sys, req.Target, req.Horizon, score, req.Seeds)
 		if err != nil {
 			return nil, err
@@ -855,12 +1021,12 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 	return &resp, nil
 }
 
-func (s *Service) evalCommon(dataset string, spec ScoreSpec, target, horizon, parallelism int, seeds []int32) (*Dataset, voting.Score, *Error) {
+func (s *Service) evalCommon(dataset string, spec ScoreSpec, target, horizon, parallelism, timeoutMs int, seeds []int32) (*Dataset, voting.Score, *Error) {
 	ds, serr := s.dataset(dataset)
 	if serr != nil {
 		return nil, nil, serr
 	}
-	if serr := s.validCommon(ds, target, horizon, parallelism); serr != nil {
+	if serr := s.validCommon(ds, target, horizon, parallelism, timeoutMs); serr != nil {
 		return nil, nil, serr
 	}
 	for i, v := range seeds {
@@ -878,12 +1044,19 @@ func (s *Service) evalCommon(dataset string, spec ScoreSpec, target, horizon, pa
 // MinSeedsToWin answers a Problem-2 query: the smallest seed set with which
 // the target strictly wins.
 func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error) {
+	return s.MinSeedsToWinCtx(context.Background(), req)
+}
+
+// MinSeedsToWinCtx is MinSeedsToWin bounded by ctx plus the configured
+// query timeout; cancellation is polled between probes and inside each
+// probe's greedy rounds.
+func (s *Service) MinSeedsToWinCtx(ctx context.Context, req *MinSeedsRequest) (*MinSeedsResponse, *Error) {
 	start := time.Now()
 	ds, serr := s.dataset(req.Dataset)
 	if serr != nil {
 		return nil, serr
 	}
-	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism); serr != nil {
+	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs); serr != nil {
 		return nil, serr
 	}
 	if req.Theta < 0 {
@@ -898,19 +1071,21 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 	}
 	key := fmt.Sprintf("minwin|%s|e=%d|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
-	v, cached, span, serr := s.cachedQuery(endpointMinSeeds, ds, req.Score.Name, key, func() (any, error) {
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	v, cached, span, serr := s.cachedQuery(ctx, endpointMinSeeds, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
 		par := s.workers(req.Parallelism)
-		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score}
+		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score, Ctx: cctx}
 		var sel core.SeedSelector
 		switch req.Method {
 		case "DM":
-			sel = core.DMSelector(ds.sys, req.Target, req.Horizon, score, par)
+			sel = core.DMSelectorCtx(cctx, ds.sys, req.Target, req.Horizon, score, par)
 		case "RW":
 			sel = rwalk.Selector(base, rwalk.Config{Seed: req.Seed, Parallelism: par})
 		case "RS":
 			sel = sketch.Selector(base, sketch.Config{FixedTheta: req.Theta, Seed: req.Seed, Parallelism: par})
 		}
-		seeds, err := core.MinSeedsToWin(ds.sys, req.Target, req.Horizon, score, sel)
+		seeds, err := core.MinSeedsToWinCtx(cctx, ds.sys, req.Target, req.Horizon, score, sel)
 		if err == core.ErrCannotWin {
 			return &MinSeedsResponse{CanWin: false, Epoch: ds.epoch}, nil
 		}
@@ -953,6 +1128,14 @@ type Stats struct {
 	Errors         int64   `json:"errors"`
 	Inflight       int64   `json:"inflight"`
 	Updates        int64   `json:"updates"`
+	// Shed / Timeouts / Canceled / Panics are the failure-mode counters:
+	// computations shed by admission control, queries past their deadline,
+	// queries abandoned by the client, and handler panics converted to 500s.
+	// The first three are included in Errors.
+	Shed     int64 `json:"shed"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	Panics   int64 `json:"panics"`
 	// Endpoints summarizes the request-latency histograms per endpoint
 	// (merged across datasets and scores); the full per-label histograms
 	// are on /metrics.
@@ -1001,6 +1184,10 @@ type DatasetStats struct {
 // (hits+misses <= requests, computations+coalesced <= misses) hold in
 // every snapshot without a lock on the recording side.
 func (s *Service) StatsSnapshot() Stats {
+	shed := s.shed.Load()
+	timeouts := s.timeouts.Load()
+	canceled := s.canceledReqs.Load()
+	panics := s.panics.Load()
 	computations := s.computations.Load()
 	coalesced := s.coalesced.Load()
 	errorCount := s.errorCount.Load()
@@ -1027,6 +1214,10 @@ func (s *Service) StatsSnapshot() Stats {
 		Errors:         errorCount,
 		Inflight:       inflight,
 		Updates:        updates,
+		Shed:           shed,
+		Timeouts:       timeouts,
+		Canceled:       canceled,
+		Panics:         panics,
 		Endpoints:      s.endpointSummaries(),
 	}
 	s.mu.RLock()

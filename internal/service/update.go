@@ -12,6 +12,13 @@ import (
 	"ovm/internal/voting"
 )
 
+// maxUpdateOps bounds a single update batch's op count: together with the
+// HTTP layer's byte bound (maxBodyBytes) it keeps one request from holding
+// the update lock — and the incremental repair — for an unbounded time.
+// Larger mutations must be split into multiple batches (each is atomic and
+// bumps the epoch by one).
+const maxUpdateOps = 65536
+
 // UpdateRequest applies one atomic mutation batch to a dataset.
 type UpdateRequest struct {
 	Dataset string `json:"dataset"`
@@ -56,6 +63,11 @@ type UpdateResponse struct {
 func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
 	start := time.Now()
 	span := obs.NewSpan(endpointUpdates)
+	if len(req.Ops) > maxUpdateOps {
+		serr := badRequestf("update batch has %d ops, limit is %d: split the mutation into multiple batches", len(req.Ops), maxUpdateOps)
+		s.tel.observe(span, endpointUpdates, req.Dataset, "", 0, false, string(serr.Code))
+		return nil, serr
+	}
 	s.updMu.Lock()
 	defer s.updMu.Unlock()
 	ds, serr := s.dataset(req.Dataset)

@@ -132,7 +132,10 @@ func SelectWithTheta(p *core.Problem, theta int, seed int64, parallelism int) (*
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+	comp, err := core.CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	set, err := GenerateSet(p, theta, seed, parallelism)
 	if err != nil {
 		return nil, err
@@ -153,7 +156,7 @@ func GenerateSet(p *core.Problem, theta int, seed int64, parallelism int) (*walk
 	if err != nil {
 		return nil, err
 	}
-	return walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: seed, ID: 211}, parallelism)
+	return walks.GenerateSampledCtx(p.Ctx, sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: seed, ID: 211}, parallelism)
 }
 
 // RepairSet incrementally rebuilds a pristine sketch set after a graph
@@ -184,13 +187,18 @@ func SelectOnSet(p *core.Problem, set *walks.Set, theta int, comp [][]float64, p
 		return nil, err
 	}
 	if comp == nil {
-		comp = core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, parallelism)
+		var err error
+		comp, err = core.CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cand := p.Sys.Candidate(p.Target)
 	est, err := walks.NewEstimator(set, p.Target, cand.Init, comp, walks.SketchOwnerWeights(set, theta), parallelism)
 	if err != nil {
 		return nil, err
 	}
+	est.SetContext(p.Ctx)
 	gr, err := est.SelectGreedy(p.K, p.Score)
 	if err != nil {
 		return nil, err
@@ -250,7 +258,7 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	n := p.Sys.N()
 	cand := p.Sys.Candidate(p.Target)
-	base, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, voting.Cumulative{}, nil, cfg.Parallelism)
+	base, err := core.EvaluateExactCtx(p.Ctx, p.Sys, p.Target, p.Horizon, voting.Cumulative{}, nil, cfg.Parallelism)
 	if err != nil {
 		return 0, err
 	}
@@ -261,7 +269,10 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	comp := core.CompetitorOpinions(p.Sys, p.Target, p.Horizon, cfg.Parallelism)
+	comp, err := core.CompetitorOpinionsCtx(p.Ctx, p.Sys, p.Target, p.Horizon, cfg.Parallelism)
+	if err != nil {
+		return 0, err
+	}
 	lnTerm := cfg.L*math.Log(float64(n)) + math.Log(math.Log2(float64(n))+1)
 	for x := float64(n) / 2; x >= float64(p.K); x /= 2 {
 		theta := int(math.Ceil((2 + 2*epsPrime/3) * lnTerm * float64(n) / (epsPrime * epsPrime * x)))
@@ -271,7 +282,7 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 		if theta < 1 {
 			theta = 1
 		}
-		set, err := walks.GenerateSampled(sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: cfg.Seed, ID: uint64(223 + int(x))}, cfg.Parallelism)
+		set, err := walks.GenerateSampledCtx(p.Ctx, sampler, cand.Stub, p.Horizon, theta, sampling.Stream{Seed: cfg.Seed, ID: uint64(223 + int(x))}, cfg.Parallelism)
 		if err != nil {
 			return 0, err
 		}
@@ -279,6 +290,7 @@ func EstimateOPT(p *core.Problem, cfg Config) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		est.SetContext(p.Ctx)
 		gr, err := est.SelectGreedy(p.K, voting.Cumulative{})
 		if err != nil {
 			return 0, err
@@ -320,7 +332,7 @@ func HeuristicTheta(p *core.Problem, cfg Config) (int, []ThetaTrace, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		exact, err := core.EvaluateExact(p.Sys, p.Target, p.Horizon, p.Score, res.Seeds, cfg.Parallelism)
+		exact, err := core.EvaluateExactCtx(p.Ctx, p.Sys, p.Target, p.Horizon, p.Score, res.Seeds, cfg.Parallelism)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,6 +1,7 @@
 package walks
 
 import (
+	"context"
 	"fmt"
 
 	"ovm/internal/engine"
@@ -31,7 +32,8 @@ type Estimator struct {
 	est          []float64 // per-owner b̂
 	walkOwnerIdx []int32   // owner index of each walk
 
-	parallelism int // engine worker knob (0 = GOMAXPROCS)
+	parallelism int             // engine worker knob (0 = GOMAXPROCS)
+	ctx         context.Context // optional; polled at greedy round boundaries
 
 	// scan scratch
 	stamp      []int32
@@ -185,6 +187,12 @@ func (e *Estimator) SetParallelism(p int) { e.parallelism = p }
 
 // Parallelism returns the current worker knob.
 func (e *Estimator) Parallelism() int { return e.parallelism }
+
+// SetContext installs a context polled at the start of every SelectGreedy
+// round; a done context makes the run return ctx.Err(). The estimator (and
+// the Set clone it mutates) must be discarded after a cancelled run — the
+// caller owns both, so nothing shared is left half-updated.
+func (e *Estimator) SetContext(ctx context.Context) { e.ctx = ctx }
 
 // ensureScanScratch allocates the per-shard cumulative-scan buffers.
 func (e *Estimator) ensureScanScratch() {

@@ -68,6 +68,11 @@ func (e *Estimator) SelectGreedy(k int, score voting.Score) (*core.GreedyResult,
 	e.rankAll = true
 	e.resetRoundCosts()
 	for round := 0; round < k; round++ {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e.beginRound()
 		var best int32
 		var bestGain float64

@@ -1,6 +1,7 @@
 package walks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -56,6 +57,13 @@ const (
 // the returned Set is bit-identical for every parallelism value (0 =
 // GOMAXPROCS workers).
 func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32, str sampling.Stream, parallelism int) (*Set, error) {
+	return GenerateCtx(nil, s, stub, horizon, plan, str, parallelism)
+}
+
+// GenerateCtx is Generate with cooperative cancellation at owner-shard
+// boundaries: once ctx is done the remaining shards are skipped, the partial
+// set is discarded, and ctx.Err() is returned.
+func GenerateCtx(ctx context.Context, s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32, str sampling.Stream, parallelism int) (*Set, error) {
 	g := s.Graph()
 	n := g.N()
 	if len(plan) != n {
@@ -92,7 +100,7 @@ func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32,
 		owners = append(owners, v)
 		counts = append(counts, plan[v])
 	}
-	return generateGrouped(s, stub, horizon, owners, counts, totalWalks, str, parallelism)
+	return generateGrouped(ctx, s, stub, horizon, owners, counts, totalWalks, str, parallelism)
 }
 
 // GenerateSampled creates theta walks whose start nodes are drawn uniformly
@@ -102,6 +110,12 @@ func Generate(s *graph.InEdgeSampler, stub []float64, horizon int, plan []int32,
 // Sketch generation is sharded by owner exactly like Generate and is
 // equally reproducible across parallelism values.
 func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int, str sampling.Stream, parallelism int) (*Set, error) {
+	return GenerateSampledCtx(nil, s, stub, horizon, theta, str, parallelism)
+}
+
+// GenerateSampledCtx is GenerateSampled with the cancellation semantics of
+// GenerateCtx.
+func GenerateSampledCtx(ctx context.Context, s *graph.InEdgeSampler, stub []float64, horizon, theta int, str sampling.Stream, parallelism int) (*Set, error) {
 	g := s.Graph()
 	n := g.N()
 	if len(stub) != n {
@@ -140,7 +154,7 @@ func GenerateSampled(s *graph.InEdgeSampler, stub []float64, horizon, theta int,
 		owners = append(owners, v)
 		counts = append(counts, c)
 	}
-	return generateGrouped(s, stub, horizon, owners, counts, theta, str, parallelism)
+	return generateGrouped(ctx, s, stub, horizon, owners, counts, theta, str, parallelism)
 }
 
 // walkShard is one shard's locally-buffered generation output: concatenated
@@ -190,7 +204,7 @@ func (set *Set) foldShards(shards []walkShard) {
 // GenerateSampled: owners (ascending, with per-owner walk counts) are cut
 // into contiguous shards, each shard generates its owners' walks into local
 // buffers, and the shard outputs are concatenated in shard order.
-func generateGrouped(s *graph.InEdgeSampler, stub []float64, horizon int, owners, counts []int32, totalWalks int, str sampling.Stream, parallelism int) (*Set, error) {
+func generateGrouped(ctx context.Context, s *graph.InEdgeSampler, stub []float64, horizon int, owners, counts []int32, totalWalks int, str sampling.Stream, parallelism int) (*Set, error) {
 	g := s.Graph()
 	n := g.N()
 	set := &Set{
@@ -208,7 +222,7 @@ func generateGrouped(s *graph.InEdgeSampler, stub []float64, horizon int, owners
 	walkStr := str.Sub(walkStream)
 
 	numShards := engine.NumShards(len(owners), 64, 256)
-	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (walkShard, error) {
+	shards, err := engine.MapCtx(ctx, parallelism, numShards, func(_, sh int) (walkShard, error) {
 		lo, hi := engine.ShardRange(len(owners), numShards, sh)
 		var out walkShard
 		walkCount := int(set.ownerOff[hi] - set.ownerOff[lo])

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Crash-consistency smoke test for the ovmd persist path, run by CI:
+#   1. synthesize a dataset, build an index, and start ovmd with
+#      -compact-log 0 so the persisted update log retains every batch;
+#   2. drive a mutation churn (ovmload -mutate-every) and kill -9 the
+#      daemon mid-churn, several rounds in a row — each kill may land
+#      mid-rewrite of the index file;
+#   3. after every kill the daemon must restart cleanly: the index file
+#      parses (never quarantined), stale rewrite temps are swept, and
+#      queries answer 200;
+#   4. after the final round, the persisted update log is dumped with
+#      ovmd -dump-updates and replayed through the direct CLI
+#      (ovm -updates): the restarted daemon's HTTP seeds must equal the
+#      direct library run on the final mutated graph, and the replayed
+#      epoch must equal the number of persisted batches.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+port=18476
+base="http://127.0.0.1:${port}"
+rounds=3
+churn_secs=1.2
+
+cleanup() {
+  [[ -n "${daemon_pid:-}" ]] && kill -9 "$daemon_pid" 2>/dev/null || true
+  [[ -n "${load_pid:-}" ]] && kill "$load_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/ovm" ./cmd/ovm
+go build -o "$workdir/ovmgen" ./cmd/ovmgen
+go build -o "$workdir/ovmd" ./cmd/ovmd
+go build -o "$workdir/ovmload" ./cmd/ovmload
+
+echo "== synthesizing dataset + building index"
+"$workdir/ovmgen" -dataset yelp-like -n 300 -seed 7 -out "$workdir/chaos" -system
+"$workdir/ovmd" -build-index -load "$workdir/chaos.system" -out "$workdir/chaos.ovmidx" \
+  -theta 2048 -t 10 -target 0 -seed 7 -rr 300
+
+start_daemon() {
+  "$workdir/ovmd" -listen "127.0.0.1:${port}" -index "$workdir/chaos.ovmidx" \
+    -compact-log 0 >>"$workdir/daemon.log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: daemon did not come up"; tail -20 "$workdir/daemon.log"; exit 1
+}
+
+request='{"dataset":"default","method":"RS","score":{"name":"plurality"},"k":5,"horizon":10,"target":0,"seed":7,"theta":2048}'
+
+# assert_healthy: the restarted daemon must actually SERVE the dataset.
+# /healthz alone is not enough — a quarantined index starts the daemon
+# degraded with no dataset registered.
+assert_healthy() {
+  local code
+  code=$(curl -s -o "$workdir/last_resp" -w '%{http_code}' \
+    -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+  [[ "$code" == "200" ]] \
+    || { echo "FAIL: select-seeds after restart returned $code"; cat "$workdir/last_resp"; tail -20 "$workdir/daemon.log"; exit 1; }
+  [[ ! -e "$workdir/chaos.ovmidx.corrupt" ]] \
+    || { echo "FAIL: index was quarantined — a kill tore the atomic rewrite"; tail -20 "$workdir/daemon.log"; exit 1; }
+  local temps
+  temps=$(ls "$workdir"/chaos.ovmidx.tmp-* 2>/dev/null || true)
+  [[ -z "$temps" ]] \
+    || { echo "FAIL: stale rewrite temps survived the restart sweep: $temps"; exit 1; }
+}
+
+start_daemon
+assert_healthy
+echo "== kill -9 churn loop ($rounds rounds, ~${churn_secs}s of 20ms mutations each)"
+for round in $(seq 1 "$rounds"); do
+  "$workdir/ovmload" -addr "$base" -duration 10s -workers 2 -t 10 -target 0 \
+    -seed "$round" -endpoint mix -mutate-every 20ms >"$workdir/load_$round.log" 2>&1 &
+  load_pid=$!
+  sleep "$churn_secs"
+  kill -9 "$daemon_pid"
+  wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+  kill "$load_pid" 2>/dev/null || true
+  wait "$load_pid" 2>/dev/null || true
+  load_pid=""
+  temps_before=$(find "$workdir" -maxdepth 1 -name 'chaos.ovmidx.tmp-*' | wc -l)
+  start_daemon
+  assert_healthy
+  epoch=$(sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' "$workdir/last_resp")
+  echo "   round $round: killed mid-churn (stale temps on disk: $temps_before), restarted at epoch $epoch"
+done
+
+echo "== replaying the persisted update log through the direct CLI"
+resp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+http_seeds=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$resp" | tr ',' ' ')
+http_epoch=$(sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' <<<"$resp")
+[[ -n "$http_seeds" && -n "$http_epoch" ]] \
+  || { echo "FAIL: could not parse seeds/epoch from: $resp"; exit 1; }
+[[ "$http_epoch" -ge 1 ]] \
+  || { echo "FAIL: no update batch survived the churn (epoch $http_epoch) — churn too short?"; exit 1; }
+
+"$workdir/ovmd" -dump-updates -index "$workdir/chaos.ovmidx" >"$workdir/updates.jsonl"
+batches=$(wc -l <"$workdir/updates.jsonl")
+[[ "$batches" == "$http_epoch" ]] \
+  || { echo "FAIL: persisted log has $batches batches but the daemon replayed to epoch $http_epoch"; exit 1; }
+
+direct_out=$("$workdir/ovm" -load "$workdir/chaos.system" -updates "$workdir/updates.jsonl" \
+  -method RS -score plurality -k 5 -t 10 -target 0 -seed 7 -theta 2048)
+direct_seeds=$(sed -n 's/^seeds ([0-9]* total): \[\([0-9 ]*\)\].*/\1/p' <<<"$direct_out")
+[[ -n "$direct_seeds" ]] || { echo "FAIL: could not parse direct CLI seeds"; exit 1; }
+[[ "$http_seeds" == "$direct_seeds" ]] \
+  || { echo "FAIL: restarted daemon seeds ($http_seeds) != direct replay seeds ($direct_seeds)"; exit 1; }
+echo "   epoch $http_epoch, $batches persisted batches, seeds match the direct replay: $http_seeds"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+echo "PASS: chaos smoke test ($rounds kill -9 rounds, epoch $http_epoch, old-or-new held throughout)"

@@ -58,7 +58,7 @@ fi
 # The serving-load results (live ovmd driven by ovmload) must carry the
 # achieved QPS and the latency tail for all three regimes — a record
 # without them means the serving measurement silently stopped running.
-for name in ovmload/cold ovmload/warm ovmload/update-concurrent; do
+for name in ovmload/cold ovmload/warm ovmload/update-concurrent ovmload/warm-degraded ovmload/warm-shed; do
   for metric in serving_qps p50_ns p99_ns; do
     if ! grep -q "\"${name}\".*\"${metric}\"" "$f"; then
       echo "check_bench: $f has no ${name} result with the ${metric} metric" >&2
@@ -66,4 +66,37 @@ for name in ovmload/cold ovmload/warm ovmload/update-concurrent; do
     fi
   done
 done
-echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok + cost counters, BenchmarkIncrementalUpdate repair cost counters, BenchmarkCostAccounting overhead, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, and ovmload cold/warm/update-concurrent serving_qps + latency percentiles"
+# The robustness counters captured from the capped daemon during the shed
+# flood must be present, and shedding must actually have happened — a zero
+# shed_total means the degraded-mode measurement exercised nothing.
+for metric in shed_total timeouts_total canceled_total panics_total; do
+  if ! grep -q '"ovmd/robustness-counters".*"'"${metric}"'"' "$f"; then
+    echo "check_bench: $f has no ovmd/robustness-counters entry with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+shed_total=$(grep '"name":"ovmd/robustness-counters"' "$f" | grep -o '"shed_total":[0-9]*' | head -1 | cut -d: -f2)
+if [[ "${shed_total:-0}" -lt 1 ]]; then
+  echo "check_bench: shed_total=${shed_total:-0} — the degraded-mode flood induced no load shedding" >&2
+  exit 1
+fi
+# Degraded-mode QPS gate: cache hits bypass admission control and a 429
+# rejection does no compute, so the warm mix served during the shed flood
+# must stay within 2x of the same mix measured under identical conditions
+# (compute slot pinned) with nothing shedding. A collapse here means
+# rejections or shed bookkeeping got expensive, or cache hits stopped
+# bypassing admission.
+qps_of() {
+  grep "\"name\":\"$1\"" "$f" | grep -o '"serving_qps":[0-9.eE+-]*' | head -1 | cut -d: -f2
+}
+degraded_qps=$(qps_of ovmload/warm-degraded)
+shed_qps=$(qps_of ovmload/warm-shed)
+if [[ -z "$degraded_qps" || -z "$shed_qps" ]]; then
+  echo "check_bench: could not parse warm-degraded ($degraded_qps) / warm-shed ($shed_qps) serving_qps" >&2
+  exit 1
+fi
+if ! awk -v w="$degraded_qps" -v s="$shed_qps" 'BEGIN { exit !(2 * s >= w) }'; then
+  echo "check_bench: warm-shed QPS $shed_qps fell below half the unshedded warm-degraded baseline $degraded_qps — cache hits are not bypassing load shedding" >&2
+  exit 1
+fi
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok + cost counters, BenchmarkIncrementalUpdate repair cost counters, BenchmarkCostAccounting overhead, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, ovmload cold/warm/update-concurrent/warm-degraded/warm-shed serving_qps + latency percentiles, and the shed-flood robustness counters (shed_total=${shed_total}, warm-shed/warm-degraded QPS = ${shed_qps}/${degraded_qps})"

@@ -24,7 +24,12 @@
 #      update batch; /debug/timeseries has a non-empty window (the
 #      background sampler is on by default); /debug/slow-queries returns
 #      entries; and -pprof mounts net/http/pprof;
-#   9. SIGTERM drains the daemon gracefully (exit code 0).
+#   9. failure modes: a third daemon capped at -max-inflight 1 -max-queue 0
+#      sheds a concurrent burst of distinct compute queries with 429 +
+#      Retry-After while a cache-servable query keeps answering 200; an
+#      injected handler panic (-debug-faults) becomes a 500 plus an
+#      ovmd_panics_total increment and the daemon keeps serving;
+#  10. SIGTERM drains the daemon gracefully (exit code 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +40,7 @@ base="http://127.0.0.1:${port}"
 cleanup() {
   [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
   [[ -n "${heap_pid:-}" ]] && kill "$heap_pid" 2>/dev/null || true
+  [[ -n "${shed_pid:-}" ]] && kill "$shed_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -198,12 +204,88 @@ grep -q '"at":' <<<"$tsout" \
 grep -q 'ovm_walks_truncated_total' <<<"$tsout" \
   || { echo "FAIL: /debug/timeseries samples lack the registry cost counters"; echo "$tsout"; exit 1; }
 echo "   /debug/timeseries serves a non-empty window with cost counters"
-curl -sf "$base/debug/slow-queries" | grep -q '"endpoint":"select-seeds"' \
+slowq=$(curl -sf "$base/debug/slow-queries")
+grep -q '"endpoint":"select-seeds"' <<<"$slowq" \
   || { echo "FAIL: /debug/slow-queries has no select-seeds entry"; exit 1; }
 echo "   /debug/slow-queries retains spans"
 curl -sf "$base/debug/pprof/cmdline" >/dev/null \
   || { echo "FAIL: -pprof did not mount /debug/pprof/"; exit 1; }
 echo "   -pprof mounted"
+
+echo "== failure modes: load shedding + panic recovery (capped daemon)"
+shed_port=18475
+shed_base="http://127.0.0.1:${shed_port}"
+"$workdir/ovmd" -listen "127.0.0.1:${shed_port}" -index "$workdir/smoke.ovmidx" \
+  -max-inflight 1 -max-queue 0 -debug-faults >"$workdir/daemon_shed.log" 2>&1 &
+shed_pid=$!
+for _ in $(seq 1 50); do
+  if curl -sf "$shed_base/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "$shed_base/healthz" | grep -q ok \
+  || { echo "FAIL: capped daemon /healthz"; cat "$workdir/daemon_shed.log"; exit 1; }
+# Warm one entry while the daemon is idle so a cache-servable query exists.
+curl -sf -X POST "$shed_base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request" >/dev/null \
+  || { echo "FAIL: cache-warming query on capped daemon"; exit 1; }
+# Flood with distinct heavy compute queries (random-walk selection at large k
+# runs >100ms here): with one slot and no queue, all but one of each
+# concurrent wave must be shed with 429 + Retry-After.
+flood_pids=()
+for i in $(seq 1 12); do
+  body='{"dataset":"default","method":"RW","score":{"name":"plurality"},"k":'$((49 + i))',"horizon":10,"target":0,"seed":7}'
+  curl -s -D "$workdir/shed_hdr_$i" -o /dev/null -w '%{http_code}' \
+    -X POST "$shed_base/v1/select-seeds" -H 'Content-Type: application/json' \
+    -d "$body" >"$workdir/shed_code_$i" &
+  flood_pids+=($!)
+done
+# While the flood is in flight, the warmed query must still answer 200 from
+# the cache — shedding applies to compute, not to cache hits.
+during=$(curl -s -o "$workdir/shed_cached_body" -w '%{http_code}' \
+  -X POST "$shed_base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+wait "${flood_pids[@]}"
+[[ "$during" == "200" ]] \
+  || { echo "FAIL: cached query during shedding returned $during, want 200"; exit 1; }
+grep -q '"cached":true' "$workdir/shed_cached_body" \
+  || { echo "FAIL: concurrent query during shedding was not served from the cache"; exit 1; }
+shed_count=0
+for i in $(seq 1 12); do
+  if [[ "$(cat "$workdir/shed_code_$i")" == "429" ]]; then
+    shed_count=$((shed_count + 1))
+    grep -qi '^Retry-After: ' "$workdir/shed_hdr_$i" \
+      || { echo "FAIL: 429 response without a Retry-After header"; cat "$workdir/shed_hdr_$i"; exit 1; }
+  fi
+done
+[[ "$shed_count" -ge 1 ]] \
+  || { echo "FAIL: flood past the inflight cap produced no 429s"; cat "$workdir"/shed_code_*; exit 1; }
+shed_metric=$(curl -sf "$shed_base/metrics" | sed -n 's/^ovmd_shed_total //p')
+[[ "${shed_metric:-0}" -ge "$shed_count" ]] \
+  || { echo "FAIL: ovmd_shed_total=$shed_metric < observed 429s ($shed_count)"; exit 1; }
+echo "   flood shed $shed_count/12 requests with 429 + Retry-After; cached query answered 200 throughout"
+
+panic_code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$shed_base/debug/fault/panic")
+[[ "$panic_code" == "500" ]] \
+  || { echo "FAIL: injected panic returned $panic_code, want 500"; exit 1; }
+# N.B. capture the body before grepping: with pipefail, `curl | grep -q`
+# fails spuriously when grep exits at first match and curl takes a SIGPIPE.
+panic_metrics=$(curl -sf "$shed_base/metrics")
+grep -q '^ovmd_panics_total [1-9]' <<<"$panic_metrics" \
+  || { echo "FAIL: ovmd_panics_total did not count the injected panic"; exit 1; }
+curl -sf "$shed_base/healthz" | grep -q ok \
+  || { echo "FAIL: daemon died after a handler panic"; cat "$workdir/daemon_shed.log"; exit 1; }
+after_panic=$(curl -s -o /dev/null -w '%{http_code}' \
+  -X POST "$shed_base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+[[ "$after_panic" == "200" ]] \
+  || { echo "FAIL: query after panic returned $after_panic, want 200"; exit 1; }
+# Shed/timeout/cancel/panic counters are all exposed on /metrics.
+shed_metrics=$(curl -sf "$shed_base/metrics")
+for counter in ovmd_shed_total ovmd_timeouts_total ovmd_canceled_total ovmd_panics_total; do
+  grep -q "^${counter} " <<<"$shed_metrics" \
+    || { echo "FAIL: /metrics is missing the ${counter} counter"; exit 1; }
+done
+kill -TERM "$shed_pid"
+wait "$shed_pid" || true
+shed_pid=""
+echo "   handler panic -> 500, ovmd_panics_total bumped, daemon kept serving"
 
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"

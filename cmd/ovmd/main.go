@@ -83,7 +83,9 @@ func main() {
 		par     = flag.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial); never changes any response")
 		mmap    = flag.Bool("mmap", true, "serve a v3 -index zero-copy from an mmap'd region (v1/v2 files and -mmap=false load to the heap); never changes any response")
 		cache   = flag.Int("cache", 1024, "LRU response cache capacity (entries)")
-		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log reaches this many batches, bounding file size and restart replay cost (0 = never compact)")
+		compact = flag.Int("compact-log", 1024, "rebase the persisted index once its update log (applied + queued batches) reaches this many, bounding file size and restart replay cost (0 = never compact)")
+
+		syncUpdates = flag.Bool("sync-updates", false, "apply update batches inline (blocking POST) instead of the default async pipeline (durable WAL queue + background repair)")
 
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline; an expired query returns deadline_exceeded (504) and its computation stops at the next cancellation poll (0 = unbounded; requests may override with timeoutMs)")
 		maxInflight  = flag.Int("max-inflight", 0, "cap on concurrently computing queries; cache hits always answer (0 = unlimited)")
@@ -144,8 +146,8 @@ func main() {
 		mmap: *mmap, pprof: *pprofOn, slowLog: *slowLog, slowThreshold: *slowThr,
 		tsInterval: *tsEvery, tsCapacity: *tsCap,
 		queryTimeout: *queryTimeout, maxInflight: *maxInflight, maxQueue: *maxQueue,
-		debugFaults: *debugFaults,
-		logger:      obs.NewLogger(os.Stderr, level, *logFormat == "json"),
+		debugFaults: *debugFaults, syncUpdates: *syncUpdates,
+		logger: obs.NewLogger(os.Stderr, level, *logFormat == "json"),
 	})
 }
 
@@ -225,6 +227,7 @@ type serveOpts struct {
 	queryTimeout                       time.Duration
 	maxInflight, maxQueue              int
 	debugFaults                        bool
+	syncUpdates                        bool
 	logger                             *obs.Logger
 }
 
@@ -251,13 +254,16 @@ func serve(o serveOpts) {
 	if o.slowLog == 0 {
 		cfg.SlowQueryLog = -1 // 0 means "disabled" on the flag, "default" in Config
 	}
+	cfg.AsyncUpdates = !o.syncUpdates
 	var idx *serialize.Index
 	var mi *serialize.MappedIndex
 	var svc *service.Service
+	var wal *persist.WAL
 	// logDepth mirrors len(idx.Updates) for /stats and /metrics. OnUpdate
 	// reassigns idx under the service's update lock while stats readers run
 	// concurrently, so the depth crosses goroutines through an atomic
-	// rather than by reading idx.Updates directly.
+	// rather than by reading idx.Updates directly. The WAL tail (accepted
+	// but not yet folded into the index log) is added at read time.
 	var logDepth atomic.Int64
 	if o.index != "" {
 		// A crash during a previous atomic rewrite can leave *.tmp-* files
@@ -292,21 +298,50 @@ func serve(o serveOpts) {
 			}
 		}
 	}
+	// queued holds WAL batches recovered at startup: accepted and fsync'd by
+	// a previous run but never folded into the index log. They re-enter the
+	// pipeline with their originally promised epochs.
+	var queued []dynamic.Batch
+	var queuedFirst int64
 	if idx != nil {
+		wal, queued, queuedFirst = openWAL(logger, o.index, idx)
 		logDepth.Store(int64(len(idx.Updates)))
-		cfg.UpdateLogDepth = func(string) int { return int(logDepth.Load()) }
+		cfg.UpdateLogDepth = func(string) int {
+			// Applied log depth plus the accepted-but-unapplied WAL tail:
+			// the count a restart replay (and a compaction) must absorb.
+			d := int(logDepth.Load())
+			if wal != nil {
+				d += wal.Depth()
+			}
+			return d
+		}
+		// Durability before acknowledgement: an async-accepted batch is on
+		// disk (fsync'd WAL sidecar) before the accepted response is sent.
+		cfg.OnEnqueue = func(ds string, batch dynamic.Batch, epoch int64) error {
+			return wal.Append(persist.WALEntry{Epoch: epoch, Batch: batch})
+		}
 		// Persistence trade-off: the update log lives inside the
 		// CRC-covered OVMIDX container, so each batch rewrites the whole
 		// file — O(index size) per update, durable and self-contained.
 		// -compact-log bounds the file (and restart replay); the retained
 		// base index aliases the served artifacts' storage until their
 		// first repair, so it is the write-back source, not a second copy.
-		cfg.OnUpdate = func(ds string, batch dynamic.Batch, epoch int64) error {
+		cfg.OnUpdate = func(ds string, batches []dynamic.Batch, epoch int64) error {
 			// Compact before appending: once the log is long, rebase the
 			// stored artifacts onto the current (pre-swap) dataset state —
 			// BaseEpoch carries the version forward — so the file, the
 			// rewrite cost, and the restart replay cost all stay bounded.
-			if o.compact > 0 && len(idx.Updates) >= o.compact {
+			// The trigger counts queued-but-unapplied batches too (the WAL
+			// tail): they land in this log next, so waiting for them to be
+			// applied before compacting just grows the file further.
+			depth := len(idx.Updates)
+			if wal != nil {
+				depth += wal.Depth()
+			}
+			if o.compact > 0 && depth >= o.compact {
+				// ExportIndex reads the VISIBLE (pre-swap) dataset, so the
+				// rebase never outruns the WAL: every batch being persisted
+				// here replays on top of the exported base to exactly epoch.
 				if exported, serr := svc.ExportIndex(ds); serr != nil {
 					logger.Warn("update-log compaction failed; keeping the existing log", obs.F("err", serr.Message))
 				} else {
@@ -314,16 +349,29 @@ func serve(o serveOpts) {
 					logger.Info("compacted update log: artifacts rebased", obs.F("epoch", exported.BaseEpoch))
 				}
 			}
-			idx.Updates = append(idx.Updates, batch)
+			n0 := len(idx.Updates)
+			idx.Updates = append(idx.Updates, batches...)
 			if err := persist.WriteIndexAtomic(iofault.OS, o.index, idx); err != nil {
 				// Roll the in-memory log back so a later retry does not
-				// persist this batch twice.
-				idx.Updates = idx.Updates[:len(idx.Updates)-1]
+				// persist these batches twice.
+				idx.Updates = idx.Updates[:n0]
 				return err
 			}
 			logDepth.Store(int64(len(idx.Updates)))
-			logger.Info("persisted update batch",
-				obs.F("epoch", epoch), obs.F("ops", len(batch)),
+			if wal != nil {
+				// The batches are in the CRC-covered index log now; their WAL
+				// entries are redundant (a crashed prune is deduplicated at
+				// the next startup by epoch comparison).
+				if err := wal.Prune(epoch); err != nil {
+					logger.Warn("WAL prune failed; entries dedupe at restart", obs.F("err", err))
+				}
+			}
+			ops := 0
+			for _, b := range batches {
+				ops += len(b)
+			}
+			logger.Info("persisted update batches",
+				obs.F("epoch", epoch), obs.F("batches", len(batches)), obs.F("ops", ops),
 				obs.F("logDepth", len(idx.Updates)), obs.F("path", o.index))
 			return nil
 		}
@@ -346,6 +394,23 @@ func serve(o serveOpts) {
 			fields = append(fields, obs.F("zeroCopy", fmt.Sprintf("%d bytes zero-copy", mi.MappedBytes())))
 		}
 		logger.Info("loaded index (no recomputation)", append([]obs.Field{obs.F("mode", mode)}, fields...)...)
+		if len(queued) > 0 {
+			// Accepted-but-unrepaired batches from the previous run drain
+			// through the same applier as live traffic, landing on the same
+			// epochs that were promised before the crash. With -sync-updates
+			// the drain completes before serving (the blocking contract has
+			// no "catching up" state).
+			if serr := svc.SeedQueued(o.name, queued, queuedFirst); serr != nil {
+				fatal(errors.New(serr.Message))
+			}
+			logger.Info("recovered queued update batches from WAL",
+				obs.F("batches", len(queued)), obs.F("firstEpoch", queuedFirst))
+			if o.syncUpdates {
+				if serr := svc.WaitIdle(context.Background(), o.name); serr != nil {
+					fatal(errors.New(serr.Message))
+				}
+			}
+		}
 	case o.load != "" || o.dataset != "":
 		sys := loadSystem(o.load, o.dataset, o.n, o.mu, o.seed)
 		if err := svc.AddDataset(o.name, sys); err != nil {
@@ -436,6 +501,60 @@ func loadSystem(load, dataset string, n int, mu float64, seed int64) *ovm.System
 		fatal(fmt.Errorf("pass -index, -load, or -dataset"))
 		return nil
 	}
+}
+
+// openWAL opens (or creates) the index's write-ahead sidecar and
+// reconciles it with the index's replayed epoch: entries the index log
+// already contains (a crash landed between the index rewrite and the WAL
+// prune) are pruned as duplicates; the remainder must continue the
+// index's epoch contiguously and is returned for re-queueing. A WAL that
+// cannot be reconciled is quarantined — the index itself is still a
+// complete, consistent epoch.
+func openWAL(logger *obs.Logger, indexPath string, idx *serialize.Index) (*persist.WAL, []dynamic.Batch, int64) {
+	walPath := indexPath + ".wal"
+	if removed, err := persist.CleanStaleTemps(iofault.OS, walPath); err == nil && len(removed) > 0 {
+		logger.Warn("removed stale WAL temp files from an interrupted prune", obs.F("files", strings.Join(removed, ", ")))
+	}
+	wal, torn, err := persist.OpenWAL(iofault.OS, walPath)
+	if err != nil {
+		// Mid-file corruption: acked batches may be lost; keep the evidence
+		// and start with a fresh (empty) log rather than crash-looping.
+		logger.Warn("update WAL unreadable; quarantining", obs.F("wal", walPath), obs.F("err", err))
+		if dst, qerr := persist.Quarantine(iofault.OS, walPath); qerr != nil {
+			fatal(qerr)
+		} else {
+			logger.Warn("WAL quarantined for inspection", obs.F("movedTo", dst))
+		}
+		if wal, _, err = persist.OpenWAL(iofault.OS, walPath); err != nil {
+			fatal(err)
+		}
+	}
+	if torn > 0 {
+		// A torn final line is a batch whose accepted response may never
+		// have been sent; dropping it is the documented crash semantics.
+		logger.Warn("dropped torn WAL tail entry (crash mid-append)", obs.F("entries", torn))
+	}
+	served := idx.BaseEpoch + int64(len(idx.Updates))
+	if err := wal.Prune(served); err != nil {
+		fatal(err)
+	}
+	rem := wal.Pending()
+	if len(rem) == 0 {
+		return wal, nil, 0
+	}
+	if rem[0].Epoch != served+1 {
+		logger.Warn("WAL does not continue the index epoch; discarding its entries",
+			obs.F("walFirst", rem[0].Epoch), obs.F("indexEpoch", served))
+		if err := wal.Prune(rem[len(rem)-1].Epoch); err != nil {
+			fatal(err)
+		}
+		return wal, nil, 0
+	}
+	batches := make([]dynamic.Batch, len(rem))
+	for i, e := range rem {
+		batches[i] = e.Batch
+	}
+	return wal, batches, served + 1
 }
 
 // quarantineIndex handles an unreadable index at startup. A missing file is

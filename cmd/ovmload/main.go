@@ -9,6 +9,7 @@
 //	ovmload -addr http://localhost:8080 -duration 10s -workers 8            # warm: fixed query mix, cache-served
 //	ovmload -addr http://localhost:8080 -endpoint evaluate -distinct        # cold: unique seed sets, every request computes
 //	ovmload -addr http://localhost:8080 -mutate-every 250ms                 # warm queries + concurrent update batches
+//	ovmload -addr http://localhost:8080 -mutate-every 250ms -wait-visible   # ...and measure accepted-to-visible lag per update
 //
 // With -json the report is a single line in the bench-trajectory result
 // shape ({"name","iterations","metrics":{...}}) that scripts/bench_record.sh
@@ -60,6 +61,7 @@ func main() {
 		verify   = flag.Bool("verify-metrics", false, "check the daemon /metrics request-histogram count delta equals the requests sent (ovmload must be the only client)")
 		explain  = flag.Bool("explain", false, "set \"explain\": true on every query and fail unless every 200 response carries an explain block (exercises the EXPLAIN path under load)")
 		retries  = flag.Int("retries", 3, "retry attempts per request when the daemon sheds with 429 (backoff honors Retry-After, with jitter); a request that exhausts its retries counts as an error")
+		waitVis  = flag.Bool("wait-visible", false, "after each accepted update, issue a cheap minEpoch evaluate probe that blocks until the batch is visible, and report accepted-to-visible lag percentiles (requires -mutate-every)")
 	)
 	flag.Parse()
 	checkFlag(*duration > 0, "-duration must be > 0, got %v", *duration)
@@ -71,6 +73,7 @@ func main() {
 	checkFlag(*theta >= 0, "-theta must be >= 0, got %d", *theta)
 	checkFlag(*mutEvery >= 0, "-mutate-every must be >= 0, got %v", *mutEvery)
 	checkFlag(*retries >= 0, "-retries must be >= 0, got %d", *retries)
+	checkFlag(!*waitVis || *mutEvery > 0, "-wait-visible requires -mutate-every")
 	switch *endpoint {
 	case "select-seeds", "evaluate", "wins", "mix":
 	default:
@@ -93,6 +96,7 @@ func main() {
 		endpoint: *endpoint, scores: scoreList,
 		k: *k, horizon: *horizon, target: *target, seed: *seed, theta: *theta,
 		n: n, distinct: *distinct, explain: *explain, maxRetries: *retries,
+		waitVisible: *waitVis,
 	}
 	// The warm fixture: one fixed seed set shared by every worker, so
 	// non-distinct evaluate/wins traffic collapses onto cached entries.
@@ -146,9 +150,13 @@ func main() {
 	elapsed := time.Since(start)
 
 	snap := g.hist.Snapshot()
+	updSnap := g.updHist.Snapshot()
+	lagSnap := g.lagHist.Snapshot()
 	// Every attempt reaches the daemon's request histogram, including the
 	// 429s that were later retried — so "sent" counts retried attempts too.
-	sent := snap.Count + g.errors.Load() + g.retried.Load()
+	// Visibility probes are ordinary evaluate requests; their own atomic
+	// keeps the accounting exact.
+	sent := snap.Count + g.errors.Load() + g.retried.Load() + g.probes.Load()
 	if *verify {
 		after := requestHistogramCount(client, *addr)
 		if delta := after - before; delta != float64(sent) {
@@ -164,6 +172,16 @@ func main() {
 		snap.Count, g.errors.Load(), g.retried.Load(), mutations.Load(), achieved,
 		time.Duration(snap.Quantile(0.50)), time.Duration(snap.Quantile(0.95)),
 		time.Duration(snap.Quantile(0.99)), time.Duration(snap.MaxNs))
+	if updSnap.Count > 0 {
+		fmt.Fprintf(os.Stderr, "ovmload: updates: %d posted, p50=%s p95=%s p99=%s\n",
+			updSnap.Count, time.Duration(updSnap.Quantile(0.50)),
+			time.Duration(updSnap.Quantile(0.95)), time.Duration(updSnap.Quantile(0.99)))
+	}
+	if lagSnap.Count > 0 {
+		fmt.Fprintf(os.Stderr, "ovmload: accepted-to-visible lag: %d probes, p50=%s p95=%s p99=%s\n",
+			lagSnap.Count, time.Duration(lagSnap.Quantile(0.50)),
+			time.Duration(lagSnap.Quantile(0.95)), time.Duration(lagSnap.Quantile(0.99)))
+	}
 	if *jsonOut {
 		// The field order matches the bench-trajectory entries
 		// bench_record.sh parses out of `go test -bench` output.
@@ -182,6 +200,12 @@ func main() {
 				Mutations  int64   `json:"mutations"`
 				Workers    int     `json:"workers"`
 				DurationS  float64 `json:"duration_s"`
+				UpdP50Ns   int64   `json:"update_p50_ns,omitempty"`
+				UpdP95Ns   int64   `json:"update_p95_ns,omitempty"`
+				UpdP99Ns   int64   `json:"update_p99_ns,omitempty"`
+				LagP50Ns   int64   `json:"visible_lag_p50_ns,omitempty"`
+				LagP95Ns   int64   `json:"visible_lag_p95_ns,omitempty"`
+				LagProbes  int64   `json:"visible_lag_probes,omitempty"`
 			} `json:"metrics"`
 		}{Name: *name, Iterations: snap.Count}
 		m := &report.Metrics
@@ -196,6 +220,16 @@ func main() {
 		m.Mutations = mutations.Load()
 		m.Workers = *workers
 		m.DurationS = round1(elapsed.Seconds())
+		if updSnap.Count > 0 {
+			m.UpdP50Ns = updSnap.Quantile(0.50)
+			m.UpdP95Ns = updSnap.Quantile(0.95)
+			m.UpdP99Ns = updSnap.Quantile(0.99)
+		}
+		if lagSnap.Count > 0 {
+			m.LagP50Ns = lagSnap.Quantile(0.50)
+			m.LagP95Ns = lagSnap.Quantile(0.95)
+			m.LagProbes = lagSnap.Count
+		}
 		if err := json.NewEncoder(os.Stdout).Encode(report); err != nil {
 			fatal(err)
 		}
@@ -208,25 +242,29 @@ func main() {
 // loadgen is the shared request-generation state; recording is lock-free
 // (obs.Histogram) so workers never serialize on the aggregator.
 type loadgen struct {
-	client     *http.Client
-	addr       string
-	dataset    string
-	endpoint   string
-	scores     []scoreSpec
-	k          int
-	horizon    int
-	target     int
-	seed       int64
-	theta      int
-	n          int
-	distinct   bool
-	explain    bool
-	maxRetries int
-	fixedSeeds []int32
+	client      *http.Client
+	addr        string
+	dataset     string
+	endpoint    string
+	scores      []scoreSpec
+	k           int
+	horizon     int
+	target      int
+	seed        int64
+	theta       int
+	n           int
+	distinct    bool
+	explain     bool
+	maxRetries  int
+	waitVisible bool
+	fixedSeeds  []int32
 
 	hist    obs.Histogram
+	updHist obs.Histogram // update-POST latency, separate from the query mix
+	lagHist obs.Histogram // accepted-to-visible lag measured by minEpoch probes
 	errors  atomic.Int64
 	retried atomic.Int64 // 429 attempts that were retried after backoff
+	probes  atomic.Int64 // -wait-visible evaluate probes (query-histogram traffic)
 }
 
 type scoreSpec struct {
@@ -316,7 +354,13 @@ func (g *loadgen) worker(ctx context.Context, w int, tokens <-chan struct{}) {
 
 // mutate posts a one-op opinion-drift batch at the given interval — small
 // enough to keep repair cheap, real enough to exercise the full
-// apply/repair/persist/swap pipeline under query load.
+// apply/repair/persist/swap pipeline under query load. Update latency is
+// recorded separately from the query mix: on an async daemon the POST
+// returns at accept time, so conflating it with query latency would make
+// both distributions meaningless. With -wait-visible, each accepted
+// update is chased by a minimal evaluate probe carrying the promised
+// epoch as minEpoch — the daemon holds the probe until the batch is
+// visible, so probe latency IS the accepted-to-visible lag.
 func (g *loadgen) mutate(ctx context.Context, every time.Duration, count *atomic.Int64) {
 	rng := rand.New(rand.NewSource(g.seed ^ 0x5ca1ab1e))
 	tick := time.NewTicker(every)
@@ -331,36 +375,79 @@ func (g *loadgen) mutate(ctx context.Context, every time.Duration, count *atomic
 			"op": "set_opinion", "candidate": g.target,
 			"node": rng.Intn(g.n), "value": rng.Float64(),
 		}}}
-		if err := g.post("/v1/datasets/"+g.dataset+"/updates", body); err != nil {
+		start := time.Now()
+		payload, err := g.postRead("/v1/datasets/"+g.dataset+"/updates", body)
+		if err != nil {
 			g.errors.Add(1)
 			fmt.Fprintf(os.Stderr, "ovmload: update: %v\n", err)
 			continue
 		}
+		g.updHist.Observe(time.Since(start))
 		count.Add(1)
+		if !g.waitVisible {
+			continue
+		}
+		var acc struct {
+			Epoch int64 `json:"epoch"`
+		}
+		if err := json.Unmarshal(payload, &acc); err != nil {
+			g.errors.Add(1)
+			fmt.Fprintf(os.Stderr, "ovmload: update response: %v\n", err)
+			continue
+		}
+		probe := map[string]any{
+			"dataset": g.dataset, "score": scoreSpec{Name: "cumulative"},
+			"horizon": 1, "target": g.target, "seeds": []int32{0},
+			"minEpoch": acc.Epoch,
+		}
+		probeStart := time.Now()
+		if _, err := g.postRead("/v1/evaluate", probe); err != nil {
+			g.errors.Add(1)
+			fmt.Fprintf(os.Stderr, "ovmload: visibility probe: %v\n", err)
+			continue
+		}
+		g.probes.Add(1)
+		g.lagHist.Observe(time.Since(probeStart))
 	}
 }
 
-// post sends one request to completion — deliberately not tied to the
-// run context, so the drain-at-deadline accounting stays exact (the
-// client -timeout still bounds a hung daemon). A 429 (the daemon shedding
-// compute) is retried up to -retries times with jittered backoff that
-// honors the Retry-After header; the recorded latency spans the whole
-// exchange including backoff, which is what the caller experienced.
+// post sends one worker request; with -explain every query response must
+// carry the explain block (updates and probes don't take the field).
 func (g *loadgen) post(path string, body any) error {
-	b, err := json.Marshal(body)
+	payload, err := g.postRead(path, body)
 	if err != nil {
 		return err
+	}
+	if g.explain && !strings.HasPrefix(path, "/v1/datasets/") {
+		if !bytes.Contains(payload, []byte(`"explain":`)) {
+			return fmt.Errorf("%s: response missing explain block", path)
+		}
+	}
+	return nil
+}
+
+// postRead sends one request to completion and returns the response body —
+// deliberately not tied to the run context, so the drain-at-deadline
+// accounting stays exact (the client -timeout still bounds a hung daemon).
+// A 429 (the daemon shedding compute) is retried up to -retries times with
+// jittered backoff that honors the Retry-After header; the recorded
+// latency spans the whole exchange including backoff, which is what the
+// caller experienced.
+func (g *loadgen) postRead(path string, body any) ([]byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
 	}
 	var resp *http.Response
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, g.addr+path, bytes.NewReader(b))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err = g.client.Do(req)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if resp.StatusCode != http.StatusTooManyRequests || attempt >= g.maxRetries {
 			break
@@ -374,22 +461,9 @@ func (g *loadgen) post(path string, body any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
-	// With -explain every query response must carry the explain block
-	// (updates don't take the field; their path is excluded).
-	if g.explain && !strings.HasPrefix(path, "/v1/datasets/") {
-		payload, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return err
-		}
-		if !bytes.Contains(payload, []byte(`"explain":`)) {
-			return fmt.Errorf("%s: response missing explain block", path)
-		}
-		return nil
-	}
-	_, err = io.Copy(io.Discard, resp.Body)
-	return err
+	return io.ReadAll(resp.Body)
 }
 
 // backoff picks the wait before a retry: the server's Retry-After when it

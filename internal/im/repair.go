@@ -1,6 +1,7 @@
 package im
 
 import (
+	"context"
 	"fmt"
 
 	"ovm/internal/engine"
@@ -28,6 +29,13 @@ type RRRepairStats struct {
 // substream str.At(i). The draw cursor and stream carry over, so subsequent
 // Add calls continue the same global index sequence.
 func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RRRepairStats, error) {
+	return c.RepairCtx(nil, g, touched)
+}
+
+// RepairCtx is Repair with cooperative cancellation at shard boundaries
+// (nil ctx never cancels), for the async update pipeline's background
+// applier.
+func (c *RRCollection) RepairCtx(ctx context.Context, g *graph.Graph, touched []bool) (*RRCollection, RRRepairStats, error) {
 	var stats RRRepairStats
 	if c.NumSets() != c.drawn {
 		return nil, stats, fmt.Errorf("im: collection stores %d sets but drew %d", c.NumSets(), c.drawn)
@@ -43,7 +51,7 @@ func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RR
 	stats.Sets = numSets
 
 	invalid := make([]bool, numSets)
-	_ = engine.ForEachChunk(c.parallelism, numSets, 64, 256, func(_, _, lo, hi int) error {
+	scanErr := engine.ForEachChunkCtx(ctx, c.parallelism, numSets, 64, 256, func(_, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			for p := c.off[i]; p < c.off[i+1] && !invalid[i]; p++ {
 				if touched[c.nodes[p]] {
@@ -53,6 +61,9 @@ func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RR
 		}
 		return nil
 	})
+	if scanErr != nil {
+		return nil, stats, scanErr
+	}
 	for _, bad := range invalid {
 		if bad {
 			stats.SetsInvalidated++
@@ -69,7 +80,7 @@ func (c *RRCollection) Repair(g *graph.Graph, touched []bool) (*RRCollection, RR
 		nc.scratchQueue = make([][]int32, w)
 	}
 	numShards := engine.NumShards(numSets, 64, 256)
-	shards, err := engine.Map(c.parallelism, numShards, func(worker, sh int) (rrShard, error) {
+	shards, err := engine.MapCtx(ctx, c.parallelism, numShards, func(worker, sh int) (rrShard, error) {
 		lo, hi := engine.ShardRange(numSets, numShards, sh)
 		out := rrShard{lens: make([]int32, 0, hi-lo)}
 		if nc.scratchVisited[worker] == nil {

@@ -1,0 +1,186 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ovm/internal/dynamic"
+	"ovm/internal/iofault"
+)
+
+// Write-ahead log for the async update pipeline: every accepted-but-not-
+// yet-applied batch is appended (JSONL, one fsync'd line per batch) BEFORE
+// the accept response goes out, so a crash never loses an acknowledged
+// update. Each entry carries the target epoch the daemon promised the
+// client; on restart the entries whose epoch is already covered by the
+// index's replayed update log are skipped (a crash between the index
+// rewrite and the WAL prune would otherwise double-apply them) and the
+// remainder re-enters the pipeline in order.
+//
+// The append path uses os directly — iofault.FS has no append primitive —
+// but a torn trailing line is exactly the un-acknowledged crash shape and
+// is dropped on open. Pruning rewrites the remainder through the same
+// atomic temp + rename + dir-sync machinery as the index itself, under
+// path's temp pattern so CleanStaleTemps sweeps WAL temps too.
+
+// WALEntry is one accepted update batch and the epoch it was promised.
+type WALEntry struct {
+	Epoch int64         `json:"epoch"`
+	Batch dynamic.Batch `json:"batch"`
+}
+
+// WAL is the daemon's durable mutation queue sidecar file.
+type WAL struct {
+	fsys iofault.FS
+	path string
+
+	mu      sync.Mutex
+	pending []WALEntry
+}
+
+// OpenWAL reads the log at path (a missing file is an empty log) and
+// returns the surviving entries plus the number of torn trailing lines
+// dropped (0 or 1 — only the final line can be torn, anything else is
+// corruption and errors out). Entries must carry strictly consecutive
+// epochs.
+func OpenWAL(fsys iofault.FS, path string) (*WAL, int, error) {
+	w := &WAL{fsys: fsys, path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return w, 0, nil
+		}
+		return nil, 0, fmt.Errorf("persist: read wal %s: %w", path, err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	dropped := 0
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var e WALEntry
+		if err := json.Unmarshal(line, &e); err != nil || len(e.Batch) == 0 {
+			// A torn write never completes its trailing newline, so the
+			// only legal crash artifact is an unparseable FINAL line with
+			// no newline after it — never fsync'd, never acknowledged,
+			// safe to drop. Anything else is corruption.
+			if i == len(lines)-1 {
+				dropped++
+				continue
+			}
+			return nil, 0, fmt.Errorf("persist: wal %s: line %d is corrupt mid-file", path, i+1)
+		}
+		if len(w.pending) > 0 && e.Epoch != w.pending[len(w.pending)-1].Epoch+1 {
+			return nil, 0, fmt.Errorf("persist: wal %s: epoch %d follows %d, want consecutive",
+				path, e.Epoch, w.pending[len(w.pending)-1].Epoch)
+		}
+		w.pending = append(w.pending, e)
+	}
+	return w, dropped, nil
+}
+
+// Pending returns a copy of the not-yet-pruned entries in epoch order.
+func (w *WAL) Pending() []WALEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]WALEntry(nil), w.pending...)
+}
+
+// Depth reports how many accepted batches await pruning.
+func (w *WAL) Depth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// Append durably records one accepted batch: the line is written and
+// fsync'd before Append returns, so the caller may acknowledge the update.
+func (w *WAL) Append(e WALEntry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.pending); n > 0 && e.Epoch != w.pending[n-1].Epoch+1 {
+		return fmt.Errorf("persist: wal append epoch %d after %d, want consecutive", e.Epoch, w.pending[n-1].Epoch)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	w.pending = append(w.pending, e)
+	return nil
+}
+
+// Prune drops every entry with epoch <= upTo — they are applied and
+// persisted in the index's update log — rewriting the remainder atomically.
+// An empty remainder removes the file.
+func (w *WAL) Prune(upTo int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keep := w.pending[:0:0]
+	for _, e := range w.pending {
+		if e.Epoch > upTo {
+			keep = append(keep, e)
+		}
+	}
+	if len(keep) == len(w.pending) {
+		return nil
+	}
+	if len(keep) == 0 {
+		if err := w.fsys.Remove(w.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		w.pending = nil
+		return nil
+	}
+	tmp, err := w.fsys.CreateTemp(filepath.Dir(w.path), tempPattern(filepath.Base(w.path)))
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = w.fsys.Remove(tmp.Name())
+		return err
+	}
+	for _, e := range keep {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return cleanup(err)
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = w.fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := w.fsys.Rename(tmp.Name(), w.path); err != nil {
+		_ = w.fsys.Remove(tmp.Name())
+		return err
+	}
+	_ = w.fsys.SyncDir(filepath.Dir(w.path))
+	w.pending = keep
+	return nil
+}

@@ -139,14 +139,15 @@ func GenerateSet(p *core.Problem, plan []int32, seed int64, parallelism int) (*w
 // marks the nodes whose in-neighborhoods or stubbornness changed. The
 // returned set is byte-identical to GenerateSet on the mutated system with
 // the same plan, but only the invalidated owners are regenerated (from
-// their original substreams in the seed's family).
+// their original substreams in the seed's family). p.Ctx, when set, cancels
+// the repair at shard boundaries.
 func RepairSet(p *core.Problem, old *walks.Set, touched []bool, seed int64, parallelism int) (*walks.Set, walks.RepairStats, error) {
 	cand := p.Sys.Candidate(p.Target)
 	sampler, err := graph.NewInEdgeSampler(cand.G)
 	if err != nil {
 		return nil, walks.RepairStats{}, err
 	}
-	return walks.Repair(old, sampler, cand.Stub, touched, sampling.Stream{Seed: seed, ID: 101}, parallelism)
+	return walks.RepairCtx(p.Ctx, old, sampler, cand.Stub, touched, sampling.Stream{Seed: seed, ID: 101}, parallelism)
 }
 
 // SelectOnSet runs the greedy selection of Algorithm 4 over a pre-generated

@@ -12,11 +12,12 @@ import (
 // Metric and label names exposed on /metrics. The request histogram is
 // keyed endpoint × dataset × score; the stage histogram covers the
 // per-request phases (cache-lookup, singleflight-wait, selection,
-// serialize) and the update-pipeline stages (apply, repair, persist,
-// swap).
+// serialize) and the update-pipeline stages (pipeline — the async queue
+// wait — apply, repair, persist, swap).
 const (
 	metricRequestDuration = "ovmd_request_duration_seconds"
 	metricStageDuration   = "ovmd_stage_duration_seconds"
+	metricUpdateLag       = "ovmd_update_visible_lag_seconds"
 )
 
 // The endpoint label vocabulary.
@@ -36,6 +37,7 @@ const (
 type telemetry struct {
 	reqHist   *obs.HistogramVec
 	stageHist *obs.HistogramVec
+	lagHist   *obs.HistogramVec // zero labels: accepted-to-visible update lag
 	slow      *obs.SlowLog
 	logger    *obs.Logger
 }
@@ -45,7 +47,9 @@ func newTelemetry(cfg Config) *telemetry {
 		reqHist: obs.NewHistogramVec(metricRequestDuration,
 			"Request latency by endpoint, dataset, and score.", "endpoint", "dataset", "score"),
 		stageHist: obs.NewHistogramVec(metricStageDuration,
-			"Per-stage latency of the query path (cache-lookup, singleflight-wait, selection, serialize) and the update pipeline (apply, repair, persist, swap).", "stage"),
+			"Per-stage latency of the query path (cache-lookup, singleflight-wait, selection, serialize) and the update pipeline (pipeline, apply, repair, persist, swap).", "stage"),
+		lagHist: obs.NewHistogramVec(metricUpdateLag,
+			"Accepted-to-visible lag of async update batches (enqueue to epoch swap)."),
 		slow:   obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
 		logger: cfg.Logger,
 	}
@@ -119,6 +123,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	e.Counter("ovmd_computations_total", "Queries actually computed (missed cache, led the singleflight).", float64(st.Computations))
 	e.Counter("ovmd_errors_total", "Requests that returned an error.", float64(st.Errors))
 	e.Counter("ovmd_updates_total", "Mutation batches applied.", float64(st.Updates))
+	e.Counter("ovmd_update_coalesced_ops_total", "Update ops elided by async batch coalescing (merged or dead-write-dropped before repair).", float64(st.CoalescedOps))
+	e.Gauge("ovmd_update_queue_depth", "Accepted-but-unapplied async update batches across datasets.", float64(st.UpdateQueueDepth))
 	e.Counter("ovmd_shed_total", "Computations shed by admission control (inflight cap reached, queue full).", float64(st.Shed))
 	e.Counter("ovmd_timeouts_total", "Queries that exceeded their deadline (deadline_exceeded responses).", float64(st.Timeouts))
 	e.Counter("ovmd_canceled_total", "Queries abandoned by client cancellation.", float64(st.Canceled))
@@ -137,8 +143,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	}
 	datasetGauge("ovmd_dataset_epoch", "Current epoch (applied update batches since the base index) per dataset.",
 		func(d DatasetStats) float64 { return float64(d.Epoch) })
-	datasetGauge("ovmd_dataset_update_log_depth", "Batches in the persisted update log awaiting compaction.",
+	datasetGauge("ovmd_dataset_update_log_depth", "Batches in the persisted update log awaiting compaction (applied + queued).",
 		func(d DatasetStats) float64 { return float64(d.UpdateLogDepth) })
+	datasetGauge("ovmd_dataset_update_queue_depth", "Accepted-but-unapplied async update batches per dataset.",
+		func(d DatasetStats) float64 { return float64(d.UpdateQueueDepth) })
 	datasetGauge("ovmd_dataset_index_bytes", "Artifact footprint per dataset (mapped + heap).",
 		func(d DatasetStats) float64 { return float64(d.IndexBytes) })
 	datasetGauge("ovmd_dataset_mapped_bytes", "Artifact bytes aliasing a read-only file mapping.",
@@ -147,6 +155,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		func(d DatasetStats) float64 { return float64(d.HeapBytes) })
 	e.HistogramVec(s.tel.reqHist)
 	e.HistogramVec(s.tel.stageHist)
+	e.HistogramVec(s.tel.lagHist)
 	// Every counter/gauge registered in the obs cost registry (engine,
 	// walks, postings, im, serialize, mmapio, dynamic) is appended here,
 	// so new library counters are exported without a hand-written line.

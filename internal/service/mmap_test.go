@@ -159,8 +159,8 @@ func TestV2FileUpgradedToV3OnUpdate(t *testing.T) {
 		t.Fatal("v2 stream file must not load mapped")
 	}
 	base := mi.Index
-	live := service.New(service.Config{OnUpdate: func(ds string, batch dynamic.Batch, epoch int64) error {
-		base.Updates = append(base.Updates, batch)
+	live := service.New(service.Config{OnUpdate: func(ds string, batches []dynamic.Batch, epoch int64) error {
+		base.Updates = append(base.Updates, batches...)
 		var buf bytes.Buffer
 		if err := serialize.WriteIndexV3(&buf, base, serialize.V3Options{}); err != nil {
 			return err

@@ -419,7 +419,7 @@ func TestOversizedBodyRejectedWith413(t *testing.T) {
 func TestPersistFailureKeepsOldEpoch(t *testing.T) {
 	_, idx := testWorld(t)
 	cfg := service.Config{
-		OnUpdate: func(string, dynamic.Batch, int64) error {
+		OnUpdate: func(string, []dynamic.Batch, int64) error {
 			return fmt.Errorf("disk on fire")
 		},
 	}
@@ -509,11 +509,12 @@ func readIndexFile(t *testing.T, path string) *serialize.Index {
 // ovmdOnUpdate replicates the daemon's persist-before-swap hook: append the
 // batch to the file's update log, rewrite atomically, roll back the
 // in-memory log on failure.
-func ovmdOnUpdate(fsys iofault.FS, path string, idx *serialize.Index) func(string, dynamic.Batch, int64) error {
-	return func(_ string, batch dynamic.Batch, _ int64) error {
-		idx.Updates = append(idx.Updates, batch)
+func ovmdOnUpdate(fsys iofault.FS, path string, idx *serialize.Index) func(string, []dynamic.Batch, int64) error {
+	return func(_ string, batches []dynamic.Batch, _ int64) error {
+		n0 := len(idx.Updates)
+		idx.Updates = append(idx.Updates, batches...)
 		if err := persist.WriteIndexAtomic(fsys, path, idx); err != nil {
-			idx.Updates = idx.Updates[:len(idx.Updates)-1]
+			idx.Updates = idx.Updates[:n0]
 			return err
 		}
 		return nil

@@ -114,10 +114,24 @@ type Config struct {
 	// Parallelism is the engine worker knob applied to queries that do not
 	// pin their own: 0 means GOMAXPROCS, 1 forces serial execution.
 	Parallelism int
-	// OnUpdate, when set, persists an applied update batch before the
-	// post-update dataset becomes visible (ovmd appends it to the index
-	// file's update log). An error aborts the update without swapping.
-	OnUpdate func(dataset string, batch dynamic.Batch, epoch int64) error
+	// OnUpdate, when set, persists applied update batches before the
+	// post-update dataset becomes visible (ovmd appends them to the index
+	// file's update log). The batches are the raw accepted batches in
+	// application order — the async pipeline may repair several per swap —
+	// and epoch is the dataset version after all of them. An error aborts
+	// the update without swapping (the async applier retries).
+	OnUpdate func(dataset string, batches []dynamic.Batch, epoch int64) error
+	// AsyncUpdates routes updates through the durable queue + background
+	// applier: POST /updates validates, logs (OnEnqueue), and returns the
+	// target epoch immediately; the repair runs off the request path and
+	// consecutive batches coalesce when provably equivalent. Off = the
+	// classic blocking apply.
+	AsyncUpdates bool
+	// OnEnqueue, when set with AsyncUpdates, durably logs an accepted
+	// batch BEFORE the accepted response is returned (ovmd appends it to
+	// the index's write-ahead log). An error rejects the batch — nothing
+	// is promised that is not on disk.
+	OnEnqueue func(dataset string, batch dynamic.Batch, epoch int64) error
 	// Logger, when set, emits structured log lines: queries at debug,
 	// updates and failures at info/warn. Nil disables logging.
 	Logger *obs.Logger
@@ -189,9 +203,20 @@ type Service struct {
 	tel    *telemetry
 	tsdb   *obs.TimeSeries
 
-	// updMu serializes ApplyUpdates calls so every epoch derives from its
-	// predecessor (no lost updates); queries never take it.
+	// updMu serializes update application (sync ApplyUpdates calls and the
+	// async applier's runs) so every epoch derives from its predecessor
+	// (no lost updates); queries never take it.
 	updMu sync.Mutex
+
+	// epochCh is closed and replaced (under mu) on every dataset swap;
+	// minEpoch waiters block on it. One channel covers all datasets —
+	// swaps are rare and waiters re-check their dataset on every wake.
+	epochCh chan struct{}
+
+	// pipelines holds the per-dataset async update pipelines, created
+	// lazily on the first enqueue (or WAL seed).
+	pipMu     sync.Mutex
+	pipelines map[string]*updatePipeline
 
 	requests     atomic.Int64
 	cacheHits    atomic.Int64
@@ -201,6 +226,7 @@ type Service struct {
 	errorCount   atomic.Int64
 	inflight     atomic.Int64
 	updates      atomic.Int64
+	coalescedOps atomic.Int64
 	shed         atomic.Int64
 	timeouts     atomic.Int64
 	canceledReqs atomic.Int64
@@ -211,13 +237,15 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:    cfg,
-		ds:     make(map[string]*Dataset),
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		adm:    newAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		start:  time.Now(),
-		tel:    newTelemetry(cfg),
+		cfg:       cfg,
+		ds:        make(map[string]*Dataset),
+		cache:     newLRUCache(cfg.CacheSize),
+		flight:    newFlightGroup(),
+		adm:       newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		start:     time.Now(),
+		tel:       newTelemetry(cfg),
+		epochCh:   make(chan struct{}),
+		pipelines: make(map[string]*updatePipeline),
 	}
 	// The ring samples the global cost registry plus the service's own
 	// counters, so one /debug/timeseries window correlates serving load
@@ -229,9 +257,14 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Close stops background goroutines (the time-series sampler). The
-// service must not serve queries after Close.
-func (s *Service) Close() { s.tsdb.Stop() }
+// Close stops background goroutines: the async update appliers (an
+// in-flight repair is abandoned at its next shard boundary; queued
+// batches survive in the WAL when one is configured) and the time-series
+// sampler. The service must not serve queries after Close.
+func (s *Service) Close() {
+	s.closePipelines()
+	s.tsdb.Stop()
+}
 
 // TimeSeries exposes the in-process ring TSDB (the /debug/timeseries
 // handler and tests read it; tests also drive Sample explicitly).
@@ -247,6 +280,8 @@ func (s *Service) sampleServiceSeries(sample func(name string, v float64)) {
 	sample("ovmd_computations_total", float64(s.computations.Load()))
 	sample("ovmd_errors_total", float64(s.errorCount.Load()))
 	sample("ovmd_updates_total", float64(s.updates.Load()))
+	sample("ovmd_update_coalesced_ops_total", float64(s.coalescedOps.Load()))
+	sample("ovmd_update_queue_depth", float64(s.totalQueueDepth()))
 	sample("ovmd_inflight", float64(s.inflight.Load()))
 	sample("ovmd_shed_total", float64(s.shed.Load()))
 	sample("ovmd_timeouts_total", float64(s.timeouts.Load()))
@@ -370,7 +405,7 @@ func (s *Service) add(name string, idx *serialize.Index) error {
 	// path live updates use: the restarted daemon lands on exactly the
 	// epoch (and bytes) the writer was serving.
 	for i, b := range idx.Updates {
-		next, _, serr := s.repairDataset(ds, b, nil)
+		next, _, serr := s.repairDataset(nil, ds, b, 1, nil)
 		if serr != nil {
 			return badRequestf("replaying update batch %d: %s", i, serr.Message)
 		}
@@ -558,6 +593,12 @@ type SelectSeedsRequest struct {
 	// (0 keeps the default). Like Parallelism it never changes the answer
 	// and is excluded from the cache key.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MinEpoch blocks the query until the dataset's visible epoch reaches
+	// this value (read-your-writes with async updates: pass the epoch an
+	// accepted update promised). The wait is bounded by the query deadline.
+	// Zero reads the current snapshot. Excluded from the cache key — the
+	// answer depends only on the snapshot served.
+	MinEpoch int64 `json:"minEpoch,omitempty"`
 }
 
 // SelectSeedsResponse reports the selected seeds and their exact score.
@@ -595,6 +636,9 @@ type EvaluateRequest struct {
 	Explain bool `json:"explain,omitempty"`
 	// TimeoutMs overrides the service-wide query timeout (0 = default).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MinEpoch waits for the dataset to reach this epoch before answering
+	// (read-your-writes; see SelectSeedsRequest.MinEpoch).
+	MinEpoch int64 `json:"minEpoch,omitempty"`
 }
 
 // EvaluateResponse reports an exact score.
@@ -629,6 +673,9 @@ type MinSeedsRequest struct {
 	Explain bool `json:"explain,omitempty"`
 	// TimeoutMs overrides the service-wide query timeout (0 = default).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MinEpoch waits for the dataset to reach this epoch before answering
+	// (read-your-writes; see SelectSeedsRequest.MinEpoch).
+	MinEpoch int64 `json:"minEpoch,omitempty"`
 }
 
 // MinSeedsResponse reports the minimum winning seed set; CanWin is false
@@ -803,7 +850,11 @@ func (s *Service) SelectSeeds(req *SelectSeedsRequest) (*SelectSeedsResponse, *E
 // byte-identical to a never-cancelled run.
 func (s *Service) SelectSeedsCtx(ctx context.Context, req *SelectSeedsRequest) (*SelectSeedsResponse, *Error) {
 	start := time.Now()
-	ds, serr := s.dataset(req.Dataset)
+	// The request context is derived before the dataset fetch so a
+	// minEpoch wait is bounded by the same deadline as the compute.
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	ds, serr := s.datasetAtEpoch(ctx, req.Dataset, req.MinEpoch)
 	if serr != nil {
 		return nil, serr
 	}
@@ -842,8 +893,6 @@ func (s *Service) SelectSeedsCtx(ctx context.Context, req *SelectSeedsRequest) (
 	// the LRU) without a global cache flush.
 	key := fmt.Sprintf("select|%s|e=%d|%s|%s|k=%d|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, method, req.Score.canonical(), req.K, req.Horizon, req.Target, req.Seed, theta)
-	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
-	defer cancel()
 	v, cached, span, serr := s.cachedQuery(ctx, endpointSelectSeeds, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
 		return s.computeSelect(cctx, ds, req, score, theta, s.workers(req.Parallelism))
 	})
@@ -956,14 +1005,14 @@ func (s *Service) Evaluate(req *EvaluateRequest) (*EvaluateResponse, *Error) {
 // EvaluateCtx is Evaluate bounded by ctx plus the configured query timeout.
 func (s *Service) EvaluateCtx(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, *Error) {
 	start := time.Now()
-	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs, req.Seeds)
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	ds, score, serr := s.evalCommon(ctx, req)
 	if serr != nil {
 		return nil, serr
 	}
 	key := fmt.Sprintf("eval|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
-	defer cancel()
 	v, cached, span, serr := s.cachedQuery(ctx, endpointEvaluate, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
 		val, err := core.EvaluateExactCtx(cctx, ds.sys, req.Target, req.Horizon, score, req.Seeds, s.workers(req.Parallelism))
 		if err != nil {
@@ -991,14 +1040,14 @@ func (s *Service) Wins(req *EvaluateRequest) (*WinsResponse, *Error) {
 // WinsCtx is Wins bounded by ctx plus the configured query timeout.
 func (s *Service) WinsCtx(ctx context.Context, req *EvaluateRequest) (*WinsResponse, *Error) {
 	start := time.Now()
-	ds, score, serr := s.evalCommon(req.Dataset, req.Score, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs, req.Seeds)
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	ds, score, serr := s.evalCommon(ctx, req)
 	if serr != nil {
 		return nil, serr
 	}
 	key := fmt.Sprintf("wins|%s|e=%d|%s|t=%d|q=%d|seeds=%s",
 		req.Dataset, ds.epoch, req.Score.canonical(), req.Horizon, req.Target, seedsKey(req.Seeds))
-	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
-	defer cancel()
 	v, cached, span, serr := s.cachedQuery(ctx, endpointWins, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
 		if err := cctx.Err(); err != nil {
 			return nil, err
@@ -1021,20 +1070,20 @@ func (s *Service) WinsCtx(ctx context.Context, req *EvaluateRequest) (*WinsRespo
 	return &resp, nil
 }
 
-func (s *Service) evalCommon(dataset string, spec ScoreSpec, target, horizon, parallelism, timeoutMs int, seeds []int32) (*Dataset, voting.Score, *Error) {
-	ds, serr := s.dataset(dataset)
+func (s *Service) evalCommon(ctx context.Context, req *EvaluateRequest) (*Dataset, voting.Score, *Error) {
+	ds, serr := s.datasetAtEpoch(ctx, req.Dataset, req.MinEpoch)
 	if serr != nil {
 		return nil, nil, serr
 	}
-	if serr := s.validCommon(ds, target, horizon, parallelism, timeoutMs); serr != nil {
+	if serr := s.validCommon(ds, req.Target, req.Horizon, req.Parallelism, req.TimeoutMs); serr != nil {
 		return nil, nil, serr
 	}
-	for i, v := range seeds {
+	for i, v := range req.Seeds {
 		if v < 0 || int(v) >= ds.sys.N() {
 			return nil, nil, badRequestf("seeds[%d]=%d out of range [0,%d)", i, v, ds.sys.N())
 		}
 	}
-	score, serr := spec.build(ds.sys.R())
+	score, serr := req.Score.build(ds.sys.R())
 	if serr != nil {
 		return nil, nil, serr
 	}
@@ -1052,7 +1101,9 @@ func (s *Service) MinSeedsToWin(req *MinSeedsRequest) (*MinSeedsResponse, *Error
 // probe's greedy rounds.
 func (s *Service) MinSeedsToWinCtx(ctx context.Context, req *MinSeedsRequest) (*MinSeedsResponse, *Error) {
 	start := time.Now()
-	ds, serr := s.dataset(req.Dataset)
+	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
+	defer cancel()
+	ds, serr := s.datasetAtEpoch(ctx, req.Dataset, req.MinEpoch)
 	if serr != nil {
 		return nil, serr
 	}
@@ -1071,8 +1122,6 @@ func (s *Service) MinSeedsToWinCtx(ctx context.Context, req *MinSeedsRequest) (*
 	}
 	key := fmt.Sprintf("minwin|%s|e=%d|%s|%s|t=%d|q=%d|seed=%d|theta=%d",
 		req.Dataset, ds.epoch, req.Method, req.Score.canonical(), req.Horizon, req.Target, req.Seed, req.Theta)
-	ctx, cancel := s.reqContext(ctx, req.TimeoutMs)
-	defer cancel()
 	v, cached, span, serr := s.cachedQuery(ctx, endpointMinSeeds, ds, req.Score.Name, key, func(cctx context.Context) (any, error) {
 		par := s.workers(req.Parallelism)
 		base := core.Problem{Sys: ds.sys, Target: req.Target, Horizon: req.Horizon, K: 1, Score: score, Ctx: cctx}
@@ -1128,6 +1177,11 @@ type Stats struct {
 	Errors         int64   `json:"errors"`
 	Inflight       int64   `json:"inflight"`
 	Updates        int64   `json:"updates"`
+	// UpdateQueueDepth is the total queued-but-unapplied async update
+	// batches; CoalescedOps counts ops the async applier never had to
+	// apply because batch merging elided them.
+	UpdateQueueDepth int64 `json:"updateQueueDepth"`
+	CoalescedOps     int64 `json:"coalescedOps"`
 	// Shed / Timeouts / Canceled / Panics are the failure-mode counters:
 	// computations shed by admission control, queries past their deadline,
 	// queries abandoned by the client, and handler panics converted to 500s.
@@ -1168,10 +1222,14 @@ type DatasetStats struct {
 	IndexBytes  int64 `json:"indexBytes"`
 	MappedBytes int64 `json:"mappedBytes"`
 	HeapBytes   int64 `json:"heapBytes"`
-	// UpdateLogDepth is the persisted update log's batch count (via
-	// Config.UpdateLogDepth when serving an index file — compaction resets
-	// it), falling back to the batches applied since the base index.
+	// UpdateLogDepth is the persisted update log's batch count INCLUDING
+	// batches accepted but not yet applied (via Config.UpdateLogDepth when
+	// serving an index file — compaction resets it), falling back to the
+	// batches applied since the base index plus the queue depth.
 	UpdateLogDepth int64 `json:"updateLogDepth"`
+	// UpdateQueueDepth is the accepted-but-unapplied batch count for this
+	// dataset's async pipeline (0 when updates are synchronous).
+	UpdateQueueDepth int64 `json:"updateQueueDepth"`
 }
 
 // StatsSnapshot assembles the /stats payload.
@@ -1220,6 +1278,8 @@ func (s *Service) StatsSnapshot() Stats {
 		Panics:         panics,
 		Endpoints:      s.endpointSummaries(),
 	}
+	st.UpdateQueueDepth = int64(s.totalQueueDepth())
+	st.CoalescedOps = s.coalescedOps.Load()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, name := range sortedNames(s.ds) {
@@ -1247,10 +1307,15 @@ func (s *Service) StatsSnapshot() Stats {
 			d.HeapBytes += a.col.HeapBytes()
 		}
 		d.IndexBytes = d.MappedBytes + d.HeapBytes
+		d.UpdateQueueDepth = int64(s.QueueDepth(name))
 		if s.cfg.UpdateLogDepth != nil {
+			// ovmd's hook already counts both the applied log and the WAL
+			// tail, so queued batches are included.
 			d.UpdateLogDepth = int64(s.cfg.UpdateLogDepth(name))
 		} else {
-			d.UpdateLogDepth = ds.epoch - ds.baseEpoch
+			// Fallback: applied since the base index plus accepted-but-
+			// unapplied — the depth a compaction would have to absorb.
+			d.UpdateLogDepth = ds.epoch - ds.baseEpoch + d.UpdateQueueDepth
 		}
 		st.Datasets = append(st.Datasets, d)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"time"
 
 	"ovm/internal/core"
@@ -29,11 +30,21 @@ type UpdateRequest struct {
 }
 
 // UpdateResponse reports the post-update dataset version and how much of
-// the precomputed index the incremental repair had to regenerate.
+// the precomputed index the incremental repair had to regenerate. An
+// async-accepted response carries Accepted=true, the PROMISED epoch, and
+// the queue depth; the repair stats stay zero (the repair has not run
+// yet — pass Epoch as a query's minEpoch to read your write).
 type UpdateResponse struct {
 	// Epoch is the dataset version after this batch; every query response
-	// carries the epoch it was computed at.
+	// carries the epoch it was computed at. With async updates this is the
+	// epoch the batch WILL become visible at.
 	Epoch int64 `json:"epoch"`
+	// Accepted is true when the batch was durably queued for background
+	// application rather than applied inline.
+	Accepted bool `json:"accepted,omitempty"`
+	// QueueDepth is the accepted-but-unapplied batch count after this
+	// enqueue (async only).
+	QueueDepth int `json:"queueDepth,omitempty"`
 	// NodesTouched counts the distinct nodes named by the batch's change
 	// set (mutated in-neighborhoods, stubbornness, or opinions).
 	NodesTouched int `json:"nodesTouched"`
@@ -60,7 +71,32 @@ type UpdateResponse struct {
 // serialized; each successful batch bumps the epoch by exactly one. When a
 // persistence hook is configured (Config.OnUpdate), the batch is persisted
 // before the swap, so a crash never leaves the daemon ahead of its log.
+// Update is the transport-facing dispatcher: with Config.AsyncUpdates it
+// enqueues (EnqueueUpdates) and returns the accepted/target-epoch
+// response immediately; otherwise it applies inline (ApplyUpdates).
+func (s *Service) Update(req *UpdateRequest) (*UpdateResponse, *Error) {
+	if s.cfg.AsyncUpdates {
+		return s.EnqueueUpdates(req)
+	}
+	return s.ApplyUpdates(req)
+}
+
 func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
+	if s.cfg.AsyncUpdates {
+		// Preserve the blocking contract on an async service: enqueue, then
+		// wait for the promised epoch to become visible. The repair stats
+		// are not reconstructed — callers that need them run synchronously.
+		resp, serr := s.EnqueueUpdates(req)
+		if serr != nil {
+			return nil, serr
+		}
+		ctx, cancel := s.reqContext(context.Background(), 0)
+		defer cancel()
+		if _, serr := s.awaitEpoch(ctx, req.Dataset, resp.Epoch); serr != nil {
+			return nil, serr
+		}
+		return resp, nil
+	}
 	start := time.Now()
 	span := obs.NewSpan(endpointUpdates)
 	if len(req.Ops) > maxUpdateOps {
@@ -75,7 +111,7 @@ func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
 		s.tel.observe(span, endpointUpdates, req.Dataset, "", 0, false, string(serr.Code))
 		return nil, serr
 	}
-	next, resp, serr := s.repairDataset(ds, req.Ops, span)
+	next, resp, serr := s.repairDataset(nil, ds, req.Ops, 1, span)
 	if serr != nil {
 		s.errorCount.Add(1)
 		s.tel.observe(span, endpointUpdates, ds.name, "", ds.epoch, false, string(serr.Code))
@@ -83,7 +119,7 @@ func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
 	}
 	if s.cfg.OnUpdate != nil {
 		persist := time.Now()
-		err := s.cfg.OnUpdate(req.Dataset, req.Ops, next.epoch)
+		err := s.cfg.OnUpdate(req.Dataset, []dynamic.Batch{req.Ops}, next.epoch)
 		span.Add("persist", time.Since(persist))
 		if err != nil {
 			s.errorCount.Add(1)
@@ -93,9 +129,7 @@ func (s *Service) ApplyUpdates(req *UpdateRequest) (*UpdateResponse, *Error) {
 		}
 	}
 	swap := time.Now()
-	s.mu.Lock()
-	s.ds[req.Dataset] = next
-	s.mu.Unlock()
+	s.swapDataset(req.Dataset, next)
 	span.Add("swap", time.Since(swap))
 	s.updates.Add(1)
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
@@ -151,7 +185,13 @@ func (s *Service) ExportIndex(name string) (*serialize.Index, *Error) {
 // It holds no service locks: callers pass an immutable snapshot, so repair
 // work runs concurrently with query traffic. The span (nil-safe; replay
 // passes nil) receives "apply" and "repair" stage timings.
-func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch, span *obs.Span) (*Dataset, *UpdateResponse, *Error) {
+//
+// ctx cancels the repair at shard boundaries (nil never cancels); the
+// async applier threads its pipeline context through so shutdown can
+// abandon a background repair. bump is the epoch increment — 1 for a
+// plain batch, len(run.Raw) when batch is a coalesced super-batch that
+// stands in for several promised epochs.
+func (s *Service) repairDataset(ctx context.Context, ds *Dataset, batch dynamic.Batch, bump int, span *obs.Span) (*Dataset, *UpdateResponse, *Error) {
 	apply := time.Now()
 	newSys, cs, err := dynamic.ApplySystem(ds.sys, batch)
 	span.Add("apply", time.Since(apply))
@@ -167,13 +207,13 @@ func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch, span *obs.Span
 	next := &Dataset{
 		name:      ds.name,
 		sys:       newSys,
-		epoch:     ds.epoch + 1,
+		epoch:     ds.epoch + int64(bump),
 		baseEpoch: ds.baseEpoch,
 		comp:      make(map[compKey][][]float64),
 	}
 	resp := &UpdateResponse{Epoch: next.epoch, NodesTouched: cs.NumTouched()}
 	for _, a := range ds.sketches {
-		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}}
+		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}, Ctx: ctx}
 		set, st, err := sketch.RepairSet(prob, a.set, cs.WalkMask(n, a.target), a.seed, par)
 		if err != nil {
 			return nil, nil, internalErr(err)
@@ -185,7 +225,7 @@ func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch, span *obs.Span
 		})
 	}
 	for _, a := range ds.walkSets {
-		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}}
+		prob := &core.Problem{Sys: newSys, Target: a.target, Horizon: a.horizon, K: 1, Score: voting.Cumulative{}, Ctx: ctx}
 		set, st, err := rwalk.RepairSet(prob, a.set, cs.WalkMask(n, a.target), a.seed, par)
 		if err != nil {
 			return nil, nil, internalErr(err)
@@ -198,7 +238,7 @@ func (s *Service) repairDataset(ds *Dataset, batch dynamic.Batch, span *obs.Span
 	}
 	edgeMask := cs.EdgeMask(n)
 	for _, a := range ds.rrs {
-		col, st, err := a.col.Repair(newSys.Candidate(a.target).G, edgeMask)
+		col, st, err := a.col.RepairCtx(ctx, newSys.Candidate(a.target).G, edgeMask)
 		if err != nil {
 			return nil, nil, internalErr(err)
 		}

@@ -412,14 +412,14 @@ func TestUpdatesOverHTTP(t *testing.T) {
 	_, idx := testWorld(t)
 	var persisted []dynamic.Batch
 	svc := service.New(service.Config{
-		OnUpdate: func(dataset string, batch dynamic.Batch, epoch int64) error {
+		OnUpdate: func(dataset string, batches []dynamic.Batch, epoch int64) error {
 			if dataset != "world" {
 				t.Errorf("hook dataset = %q", dataset)
 			}
-			if epoch != int64(len(persisted))+1 {
-				t.Errorf("hook epoch = %d, want %d", epoch, len(persisted)+1)
+			if epoch != int64(len(persisted)+len(batches)) {
+				t.Errorf("hook epoch = %d, want %d", epoch, len(persisted)+len(batches))
 			}
-			persisted = append(persisted, batch)
+			persisted = append(persisted, batches...)
 			return nil
 		},
 	})
@@ -461,7 +461,7 @@ func TestUpdatesOverHTTP(t *testing.T) {
 	}
 	// A failing hook aborts the update without a swap.
 	svcFail := service.New(service.Config{
-		OnUpdate: func(string, dynamic.Batch, int64) error { return fmt.Errorf("disk full") },
+		OnUpdate: func(string, []dynamic.Batch, int64) error { return fmt.Errorf("disk full") },
 	})
 	_, idx2 := testWorld(t)
 	if err := svcFail.AddIndex("world", idx2); err != nil {

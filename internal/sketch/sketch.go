@@ -165,14 +165,15 @@ func GenerateSet(p *core.Problem, theta int, seed int64, parallelism int) (*walk
 // marks the nodes whose in-neighborhoods or stubbornness changed. The
 // returned set is byte-identical to GenerateSet on the mutated system, but
 // only the invalidated owners are regenerated (from their original
-// substreams in the seed's family).
+// substreams in the seed's family). p.Ctx, when set, cancels the repair at
+// shard boundaries.
 func RepairSet(p *core.Problem, old *walks.Set, touched []bool, seed int64, parallelism int) (*walks.Set, walks.RepairStats, error) {
 	cand := p.Sys.Candidate(p.Target)
 	sampler, err := graph.NewInEdgeSampler(cand.G)
 	if err != nil {
 		return nil, walks.RepairStats{}, err
 	}
-	return walks.Repair(old, sampler, cand.Stub, touched, sampling.Stream{Seed: seed, ID: 211}, parallelism)
+	return walks.RepairCtx(p.Ctx, old, sampler, cand.Stub, touched, sampling.Stream{Seed: seed, ID: 211}, parallelism)
 }
 
 // SelectOnSet runs the greedy selection of Algorithm 5 over a pre-generated

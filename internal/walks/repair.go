@@ -1,6 +1,7 @@
 package walks
 
 import (
+	"context"
 	"fmt"
 
 	"ovm/internal/engine"
@@ -38,6 +39,14 @@ type RepairStats struct {
 // sets, the sampled start multiset) depends only on (str, n), so it is
 // preserved as-is.
 func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, str sampling.Stream, parallelism int) (*Set, RepairStats, error) {
+	return RepairCtx(nil, old, s, stub, touched, str, parallelism)
+}
+
+// RepairCtx is Repair with cooperative cancellation at shard boundaries
+// (nil ctx never cancels): the async update pipeline's applier threads its
+// run context through here so a shutdown can abandon an in-flight
+// background repair instead of waiting it out.
+func RepairCtx(ctx context.Context, old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, str sampling.Stream, parallelism int) (*Set, RepairStats, error) {
 	var stats RepairStats
 	g := s.Graph()
 	n := g.N()
@@ -61,7 +70,7 @@ func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, st
 	// Phase 1: invalidation scan — an owner is dirty iff any stored walk of
 	// its group visits a touched node.
 	invalid := make([]bool, len(owners))
-	_ = engine.ForEachChunk(parallelism, len(owners), 64, 256, func(_, _, lo, hi int) error {
+	scanErr := engine.ForEachChunkCtx(ctx, parallelism, len(owners), 64, 256, func(_, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			first, last := old.ownerOff[i], old.ownerOff[i+1]
 			for p := old.off[first]; p < old.off[last] && !invalid[i]; p++ {
@@ -72,6 +81,9 @@ func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, st
 		}
 		return nil
 	})
+	if scanErr != nil {
+		return nil, stats, scanErr
+	}
 	for i := range invalid {
 		if invalid[i] {
 			stats.OwnersInvalidated++
@@ -97,7 +109,7 @@ func Repair(old *Set, s *graph.InEdgeSampler, stub []float64, touched []bool, st
 	}
 	walkStr := str.Sub(walkStream)
 	numShards := engine.NumShards(len(owners), 64, 256)
-	shards, err := engine.Map(parallelism, numShards, func(_, sh int) (walkShard, error) {
+	shards, err := engine.MapCtx(ctx, parallelism, numShards, func(_, sh int) (walkShard, error) {
 		lo, hi := engine.ShardRange(len(owners), numShards, sh)
 		var out walkShard
 		out.lens = make([]int32, 0, int(old.ownerOff[hi]-old.ownerOff[lo]))

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 sha="${1:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}"
 out="BENCH_${sha}.json"
-bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad|BenchmarkCostAccounting}"
+bench_re="${BENCH_RE:-BenchmarkTable1RunningExample|BenchmarkParallelScaling|BenchmarkSelection|BenchmarkServiceQuery|BenchmarkIncrementalUpdate|BenchmarkIndexLoad|BenchmarkCostAccounting|BenchmarkUpdateChurn}"
 benchtime="${BENCHTIME:-1x}"
 load_duration="${LOAD_DURATION:-5s}"
 load_workers="${LOAD_WORKERS:-8}"
@@ -69,7 +69,7 @@ load() {
 }
 cold=$(load -bench-name ovmload/cold -endpoint evaluate -distinct)
 warm=$(load -bench-name ovmload/warm -endpoint mix)
-upd=$(load -bench-name ovmload/update-concurrent -endpoint mix -mutate-every 500ms)
+upd=$(load -bench-name ovmload/update-concurrent -endpoint mix -mutate-every 500ms -wait-visible)
 kill "$daemon_pid" 2>/dev/null || true
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=""

@@ -8,7 +8,12 @@
 #   3. after every kill the daemon must restart cleanly: the index file
 #      parses (never quarantined), stale rewrite temps are swept, and
 #      queries answer 200;
-#   4. after the final round, the persisted update log is dumped with
+#   4. a burst round targets the async accept path specifically: 20
+#      single-op batches are POSTed back-to-back (each durably queued in
+#      the write-ahead log before its accepted response) and the daemon is
+#      killed immediately — the restart must replay the queued batches
+#      from the WAL and land exactly on the last promised epoch;
+#   5. after the final round, the persisted update log is dumped with
 #      ovmd -dump-updates and replayed through the direct CLI
 #      (ovm -updates): the restarted daemon's HTTP seeds must equal the
 #      direct library run on the final mutated graph, and the replayed
@@ -68,6 +73,22 @@ assert_healthy() {
   temps=$(ls "$workdir"/chaos.ovmidx.tmp-* 2>/dev/null || true)
   [[ -z "$temps" ]] \
     || { echo "FAIL: stale rewrite temps survived the restart sweep: $temps"; exit 1; }
+  # A torn final WAL line is dropped silently by design (the kill can land
+  # mid-append); anything that QUARANTINES the WAL means mid-file
+  # corruption, which fsync-per-append must prevent.
+  [[ ! -e "$workdir/chaos.ovmidx.wal.corrupt" ]] \
+    || { echo "FAIL: write-ahead log was quarantined after a kill"; tail -20 "$workdir/daemon.log"; exit 1; }
+}
+
+# wait_drained: poll /stats until no update queue holds accepted batches —
+# after a restart the WAL-recovered queue drains in the background, and
+# the persisted log / epoch comparisons below need the settled state.
+wait_drained() {
+  for _ in $(seq 1 100); do
+    if ! curl -sf "$base/stats" | grep -q '"updateQueueDepth":[1-9]'; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: update queue did not drain"; curl -sf "$base/stats"; tail -20 "$workdir/daemon.log"; exit 1
 }
 
 start_daemon
@@ -91,7 +112,32 @@ for round in $(seq 1 "$rounds"); do
   echo "   round $round: killed mid-churn (stale temps on disk: $temps_before), restarted at epoch $epoch"
 done
 
+echo "== burst round: queued-but-unrepaired batches must survive kill -9"
+wait_drained
+e0=$(curl -sf "$base/stats" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' | head -1)
+burst=20
+for i in $(seq 1 "$burst"); do
+  acc=$(curl -sf -X POST "$base/v1/datasets/default/updates" -H 'Content-Type: application/json' \
+    -d "{\"ops\":[{\"op\":\"set_opinion\",\"candidate\":0,\"node\":$i,\"value\":0.5}]}")
+  grep -q "\"epoch\":$((e0 + i))[,}]" <<<"$acc" \
+    || { echo "FAIL: burst update $i promised the wrong epoch: $acc"; exit 1; }
+done
+# Every accepted response above implies its batch is fsync'd in the WAL;
+# kill before the background applier can possibly repair them all.
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+start_daemon
+assert_healthy
+wait_drained
+resp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+burst_epoch=$(sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' <<<"$resp")
+[[ "$burst_epoch" == "$((e0 + burst))" ]] \
+  || { echo "FAIL: after WAL replay the daemon sits at epoch $burst_epoch, want $((e0 + burst)) (e0=$e0 + $burst accepted batches)"; exit 1; }
+echo "   all $burst accepted batches replayed from the WAL: epoch $e0 -> $burst_epoch"
+
 echo "== replaying the persisted update log through the direct CLI"
+wait_drained
 resp=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
 http_seeds=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$resp" | tr ',' ' ')
 http_epoch=$(sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' <<<"$resp")
@@ -116,4 +162,4 @@ echo "   epoch $http_epoch, $batches persisted batches, seeds match the direct r
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || true
 daemon_pid=""
-echo "PASS: chaos smoke test ($rounds kill -9 rounds, epoch $http_epoch, old-or-new held throughout)"
+echo "PASS: chaos smoke test ($rounds churn + 1 burst kill -9 rounds, epoch $http_epoch, old-or-new held throughout)"

@@ -45,6 +45,37 @@ for metric in accounting_overhead_pct on_ns off_ns; do
     exit 1
   fi
 done
+# The async-update-pipeline gates: the churn benchmark must have run with
+# its evidence metrics, the async path must accept-and-drain at least 2x
+# the blocking path's updates/sec, the drain must land byte-identical to
+# the sync replay, and the warm query tail during sustained churn must
+# stay within 2x of the quiet baseline.
+for metric in updates_per_sec_sync updates_per_sec_async churn_speedup_x \
+  visible_lag_p50_ns visible_lag_p95_ns churn_warm_p99_ns baseline_warm_p99_ns identical_ok; do
+  if ! grep -q "BenchmarkUpdateChurn.*\"${metric}\"" "$f"; then
+    echo "check_bench: $f has no BenchmarkUpdateChurn result with the ${metric} metric" >&2
+    exit 1
+  fi
+done
+churn_metric() {
+  grep '"name":"BenchmarkUpdateChurn"' "$f" | grep -o "\"$1\":[0-9.eE+-]*" | head -1 | cut -d: -f2
+}
+churn_speedup=$(churn_metric churn_speedup_x)
+churn_identical=$(churn_metric identical_ok)
+churn_p99=$(churn_metric churn_warm_p99_ns)
+churn_base_p99=$(churn_metric baseline_warm_p99_ns)
+if ! awk -v s="$churn_speedup" 'BEGIN { exit !(s >= 2) }'; then
+  echo "check_bench: async update speedup ${churn_speedup}x is below the 2x gate" >&2
+  exit 1
+fi
+if ! awk -v ok="$churn_identical" 'BEGIN { exit !(ok == 1) }'; then
+  echo "check_bench: identical_ok=${churn_identical} — the async drain diverged from the sync replay" >&2
+  exit 1
+fi
+if ! awk -v c="$churn_p99" -v b="$churn_base_p99" 'BEGIN { exit !(c > 0 && b > 0 && c <= 2 * b) }'; then
+  echo "check_bench: warm query p99 during churn (${churn_p99}ns) exceeds 2x the quiet baseline (${churn_base_p99}ns)" >&2
+  exit 1
+fi
 for metric in index_bytes mapped_bytes heap_bytes; do
   if ! grep -q "BenchmarkIndexLoad.*\"${metric}\"" "$f"; then
     echo "check_bench: $f has no BenchmarkIndexLoad result with the ${metric} metric" >&2
@@ -65,6 +96,15 @@ for name in ovmload/cold ovmload/warm ovmload/update-concurrent ovmload/warm-deg
       exit 1
     fi
   done
+done
+# The update-concurrent run measures the live daemon's async pipeline:
+# update-POST latency is recorded apart from the query mix, and the
+# -wait-visible probes must have produced accepted-to-visible lag numbers.
+for metric in update_p50_ns visible_lag_p50_ns visible_lag_probes; do
+  if ! grep -q '"ovmload/update-concurrent".*"'"${metric}"'"' "$f"; then
+    echo "check_bench: $f has no ovmload/update-concurrent result with the ${metric} metric" >&2
+    exit 1
+  fi
 done
 # The robustness counters captured from the capped daemon during the shed
 # flood must be present, and shedding must actually have happened — a zero
@@ -99,4 +139,4 @@ if ! awk -v w="$degraded_qps" -v s="$shed_qps" 'BEGIN { exit !(2 * s >= w) }'; t
   echo "check_bench: warm-shed QPS $shed_qps fell below half the unshedded warm-degraded baseline $degraded_qps — cache hits are not bypassing load shedding" >&2
   exit 1
 fi
-echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok + cost counters, BenchmarkIncrementalUpdate repair cost counters, BenchmarkCostAccounting overhead, BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, ovmload cold/warm/update-concurrent/warm-degraded/warm-shed serving_qps + latency percentiles, and the shed-flood robustness counters (shed_total=${shed_total}, warm-shed/warm-degraded QPS = ${shed_qps}/${degraded_qps})"
+echo "check_bench: $f carries BenchmarkSelection speedup_x + determinism_ok + cost counters, BenchmarkIncrementalUpdate repair cost counters, BenchmarkCostAccounting overhead, BenchmarkUpdateChurn async-pipeline gates (speedup ${churn_speedup}x, identical_ok=${churn_identical}, churn/baseline p99 ${churn_p99}/${churn_base_p99}ns), BenchmarkIndexLoad index/mapped/heap bytes + load_speedup_x, ovmload cold/warm/update-concurrent/warm-degraded/warm-shed serving_qps + latency percentiles, and the shed-flood robustness counters (shed_total=${shed_total}, warm-shed/warm-degraded QPS = ${shed_qps}/${degraded_qps})"

@@ -119,8 +119,12 @@ printf '%s\n' "$ops" >"$workdir/updates.jsonl"
 upd=$(curl -sf -X POST "$base/v1/datasets/default/updates" -H 'Content-Type: application/json' \
   -d "{\"ops\":$ops}")
 echo "   update response: $upd"
-grep -q '"epoch":1' <<<"$upd" || { echo "FAIL: update did not bump the epoch to 1"; exit 1; }
-echo "   epoch bumped to 1"
+grep -q '"epoch":1' <<<"$upd" || { echo "FAIL: update did not promise epoch 1"; exit 1; }
+# The daemon runs the async pipeline by default: the POST returns at accept
+# time (durably queued, target epoch promised), and the background applier
+# makes epoch 1 visible.
+grep -q '"accepted":true' <<<"$upd" || { echo "FAIL: async update response is not marked accepted"; exit 1; }
+echo "   update accepted asynchronously with promised epoch 1"
 
 echo "== computing expected post-update seeds with the CLI on the mutated graph"
 mut_out=$("$workdir/ovm" -load "$workdir/smoke.system" -updates "$workdir/updates.jsonl" \
@@ -129,13 +133,17 @@ mut_expected=$(sed -n 's/^seeds ([0-9]* total): \[\([0-9 ]*\)\].*/\1/p' <<<"$mut
 [[ -n "$mut_expected" ]] || { echo "FAIL: could not parse mutated-CLI seeds"; exit 1; }
 echo "   expected post-update seeds: $mut_expected"
 
-resp3=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$request")
+# Read-your-writes: the query carries the promised epoch as minEpoch, so
+# the daemon holds it until the background repair swaps epoch 1 in — no
+# sleep/poll needed, and the answer is guaranteed post-update.
+rw_request='{"dataset":"default","method":"RS","score":{"name":"plurality"},"k":5,"horizon":10,"target":0,"seed":7,"theta":2048,"minEpoch":1}'
+resp3=$(curl -sf -X POST "$base/v1/select-seeds" -H 'Content-Type: application/json' -d "$rw_request")
 got3=$(sed -n 's/.*"seeds":\[\([0-9,]*\)\].*/\1/p' <<<"$resp3" | tr ',' ' ')
 [[ "$got3" == "$mut_expected" ]] || { echo "FAIL: post-update daemon seeds ($got3) != mutated-CLI seeds ($mut_expected)"; exit 1; }
 grep -q '"epoch":1' <<<"$resp3" || { echo "FAIL: post-update response epoch"; exit 1; }
 grep -q '"cached":false' <<<"$resp3" || { echo "FAIL: post-update query served stale cache entry"; exit 1; }
 grep -q '"fromIndex":true' <<<"$resp3" || { echo "FAIL: post-update query did not use the repaired index"; exit 1; }
-echo "   post-update seeds match a fresh CLI run on the mutated graph (repaired index, epoch 1)"
+echo "   minEpoch=1 query waited for the async repair; seeds match a fresh CLI run on the mutated graph"
 
 version_bytes=$(head -c 10 "$workdir/smoke.ovmidx" | od -An -tu1 | tr -s ' ' | sed 's/^ //;s/ $//')
 [[ "$version_bytes" == "79 86 77 73 68 88 3 0 0 0" ]] \
@@ -187,6 +195,19 @@ grep -q '^ovmd_dataset_update_log_depth{dataset="default"} 1$' <<<"$metrics" \
   || { echo "FAIL: /metrics update-log-depth gauge did not reach 1"; exit 1; }
 grep -q '^ovmd_stage_duration_seconds_count{stage="repair"}' <<<"$metrics" \
   || { echo "FAIL: /metrics has no update-pipeline stage histogram"; exit 1; }
+# The async-pipeline families: the drained queue gauges sit at zero, the
+# pipeline stage span was recorded for the applied batch, and the
+# accepted-to-visible lag histogram observed it.
+grep -q '^ovmd_update_queue_depth 0$' <<<"$metrics" \
+  || { echo "FAIL: /metrics update queue depth is not zero after the drain"; exit 1; }
+grep -q '^ovmd_dataset_update_queue_depth{dataset="default"} 0$' <<<"$metrics" \
+  || { echo "FAIL: /metrics per-dataset update queue depth missing or non-zero"; exit 1; }
+grep -q '^ovmd_update_coalesced_ops_total ' <<<"$metrics" \
+  || { echo "FAIL: /metrics has no coalesced-ops counter"; exit 1; }
+grep -q '^ovmd_stage_duration_seconds_count{stage="pipeline"} [1-9]' <<<"$metrics" \
+  || { echo "FAIL: /metrics pipeline stage span did not record the async batch"; exit 1; }
+grep -q '^ovmd_update_visible_lag_seconds_count [1-9]' <<<"$metrics" \
+  || { echo "FAIL: /metrics visible-lag histogram did not observe the async batch"; exit 1; }
 # The engine cost counters must be exposed, and the ones the update batch
 # and the queries drive must have moved off zero.
 grep -q '^ovm_dynamic_batches_applied_total [1-9]' <<<"$metrics" \
